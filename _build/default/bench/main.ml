@@ -1,0 +1,127 @@
+(* Benchmark entry point: regenerates every table and figure of the paper in
+   a reduced-duration configuration (use bin/scotbench.exe for full-length,
+   configurable runs), then runs one Bechamel micro-benchmark per table /
+   figure measuring single-threaded operation cost of the structures that
+   the experiment plots.
+
+   Environment knobs:
+     SCOT_BENCH_FULL=1        full-length experiment runs (scotbench defaults)
+     SCOT_BENCH_SKIP_MICRO=1  skip the Bechamel section
+*)
+
+open Bechamel
+open Toolkit
+
+(* One mixed operation (50r/25i/25d) against a prefilled structure; this is
+   the workload unit the paper's figures are built from. *)
+let mixed_op_test ~name ~structure ~scheme ~range =
+  let builder = Harness.Instance.find_builder_exn structure in
+  let inst = builder.Harness.Instance.build scheme ~threads:1 () in
+  Array.iter
+    (fun k -> ignore (inst.Harness.Instance.insert ~tid:0 k))
+    (Harness.Workload.prefill_keys ~range ~seed:7);
+  let rng = Harness.Workload.Rng.create ~seed:11 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let key = Harness.Workload.Rng.int rng range in
+         match Harness.Workload.op_for rng Harness.Workload.read_write_50 with
+         | Harness.Workload.Search ->
+             ignore (inst.Harness.Instance.search ~tid:0 key)
+         | Harness.Workload.Insert ->
+             ignore (inst.Harness.Instance.insert ~tid:0 key)
+         | Harness.Workload.Delete ->
+             ignore (inst.Harness.Instance.delete ~tid:0 key)))
+
+let hp = Smr.Registry.find_exn "HP"
+let ebr = Smr.Registry.find_exn "EBR"
+
+(* One Bechamel test (or group) per table/figure of the paper. *)
+let micro_tests () =
+  Test.make_grouped ~name:"scot"
+    [
+      Test.make_grouped ~name:"table1"
+        [
+          mixed_op_test ~name:"HList-HP-r512" ~structure:"HList" ~scheme:hp
+            ~range:512;
+        ];
+      Test.make_grouped ~name:"fig8"
+        [
+          mixed_op_test ~name:"HMList-HP-r512" ~structure:"HMList" ~scheme:hp
+            ~range:512;
+          mixed_op_test ~name:"HList-HP-r512" ~structure:"HList" ~scheme:hp
+            ~range:512;
+          mixed_op_test ~name:"HList-EBR-r512" ~structure:"HList" ~scheme:ebr
+            ~range:512;
+        ];
+      Test.make_grouped ~name:"fig9"
+        [
+          mixed_op_test ~name:"NMTree-HP-r128" ~structure:"NMTree" ~scheme:hp
+            ~range:128;
+          mixed_op_test ~name:"NMTree-EBR-r128" ~structure:"NMTree" ~scheme:ebr
+            ~range:128;
+        ];
+      Test.make_grouped ~name:"fig10"
+        [
+          mixed_op_test ~name:"HMList-EBR-r512" ~structure:"HMList" ~scheme:ebr
+            ~range:512;
+        ];
+      Test.make_grouped ~name:"fig11+fig12"
+        [
+          mixed_op_test ~name:"NMTree-HP-r100k" ~structure:"NMTree" ~scheme:hp
+            ~range:100_000;
+        ];
+      Test.make_grouped ~name:"table2"
+        [
+          mixed_op_test ~name:"HMList-HP-r10k" ~structure:"HMList" ~scheme:hp
+            ~range:10_000;
+          mixed_op_test ~name:"HList-HP-r10k" ~structure:"HList" ~scheme:hp
+            ~range:10_000;
+        ];
+      Test.make_grouped ~name:"ablations"
+        [
+          mixed_op_test ~name:"HList-norec-HP-r10k" ~structure:"HList-norec"
+            ~scheme:hp ~range:10_000;
+          mixed_op_test ~name:"HListWF-HP-r10k" ~structure:"HListWF" ~scheme:hp
+            ~range:10_000;
+        ];
+    ]
+
+let run_micro () =
+  Harness.Report.section "Bechamel micro-benchmarks (ns per mixed operation)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Harness.Report.table ~header:[ "benchmark"; "ns/op"; "r^2" ] rows
+
+let () =
+  let full = Sys.getenv_opt "SCOT_BENCH_FULL" = Some "1" in
+  let cfg =
+    if full then Harness.Experiments.default_cfg
+    else Harness.Experiments.quick_cfg
+  in
+  Printf.printf
+    "SCOT benchmark suite (%s configuration; cores available: %d)\n%!"
+    (if full then "full" else "quick")
+    (Domain.recommended_domain_count ());
+  Harness.Experiments.run_all cfg;
+  if Sys.getenv_opt "SCOT_BENCH_SKIP_MICRO" <> Some "1" then run_micro ()

@@ -1,0 +1,234 @@
+(* scot_plot: turn the CSVs written by `scotbench --csv-dir` into SVG line
+   charts shaped like the paper's figures (throughput or unreclaimed-object
+   count vs thread count, one series per structure/scheme pair).
+
+   Usage:
+     scot_plot FILE.csv [-o OUT.svg] [--metric throughput|avg_unreclaimed]
+     scot_plot results/*.csv          # one SVG next to each CSV
+
+   Self-contained: hand-rolled SVG, no dependencies. *)
+
+let width = 760.
+let height = 480.
+let margin_l = 70.
+let margin_r = 170.
+let margin_t = 40.
+let margin_b = 55.
+
+let palette =
+  [|
+    "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd"; "#8c564b";
+    "#e377c2"; "#7f7f7f"; "#bcbd22"; "#17becf"; "#393b79"; "#ad494a";
+    "#637939"; "#7b4173";
+  |]
+
+type row = {
+  structure : string;
+  scheme : string;
+  threads : int;
+  metric : float;
+}
+
+let split_csv_line line =
+  (* The harness only quotes fields containing commas; none of the numeric
+     result columns do, so a simple split with quote awareness suffices. *)
+  let out = ref [] and buf = Buffer.create 16 and quoted = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> quoted := not !quoted
+      | ',' when not !quoted ->
+          out := Buffer.contents buf :: !out;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    line;
+  out := Buffer.contents buf :: !out;
+  List.rev !out
+
+let load_csv ~metric path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match List.rev !lines with
+  | [] -> []
+  | header :: rows ->
+      let cols = split_csv_line header in
+      let idx name =
+        match List.find_index (String.equal name) cols with
+        | Some i -> i
+        | None -> failwith (Printf.sprintf "%s: no column %S" path name)
+      in
+      let si = idx "structure"
+      and ci = idx "scheme"
+      and ti = idx "threads"
+      and mi = idx metric in
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            let fs = Array.of_list (split_csv_line line) in
+            Some
+              {
+                structure = fs.(si);
+                scheme = fs.(ci);
+                threads = int_of_string fs.(ti);
+                metric = float_of_string fs.(mi);
+              })
+        rows
+
+let human f =
+  if f >= 1e9 then Printf.sprintf "%.1fG" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.0fk" (f /. 1e3)
+  else Printf.sprintf "%.0f" f
+
+let svg_of_rows ~title ~metric rows =
+  let series =
+    List.sort_uniq compare
+      (List.map (fun r -> (r.structure, r.scheme)) rows)
+  in
+  let threads = List.sort_uniq compare (List.map (fun r -> r.threads) rows) in
+  let max_y =
+    List.fold_left (fun acc r -> Float.max acc r.metric) 1. rows
+  in
+  let n_threads = List.length threads in
+  let xpos t =
+    (* Categorical x axis over the measured thread counts. *)
+    let i =
+      match List.find_index (Int.equal t) threads with
+      | Some i -> i
+      | None -> 0
+    in
+    margin_l
+    +. (width -. margin_l -. margin_r)
+       *. (if n_threads <= 1 then 0.5
+           else float_of_int i /. float_of_int (n_threads - 1))
+  in
+  let ypos v =
+    let h = height -. margin_t -. margin_b in
+    height -. margin_b -. (h *. v /. max_y)
+  in
+  let b = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf
+    {|<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">|}
+    width height;
+  pf {|<rect width="%g" height="%g" fill="white"/>|} width height;
+  pf {|<text x="%g" y="22" font-size="15" text-anchor="middle">%s</text>|}
+    (width /. 2.) title;
+  (* axes *)
+  pf
+    {|<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/><line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>|}
+    margin_l margin_t margin_l
+    (height -. margin_b)
+    margin_l
+    (height -. margin_b)
+    (width -. margin_r)
+    (height -. margin_b);
+  (* y grid + labels *)
+  for i = 0 to 4 do
+    let v = max_y *. float_of_int i /. 4. in
+    let y = ypos v in
+    pf
+      {|<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/><text x="%g" y="%g" text-anchor="end">%s</text>|}
+      margin_l y
+      (width -. margin_r)
+      y (margin_l -. 6.) (y +. 4.) (human v)
+  done;
+  (* x labels *)
+  List.iter
+    (fun t ->
+      pf {|<text x="%g" y="%g" text-anchor="middle">%d</text>|} (xpos t)
+        (height -. margin_b +. 18.)
+        t)
+    threads;
+  pf {|<text x="%g" y="%g" text-anchor="middle">threads</text>|}
+    ((margin_l +. width -. margin_r) /. 2.)
+    (height -. 12.);
+  pf
+    {|<text x="18" y="%g" text-anchor="middle" transform="rotate(-90 18 %g)">%s</text>|}
+    (height /. 2.) (height /. 2.) metric;
+  (* series *)
+  List.iteri
+    (fun i (structure, scheme) ->
+      let color = palette.(i mod Array.length palette) in
+      let pts =
+        List.filter (fun r -> r.structure = structure && r.scheme = scheme) rows
+        |> List.sort (fun a b -> compare a.threads b.threads)
+      in
+      let path =
+        String.concat " "
+          (List.map
+             (fun r -> Printf.sprintf "%g,%g" (xpos r.threads) (ypos r.metric))
+             pts)
+      in
+      pf
+        {|<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>|}
+        path color;
+      List.iter
+        (fun r ->
+          pf {|<circle cx="%g" cy="%g" r="3" fill="%s"/>|} (xpos r.threads)
+            (ypos r.metric) color)
+        pts;
+      (* legend *)
+      let ly = margin_t +. 8. +. (float_of_int i *. 18.) in
+      pf
+        {|<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/><text x="%g" y="%g">%s/%s</text>|}
+        (width -. margin_r +. 10.)
+        ly
+        (width -. margin_r +. 34.)
+        ly color
+        (width -. margin_r +. 40.)
+        (ly +. 4.) structure scheme)
+    series;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+let plot_file ~metric ~out path =
+  let rows = load_csv ~metric path in
+  if rows = [] then Printf.eprintf "%s: no data rows, skipped\n%!" path
+  else begin
+    let title =
+      Printf.sprintf "%s (%s)"
+        (Filename.remove_extension (Filename.basename path))
+        metric
+    in
+    let svg = svg_of_rows ~title ~metric rows in
+    let out =
+      match out with
+      | Some o -> o
+      | None -> Filename.remove_extension path ^ ".svg"
+    in
+    let oc = open_out out in
+    output_string oc svg;
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n%!" out (List.length rows)
+  end
+
+let () =
+  let files = ref [] and out = ref None and metric = ref "throughput" in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: o :: rest ->
+        out := Some o;
+        parse rest
+    | "--metric" :: m :: rest ->
+        metric := m;
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [] ->
+      prerr_endline
+        "usage: scot_plot FILE.csv [FILE.csv ...] [-o OUT.svg] [--metric \
+         throughput|avg_unreclaimed|restarts]";
+      exit 2
+  | files -> List.iter (fun f -> plot_file ~metric:!metric ~out:!out f) files

@@ -1,0 +1,226 @@
+(* scotbench: command-line driver that regenerates every table and figure of
+   the paper's evaluation (Section 5), plus the ablations.
+
+   Examples:
+     scotbench all --quick
+     scotbench fig8 --range 512 --threads 1,2,4,8 --duration 2
+     scotbench run --structure HList --scheme HP --threads 4 --range 10000
+*)
+
+open Cmdliner
+
+let threads_arg =
+  let doc = "Comma-separated list of thread counts." in
+  Arg.(
+    value
+    & opt (list int) Harness.Experiments.default_cfg.threads
+    & info [ "t"; "threads" ] ~docv:"N,N,..." ~doc)
+
+let duration_arg =
+  let doc = "Seconds per benchmark run (paper: 10)." in
+  Arg.(
+    value
+    & opt float Harness.Experiments.default_cfg.duration
+    & info [ "d"; "duration" ] ~docv:"SEC" ~doc)
+
+let repeats_arg =
+  let doc = "Independent runs per data point; the median is reported (paper: 5)." in
+  Arg.(value & opt int 1 & info [ "r"; "repeats" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Directory to write raw CSV results into." in
+  Arg.(
+    value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+let quick_arg =
+  let doc = "Short runs with reduced parameters (smoke-level)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let fig12_range_arg =
+  let doc =
+    "Key range for Figure 12 (paper: 50,000,000; scaled default 1,000,000)."
+  in
+  Arg.(
+    value
+    & opt int Harness.Experiments.default_cfg.fig12_range
+    & info [ "fig12-range" ] ~docv:"N" ~doc)
+
+let cfg_term =
+  let make threads duration repeats csv_dir quick fig12_range =
+    let base =
+      if quick then Harness.Experiments.quick_cfg
+      else Harness.Experiments.default_cfg
+    in
+    {
+      Harness.Experiments.threads =
+        (if quick && threads = Harness.Experiments.default_cfg.threads then
+           base.threads
+         else threads);
+      duration =
+        (if quick && duration = Harness.Experiments.default_cfg.duration then
+           base.duration
+         else duration);
+      repeats;
+      csv_dir;
+      fig12_range =
+        (if
+           quick
+           && fig12_range = Harness.Experiments.default_cfg.fig12_range
+         then base.fig12_range
+         else fig12_range);
+    }
+  in
+  Term.(
+    const make $ threads_arg $ duration_arg $ repeats_arg $ csv_arg
+    $ quick_arg $ fig12_range_arg)
+
+let range_arg ~default =
+  let doc = "Key range." in
+  Arg.(value & opt int default & info [ "range" ] ~docv:"N" ~doc)
+
+let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig8_cmd =
+  cmd_of "fig8" "List throughput (HMList vs HList), Figure 8"
+    Term.(
+      const (fun cfg range -> ignore (Harness.Experiments.fig8 cfg ~range))
+      $ cfg_term
+      $ range_arg ~default:512)
+
+let fig9_cmd =
+  cmd_of "fig9" "NMTree throughput, Figure 9"
+    Term.(
+      const (fun cfg range -> ignore (Harness.Experiments.fig9 cfg ~range))
+      $ cfg_term
+      $ range_arg ~default:128)
+
+let fig10_cmd =
+  cmd_of "fig10" "List memory overhead, Figure 10 (reruns Figure 8's runs)"
+    Term.(
+      const (fun cfg range ->
+          let results = Harness.Experiments.fig8 cfg ~range in
+          Harness.Experiments.memory_table
+            ~title:
+              (Printf.sprintf
+                 "Figure 10 (range %d): list avg unreclaimed objects" range)
+            results)
+      $ cfg_term
+      $ range_arg ~default:512)
+
+let fig11_cmd =
+  cmd_of "fig11" "NMTree memory overhead, Figure 11 (reruns Figure 9's runs)"
+    Term.(
+      const (fun cfg range ->
+          let results = Harness.Experiments.fig9 cfg ~range in
+          Harness.Experiments.memory_table
+            ~title:
+              (Printf.sprintf
+                 "Figure 11 (range %d): NMTree avg unreclaimed objects" range)
+            results)
+      $ cfg_term
+      $ range_arg ~default:128)
+
+let fig12_cmd =
+  cmd_of "fig12" "NMTree at cache-exceeding key range, Figure 12"
+    Term.(const (fun cfg -> ignore (Harness.Experiments.fig12 cfg)) $ cfg_term)
+
+let table1_cmd =
+  cmd_of "table1" "SMR-compatibility matrix, Table 1"
+    Term.(
+      const (fun cfg ->
+          ignore
+            (Harness.Experiments.table1
+               ~duration:cfg.Harness.Experiments.duration ()))
+      $ cfg_term)
+
+let table2_cmd =
+  cmd_of "table2" "Restart statistics under HP, Table 2"
+    Term.(const (fun cfg -> ignore (Harness.Experiments.table2 cfg)) $ cfg_term)
+
+let ablation_recovery_cmd =
+  cmd_of "ablation-recovery" "Recovery optimisation on/off (SS 3.2.1)"
+    Term.(
+      const (fun cfg -> ignore (Harness.Experiments.ablation_recovery cfg))
+      $ cfg_term)
+
+let ablation_wf_cmd =
+  cmd_of "ablation-wf" "Wait-free vs lock-free traversals (SS 3.4)"
+    Term.(
+      const (fun cfg -> ignore (Harness.Experiments.ablation_wf cfg))
+      $ cfg_term)
+
+let stall_cmd =
+  cmd_of "stall" "Stalled-thread robustness demonstration"
+    Term.(
+      const (fun cfg ->
+          ignore
+            (Harness.Experiments.stall
+               ~duration:cfg.Harness.Experiments.duration ()))
+      $ cfg_term)
+
+let fig_skiplist_cmd =
+  cmd_of "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
+    Term.(
+      const (fun cfg -> ignore (Harness.Experiments.fig_skiplist cfg))
+      $ cfg_term)
+
+let mixes_cmd =
+  cmd_of "mixes" "Read-dominated and write-only workload mixes (SS 5)"
+    Term.(const (fun cfg -> ignore (Harness.Experiments.mixes cfg)) $ cfg_term)
+
+let all_cmd =
+  cmd_of "all" "Run every experiment in paper order"
+    Term.(const Harness.Experiments.run_all $ cfg_term)
+
+let run_cmd =
+  let structure =
+    Arg.(
+      value & opt string "HList"
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:"Data structure (HList, HListWF, HMList, NMTree, ...).")
+  in
+  let scheme =
+    Arg.(
+      value & opt string "HP"
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:"SMR scheme (NR, EBR, HP, HPopt, HE, IBR, HLN).")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Threads.")
+  in
+  let mix =
+    Arg.(
+      value & opt (t3 ~sep:'/' int int int) (50, 25, 25)
+      & info [ "mix" ] ~docv:"R/I/D"
+          ~doc:"Percent reads/inserts/deletes, e.g. 90/5/5.")
+  in
+  cmd_of "run" "One custom benchmark run"
+    Term.(
+      const (fun cfg structure scheme threads range (r, i, d) ->
+          let result =
+            Harness.Runner.run
+              ~mix:(Harness.Workload.mix ~read:r ~insert:i ~delete:d)
+              ~builder:(Harness.Instance.find_builder_exn structure)
+              ~scheme:(Smr.Registry.find_exn scheme)
+              ~threads ~range
+              ~duration:cfg.Harness.Experiments.duration ()
+          in
+          Harness.Report.table ~header:Harness.Report.result_header
+            [ Harness.Report.result_row result ])
+      $ cfg_term $ structure $ scheme $ threads
+      $ range_arg ~default:10_000
+      $ mix)
+
+let () =
+  let info =
+    Cmd.info "scotbench" ~version:"1.0"
+      ~doc:"SCOT benchmark suite (PPoPP'26 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; table1_cmd;
+            table2_cmd; ablation_recovery_cmd; ablation_wf_cmd;
+            fig_skiplist_cmd; mixes_cmd; stall_cmd; all_cmd; run_cmd;
+          ]))

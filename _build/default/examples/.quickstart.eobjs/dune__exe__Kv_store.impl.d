@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Domain Harness List Printf Scot Smr Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain List Printf Scot Smr String

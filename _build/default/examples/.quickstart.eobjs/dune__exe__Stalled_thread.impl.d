@@ -1,0 +1,1 @@
+examples/stalled_thread.ml: Array Atomic Domain Harness List Printf Smr String Unix

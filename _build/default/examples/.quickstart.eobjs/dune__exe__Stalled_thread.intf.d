@@ -1,0 +1,1 @@
+examples/stalled_thread.mli:

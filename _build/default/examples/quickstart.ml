@@ -1,0 +1,53 @@
+(* Quickstart: a SCOT Harris list under Hazard Pointers.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The public API pattern is always the same:
+     1. pick an SMR scheme and create it with the structure's slot count,
+     2. create the structure over that scheme,
+     3. register one handle per thread (domain),
+     4. use insert/delete/search through the handle. *)
+
+module List_hp = Scot.Harris_list.Make (Smr.Hp)
+
+let () =
+  let threads = 4 in
+  (* 1-2: scheme + structure. *)
+  let smr = Smr.Hp.create ~threads ~slots:Scot.Harris_list.slots_needed () in
+  let set = List_hp.create ~smr ~threads () in
+
+  (* 3-4: single-threaded warm-up through thread 0's handle. *)
+  let h0 = List_hp.handle set ~tid:0 in
+  assert (List_hp.insert h0 10);
+  assert (List_hp.insert h0 20);
+  assert (List_hp.insert h0 30);
+  assert (not (List_hp.insert h0 20));
+  (* duplicate *)
+  assert (List_hp.search h0 20);
+  assert (List_hp.delete h0 20);
+  assert (not (List_hp.search h0 20));
+  Printf.printf "sequential warm-up: contents = [%s]\n%!"
+    (String.concat "; " (List.map string_of_int (List_hp.to_list set)));
+
+  (* Concurrent phase: each domain inserts its own decade of keys. *)
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let h = List_hp.handle set ~tid in
+            for i = 0 to 9 do
+              ignore (List_hp.insert h ((100 * (tid + 1)) + i))
+            done;
+            (* Everyone also fights over the same small keys. *)
+            for i = 0 to 9 do
+              ignore (List_hp.insert h i);
+              ignore (List_hp.delete h i)
+            done;
+            List_hp.quiesce h))
+  in
+  List.iter Domain.join domains;
+
+  List_hp.check_invariants set;
+  Printf.printf "after %d domains: %d keys, %d restarts, %d unreclaimed\n%!"
+    threads (List_hp.size set) (List_hp.restarts set)
+    (List_hp.unreclaimed set);
+  Printf.printf "quickstart OK\n%!"

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Atomic Domain Filename Float Instance List Printf Report Runner Smr Sys Unix Workload

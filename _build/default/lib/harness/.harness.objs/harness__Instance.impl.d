@@ -1,0 +1,1 @@
+lib/harness/instance.ml: Array List Printf Scot Smr String

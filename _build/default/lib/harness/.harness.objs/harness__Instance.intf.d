@@ -1,0 +1,1 @@
+lib/harness/instance.mli: Smr

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Fun List Printf Runner String

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Domain Instance List Memory Smr Unix Workload

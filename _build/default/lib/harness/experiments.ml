@@ -1,0 +1,355 @@
+(* Experiment definitions: one entry per table/figure of the paper's
+   evaluation (Section 5), plus the ablations called out in DESIGN.md.
+
+   Every experiment prints a paper-shaped table and, when [csv_dir] is set,
+   drops a CSV with the raw rows.  Memory-overhead figures (10/11/12b) reuse
+   the runs of their throughput siblings, as in the paper's harness. *)
+
+type cfg = {
+  threads : int list; (* paper: 1..384; scaled for this host *)
+  duration : float; (* seconds per run; paper: 10 *)
+  repeats : int; (* paper: 5 (median); default 1 *)
+  csv_dir : string option;
+  fig12_range : int; (* paper: 50,000,000; scaled default 1,000,000 *)
+}
+
+let default_cfg =
+  {
+    threads = [ 1; 2; 4; 8 ];
+    duration = 2.0;
+    repeats = 1;
+    csv_dir = None;
+    fig12_range = 1_000_000;
+  }
+
+let quick_cfg =
+  {
+    threads = [ 1; 2; 4 ];
+    duration = 0.4;
+    repeats = 1;
+    csv_dir = None;
+    fig12_range = 100_000;
+  }
+
+let all_schemes = Smr.Registry.all
+
+let median_result (rs : Runner.result list) =
+  let sorted =
+    List.sort (fun (a : Runner.result) b -> compare a.throughput b.throughput) rs
+  in
+  List.nth sorted (List.length sorted / 2)
+
+let run_one cfg ~builder ~scheme ~threads ~range ?mix () =
+  let results =
+    List.init cfg.repeats (fun i ->
+        Runner.run ?mix ~seed:(0xC0FFEE + i) ~builder ~scheme ~threads ~range
+          ~duration:cfg.duration ())
+  in
+  median_result results
+
+let maybe_csv cfg ~name results =
+  match cfg.csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      Report.write_csv
+        ~path:(Filename.concat dir (name ^ ".csv"))
+        ~header:Report.result_header
+        (List.map Report.result_csv_row results)
+
+(* Generic sweep: structures x schemes x thread counts at one key range. *)
+let sweep cfg ~name ~title ~structures ~schemes ~range ?mix () =
+  Report.section title;
+  let results =
+    List.concat_map
+      (fun sname ->
+        let builder = Instance.find_builder_exn sname in
+        List.concat_map
+          (fun scheme ->
+            List.map
+              (fun threads ->
+                run_one cfg ~builder ~scheme ~threads ~range ?mix ())
+              cfg.threads)
+          schemes)
+      structures
+  in
+  Report.table ~header:Report.result_header
+    (List.map Report.result_row results);
+  maybe_csv cfg ~name results;
+  results
+
+(* Figure 8: list throughput, 50r/25i/25d, ranges 512 and 10,000. *)
+let fig8 cfg ~range =
+  sweep cfg
+    ~name:(Printf.sprintf "fig8_range%d" range)
+    ~title:
+      (Printf.sprintf
+         "Figure 8 (range %d): HMList vs HList throughput, 50%% read / 50%% \
+          write"
+         range)
+    ~structures:[ "HMList"; "HList" ] ~schemes:all_schemes ~range ()
+
+(* Figure 9: NMTree throughput, ranges 128 and 100,000. *)
+let fig9 cfg ~range =
+  sweep cfg
+    ~name:(Printf.sprintf "fig9_range%d" range)
+    ~title:
+      (Printf.sprintf
+         "Figure 9 (range %d): NMTree throughput, 50%% read / 50%% write" range)
+    ~structures:[ "NMTree" ] ~schemes:all_schemes ~range ()
+
+(* Figures 10/11: memory overhead tables derived from the fig8/fig9 runs. *)
+let memory_table ~title (results : Runner.result list) =
+  Report.section title;
+  Report.table
+    ~header:[ "structure"; "scheme"; "threads"; "range"; "avg_unreclaimed"; "max_unreclaimed" ]
+    (List.filter_map
+       (fun (r : Runner.result) ->
+         if r.scheme = "NR" then None (* NR leaks; not a limbo-list metric *)
+         else
+           Some
+             [
+               r.structure;
+               r.scheme;
+               string_of_int r.threads;
+               string_of_int r.range;
+               Printf.sprintf "%.0f" r.avg_unreclaimed;
+               string_of_int r.max_unreclaimed;
+             ])
+       results)
+
+(* Figure 12: NMTree at a key range too large for the cache
+   (paper: 50M; scaled via cfg). *)
+let fig12 cfg =
+  let results =
+    sweep cfg
+      ~name:(Printf.sprintf "fig12_range%d" cfg.fig12_range)
+      ~title:
+        (Printf.sprintf
+           "Figure 12a (range %d, paper: 50M scaled): NMTree throughput"
+           cfg.fig12_range)
+      ~structures:[ "NMTree" ] ~schemes:all_schemes ~range:cfg.fig12_range ()
+  in
+  memory_table
+    ~title:
+      (Printf.sprintf "Figure 12b (range %d): NMTree avg unreclaimed objects"
+         cfg.fig12_range)
+    results;
+  results
+
+(* Table 2: restart statistics under HP.
+
+   The paper uses key range 10,000 on a 128-core machine where every
+   traversal races with many concurrent updates.  On a single-core host,
+   domains only conflict across preemption boundaries, which long-list
+   operations rarely straddle, so we report the paper's configuration AND a
+   high-contention panel (small range, write-heavy) where the structural
+   difference — the Harris-Michael list restarts on any failed eager-unlink
+   CAS while SCOT's Harris list restarts only on failed chain cleanups /
+   validations — shows on this host too. *)
+let table2 cfg =
+  Report.section
+    "Table 2: restart statistics for HP (restarts & ops per run)";
+  let hp = Smr.Registry.find_exn "HP" in
+  let panel ~range ~mix =
+    List.concat_map
+      (fun sname ->
+        let builder = Instance.find_builder_exn sname in
+        List.map
+          (fun threads ->
+            run_one cfg ~builder ~scheme:hp ~threads ~range ~mix ())
+          cfg.threads)
+      [ "HMList"; "HList" ]
+  in
+  let results =
+    panel ~range:10_000 ~mix:Workload.read_write_50
+    @ panel ~range:128 ~mix:Workload.write_only
+  in
+  Report.table
+    ~header:
+      [ "structure"; "threads"; "range"; "mix"; "restarts"; "ops";
+        "restart_rate" ]
+    (List.map
+       (fun (r : Runner.result) ->
+         [
+           r.structure;
+           string_of_int r.threads;
+           string_of_int r.range;
+           (if r.range = 10_000 then "50r/25i/25d" else "50i/50d");
+           string_of_int r.restarts;
+           string_of_int r.ops;
+           Printf.sprintf "%.3f%%"
+             (100.0 *. float_of_int r.restarts
+             /. float_of_int (max 1 r.ops));
+         ])
+       results);
+  maybe_csv cfg ~name:"table2" results;
+  results
+
+(* Table 1: SMR-compatibility matrix, demonstrated empirically.  For each
+   structure variant and scheme we run a short write-heavy, small-range,
+   aggressively-reclaiming stress; a structure is incompatible when the
+   simulated use-after-free fires.  Harris' list without SCOT must fault
+   under the robust schemes and survive under EBR/NR (Figure 2); every
+   SCOT-enabled structure must survive everywhere. *)
+let table1 ?(threads = 8) ?(duration = 1.0) () =
+  Report.section
+    "Table 1: data-structure compatibility with SMR schemes (V = safe, X = \
+     use-after-free observed)";
+  let config =
+    (* Aggressive reclamation maximises the fault window. *)
+    { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 4; batch_size = 1 }
+  in
+  let structures =
+    [ "HListUnsafe"; "HList"; "HListWF"; "HMList"; "NMTree"; "SkipList";
+      "HashMap" ]
+  in
+  let probe builder scheme =
+    let r =
+      Runner.run ~builder ~scheme ~threads ~range:16
+        ~mix:(Workload.mix ~read:20 ~insert:40 ~delete:40)
+        ~duration ~config ~check:false ()
+    in
+    r.faults
+  in
+  let rows =
+    List.map
+      (fun sname ->
+        let builder = Instance.find_builder_exn sname in
+        let cells =
+          List.map
+            (fun (module S : Smr.Smr_intf.S) ->
+              let faults = probe builder (module S : Smr.Smr_intf.S) in
+              if faults > 0 then "X" else "V")
+            all_schemes
+        in
+        sname :: cells)
+      structures
+  in
+  Report.table
+    ~header:("structure" :: List.map (fun (module S : Smr.Smr_intf.S) -> S.name) all_schemes)
+    rows;
+  rows
+
+(* Ablation: the §3.2.1 recovery optimisation for Harris' list. *)
+let ablation_recovery cfg =
+  List.concat_map
+    (fun range ->
+      sweep cfg
+        ~name:(Printf.sprintf "ablation_recovery_range%d" range)
+        ~title:
+          (Printf.sprintf
+             "Ablation (range %d): HList recovery optimisation on vs off (HP)"
+             range)
+        ~structures:[ "HList"; "HList-norec" ]
+        ~schemes:[ Smr.Registry.find_exn "HP"; Smr.Registry.find_exn "HPopt" ]
+        ~range ())
+    [ 512; 10_000 ]
+
+(* Ablation: wait-free vs lock-free traversals (§3.4: "almost identical"). *)
+let ablation_wf cfg =
+  sweep cfg ~name:"ablation_wf"
+    ~title:"Ablation: HList lock-free vs wait-free traversals (HP, EBR)"
+    ~structures:[ "HList"; "HListWF" ]
+    ~schemes:[ Smr.Registry.find_exn "HP"; Smr.Registry.find_exn "EBR" ]
+    ~range:10_000 ()
+
+(* Robustness demonstration (§1, §2.2.1): park one thread inside an
+   operation and watch the unreclaimed count.  EBR must grow without bound
+   while the robust schemes stay bounded — the motivation for SCOT. *)
+let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) () =
+  Report.section
+    "Stalled-thread robustness: unreclaimed objects with one thread parked \
+     inside an operation (EBR unbounded vs robust schemes bounded)";
+  let rows =
+    List.map
+      (fun (module S : Smr.Smr_intf.S) ->
+        let builder = Instance.find_builder_exn "HList" in
+        let inst =
+          builder.Instance.build (module S : Smr.Smr_intf.S) ~threads ()
+        in
+        Array.iter
+          (fun k -> ignore (inst.Instance.insert ~tid:0 k))
+          (Workload.prefill_keys ~range ~seed:42);
+        (* Thread [threads-1] stalls inside an operation; the rest churn. *)
+        inst.Instance.stall_begin ~tid:(threads - 1);
+        let stop = Atomic.make false in
+        let worker tid () =
+          let rng = Workload.Rng.create ~seed:(tid + 1) in
+          while not (Atomic.get stop) do
+            let k = Workload.Rng.int rng range in
+            if Workload.Rng.int rng 2 = 0 then
+              ignore (inst.Instance.insert ~tid k)
+            else ignore (inst.Instance.delete ~tid k)
+          done
+        in
+        let doms =
+          List.init (threads - 1) (fun tid -> Domain.spawn (worker tid))
+        in
+        ignore (Unix.select [] [] [] duration);
+        Atomic.set stop true;
+        List.iter Domain.join doms;
+        for tid = 0 to threads - 2 do
+          inst.Instance.quiesce ~tid
+        done;
+        let unr = inst.Instance.unreclaimed () in
+        [ S.name; (if S.robust then "robust" else "not robust"); string_of_int unr ])
+      all_schemes
+  in
+  Report.table ~header:[ "scheme"; "class"; "unreclaimed_after_stall" ] rows;
+  rows
+
+(* Extension: the skip-list analogue of Figure 8 — SCOT optimistic searches
+   vs Herlihy-Shavit eager searches (Table 1's skip-list rows). *)
+let fig_skiplist cfg =
+  sweep cfg ~name:"fig_skiplist"
+    ~title:
+      "Extension: SkipList (SCOT optimistic) vs SkipList-HS (eager searches),        range 512"
+    ~structures:[ "SkipList"; "SkipList-HS" ]
+    ~schemes:all_schemes ~range:512 ()
+
+(* The paper also measured 90/10 and 50i/50d mixes ("largely similar
+   trends", SS 5); regenerate them for the two lists under HP and EBR. *)
+let mixes cfg =
+  List.concat_map
+    (fun (label, mix) ->
+      sweep cfg
+        ~name:("mix_" ^ label)
+        ~title:(Printf.sprintf "Workload mix %s, range 512" label)
+        ~structures:[ "HMList"; "HList" ]
+        ~schemes:[ Smr.Registry.find_exn "EBR"; Smr.Registry.find_exn "HP" ]
+        ~range:512 ~mix ())
+    [
+      ("90r-5i-5d", Workload.read_dominated);
+      ("50i-50d", Workload.write_only);
+    ]
+
+(* Everything, in paper order. *)
+let run_all cfg =
+  ignore (table1 ~duration:(cfg.duration /. 2.) ());
+  let fig8a = fig8 cfg ~range:512 in
+  let fig8b = fig8 cfg ~range:10_000 in
+  memory_table ~title:"Figure 10a (range 512): list avg unreclaimed objects"
+    fig8a;
+  memory_table ~title:"Figure 10b (range 10,000): list avg unreclaimed objects"
+    fig8b;
+  let fig9a = fig9 cfg ~range:128 in
+  let fig9b = fig9 cfg ~range:100_000 in
+  memory_table ~title:"Figure 11a (range 128): NMTree avg unreclaimed objects"
+    fig9a;
+  memory_table
+    ~title:"Figure 11b (range 100,000): NMTree avg unreclaimed objects" fig9b;
+  ignore (fig12 cfg);
+  (* Restart statistics need enough contention time to be meaningful. *)
+  ignore
+    (table2
+       {
+         cfg with
+         duration = Float.max cfg.duration 2.0;
+         threads = List.sort_uniq compare (cfg.threads @ [ 8 ]);
+       });
+  ignore (ablation_recovery cfg);
+  ignore (ablation_wf cfg);
+  ignore (fig_skiplist cfg);
+  ignore (mixes cfg);
+  ignore (stall ~duration:(cfg.duration /. 2.) ())

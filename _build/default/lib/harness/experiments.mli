@@ -1,0 +1,68 @@
+(** Experiment definitions: one entry per table/figure of the paper's
+    evaluation (Section 5), plus the ablations and extensions from
+    DESIGN.md.  Each prints a paper-shaped table and optionally drops raw
+    CSVs. *)
+
+type cfg = {
+  threads : int list; (** paper: 1..384; scaled for this host *)
+  duration : float; (** seconds per run; paper: 10 *)
+  repeats : int; (** paper: 5, median reported *)
+  csv_dir : string option;
+  fig12_range : int; (** paper: 50,000,000; scaled default 1,000,000 *)
+}
+
+val default_cfg : cfg
+val quick_cfg : cfg
+
+(** Figure 8: HMList vs HList throughput at one key range (512 / 10,000). *)
+val fig8 : cfg -> range:int -> Runner.result list
+
+(** Figure 9: NMTree throughput at one key range (128 / 100,000). *)
+val fig9 : cfg -> range:int -> Runner.result list
+
+(** Figures 10/11/12b: unreclaimed-object table from an existing sweep. *)
+val memory_table : title:string -> Runner.result list -> unit
+
+(** Figure 12: NMTree at a cache-exceeding range (cfg.fig12_range). *)
+val fig12 : cfg -> Runner.result list
+
+(** Table 1: the compatibility matrix, demonstrated empirically via the
+    use-after-free detector; returns the printed rows. *)
+val table1 :
+  ?threads:int -> ?duration:float -> unit -> string list list
+
+(** Table 2: restart statistics under HP (paper configuration plus a
+    high-contention panel; see the implementation comment). *)
+val table2 : cfg -> Runner.result list
+
+(** §3.2.1 ablation: recovery optimisation on/off. *)
+val ablation_recovery : cfg -> Runner.result list
+
+(** §3.4 ablation: wait-free vs lock-free traversals. *)
+val ablation_wf : cfg -> Runner.result list
+
+(** Extension: SCOT skip list vs Herlihy-Shavit eager searches. *)
+val fig_skiplist : cfg -> Runner.result list
+
+(** §5's other workload mixes (90/5/5 and 50i/50d). *)
+val mixes : cfg -> Runner.result list
+
+(** Stalled-thread robustness demonstration; returns the printed rows. *)
+val stall :
+  ?threads:int -> ?duration:float -> ?range:int -> unit -> string list list
+
+(** Run everything in paper order. *)
+val run_all : cfg -> unit
+
+(** Internals exposed for the CLI. *)
+
+val sweep :
+  cfg ->
+  name:string ->
+  title:string ->
+  structures:string list ->
+  schemes:Smr.Registry.scheme list ->
+  range:int ->
+  ?mix:Workload.mix ->
+  unit ->
+  Runner.result list

@@ -1,0 +1,276 @@
+(* Type-erased data-structure instances.
+
+   Every benchmark and test runs against this record, so a single runner
+   serves the full (structure x SMR scheme) matrix.  Builders instantiate
+   the structure functor with the chosen scheme and pre-register one handle
+   per thread. *)
+
+type t = {
+  structure : string;
+  scheme : string;
+  insert : tid:int -> int -> bool;
+  delete : tid:int -> int -> bool;
+  search : tid:int -> int -> bool;
+  quiesce : tid:int -> unit; (* force a reclamation pass on that thread *)
+  restarts : unit -> int;
+  unreclaimed : unit -> int;
+  size : unit -> int;
+  check_invariants : unit -> unit;
+  (* Register an extra SMR participant for [tid] and park it inside an
+     operation forever: the stalled-thread robustness experiment (the
+     stalled tid must not run regular operations afterwards). *)
+  stall_begin : tid:int -> unit;
+  max_key : int; (* exclusive upper bound on valid keys *)
+}
+
+type builder = {
+  name : string;
+  description : string;
+  safe_for_robust : bool;
+      (* false for the deliberately unsafe Harris list variant *)
+  build : Smr.Registry.scheme -> threads:int -> ?config:Smr.Smr_intf.config ->
+          unit -> t;
+}
+
+let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
+    () =
+  let module L = Scot.Harris_list.Make (S) in
+  let smr = S.create ?config ~threads ~slots:Scot.Harris_list.slots_needed () in
+  let t = L.create ~recovery ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> L.handle t ~tid) in
+  {
+    structure = (if recovery then "HList" else "HList-norec");
+    scheme = S.name;
+    insert = (fun ~tid k -> L.insert handles.(tid) k);
+    delete = (fun ~tid k -> L.delete handles.(tid) k);
+    search = (fun ~tid k -> L.search handles.(tid) k);
+    quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    restarts = (fun () -> L.restarts t);
+    unreclaimed = (fun () -> L.unreclaimed t);
+    size = (fun () -> L.size t);
+    check_invariants = (fun () -> L.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
+  let module L = Scot.Harris_list_wf.Make (S) in
+  let smr = S.create ?config ~threads ~slots:Scot.Harris_list_wf.slots_needed () in
+  let t = L.create ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> L.handle t ~tid) in
+  {
+    structure = "HListWF";
+    scheme = S.name;
+    insert = (fun ~tid k -> L.insert handles.(tid) k);
+    delete = (fun ~tid k -> L.delete handles.(tid) k);
+    search = (fun ~tid k -> L.search handles.(tid) k);
+    quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    restarts = (fun () -> L.restarts t);
+    unreclaimed = (fun () -> L.unreclaimed t);
+    size = (fun () -> L.size t);
+    check_invariants = (fun () -> L.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
+  let module L = Scot.Harris_michael_list.Make (S) in
+  let smr =
+    S.create ?config ~threads ~slots:Scot.Harris_michael_list.slots_needed ()
+  in
+  let t = L.create ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> L.handle t ~tid) in
+  {
+    structure = "HMList";
+    scheme = S.name;
+    insert = (fun ~tid k -> L.insert handles.(tid) k);
+    delete = (fun ~tid k -> L.delete handles.(tid) k);
+    search = (fun ~tid k -> L.search handles.(tid) k);
+    quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    restarts = (fun () -> L.restarts t);
+    unreclaimed = (fun () -> L.unreclaimed t);
+    size = (fun () -> L.size t);
+    check_invariants = (fun () -> L.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
+  let module L = Scot.Harris_list_unsafe.Make (S) in
+  let smr =
+    S.create ?config ~threads ~slots:Scot.Harris_list_unsafe.slots_needed ()
+  in
+  let t = L.create ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> L.handle t ~tid) in
+  {
+    structure = "HListUnsafe";
+    scheme = S.name;
+    insert = (fun ~tid k -> L.insert handles.(tid) k);
+    delete = (fun ~tid k -> L.delete handles.(tid) k);
+    search = (fun ~tid k -> L.search handles.(tid) k);
+    quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    restarts = (fun () -> L.restarts t);
+    unreclaimed = (fun () -> L.unreclaimed t);
+    size = (fun () -> L.size t);
+    check_invariants = (fun () -> ());
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
+  let module T = Scot.Nm_tree.Make (S) in
+  let smr = S.create ?config ~threads ~slots:Scot.Nm_tree.slots_needed () in
+  let t = T.create ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> T.handle t ~tid) in
+  {
+    structure = "NMTree";
+    scheme = S.name;
+    insert = (fun ~tid k -> T.insert handles.(tid) k);
+    delete = (fun ~tid k -> T.delete handles.(tid) k);
+    search = (fun ~tid k -> T.search handles.(tid) k);
+    quiesce = (fun ~tid -> T.quiesce handles.(tid));
+    restarts = (fun () -> T.restarts t);
+    unreclaimed = (fun () -> T.unreclaimed t);
+    size = (fun () -> T.size t);
+    check_invariants = (fun () -> T.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = Scot.Nm_tree.inf1;
+  }
+
+let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
+    ?config () =
+  let module SL = Scot.Skiplist.Make (S) in
+  let smr = S.create ?config ~threads ~slots:Scot.Skiplist.slots_needed () in
+  let t = SL.create ~optimistic ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> SL.handle t ~tid) in
+  {
+    structure = (if optimistic then "SkipList" else "SkipList-HS");
+    scheme = S.name;
+    insert = (fun ~tid k -> SL.insert handles.(tid) k);
+    delete = (fun ~tid k -> SL.delete handles.(tid) k);
+    search = (fun ~tid k -> SL.search handles.(tid) k);
+    quiesce = (fun ~tid -> SL.quiesce handles.(tid));
+    restarts = (fun () -> SL.restarts t);
+    unreclaimed = (fun () -> SL.unreclaimed t);
+    size = (fun () -> SL.size t);
+    check_invariants = (fun () -> SL.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
+  let module M = Scot.Hashmap.Make (S) in
+  let smr = S.create ?config ~threads ~slots:Scot.Hashmap.slots_needed () in
+  let t = M.create ~buckets:64 ~smr ~threads () in
+  let handles = Array.init threads (fun tid -> M.handle t ~tid) in
+  {
+    structure = "HashMap";
+    scheme = S.name;
+    insert = (fun ~tid k -> M.insert handles.(tid) k);
+    delete = (fun ~tid k -> M.delete handles.(tid) k);
+    search = (fun ~tid k -> M.search handles.(tid) k);
+    quiesce = (fun ~tid -> M.quiesce handles.(tid));
+    restarts = (fun () -> M.restarts t);
+    unreclaimed = (fun () -> S.unreclaimed smr);
+    size = (fun () -> M.size t);
+    check_invariants = (fun () -> M.check_invariants t);
+    stall_begin =
+      (fun ~tid ->
+        let th = S.register smr ~tid in
+        S.start_op th);
+    max_key = max_int;
+  }
+
+let builders : builder list =
+  [
+    {
+      name = "HList";
+      description = "Harris' list with SCOT (lock-free, recovery opt)";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_hlist s ~threads ?config ());
+    };
+    {
+      name = "HList-norec";
+      description = "Harris' list with SCOT, recovery optimisation disabled";
+      safe_for_robust = true;
+      build =
+        (fun s ~threads ?config () ->
+          make_hlist ~recovery:false s ~threads ?config ());
+    };
+    {
+      name = "HListWF";
+      description = "Harris' list with SCOT and wait-free traversals";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_hlist_wf s ~threads ?config ());
+    };
+    {
+      name = "HMList";
+      description = "Harris-Michael list (eager unlink baseline)";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_hmlist s ~threads ?config ());
+    };
+    {
+      name = "HListUnsafe";
+      description = "Harris' list WITHOUT SCOT (Figure 2 demo; unsafe)";
+      safe_for_robust = false;
+      build =
+        (fun s ~threads ?config () -> make_hlist_unsafe s ~threads ?config ());
+    };
+    {
+      name = "NMTree";
+      description = "Natarajan-Mittal tree with SCOT";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_nmtree s ~threads ?config ());
+    };
+    {
+      name = "SkipList";
+      description = "Skip list with SCOT per-level optimistic traversals";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_skiplist s ~threads ?config ());
+    };
+    {
+      name = "HashMap";
+      description = "Lock-free hash set: array of SCOT Harris lists";
+      safe_for_robust = true;
+      build = (fun s ~threads ?config () -> make_hashmap s ~threads ?config ());
+    };
+    {
+      name = "SkipList-HS";
+      description = "Skip list, Herlihy-Shavit-style eager searches (baseline)";
+      safe_for_robust = true;
+      build =
+        (fun s ~threads ?config () ->
+          make_skiplist ~optimistic:false s ~threads ?config ());
+    };
+  ]
+
+let find_builder name =
+  List.find_opt
+    (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii name)
+    builders
+
+let find_builder_exn name =
+  match find_builder name with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown structure %S (expected one of: %s)" name
+           (String.concat ", " (List.map (fun b -> b.name) builders)))

@@ -1,0 +1,40 @@
+(** Type-erased data-structure instances: a single runner and test battery
+    serve the full (structure x SMR scheme) matrix through this record. *)
+
+type t = {
+  structure : string;
+  scheme : string;
+  insert : tid:int -> int -> bool;
+  delete : tid:int -> int -> bool;
+  search : tid:int -> int -> bool;
+  quiesce : tid:int -> unit; (** force a reclamation pass on that thread *)
+  restarts : unit -> int;
+  unreclaimed : unit -> int;
+  size : unit -> int;
+  check_invariants : unit -> unit;
+  stall_begin : tid:int -> unit;
+      (** Register an extra SMR participant for [tid] and park it inside an
+          operation forever (stalled-thread robustness experiments); the
+          stalled tid must not run regular operations afterwards. *)
+  max_key : int; (** exclusive upper bound on valid keys *)
+}
+
+type builder = {
+  name : string;
+  description : string;
+  safe_for_robust : bool;
+      (** [false] only for the deliberately unsafe Harris-list variant. *)
+  build :
+    Smr.Registry.scheme -> threads:int -> ?config:Smr.Smr_intf.config ->
+    unit -> t;
+}
+
+(** All registered structures: HList, HList-norec, HListWF, HMList,
+    HListUnsafe, NMTree, SkipList, SkipList-HS, HashMap. *)
+val builders : builder list
+
+val find_builder : string -> builder option
+(** Case-insensitive. *)
+
+val find_builder_exn : string -> builder
+(** Raises [Invalid_argument] listing the valid names. *)

@@ -1,0 +1,90 @@
+(* Plain-text table rendering for the benchmark reports, plus CSV output so
+   results can be post-processed into charts. *)
+
+let hline widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let render_row widths cells =
+  let padded =
+    List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths cells
+  in
+  "|" ^ String.concat "|" padded ^ "|"
+
+(* [table ~header rows] prints an aligned ASCII table. *)
+let table ?(out = stdout) ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+  in
+  let p line = output_string out (line ^ "\n") in
+  p (hline widths);
+  p (render_row widths header);
+  p (hline widths);
+  List.iter (fun row -> p (render_row widths row)) rows;
+  p (hline widths);
+  flush out
+
+let section ?(out = stdout) title =
+  output_string out (Printf.sprintf "\n=== %s ===\n" title);
+  flush out
+
+(* Human-friendly formatting of large numbers (ops/s etc.). *)
+let human f =
+  if f >= 1e9 then Printf.sprintf "%.2fG" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fM" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else Printf.sprintf "%.0f" f
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_csv ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," (List.map csv_escape header) ^ "\n");
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+        rows)
+
+(* Columns for a [Runner.result] row. *)
+let result_header =
+  [ "structure"; "scheme"; "threads"; "range"; "throughput";
+    "ops"; "restarts"; "avg_unreclaimed"; "max_unreclaimed"; "faults" ]
+
+let result_row (r : Runner.result) =
+  [
+    r.structure;
+    r.scheme;
+    string_of_int r.threads;
+    string_of_int r.range;
+    human r.throughput;
+    string_of_int r.ops;
+    string_of_int r.restarts;
+    Printf.sprintf "%.0f" r.avg_unreclaimed;
+    string_of_int r.max_unreclaimed;
+    string_of_int r.faults;
+  ]
+
+let result_csv_row (r : Runner.result) =
+  [
+    r.structure;
+    r.scheme;
+    string_of_int r.threads;
+    string_of_int r.range;
+    Printf.sprintf "%.1f" r.throughput;
+    string_of_int r.ops;
+    string_of_int r.restarts;
+    Printf.sprintf "%.1f" r.avg_unreclaimed;
+    string_of_int r.max_unreclaimed;
+    string_of_int r.faults;
+  ]

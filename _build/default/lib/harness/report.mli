@@ -1,0 +1,23 @@
+(** Plain-text table rendering and CSV output for benchmark reports. *)
+
+(** [table ~header rows] prints an aligned ASCII table (to [out], default
+    stdout).  All rows must have the same arity as [header]. *)
+val table : ?out:out_channel -> header:string list -> string list list -> unit
+
+val section : ?out:out_channel -> string -> unit
+
+(** Human formatting of large magnitudes: [1.5e9 -> "1.50G"],
+    [74992. -> "75.0k"]. *)
+val human : float -> string
+
+val write_csv : path:string -> header:string list -> string list list -> unit
+
+(** Standard columns for a {!Runner.result}. *)
+
+val result_header : string list
+
+val result_row : Runner.result -> string list
+(** Human-formatted (throughput as "75.0k"). *)
+
+val result_csv_row : Runner.result -> string list
+(** Raw numbers for post-processing. *)

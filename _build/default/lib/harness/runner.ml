@@ -1,0 +1,105 @@
+(* Timed multi-domain benchmark runs.
+
+   Protocol (mirroring the paper's harness): prefill the structure with 50%
+   of the key range, release all worker domains at once, run the op mix for
+   a fixed wall-clock duration, then stop and aggregate.  While workers run,
+   the coordinating domain samples the number of retired-but-unreclaimed
+   objects every [sample_every] seconds (Figures 10-12).
+
+   Note on scale: the evaluation host of this reproduction exposes a single
+   core, so domains interleave preemptively instead of running in parallel;
+   see EXPERIMENTS.md for how this affects curve shapes. *)
+
+type result = {
+  structure : string;
+  scheme : string;
+  threads : int;
+  range : int;
+  ops : int;
+  duration : float;
+  throughput : float; (* ops per second, all threads *)
+  restarts : int;
+  avg_unreclaimed : float;
+  max_unreclaimed : int;
+  faults : int; (* simulated use-after-free events (unsafe variants only) *)
+  final_size : int;
+}
+
+let default_sample_every = 0.01
+
+let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
+    ?(sample_every = default_sample_every) ?(check = true)
+    ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
+    ~range ~duration () =
+  let inst = builder.build scheme ~threads ?config () in
+  if range >= inst.max_key then
+    invalid_arg "Runner.run: key range exceeds the structure's key space";
+  (* Prefill 50% of the key range with unique keys (shuffled). *)
+  Array.iter
+    (fun k -> ignore (inst.insert ~tid:0 k))
+    (Workload.prefill_keys ~range ~seed);
+  let go = Atomic.make false in
+  let stop = Atomic.make false in
+  let ops_done = Array.make threads 0 in
+  let faults = Array.make threads 0 in
+  let worker tid () =
+    let rng = Workload.Rng.create ~seed:(seed + (31 * (tid + 1))) in
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let count = ref 0 in
+    (try
+       while not (Atomic.get stop) do
+         let key = Workload.Rng.int rng range in
+         (match Workload.op_for rng mix with
+         | Workload.Search -> ignore (inst.search ~tid key)
+         | Workload.Insert -> ignore (inst.insert ~tid key)
+         | Workload.Delete -> ignore (inst.delete ~tid key));
+         incr count
+       done
+     with Memory.Fault.Use_after_free _ ->
+       (* The simulated SEGFAULT: record and stop this worker. *)
+       faults.(tid) <- faults.(tid) + 1);
+    ops_done.(tid) <- !count
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  let samples = ref [] in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  let rec sample_loop () =
+    let now = Unix.gettimeofday () in
+    if now -. t0 < duration then begin
+      ignore (Unix.select [] [] [] sample_every);
+      samples := inst.unreclaimed () :: !samples;
+      sample_loop ()
+    end
+  in
+  sample_loop ();
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Post-run reclamation flush so pool stats are stable, then validate. *)
+  for tid = 0 to threads - 1 do
+    inst.quiesce ~tid
+  done;
+  let total_faults = Array.fold_left ( + ) 0 faults in
+  if check && total_faults = 0 then inst.check_invariants ();
+  let samples = !samples in
+  let n_samples = max 1 (List.length samples) in
+  let sum_unr = List.fold_left ( + ) 0 samples in
+  let max_unr = List.fold_left max 0 samples in
+  let ops = Array.fold_left ( + ) 0 ops_done in
+  {
+    structure = inst.structure;
+    scheme = inst.scheme;
+    threads;
+    range;
+    ops;
+    duration = elapsed;
+    throughput = float_of_int ops /. elapsed;
+    restarts = inst.restarts ();
+    avg_unreclaimed = float_of_int sum_unr /. float_of_int n_samples;
+    max_unreclaimed = max_unr;
+    faults = total_faults;
+    final_size = (if total_faults = 0 then inst.size () else -1);
+  }

@@ -1,0 +1,39 @@
+(** Timed multi-domain benchmark runs: prefill 50% of the key range,
+    release all worker domains, run the op mix for a wall-clock duration
+    while sampling the unreclaimed-object gauge, then stop, quiesce and
+    validate. *)
+
+type result = {
+  structure : string;
+  scheme : string;
+  threads : int;
+  range : int;
+  ops : int;
+  duration : float; (* actual elapsed seconds *)
+  throughput : float; (* ops per second, all threads *)
+  restarts : int;
+  avg_unreclaimed : float; (* mean of the periodic samples (Figs 10-12) *)
+  max_unreclaimed : int;
+  faults : int; (* simulated use-after-free events (unsafe variants) *)
+  final_size : int; (* -1 when the structure faulted *)
+}
+
+val default_sample_every : float
+
+(** [run ~builder ~scheme ~threads ~range ~duration ()] executes one
+    benchmark.  [mix] defaults to the paper's 50r/25i/25d; [config] is the
+    SMR calibration; [check] (default true) verifies structure invariants
+    after a fault-free run; [sample_every] is the memory-gauge period. *)
+val run :
+  ?mix:Workload.mix ->
+  ?seed:int ->
+  ?config:Smr.Smr_intf.config ->
+  ?sample_every:float ->
+  ?check:bool ->
+  builder:Instance.builder ->
+  scheme:Smr.Registry.scheme ->
+  threads:int ->
+  range:int ->
+  duration:float ->
+  unit ->
+  result

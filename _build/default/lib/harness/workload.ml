@@ -1,0 +1,58 @@
+(* Workload generation: per-thread deterministic RNG and operation mixes.
+
+   The paper's benchmark takes a key range and a read/insert/delete split in
+   percent (e.g. "50 25 25" for the 50%-read / 50%-write workload of
+   Figures 8-12) and prefills the structure with unique keys covering 50% of
+   the range. *)
+
+(* SplitMix64: fast, statistically solid, and deterministic across runs. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* Uniform int in [0, bound); bound must be positive. *)
+  let int t bound =
+    let r = Int64.to_int (next t) land max_int in
+    r mod bound
+end
+
+type mix = { read_pct : int; insert_pct : int; delete_pct : int }
+
+let mix ~read ~insert ~delete =
+  if read + insert + delete <> 100 then
+    invalid_arg "Workload.mix: percentages must sum to 100";
+  { read_pct = read; insert_pct = insert; delete_pct = delete }
+
+let read_write_50 = { read_pct = 50; insert_pct = 25; delete_pct = 25 }
+let read_dominated = { read_pct = 90; insert_pct = 5; delete_pct = 5 }
+let write_only = { read_pct = 0; insert_pct = 50; delete_pct = 50 }
+
+type op = Search | Insert | Delete
+
+let op_for rng mix =
+  let r = Rng.int rng 100 in
+  if r < mix.read_pct then Search
+  else if r < mix.read_pct + mix.insert_pct then Insert
+  else Delete
+
+(* Deterministic shuffled enumeration of [0, range): used to prefill 50% of
+   the key range with unique keys without degenerating the tree shape. *)
+let prefill_keys ~range ~seed =
+  let keys = Array.init range (fun i -> i) in
+  let rng = Rng.create ~seed in
+  for i = range - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  Array.sub keys 0 (range / 2)

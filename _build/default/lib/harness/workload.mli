@@ -1,0 +1,38 @@
+(** Workload generation: deterministic per-thread RNG, operation mixes and
+    key-range prefill, mirroring the paper's benchmark parameters. *)
+
+module Rng : sig
+  (** SplitMix64: fast, deterministic, statistically solid. *)
+
+  type t
+
+  val create : seed:int -> t
+
+  val next : t -> int64
+
+  (** Uniform int in [0, bound); [bound] must be positive. *)
+  val int : t -> int -> int
+end
+
+type mix = { read_pct : int; insert_pct : int; delete_pct : int }
+
+(** Percentages must sum to 100 (raises [Invalid_argument] otherwise). *)
+val mix : read:int -> insert:int -> delete:int -> mix
+
+val read_write_50 : mix
+(** 50% read / 25% insert / 25% delete — the workload of Figures 8-12. *)
+
+val read_dominated : mix
+(** 90% read / 5% insert / 5% delete. *)
+
+val write_only : mix
+(** 50% insert / 50% delete. *)
+
+type op = Search | Insert | Delete
+
+val op_for : Rng.t -> mix -> op
+
+(** [prefill_keys ~range ~seed] is a deterministic shuffled array of
+    [range/2] unique keys in [0, range) — the paper's "prefill with unique
+    keys using 50% of the key range". *)
+val prefill_keys : range:int -> seed:int -> int array

@@ -1,0 +1,1 @@
+lib/memory/fault.ml: Fun

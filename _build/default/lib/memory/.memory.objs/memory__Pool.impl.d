@@ -1,0 +1,1 @@
+lib/memory/pool.ml: Array Hdr Tcounter

@@ -1,0 +1,1 @@
+lib/memory/tcounter.ml: Array Atomic

@@ -1,0 +1,71 @@
+(* Object header carried by every managed node.
+
+   This is the heart of the manual-memory simulation: the header records the
+   lifecycle state (live -> retired -> reclaimed -> live again on reuse), the
+   birth / retire eras used by the era-based SMR schemes (HE, IBR,
+   Hyaline-1S), and a serial number bumped on every reuse so that tests can
+   detect stale references across a recycle (the ABA scenario). *)
+
+type state = Live | Retired | Reclaimed
+
+let live = 0
+and retired = 1
+and reclaimed = 2
+
+type t = {
+  state : int Atomic.t;
+  serial : int Atomic.t;
+  birth : int Atomic.t;
+  retire_era : int Atomic.t;
+}
+
+let create () =
+  {
+    state = Atomic.make live;
+    serial = Atomic.make 0;
+    birth = Atomic.make 0;
+    retire_era = Atomic.make 0;
+  }
+
+let state t =
+  match Atomic.get t.state with
+  | 0 -> Live
+  | 1 -> Retired
+  | _ -> Reclaimed
+
+let state_to_string = function
+  | Live -> "live"
+  | Retired -> "retired"
+  | Reclaimed -> "reclaimed"
+
+let serial t = Atomic.get t.serial
+let birth t = Atomic.get t.birth
+let retire_era t = Atomic.get t.retire_era
+
+let set_birth t era = Atomic.set t.birth era
+let set_retire_era t era = Atomic.set t.retire_era era
+
+let mark_retired t =
+  if not (Atomic.compare_and_set t.state live retired) then
+    invalid_arg "Hdr.mark_retired: node is not live (double retire?)"
+
+(* Reclaim = the simulated [free]: poison the header and bump the serial so
+   stale holders are detectable. *)
+let mark_reclaimed t =
+  if not (Atomic.compare_and_set t.state retired reclaimed) then
+    invalid_arg "Hdr.mark_reclaimed: node is not retired (double free?)";
+  Atomic.incr t.serial
+
+(* Reuse = the simulated [malloc] hitting the freelist. *)
+let mark_live_for_reuse t =
+  if not (Atomic.compare_and_set t.state reclaimed live) then
+    invalid_arg "Hdr.mark_live_for_reuse: node is not reclaimed"
+
+let is_reclaimed t = Atomic.get t.state = reclaimed
+
+(* Hot-path poison check: the simulated SEGFAULT. *)
+let check t =
+  if !Fault.checked && Atomic.get t.state = reclaimed then
+    Fault.fail
+      (Printf.sprintf "dereferenced reclaimed node (serial %d)"
+         (Atomic.get t.serial))

@@ -1,0 +1,60 @@
+(* Recycling node pools: the simulated [malloc]/[free].
+
+   Each data-structure instance owns a pool.  [free] (invoked by the SMR
+   scheme once a retired node is provably unreachable) poisons the node's
+   header and pushes it onto the freeing thread's freelist; [alloc] pops a
+   recycled node when available.  Recycling is what makes ABA and
+   use-after-free *real* in this reproduction: without it, the GC would
+   silently keep every "freed" node valid. *)
+
+module type NODE = sig
+  type t
+
+  val hdr : t -> Hdr.t
+end
+
+module Make (N : NODE) = struct
+  type t = {
+    recycle : bool;
+    freelists : N.t list ref array; (* owner-thread only *)
+    fresh : Tcounter.t;
+    recycled : Tcounter.t;
+    freed : Tcounter.t;
+  }
+
+  let create ?(recycle = true) ~threads () =
+    {
+      recycle;
+      freelists = Array.init threads (fun _ -> ref []);
+      fresh = Tcounter.create ~threads;
+      recycled = Tcounter.create ~threads;
+      freed = Tcounter.create ~threads;
+    }
+
+  let alloc t ~tid make =
+    match !(t.freelists.(tid)) with
+    | node :: rest when t.recycle ->
+        t.freelists.(tid) := rest;
+        Hdr.mark_live_for_reuse (N.hdr node);
+        Tcounter.incr t.recycled ~tid;
+        node
+    | _ ->
+        Tcounter.incr t.fresh ~tid;
+        make ()
+
+  (* The simulated [free].  Poison first so that any stale holder that races
+     with the recycling observes the fault rather than silently reading a
+     re-initialised node. *)
+  let free t ~tid node =
+    Hdr.mark_reclaimed (N.hdr node);
+    Tcounter.incr t.freed ~tid;
+    if t.recycle then t.freelists.(tid) := node :: !(t.freelists.(tid))
+
+  let allocated_fresh t = Tcounter.total t.fresh
+  let recycled t = Tcounter.total t.recycled
+  let freed t = Tcounter.total t.freed
+
+  (* Nodes ever handed out minus nodes currently sitting reclaimed. *)
+  let live_estimate t =
+    Tcounter.total t.fresh + Tcounter.total t.recycled - Tcounter.total t.freed
+end

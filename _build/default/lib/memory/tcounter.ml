@@ -1,0 +1,32 @@
+(* Per-thread counters.
+
+   Hot paths increment a cell owned by one thread (plain writes, no
+   contention); readers sum the cells for an eventually-consistent total.
+   Used for restart counts (Table 2), retire/reclaim counts and the
+   unreclaimed-object gauges (Figures 10-12). *)
+
+type t = { cells : int Atomic.t array }
+
+let create ~threads =
+  if threads <= 0 then invalid_arg "Tcounter.create: threads must be positive";
+  { cells = Array.init threads (fun _ -> Atomic.make 0) }
+
+let threads t = Array.length t.cells
+
+let cell t tid =
+  if tid < 0 || tid >= Array.length t.cells then
+    invalid_arg "Tcounter: thread id out of range";
+  t.cells.(tid)
+
+let incr t ~tid = Atomic.incr (cell t tid)
+let decr t ~tid = Atomic.decr (cell t tid)
+
+let add t ~tid n =
+  let c = cell t tid in
+  Atomic.set c (Atomic.get c + n)
+
+let get t ~tid = Atomic.get (cell t tid)
+
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells

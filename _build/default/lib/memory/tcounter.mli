@@ -1,0 +1,26 @@
+(** Per-thread counters: uncontended owner-thread increments, racy sum reads.
+
+    [incr]/[decr] are atomic per cell so cross-thread adjustments (e.g.
+    Hyaline's any-thread reclamation) remain exact; [add] is an owner-only
+    fast path. *)
+
+type t
+
+val create : threads:int -> t
+val threads : t -> int
+
+(** Atomic increment / decrement of thread [tid]'s cell.  Safe from any
+    thread. *)
+val incr : t -> tid:int -> unit
+
+val decr : t -> tid:int -> unit
+
+(** Owner-only add (plain read-modify-write); only thread [tid] may call. *)
+val add : t -> tid:int -> int -> unit
+
+val get : t -> tid:int -> int
+
+(** Sum across all cells (eventually consistent under concurrency). *)
+val total : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/scot/harris_list.ml: Atomic List List_node Memory Printf Smr

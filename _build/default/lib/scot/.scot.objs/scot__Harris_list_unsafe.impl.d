@@ -1,0 +1,1 @@
+lib/scot/harris_list_unsafe.ml: Atomic List List_node Memory Smr

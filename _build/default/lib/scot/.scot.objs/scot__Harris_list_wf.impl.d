@@ -1,0 +1,1 @@
+lib/scot/harris_list_wf.ml: Harris_list Smr Wf_help

@@ -1,0 +1,1 @@
+lib/scot/harris_list_wf.mli: Smr

@@ -1,0 +1,1 @@
+lib/scot/harris_michael_list.mli: Smr

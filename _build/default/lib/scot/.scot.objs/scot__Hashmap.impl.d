@@ -1,0 +1,1 @@
+lib/scot/hashmap.ml: Array Harris_list List Smr

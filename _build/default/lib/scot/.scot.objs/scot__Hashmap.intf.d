@@ -1,0 +1,1 @@
+lib/scot/hashmap.mli: Smr

@@ -1,0 +1,1 @@
+lib/scot/list_node.ml: Atomic Memory

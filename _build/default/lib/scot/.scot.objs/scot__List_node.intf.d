@@ -1,0 +1,1 @@
+lib/scot/list_node.mli: Atomic Memory

@@ -1,0 +1,1 @@
+lib/scot/nm_tree.ml: Atomic List Memory Printf Smr

@@ -1,0 +1,1 @@
+lib/scot/nm_tree.mli: Smr

@@ -1,0 +1,1 @@
+lib/scot/skiplist.ml: Array Atomic Int64 List Memory Printf Smr

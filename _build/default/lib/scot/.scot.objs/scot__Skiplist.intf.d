@@ -1,0 +1,1 @@
+lib/scot/skiplist.mli: Smr

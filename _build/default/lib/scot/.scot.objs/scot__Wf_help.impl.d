@@ -1,0 +1,1 @@
+lib/scot/wf_help.ml: Array Atomic

@@ -1,0 +1,304 @@
+(* Harris' lock-free linked list with Safe Concurrent Optimistic Traversals
+   (SCOT) — the paper's Figures 3-5, unrolled variant, including the
+   recovery optimisation of §3.2.1.
+
+   The list is an ordered integer set with one tail sentinel (key
+   [max_int]); the pre-head sentinel is implicit via the [head] link cell,
+   as in the paper.  Traversal is optimistic: logically deleted (marked)
+   nodes are skipped without being unlinked, and a whole chain of
+   consecutive marked nodes is removed with a single CAS.
+
+   SCOT makes this safe under HP/HE/IBR/Hyaline-1S by (a) protecting the
+   first unsafe node of the marked chain in an extra hazard slot (Hp3) and
+   (b) validating at every step of the "dangerous zone" that the last safe
+   node still points to that first unsafe node.  Validation compares the
+   *physical* link record, so any concurrent CAS on the link is detected.
+
+   Hazard-slot roles (§3.2): Hp0 = next, Hp1 = curr, Hp2 = last safe node
+   (prev), Hp3 = first unsafe node.  All [dup] calls copy from a lower to a
+   higher index, preserving the ascending-order discipline the paper
+   requires to avoid the transient-unprotected race in retire scans. *)
+
+module N = List_node
+
+let hp_next = 0
+let hp_curr = 1
+let hp_prev = 2
+let hp_unsafe = 3
+let slots_needed = 4
+
+module Make (S : Smr.Smr_intf.S) = struct
+  exception Restart
+
+  type t = {
+    head : N.link Atomic.t;
+    smr : S.t;
+    pool : N.Pool.t;
+    restarts : Memory.Tcounter.t;
+    recovery : bool;
+  }
+
+  type handle = { t : t; s : S.th; tid : int }
+
+  let create ?(recovery = true) ?(recycle = true) ~smr ~threads () =
+    let tail = N.fresh ~key:max_int ~next:N.null_link in
+    {
+      head = Atomic.make (N.link (Some tail));
+      smr;
+      pool = N.Pool.create ~recycle ~threads ();
+      restarts = Memory.Tcounter.create ~threads;
+      recovery;
+    }
+
+  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
+
+  let protect_link s ~slot field =
+    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+
+  let node_of (l : N.link) =
+    match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
+
+  let reclaimable t (n : N.t) : Smr.Smr_intf.reclaimable =
+    { hdr = n.N.hdr; free = (fun tid -> N.Pool.free t.pool ~tid n) }
+
+  (* Retire the unlinked chain [from, until) — the paper's Do_Retire.  The
+     chain is private to us after the successful unlink CAS. *)
+  let rec retire_chain h (n : N.t) ~until =
+    if n != until then begin
+      let next = Atomic.get n.N.next in
+      S.retire h.s (reclaimable h.t n);
+      retire_chain h (node_of next) ~until
+    end
+
+  (* Result of Do_Find: [prev] is the last safe link cell, [expected] the
+     physical record currently installed there (pointing at [curr]), [curr]
+     the first node with key >= target, [next] its successor link. *)
+  type pos = {
+    prev : N.link Atomic.t;
+    expected : N.link;
+    curr : N.t;
+    next : N.link;
+  }
+
+  let no_step () = ()
+
+  let rec do_find ?(on_step = no_step) h key ~srch =
+    try find_attempt ~on_step h key ~srch
+    with Restart ->
+      Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+      do_find ~on_step h key ~srch
+
+  and find_attempt ~on_step h key ~srch =
+    let t = h.t and s = h.s in
+    let prev = ref t.head in
+    let expected = ref (protect_link s ~slot:hp_curr t.head) in
+    (* Dangerous-zone validation: the last safe node must still hold the
+       exact link record we read from it.  On failure, §3.2.1 recovery
+       re-reads the link: if the last safe node is itself now deleted we
+       must restart from the head; otherwise traversal continues at the
+       link's new target. *)
+    let validate () =
+      if Atomic.get !prev == !expected then None
+      else if not t.recovery then raise Restart
+      else begin
+        let l = protect_link s ~slot:hp_curr !prev in
+        if l.N.marked then raise Restart;
+        expected := l;
+        Some (node_of l)
+      end
+    in
+    (* Phase 1 ([step] on an unmarked [next]): the safe zone.  Identical
+       hazard discipline to the Harris-Michael list: shift curr->prev
+       (Hp1->Hp2) and next->curr (Hp0->Hp1) while nodes are unmarked.
+
+       Phase 2: the dangerous zone.  [curr] is marked and [next] is its
+       (marked) successor link whose target is protected in Hp0 but not yet
+       validated.  We validate the last safe link *before* dereferencing
+       the protected target (Theorem 2's ordering), then advance. *)
+    let rec step (curr : N.t) (next : N.link) =
+      on_step ();
+      if next.N.marked then begin
+        (* [curr] is logically deleted: protect the first unsafe node and
+           enter the dangerous zone. *)
+        S.dup s ~src:hp_curr ~dst:hp_unsafe;
+        phase2 ~zstart:curr next
+      end
+      else if N.key curr >= key then
+        { prev = !prev; expected = !expected; curr; next }
+      else begin
+        prev := N.next_field curr;
+        expected := next;
+        S.dup s ~src:hp_curr ~dst:hp_prev;
+        let curr' = node_of next in
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step curr' (protect_link s ~slot:hp_next (N.next_field curr'))
+      end
+    and phase2 ~zstart (next : N.link) =
+      on_step ();
+      match validate () with
+      | Some recovered ->
+          step recovered (protect_link s ~slot:hp_next (N.next_field recovered))
+      | None ->
+          let curr' = node_of next in
+          S.dup s ~src:hp_next ~dst:hp_curr;
+          let next' = protect_link s ~slot:hp_next (N.next_field curr') in
+          if next'.N.marked then phase2 ~zstart next'
+          else if srch then
+            (* Search skips the chain without unlinking (read-only). *)
+            step curr' next'
+          else begin
+            (* Unlink the whole chain [zstart, curr') with one CAS. *)
+            let desired = N.link (Some curr') in
+            if not (Atomic.compare_and_set !prev !expected desired) then
+              raise Restart;
+            retire_chain h zstart ~until:curr';
+            expected := desired;
+            step curr' next'
+          end
+    in
+    let first = node_of !expected in
+    step first (protect_link s ~slot:hp_next (N.next_field first))
+
+  let check_key key =
+    if key >= max_int then invalid_arg "Harris_list: key must be < max_int"
+
+  let search h key =
+    check_key key;
+    S.start_op h.s;
+    let pos = do_find h key ~srch:true in
+    let found = N.key pos.curr = key in
+    S.end_op h.s;
+    found
+
+  (* Search with a per-step hook; the hook may raise to abandon the
+     traversal (the hazard slots are released by [end_op]).  Used by the
+     wait-free extension's Slow_Search (Figure 7). *)
+  let search_hooked h key ~on_step =
+    check_key key;
+    S.start_op h.s;
+    let result =
+      match do_find ~on_step h key ~srch:true with
+      | pos -> Ok (N.key pos.curr = key)
+      | exception e -> Error e
+    in
+    S.end_op h.s;
+    match result with Ok r -> r | Error e -> raise e
+
+  (* Bounded-restart search: [None] after more than [max_restarts] restarts
+     — the fast path of the wait-free extension (§3.4). *)
+  let search_bounded h key ~max_restarts =
+    check_key key;
+    let exception Out_of_budget in
+    S.start_op h.s;
+    let budget = ref max_restarts in
+    let result =
+      let rec attempt () =
+        match find_attempt ~on_step:no_step h key ~srch:true with
+        | pos -> Some (N.key pos.curr = key)
+        | exception Restart ->
+            Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+            if !budget = 0 then raise Out_of_budget
+            else begin
+              decr budget;
+              attempt ()
+            end
+      in
+      try attempt () with Out_of_budget -> None
+    in
+    S.end_op h.s;
+    result
+
+  let insert h key =
+    check_key key;
+    S.start_op h.s;
+    (* Allocate once and reuse across retries, as in Figure 3. *)
+    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    S.on_alloc h.s node.N.hdr;
+    let rec loop () =
+      let pos = do_find h key ~srch:false in
+      if N.key pos.curr = key then begin
+        N.dealloc h.t.pool ~tid:h.tid node;
+        false
+      end
+      else begin
+        Atomic.set node.N.next (N.link (Some pos.curr));
+        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
+        then true
+        else loop ()
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let delete h key =
+    check_key key;
+    S.start_op h.s;
+    let rec loop () =
+      let pos = do_find h key ~srch:false in
+      if N.key pos.curr <> key then false
+      else begin
+        let next = pos.next in
+        if
+          next.N.marked
+          || not
+               (Atomic.compare_and_set (N.next_field pos.curr) next
+                  (N.marked_copy next))
+        then loop ()
+        else begin
+          (* Logically deleted; one unlink attempt (Figure 3, L22),
+             otherwise a later traversal cleans the chain. *)
+          if Atomic.compare_and_set pos.prev pos.expected next then
+            S.retire h.s (reclaimable h.t pos.curr);
+          true
+        end
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  (* Force the scheme's reclamation machinery; for shutdown and tests. *)
+  let quiesce h = S.flush h.s
+
+  let restarts t = Memory.Tcounter.total t.restarts
+  let unreclaimed t = S.unreclaimed t.smr
+  let pool_stats t =
+    [
+      ("fresh", N.Pool.allocated_fresh t.pool);
+      ("recycled", N.Pool.recycled t.pool);
+      ("freed", N.Pool.freed t.pool);
+    ]
+
+  (* Quiescent-only observers for tests. *)
+
+  let to_list t =
+    let rec go acc (l : N.link) =
+      match l.ln with
+      | None -> List.rev acc
+      | Some n ->
+          if n.key = max_int then List.rev acc
+          else
+            let next = Atomic.get n.next in
+            let acc = if next.marked then acc else n.key :: acc in
+            go acc next
+    in
+    go [] (Atomic.get t.head)
+
+  let size t = List.length (to_list t)
+
+  (* Physical invariant: keys strictly increase along the list (marked
+     nodes included), ending at the tail sentinel. *)
+  let check_invariants t =
+    let rec go last (l : N.link) =
+      match l.ln with
+      | None -> ()
+      | Some n ->
+          if n.key <= last then
+            failwith
+              (Printf.sprintf "Harris_list: key order violated (%d after %d)"
+                 n.key last);
+          if n.key <> max_int then go n.key (Atomic.get n.next)
+    in
+    go min_int (Atomic.get t.head)
+end

@@ -1,0 +1,94 @@
+(** Harris' lock-free linked list with Safe Concurrent Optimistic Traversals
+    (SCOT) — the paper's main list contribution (Figures 3-5).
+
+    An ordered integer set supporting lock-free [insert]/[delete] and
+    read-only optimistic [search]: logically deleted (marked) nodes are
+    skipped without being unlinked and whole marked chains are removed with
+    a single CAS.  The SCOT validation (§3.1-3.2) makes this safe under
+    every robust SMR scheme: the traversal protects the first node of each
+    marked chain in an extra hazard slot and re-validates, at every step
+    through the "dangerous zone", that the last safe node still points to
+    it, restarting (or recovering, §3.2.1) otherwise.
+
+    Keys may be any [int] below [max_int] (the tail-sentinel key). *)
+
+(** Hazard-slot roles used by the traversal (§3.2). *)
+
+val hp_next : int
+(** Slot 0: the next node. *)
+
+val hp_curr : int
+(** Slot 1: the current node. *)
+
+val hp_prev : int
+(** Slot 2: the last safe (unmarked) node. *)
+
+val hp_unsafe : int
+(** Slot 3: the first unsafe node — the head of the marked chain. *)
+
+val slots_needed : int
+(** Number of hazard slots to pass to {!Smr.Smr_intf.S.create} ([4]). *)
+
+module Make (S : Smr.Smr_intf.S) : sig
+  type t
+  (** A list instance (shared by all threads). *)
+
+  type handle
+  (** A per-thread access handle; not thread-safe, one per thread id. *)
+
+  val create :
+    ?recovery:bool -> ?recycle:bool -> smr:S.t -> threads:int -> unit -> t
+  (** [create ~smr ~threads ()] builds an empty set over the given SMR
+      instance.  [recovery] (default [true]) enables the §3.2.1 recovery
+      optimisation — on a failed dangerous-zone validation the traversal
+      continues from the last safe node when it is still unmarked, instead
+      of restarting from the head.  [recycle] (default [true]) lets the
+      node pool reuse reclaimed nodes (making ABA/use-after-free real). *)
+
+  val handle : t -> tid:int -> handle
+  (** Register thread [tid] (0-based, < [threads]) and return its handle. *)
+
+  val insert : handle -> int -> bool
+  (** [insert h k] adds [k]; [false] if already present.  Lock-free. *)
+
+  val delete : handle -> int -> bool
+  (** [delete h k] logically deletes [k] (marking) and attempts one unlink;
+      [false] if absent.  Lock-free. *)
+
+  val search : handle -> int -> bool
+  (** [search h k] — read-only optimistic membership test.  Lock-free
+      (wait-free in the {!Harris_list_wf} extension). *)
+
+  val search_hooked : handle -> int -> on_step:(unit -> unit) -> bool
+  (** Like {!search} but invokes [on_step] on every traversal step; the
+      hook may raise to abandon the search (hazard slots are released).
+      Used by the wait-free extension's slow path (Figure 7). *)
+
+  val search_bounded : handle -> int -> max_restarts:int -> bool option
+  (** Like {!search} but gives up with [None] after more than
+      [max_restarts] traversal restarts — the wait-free fast path (§3.4). *)
+
+  val quiesce : handle -> unit
+  (** Force a reclamation pass on this thread's retired nodes. *)
+
+  val restarts : t -> int
+  (** Total traversal restarts across all threads (Table 2's metric). *)
+
+  val unreclaimed : t -> int
+  (** Retired-but-not-yet-reclaimed node count (Figures 10/12b metric). *)
+
+  val pool_stats : t -> (string * int) list
+  (** Allocation/recycling counters of the node pool. *)
+
+  (** {2 Quiescent-only observers}
+
+      The following must only be called while no operation is in flight. *)
+
+  val to_list : t -> int list
+  (** Current contents in ascending order (marked nodes excluded). *)
+
+  val size : t -> int
+
+  val check_invariants : t -> unit
+  (** Raises [Failure] if the physical list violates strict key ordering. *)
+end

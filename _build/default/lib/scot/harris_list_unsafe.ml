@@ -1,0 +1,204 @@
+(* Harris' list with optimistic traversals and *naive* SMR integration —
+   deliberately WITHOUT the SCOT validation.  This reproduces the paper's
+   Figure 2 incompatibility: under HP/HE/IBR/Hyaline-1S, traversing past the
+   first logically deleted node can step onto memory that was already
+   reclaimed, which in this reproduction raises
+   [Memory.Fault.Use_after_free] (the simulated SEGFAULT).
+
+   Under EBR/NR the very same code is safe, which is exactly the paper's
+   Table 1 row for Harris' list.  Do not use outside tests and demos. *)
+
+module N = List_node
+
+let hp_next = 0
+let hp_curr = 1
+let hp_prev = 2
+let slots_needed = 3
+
+module Make (S : Smr.Smr_intf.S) = struct
+  exception Restart
+
+  type t = {
+    head : N.link Atomic.t;
+    smr : S.t;
+    pool : N.Pool.t;
+    restarts : Memory.Tcounter.t;
+  }
+
+  type handle = { t : t; s : S.th; tid : int }
+
+  let create ?(recycle = true) ~smr ~threads () =
+    let tail = N.fresh ~key:max_int ~next:N.null_link in
+    {
+      head = Atomic.make (N.link (Some tail));
+      smr;
+      pool = N.Pool.create ~recycle ~threads ();
+      restarts = Memory.Tcounter.create ~threads;
+    }
+
+  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
+
+  let protect_link s ~slot field =
+    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+
+  (* In the unsafe variant a dangling traversal can observe a recycled
+     node that was re-initialised concurrently; in C this is a wild
+     pointer.  Report every corruption manifestation as the simulated
+     SEGFAULT. *)
+  let node_of (l : N.link) =
+    match l.ln with
+    | Some n -> n
+    | None -> Memory.Fault.fail "unsafe traversal reached a recycled link"
+
+  (* A corrupted list can contain cycles through recycled nodes; bound the
+     walk so the simulated crash surfaces instead of a hang. *)
+  let max_steps = 10_000_000
+
+  let reclaimable t (n : N.t) : Smr.Smr_intf.reclaimable =
+    { hdr = n.N.hdr; free = (fun tid -> N.Pool.free t.pool ~tid n) }
+
+  let rec retire_chain h (n : N.t) ~until =
+    if n != until then begin
+      let next = Atomic.get n.N.next in
+      (match S.retire h.s (reclaimable h.t n) with
+      | () -> ()
+      | exception Invalid_argument _ ->
+          (* Double retire: the chain was corrupted by a concurrent
+             reclamation — the double-free of Figure 2. *)
+          Memory.Fault.fail "double retire through unsafe traversal");
+      retire_chain h (node_of next) ~until
+    end
+
+  type pos = {
+    prev : N.link Atomic.t;
+    expected : N.link;
+    curr : N.t;
+    next : N.link;
+  }
+
+  let rec do_find h key ~srch =
+    try find_attempt h key ~srch
+    with Restart ->
+      Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+      do_find h key ~srch
+
+  (* Figure 3 verbatim: marked chains are traversed with no validation at
+     all; the chain adjacent to the final position is cleaned with one CAS.
+     The HP-style [protect] calls are present but insufficient (§2.4: "If we
+     integrate HP without any changes, L37 may crash"). *)
+  and find_attempt h key ~srch =
+    let t = h.t and s = h.s in
+    let prev = ref t.head in
+    let expected = ref (protect_link s ~slot:hp_curr t.head) in
+    let zone_start = ref None in
+    let steps = ref 0 in
+    let rec step (curr : N.t) =
+      incr steps;
+      if !steps > max_steps then
+        Memory.Fault.fail "unsafe traversal entered a corrupted cycle";
+      let next = protect_link s ~slot:hp_next (N.next_field curr) in
+      if next.N.marked then begin
+        if !zone_start = None then zone_start := Some curr;
+        let curr' = node_of next in
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step curr'
+      end
+      else if N.key curr >= key then begin
+        (match !zone_start with
+        | Some z when not srch ->
+            if not (Atomic.compare_and_set !prev !expected (N.link (Some curr)))
+            then raise Restart;
+            retire_chain h z ~until:curr
+        | _ -> ());
+        { prev = !prev; expected = !expected; curr; next }
+      end
+      else begin
+        zone_start := None;
+        prev := N.next_field curr;
+        expected := next;
+        S.dup s ~src:hp_curr ~dst:hp_prev;
+        let curr' = node_of next in
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step curr'
+      end
+    in
+    step (node_of !expected)
+
+  let check_key key =
+    if key >= max_int then
+      invalid_arg "Harris_list_unsafe: key must be < max_int"
+
+  let search h key =
+    check_key key;
+    S.start_op h.s;
+    let pos = do_find h key ~srch:true in
+    let found = N.key pos.curr = key in
+    S.end_op h.s;
+    found
+
+  let insert h key =
+    check_key key;
+    S.start_op h.s;
+    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    S.on_alloc h.s node.N.hdr;
+    let rec loop () =
+      let pos = do_find h key ~srch:false in
+      if N.key pos.curr = key then begin
+        N.dealloc h.t.pool ~tid:h.tid node;
+        false
+      end
+      else begin
+        Atomic.set node.N.next (N.link (Some pos.curr));
+        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
+        then true
+        else loop ()
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let delete h key =
+    check_key key;
+    S.start_op h.s;
+    let rec loop () =
+      let pos = do_find h key ~srch:false in
+      if N.key pos.curr <> key then false
+      else begin
+        let next = pos.next in
+        if
+          next.N.marked
+          || not
+               (Atomic.compare_and_set (N.next_field pos.curr) next
+                  (N.marked_copy next))
+        then loop ()
+        else begin
+          if Atomic.compare_and_set pos.prev pos.expected next then
+            S.retire h.s (reclaimable h.t pos.curr);
+          true
+        end
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let quiesce h = S.flush h.s
+  let restarts t = Memory.Tcounter.total t.restarts
+  let unreclaimed t = S.unreclaimed t.smr
+
+  let to_list t =
+    let rec go acc (l : N.link) =
+      match l.ln with
+      | None -> List.rev acc
+      | Some n ->
+          if n.key = max_int then List.rev acc
+          else
+            let next = Atomic.get n.next in
+            let acc = if next.marked then acc else n.key :: acc in
+            go acc next
+    in
+    go [] (Atomic.get t.head)
+
+  let size t = List.length (to_list t)
+end

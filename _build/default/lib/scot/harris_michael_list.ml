@@ -1,0 +1,196 @@
+(* Harris-Michael lock-free linked list (Michael [20]).
+
+   The baseline the paper compares against: logical deletion as in Harris'
+   list, but a marked node is physically unlinked *immediately* upon first
+   encounter — including during Search — and the operation restarts from the
+   head if the unlink CAS fails.  This is what makes the algorithm
+   HP-compatible out of the box: the successor of a marked node is never
+   traversed.  The price is more CAS operations, mandatory restarts under
+   contention (Table 2) and no read-only searches.
+
+   Hazard-slot roles: Hp0 = next, Hp1 = curr, Hp2 = prev. *)
+
+module N = List_node
+
+let hp_next = 0
+let hp_curr = 1
+let hp_prev = 2
+let slots_needed = 3
+
+module Make (S : Smr.Smr_intf.S) = struct
+  exception Restart
+
+  type t = {
+    head : N.link Atomic.t;
+    smr : S.t;
+    pool : N.Pool.t;
+    restarts : Memory.Tcounter.t;
+  }
+
+  type handle = { t : t; s : S.th; tid : int }
+
+  let create ?(recycle = true) ~smr ~threads () =
+    let tail = N.fresh ~key:max_int ~next:N.null_link in
+    {
+      head = Atomic.make (N.link (Some tail));
+      smr;
+      pool = N.Pool.create ~recycle ~threads ();
+      restarts = Memory.Tcounter.create ~threads;
+    }
+
+  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
+
+  let protect_link s ~slot field =
+    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+
+  let node_of (l : N.link) =
+    match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
+
+  let reclaimable t (n : N.t) : Smr.Smr_intf.reclaimable =
+    { hdr = n.N.hdr; free = (fun tid -> N.Pool.free t.pool ~tid n) }
+
+  type pos = {
+    prev : N.link Atomic.t;
+    expected : N.link;
+    curr : N.t;
+    next : N.link;
+  }
+
+  let rec do_find h key =
+    try find_attempt h key
+    with Restart ->
+      Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+      do_find h key
+
+  and find_attempt h key =
+    let t = h.t and s = h.s in
+    let prev = ref t.head in
+    let expected = ref (protect_link s ~slot:hp_curr t.head) in
+    let rec step (curr : N.t) =
+      let next = protect_link s ~slot:hp_next (N.next_field curr) in
+      if next.N.marked then begin
+        (* Eager unlink of the single marked node; restart on failure. *)
+        let desired = N.link next.ln in
+        if not (Atomic.compare_and_set !prev !expected desired) then
+          raise Restart;
+        S.retire s (reclaimable t curr);
+        expected := desired;
+        let curr' = node_of next in
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step curr'
+      end
+      else if N.key curr >= key then
+        { prev = !prev; expected = !expected; curr; next }
+      else begin
+        prev := N.next_field curr;
+        expected := next;
+        S.dup s ~src:hp_curr ~dst:hp_prev;
+        let curr' = node_of next in
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step curr'
+      end
+    in
+    step (node_of !expected)
+
+  let check_key key =
+    if key >= max_int then
+      invalid_arg "Harris_michael_list: key must be < max_int"
+
+  let search h key =
+    check_key key;
+    S.start_op h.s;
+    let pos = do_find h key in
+    let found = N.key pos.curr = key in
+    S.end_op h.s;
+    found
+
+  let insert h key =
+    check_key key;
+    S.start_op h.s;
+    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    S.on_alloc h.s node.N.hdr;
+    let rec loop () =
+      let pos = do_find h key in
+      if N.key pos.curr = key then begin
+        N.dealloc h.t.pool ~tid:h.tid node;
+        false
+      end
+      else begin
+        Atomic.set node.N.next (N.link (Some pos.curr));
+        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
+        then true
+        else loop ()
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let delete h key =
+    check_key key;
+    S.start_op h.s;
+    let rec loop () =
+      let pos = do_find h key in
+      if N.key pos.curr <> key then false
+      else begin
+        let next = pos.next in
+        if
+          next.N.marked
+          || not
+               (Atomic.compare_and_set (N.next_field pos.curr) next
+                  (N.marked_copy next))
+        then loop ()
+        else begin
+          if Atomic.compare_and_set pos.prev pos.expected next then
+            S.retire h.s (reclaimable h.t pos.curr)
+          else
+            (* Delegate the unlink to a fresh traversal, as in [20]. *)
+            ignore (do_find h key);
+          true
+        end
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let quiesce h = S.flush h.s
+  let restarts t = Memory.Tcounter.total t.restarts
+  let unreclaimed t = S.unreclaimed t.smr
+
+  let pool_stats t =
+    [
+      ("fresh", N.Pool.allocated_fresh t.pool);
+      ("recycled", N.Pool.recycled t.pool);
+      ("freed", N.Pool.freed t.pool);
+    ]
+
+  let to_list t =
+    let rec go acc (l : N.link) =
+      match l.ln with
+      | None -> List.rev acc
+      | Some n ->
+          if n.key = max_int then List.rev acc
+          else
+            let next = Atomic.get n.next in
+            let acc = if next.marked then acc else n.key :: acc in
+            go acc next
+    in
+    go [] (Atomic.get t.head)
+
+  let size t = List.length (to_list t)
+
+  let check_invariants t =
+    let rec go last (l : N.link) =
+      match l.ln with
+      | None -> ()
+      | Some n ->
+          if n.key <= last then
+            failwith
+              (Printf.sprintf
+                 "Harris_michael_list: key order violated (%d after %d)" n.key
+                 last);
+          if n.key <> max_int then go n.key (Atomic.get n.next)
+    in
+    go min_int (Atomic.get t.head)
+end

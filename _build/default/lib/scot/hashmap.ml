@@ -1,0 +1,45 @@
+(* Lock-free hash set: an array of SCOT Harris lists (§2.3, §6.2 — "hash
+   maps are simply arrays of Harris' or Harris-Michael lists").
+
+   All buckets share one SMR instance (one set of hazard slots per thread
+   suffices because a thread runs one bucket operation at a time), while
+   each bucket list owns its node pool.  Since the buckets are Harris lists
+   with SCOT, the whole map is compatible with HP/HE/IBR/Hyaline-1S. *)
+
+let slots_needed = Harris_list.slots_needed
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module L = Harris_list.Make (S)
+
+  type t = { buckets : L.t array; nbuckets : int }
+  type handle = { t : t; hs : L.handle array }
+
+  let create ?recovery ?recycle ?(buckets = 64) ~smr ~threads () =
+    if buckets <= 0 then invalid_arg "Hashmap.create: buckets must be positive";
+    {
+      buckets =
+        Array.init buckets (fun _ -> L.create ?recovery ?recycle ~smr ~threads ());
+      nbuckets = buckets;
+    }
+
+  let handle t ~tid =
+    { t; hs = Array.map (fun b -> L.handle b ~tid) t.buckets }
+
+  (* Fibonacci hashing spreads consecutive keys across buckets. *)
+  let bucket_of t key = abs (key * 0x9E3779B97F4A7C5) mod t.nbuckets
+
+  let insert h key = L.insert h.hs.(bucket_of h.t key) key
+  let delete h key = L.delete h.hs.(bucket_of h.t key) key
+  let search h key = L.search h.hs.(bucket_of h.t key) key
+
+  let quiesce h = Array.iter L.quiesce h.hs
+
+  let size t = Array.fold_left (fun acc b -> acc + L.size b) 0 t.buckets
+  let restarts t = Array.fold_left (fun acc b -> acc + L.restarts b) 0 t.buckets
+
+  let elements t =
+    List.sort compare
+      (Array.fold_left (fun acc b -> L.to_list b @ acc) [] t.buckets)
+
+  let check_invariants t = Array.iter L.check_invariants t.buckets
+end

@@ -1,0 +1,38 @@
+(** Lock-free hash set: an array of SCOT Harris lists (§2.3, §6.2).
+
+    All buckets share one SMR instance (a thread runs one bucket operation
+    at a time, so one set of hazard slots per thread suffices); each bucket
+    owns its node pool.  Compatible with every scheme the SCOT list is. *)
+
+val slots_needed : int
+
+module Make (S : Smr.Smr_intf.S) : sig
+  type t
+  type handle
+
+  val create :
+    ?recovery:bool ->
+    ?recycle:bool ->
+    ?buckets:int ->
+    smr:S.t ->
+    threads:int ->
+    unit ->
+    t
+  (** [buckets] defaults to 64. *)
+
+  val handle : t -> tid:int -> handle
+  val insert : handle -> int -> bool
+  val delete : handle -> int -> bool
+  val search : handle -> int -> bool
+  val quiesce : handle -> unit
+
+  (** {2 Quiescent-only observers} *)
+
+  val size : t -> int
+  val restarts : t -> int
+
+  val elements : t -> int list
+  (** All keys in ascending order. *)
+
+  val check_invariants : t -> unit
+end

@@ -1,0 +1,54 @@
+(* Shared node representation for the list-based sets (Harris, Harris-Michael,
+   wait-free Harris, and the deliberately unsafe variant).
+
+   The C original steals one pointer bit for the logical-deletion mark; here a
+   link is a boxed record carrying the destination and the mark.  All link
+   updates go through CAS on the [next] atomic using the *physically* read
+   record as the expected value, which mirrors word-CAS on a tagged pointer:
+   any concurrent update replaces the record, so physical comparison detects
+   exactly the changes pointer comparison would. *)
+
+type t = { hdr : Memory.Hdr.t; mutable key : int; next : link Atomic.t }
+and link = { ln : t option; marked : bool }
+
+let link ?(marked = false) ln = { ln; marked }
+let null_link = { ln = None; marked = false }
+
+(* The marked copy used by logical deletion (Figure 3, L21). *)
+let marked_copy l = { ln = l.ln; marked = true }
+
+let hdr_of_link l =
+  match l.ln with None -> None | Some n -> Some n.hdr
+
+let fresh ~key ~next = { hdr = Memory.Hdr.create (); key; next = Atomic.make next }
+
+(* Dereference helpers: every field access of a node models a pointer
+   dereference in the C original and goes through the poison check. *)
+let key n =
+  Memory.Hdr.check n.hdr;
+  n.key
+
+let next_field n =
+  Memory.Hdr.check n.hdr;
+  n.next
+
+module Pool = Memory.Pool.Make (struct
+  type nonrec t = t
+
+  let hdr n = n.hdr
+end)
+
+(* Simulated malloc: recycle when possible, re-initialising all fields before
+   the node is published. *)
+let alloc pool ~tid ~key:k ~next =
+  let n = Pool.alloc pool ~tid (fun () -> fresh ~key:k ~next) in
+  n.key <- k;
+  Atomic.set n.next next;
+  n
+
+(* Simulated [free] of a node that was never published (e.g. an insert that
+   lost its race, Figure 3 L33).  No SMR involvement is needed since no other
+   thread can hold it. *)
+let dealloc pool ~tid n =
+  Memory.Hdr.mark_retired n.hdr;
+  Pool.free pool ~tid n

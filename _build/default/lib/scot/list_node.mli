@@ -1,0 +1,43 @@
+(** Shared node representation for the list-based sets.
+
+    A link is a boxed record carrying the destination and the
+    logical-deletion mark; CAS on the containing [Atomic.t] with the
+    physically read record mirrors word-CAS on a tagged pointer. *)
+
+type t = { hdr : Memory.Hdr.t; mutable key : int; next : link Atomic.t }
+and link = { ln : t option; marked : bool }
+
+val link : ?marked:bool -> t option -> link
+val null_link : link
+
+val marked_copy : link -> link
+(** The marked copy used by logical deletion (Figure 3, L21). *)
+
+val hdr_of_link : link -> Memory.Hdr.t option
+
+val fresh : key:int -> next:link -> t
+
+val key : t -> int
+(** Dereference with poison check (models a C pointer dereference). *)
+
+val next_field : t -> link Atomic.t
+(** Dereference with poison check. *)
+
+module Pool : sig
+  type node := t
+  type t
+
+  val create : ?recycle:bool -> threads:int -> unit -> t
+  val alloc : t -> tid:int -> (unit -> node) -> node
+  val free : t -> tid:int -> node -> unit
+  val allocated_fresh : t -> int
+  val recycled : t -> int
+  val freed : t -> int
+  val live_estimate : t -> int
+end
+
+val alloc : Pool.t -> tid:int -> key:int -> next:link -> t
+(** Simulated [malloc]: recycles when possible and re-initialises fields. *)
+
+val dealloc : Pool.t -> tid:int -> t -> unit
+(** Simulated [free] of a never-published node (lost insert races). *)

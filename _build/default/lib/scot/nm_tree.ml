@@ -1,0 +1,401 @@
+(* Natarajan-Mittal lock-free external binary search tree [24] with SCOT
+   (§3.3 of the paper).
+
+   All real keys live in leaves; internal nodes carry routing keys.  Edges
+   (child pointers) carry two bits: FLAG marks the edge to a leaf that is
+   being deleted, TAG freezes the sibling edge of a flagged edge so the
+   whole branch can be pruned with a single CAS at the *ancestor* (the last
+   node on the access path reached through an untagged edge).  A chain of
+   tagged edges is the tree's "dangerous zone": traversals skip over it
+   optimistically, which is fundamentally incompatible with HP-style SMR
+   without SCOT.
+
+   SCOT (§3.3): five hazard roles — Hp0 the current child, Hp1 the leaf
+   candidate, Hp2 the parent, Hp3 the successor (entrance of the tagged
+   zone), Hp4 the ancestor.  At each step taken through the tagged zone we
+   re-validate that the ancestor still points to the successor (comparing
+   the physical edge record); on failure the operation restarts.  The
+   recovery optimisation of §3.2.1 is deliberately not applied: the paper
+   found it unhelpful for the tree (§3.2.2).
+
+   Sentinels: two internal nodes R (key inf2) and S (key inf1) plus three
+   sentinel leaves, exactly as in [24]; real keys are < inf1, so S is never
+   the parent of a real leaf and the sentinels are never deleted. *)
+
+let hp_child = 0
+let hp_leaf = 1
+let hp_parent = 2
+let hp_successor = 3
+let hp_ancestor = 4
+let slots_needed = 5
+
+let inf1 = max_int - 1
+let inf2 = max_int
+
+type node =
+  | Leaf of { hdr : Memory.Hdr.t; mutable key : int }
+  | Internal of {
+      hdr : Memory.Hdr.t;
+      mutable key : int;
+      left : edge Atomic.t;
+      right : edge Atomic.t;
+    }
+
+and edge = { dst : node; flag : bool; tag : bool }
+
+let hdr_of = function Leaf { hdr; _ } | Internal { hdr; _ } -> hdr
+
+(* Dereference helpers; every access models a C pointer dereference and goes
+   through the poison check. *)
+let key_of n =
+  Memory.Hdr.check (hdr_of n);
+  match n with Leaf { key; _ } | Internal { key; _ } -> key
+
+type dir = L | R
+
+let child_field n (d : dir) =
+  Memory.Hdr.check (hdr_of n);
+  match n with
+  | Internal { left; right; _ } -> ( match d with L -> left | R -> right)
+  | Leaf _ -> invalid_arg "Nm_tree.child_field: leaf has no children"
+
+let dir_for ~key n = if key < key_of n then L else R
+let opposite = function L -> R | R -> L
+
+let edge ?(flag = false) ?(tag = false) dst = { dst; flag; tag }
+
+module NodeT = struct
+  type t = node
+
+  let hdr = hdr_of
+end
+
+module Pool = Memory.Pool.Make (NodeT)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  exception Restart
+
+  type t = {
+    root : node; (* R sentinel *)
+    sroot : node; (* S sentinel *)
+    smr : S.t;
+    leaf_pool : Pool.t;
+    internal_pool : Pool.t;
+    restarts : Memory.Tcounter.t;
+  }
+
+  type handle = { t : t; s : S.th; tid : int }
+
+  let fresh_leaf key = Leaf { hdr = Memory.Hdr.create (); key }
+
+  let fresh_internal key ~left ~right =
+    Internal
+      {
+        hdr = Memory.Hdr.create ();
+        key;
+        left = Atomic.make (edge left);
+        right = Atomic.make (edge right);
+      }
+
+  let create ?(recycle = true) ~smr ~threads () =
+    let s_left = fresh_leaf inf1 and s_right = fresh_leaf inf2 in
+    let sroot = fresh_internal inf1 ~left:s_left ~right:s_right in
+    let r_right = fresh_leaf inf2 in
+    let root = fresh_internal inf2 ~left:sroot ~right:r_right in
+    {
+      root;
+      sroot;
+      smr;
+      leaf_pool = Pool.create ~recycle ~threads ();
+      internal_pool = Pool.create ~recycle ~threads ();
+      restarts = Memory.Tcounter.create ~threads;
+    }
+
+  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
+
+  let protect_edge s ~slot field =
+    S.read s ~slot
+      ~load:(fun () -> Atomic.get field)
+      ~hdr_of:(fun e -> Some (hdr_of e.dst))
+
+  let alloc_leaf h key =
+    let n =
+      Pool.alloc h.t.leaf_pool ~tid:h.tid (fun () -> fresh_leaf key)
+    in
+    (match n with
+    | Leaf l -> l.key <- key
+    | Internal _ -> assert false);
+    S.on_alloc h.s (hdr_of n);
+    n
+
+  let alloc_internal h key ~left ~right =
+    let n =
+      Pool.alloc h.t.internal_pool ~tid:h.tid (fun () ->
+          fresh_internal key ~left ~right)
+    in
+    (match n with
+    | Internal i ->
+        i.key <- key;
+        Atomic.set i.left (edge left);
+        Atomic.set i.right (edge right)
+    | Leaf _ -> assert false);
+    S.on_alloc h.s (hdr_of n);
+    n
+
+  let dealloc_leaf h n =
+    Memory.Hdr.mark_retired (hdr_of n);
+    Pool.free h.t.leaf_pool ~tid:h.tid n
+
+  let reclaimable t (n : node) : Smr.Smr_intf.reclaimable =
+    let pool =
+      match n with Leaf _ -> t.leaf_pool | Internal _ -> t.internal_pool
+    in
+    { hdr = hdr_of n; free = (fun tid -> Pool.free pool ~tid n) }
+
+  (* Retire the pruned branch rooted at [n], sparing the promoted subtree.
+     The region consists of the tagged internal chain plus its flagged
+     leaves, all unreachable after the ancestor CAS. *)
+  let rec retire_branch h (n : node) ~spare =
+    if n != spare then begin
+      (match n with
+      | Leaf _ -> ()
+      | Internal { left; right; _ } ->
+          retire_branch h (Atomic.get left).dst ~spare;
+          retire_branch h (Atomic.get right).dst ~spare);
+      S.retire h.s (reclaimable h.t n)
+    end
+
+  (* Seek record (original terminology, §3.3): [parent]/[leaf] are the last
+     two nodes on the access path; [successor] is the target of the last
+     untagged edge, [ancestor] its source, [anc_edge] the physical edge
+     record at the ancestor (the CAS expectation for pruning and the SCOT
+     validation witness). *)
+  type seek_record = {
+    ancestor : node;
+    successor : node;
+    anc_edge : edge;
+    parent : node;
+    leaf : node;
+    par_edge : edge;
+  }
+
+  let rec seek h key =
+    try seek_attempt h key
+    with Restart ->
+      Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+      seek h key
+
+  and seek_attempt h key =
+    let t = h.t and s = h.s in
+    let ancestor = ref t.root
+    and successor = ref t.sroot
+    and anc_edge = ref (protect_edge s ~slot:hp_successor (child_field t.root L))
+    and parent = ref t.sroot in
+    if !anc_edge.tag then raise Restart;
+    let par_edge = ref (protect_edge s ~slot:hp_leaf (child_field t.sroot L)) in
+    let leaf = ref !par_edge.dst in
+    (* SCOT validation: inside the tagged zone the ancestor must still hold
+       the exact edge record we saw; otherwise part of the zone may already
+       have been pruned and reclaimed. *)
+    let validate () =
+      let d = dir_for ~key !ancestor in
+      if Atomic.get (child_field !ancestor d) != !anc_edge then raise Restart
+    in
+    let rec loop () =
+      match !leaf with
+      | Leaf _ ->
+          {
+            ancestor = !ancestor;
+            successor = !successor;
+            anc_edge = !anc_edge;
+            parent = !parent;
+            leaf = !leaf;
+            par_edge = !par_edge;
+          }
+      | Internal _ as il ->
+          let d = dir_for ~key il in
+          let cur_edge = protect_edge s ~slot:hp_child (child_field il d) in
+          if not !par_edge.tag then begin
+            (* The edge into [il] is untagged: advance ancestor/successor. *)
+            ancestor := !parent;
+            S.dup s ~src:hp_parent ~dst:hp_ancestor;
+            successor := il;
+            S.dup s ~src:hp_leaf ~dst:hp_successor;
+            anc_edge := !par_edge
+          end;
+          (* Dangerous zone = tagged and flagged edges (Figure 6): a step
+             arriving through a tagged edge, entering one, or crossing a
+             flagged leaf edge — none of these links ever change after the
+             branch is pruned, so only the ancestor->successor validation
+             (run after the protection and before the next dereference,
+             Theorem 2's ordering) proves the target is not reclaimed. *)
+          if !par_edge.tag || cur_edge.tag || cur_edge.flag then validate ();
+          parent := il;
+          S.dup s ~src:hp_leaf ~dst:hp_parent;
+          leaf := cur_edge.dst;
+          S.dup s ~src:hp_child ~dst:hp_leaf;
+          par_edge := cur_edge;
+          loop ()
+    in
+    loop ()
+
+  (* Freeze an edge by setting its TAG bit (flag preserved); returns the
+     frozen record.  Tagged edges never change again. *)
+  let rec tag_edge field =
+    let e = Atomic.get field in
+    if e.tag then e
+    else
+      let tagged = { e with tag = true } in
+      if Atomic.compare_and_set field e tagged then tagged else tag_edge field
+
+  (* Prune the branch between ancestor and parent (original CleanUp).
+     Returns true iff this call performed the physical deletion. *)
+  let cleanup h key (sk : seek_record) =
+    let d = dir_for ~key sk.parent in
+    let child_field_d = child_field sk.parent d in
+    let sibling_field = child_field sk.parent (opposite d) in
+    (* If the edge on the key side is not flagged, the flagged edge is the
+       sibling one and the key side is what survives ([24]'s switch). *)
+    let promote_field =
+      if (Atomic.get child_field_d).flag then sibling_field else child_field_d
+    in
+    let frozen = tag_edge promote_field in
+    let anc_d = dir_for ~key sk.ancestor in
+    let desired = { dst = frozen.dst; flag = frozen.flag; tag = false } in
+    if Atomic.compare_and_set (child_field sk.ancestor anc_d) sk.anc_edge desired
+    then begin
+      retire_branch h sk.successor ~spare:frozen.dst;
+      true
+    end
+    else false
+
+  let check_key key =
+    if key >= inf1 then invalid_arg "Nm_tree: key must be < max_int - 1"
+
+  let search h key =
+    check_key key;
+    S.start_op h.s;
+    let sk = seek h key in
+    let found = key_of sk.leaf = key in
+    S.end_op h.s;
+    found
+
+  let insert h key =
+    check_key key;
+    S.start_op h.s;
+    let new_leaf = alloc_leaf h key in
+    let rec loop () =
+      let sk = seek h key in
+      if key_of sk.leaf = key then begin
+        dealloc_leaf h new_leaf;
+        false
+      end
+      else if sk.par_edge.flag || sk.par_edge.tag then begin
+        (* The leaf edge is being deleted: help prune, then retry. *)
+        ignore (cleanup h key sk);
+        loop ()
+      end
+      else begin
+        let leaf_key = key_of sk.leaf in
+        let left, right =
+          if key < leaf_key then (new_leaf, sk.leaf) else (sk.leaf, new_leaf)
+        in
+        let new_internal = alloc_internal h (max key leaf_key) ~left ~right in
+        let d = dir_for ~key sk.parent in
+        if
+          Atomic.compare_and_set (child_field sk.parent d) sk.par_edge
+            (edge new_internal)
+        then true
+        else begin
+          (* Unpublish the internal node and retry; help if our CAS lost to
+             a deletion of this very leaf. *)
+          Memory.Hdr.mark_retired (hdr_of new_internal);
+          Pool.free h.t.internal_pool ~tid:h.tid new_internal;
+          let e = Atomic.get (child_field sk.parent d) in
+          if e.dst == sk.leaf && (e.flag || e.tag) then ignore (cleanup h key sk);
+          loop ()
+        end
+      end
+    in
+    let r = loop () in
+    S.end_op h.s;
+    r
+
+  let delete h key =
+    check_key key;
+    S.start_op h.s;
+    (* Injection mode: flag the leaf edge to own the deletion; cleanup mode:
+       keep pruning until the leaf is physically gone (possibly removed for
+       us by a concurrent chain prune). *)
+    let rec injection () =
+      let sk = seek h key in
+      if key_of sk.leaf <> key then false
+      else if sk.par_edge.flag || sk.par_edge.tag then begin
+        if sk.par_edge.dst == sk.leaf then ignore (cleanup h key sk);
+        injection ()
+      end
+      else begin
+        let d = dir_for ~key sk.parent in
+        let flagged = { dst = sk.leaf; flag = true; tag = false } in
+        if Atomic.compare_and_set (child_field sk.parent d) sk.par_edge flagged
+        then begin
+          if cleanup h key sk then true else cleanup_mode sk.leaf
+        end
+        else begin
+          let e = Atomic.get (child_field sk.parent d) in
+          if e.dst == sk.leaf && (e.flag || e.tag) then ignore (cleanup h key sk);
+          injection ()
+        end
+      end
+    and cleanup_mode target =
+      let sk = seek h key in
+      if sk.leaf != target then true (* pruned by a concurrent operation *)
+      else if cleanup h key sk then true
+      else cleanup_mode target
+    in
+    let r = injection () in
+    S.end_op h.s;
+    r
+
+  let quiesce h = S.flush h.s
+  let restarts t = Memory.Tcounter.total t.restarts
+  let unreclaimed t = S.unreclaimed t.smr
+
+  let pool_stats t =
+    [
+      ("leaf_fresh", Pool.allocated_fresh t.leaf_pool);
+      ("leaf_freed", Pool.freed t.leaf_pool);
+      ("internal_fresh", Pool.allocated_fresh t.internal_pool);
+      ("internal_freed", Pool.freed t.internal_pool);
+    ]
+
+  (* Quiescent-only observers for tests. *)
+
+  let to_list t =
+    let rec go acc n =
+      match n with
+      | Leaf { key; _ } -> if key >= inf1 then acc else key :: acc
+      | Internal { left; right; _ } ->
+          go (go acc (Atomic.get right).dst) (Atomic.get left).dst
+    in
+    List.sort compare (go [] t.root)
+
+  let size t = List.length (to_list t)
+
+  (* Physical invariants of the external BST: leaf keys respect the routing
+     keys; every internal node has two children. *)
+  let check_invariants t =
+    let rec go n lo hi =
+      match n with
+      | Leaf { key; _ } ->
+          (* Sentinel leaves (inf1/inf2) sit at the routing boundary by
+             construction [24]; only real keys obey the strict ranges. *)
+          if key < inf1 && not (lo <= key && key <= hi) then
+            failwith
+              (Printf.sprintf "Nm_tree: leaf key %d outside [%d, %d]" key lo hi)
+      | Internal { key; left; right; _ } ->
+          go (Atomic.get left).dst lo (key - 1);
+          go (Atomic.get right).dst (max lo key) hi
+    in
+    go t.root min_int max_int
+end

@@ -1,0 +1,451 @@
+(* Lock-free skip list with SCOT — the Table 1 extension (the Fraser [12] /
+   Herlihy-Shavit [18] family).
+
+   A tower node participates in one Harris-style list per level.  Logical
+   deletion marks the per-level links from the top level down; a node is
+   deleted once its level-0 link is marked.  Traversals:
+
+   - Search skips marked nodes optimistically at EVERY level under the SCOT
+     dangerous-zone validation (the last safe node of the current level must
+     still hold the link record we read from it).
+   - Update traversals unlink eagerly at levels >= 1 (Harris-Michael style,
+     one node at a time from an unmarked predecessor) and use the
+     Harris/SCOT one-CAS chain cleanup at level 0.
+
+   Reclamation is subtler than for single-list structures, because a tall
+   node is published with several CASes and its inserter keeps touching it
+   after publication (to link the upper levels) — a deleter that retires
+   too early would let the inserter re-link a freed node.  Two mechanisms
+   make this safe under every robust scheme:
+
+   - the inserter protects its own node in a dedicated hazard slot for the
+     whole linking phase (self-allocated nodes are otherwise invisible to
+     HP/HE/IBR reservations), and
+   - a three-state ownership handoff decides the unique retirer: the node
+     starts as [linking]; the inserter's final act is CAS linking->linked;
+     a deleter that wins the level-0 mark does CAS linking->delegated.
+     Whoever loses the CAS race knows the other party is gone and performs
+     the retire after a final unlinking traversal.
+
+   Hazard slots: 0 = next, 1 = curr, 2 = first unsafe node of the current
+   level, 3 = the inserter's own node, 4+l = the level-l predecessor (kept
+   live for the multi-level insert CASes).  Dups go low -> high. *)
+
+let max_height = 12
+
+let hp_next = 0
+let hp_curr = 1
+let hp_unsafe = 2
+let hp_own = 3
+let hp_pred l = 4 + l
+let slots_needed = 4 + max_height
+
+(* Ownership handoff states. *)
+let st_linking = 0
+let st_linked = 1
+let st_delegated = 2
+
+type node = {
+  hdr : Memory.Hdr.t;
+  mutable key : int;
+  mutable height : int;
+  state : int Atomic.t;
+  next : link Atomic.t array; (* length max_height; [0..height-1] in use *)
+}
+
+and link = { ln : node option; marked : bool }
+
+let link ?(marked = false) ln = { ln; marked }
+let null_link = { ln = None; marked = false }
+let hdr_of_link l = match l.ln with None -> None | Some n -> Some n.hdr
+
+let fresh_node ~key ~height =
+  {
+    hdr = Memory.Hdr.create ();
+    key;
+    height;
+    state = Atomic.make st_linking;
+    next = Array.init max_height (fun _ -> Atomic.make null_link);
+  }
+
+let key_of n =
+  Memory.Hdr.check n.hdr;
+  n.key
+
+let height_of n =
+  Memory.Hdr.check n.hdr;
+  n.height
+
+let next_field n l =
+  Memory.Hdr.check n.hdr;
+  n.next.(l)
+
+module NodeT = struct
+  type t = node
+
+  let hdr n = n.hdr
+end
+
+module Pool = Memory.Pool.Make (NodeT)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  exception Restart
+
+  type t = {
+    head : link Atomic.t array; (* implicit pre-head tower *)
+    smr : S.t;
+    pool : Pool.t;
+    restarts : Memory.Tcounter.t;
+    optimistic : bool;
+  }
+
+  type handle = { t : t; s : S.th; tid : int; rng : int64 ref }
+
+  (* [optimistic:false] gives the Herlihy-Shavit-style baseline: searches
+     run the eager-unlink traversal too (no read-only searches), which is
+     HP-compatible without SCOT — the skip-list analogue of the
+     Harris-Michael list (Table 1). *)
+  let create ?(recycle = true) ?(optimistic = true) ~smr ~threads () =
+    {
+      head = Array.init max_height (fun _ -> Atomic.make null_link);
+      smr;
+      pool = Pool.create ~recycle ~threads ();
+      restarts = Memory.Tcounter.create ~threads;
+      optimistic;
+    }
+
+  let handle t ~tid =
+    {
+      t;
+      s = S.register t.smr ~tid;
+      tid;
+      rng = ref (Int64.of_int (((tid + 1) * 0x9E3779B9) lor 1));
+    }
+
+  (* Geometric tower height (p = 1/2), capped at [max_height]. *)
+  let random_height h =
+    let x = !(h.rng) in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    h.rng := x;
+    let bits = Int64.to_int x land max_int in
+    let rec first_zero i =
+      if i >= max_height - 1 then max_height - 1
+      else if bits land (1 lsl i) = 0 then i
+      else first_zero (i + 1)
+    in
+    first_zero 0 + 1
+
+  let protect_link s ~slot field =
+    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:hdr_of_link
+
+  let reclaimable t (n : node) : Smr.Smr_intf.reclaimable =
+    { hdr = n.hdr; free = (fun tid -> Pool.free t.pool ~tid n) }
+
+  type level_pos = {
+    prev : link Atomic.t; (* the last safe predecessor's level-l field *)
+    expected : link; (* physical record in [prev], pointing at [curr] *)
+    pred_node : node option; (* the predecessor node; None = head tower *)
+    curr : node option; (* first unmarked node with key >= target *)
+  }
+
+  (* Traverse one level starting from [start] (a level-l link field whose
+     owner is protected by the caller).  [eager] = Harris-Michael eager
+     unlinking (update traversals, levels >= 1); otherwise marked nodes are
+     skipped under the SCOT validation and, when [cleanup], the adjacent
+     chain is removed with one CAS (never retired here — see header). *)
+  let level_find h ~level ~eager ~cleanup key ~(start : link Atomic.t)
+      ~(start_node : node option) =
+    let s = h.s in
+    let prev = ref start in
+    let pred_node = ref start_node in
+    let expected = ref (protect_link s ~slot:hp_curr !prev) in
+    if !expected.marked then raise Restart;
+    let validate () = if Atomic.get !prev != !expected then raise Restart in
+    let advance_pred c next =
+      prev := next_field c level;
+      pred_node := Some c;
+      expected := next;
+      S.dup s ~src:hp_curr ~dst:(hp_pred level)
+    in
+    let finish curr =
+      { prev = !prev; expected = !expected; pred_node = !pred_node; curr }
+    in
+    let rec step (curr : node option) =
+      match curr with
+      | None -> finish None
+      | Some c ->
+          let next = protect_link s ~slot:hp_next (next_field c level) in
+          if next.marked then
+            if eager then begin
+              (* Unlink the single marked node from its unmarked pred. *)
+              let desired = link next.ln in
+              if not (Atomic.compare_and_set !prev !expected desired) then
+                raise Restart;
+              expected := desired;
+              S.dup s ~src:hp_next ~dst:hp_curr;
+              step next.ln
+            end
+            else begin
+              (* Enter the dangerous zone: protect the first unsafe node. *)
+              S.dup s ~src:hp_curr ~dst:hp_unsafe;
+              zone next
+            end
+          else if key_of c >= key then finish curr
+          else begin
+            advance_pred c next;
+            S.dup s ~src:hp_next ~dst:hp_curr;
+            step next.ln
+          end
+    and zone (next : link) =
+      (* [next] points at a protected-but-unvalidated target; validate the
+         last safe link before dereferencing it (Theorem 2's ordering). *)
+      validate ();
+      match next.ln with
+      | None -> exit_zone None
+      | Some c' ->
+          S.dup s ~src:hp_next ~dst:hp_curr;
+          let next' = protect_link s ~slot:hp_next (next_field c' level) in
+          if next'.marked then zone next'
+          else exit_zone_continue c' next'
+    and exit_zone curr =
+      if cleanup then begin
+        let desired = link curr in
+        if not (Atomic.compare_and_set !prev !expected desired) then
+          raise Restart;
+        expected := desired
+      end;
+      finish curr
+    and exit_zone_continue c' next' =
+      if cleanup then begin
+        let desired = link (Some c') in
+        if not (Atomic.compare_and_set !prev !expected desired) then
+          raise Restart;
+        expected := desired
+      end;
+      if key_of c' >= key then finish (Some c')
+      else begin
+        advance_pred c' next';
+        S.dup s ~src:hp_next ~dst:hp_curr;
+        step next'.ln
+      end
+    in
+    step !expected.ln
+
+  type found = { levels : level_pos array }
+
+  let rec find h ?(eager = true) key =
+    try find_attempt h ~eager key
+    with Restart ->
+      Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+      find h ~eager key
+
+  and find_attempt h ~eager key =
+    let levels =
+      Array.make max_height
+        { prev = h.t.head.(0); expected = null_link; pred_node = None; curr = None }
+    in
+    let start_node = ref None in
+    for l = max_height - 1 downto 0 do
+      let start =
+        match !start_node with None -> h.t.head.(l) | Some n -> next_field n l
+      in
+      let pos =
+        level_find h ~level:l ~eager:(eager && l > 0) ~cleanup:(eager && l = 0)
+          key ~start ~start_node:!start_node
+      in
+      levels.(l) <- pos;
+      start_node := pos.pred_node
+    done;
+    { levels }
+
+  let check_key key =
+    if key >= max_int then invalid_arg "Skiplist: key must be < max_int"
+
+  let found_key (f : found) key =
+    match f.levels.(0).curr with Some c -> key_of c = key | None -> false
+
+  let search h key =
+    check_key key;
+    S.start_op h.s;
+    let f = find h ~eager:(not h.t.optimistic) key in
+    let r = found_key f key in
+    S.end_op h.s;
+    r
+
+  (* Protect our own freshly published node: self-allocated nodes are not
+     covered by any read-side reservation, yet the inserter keeps touching
+     the node while linking upper levels. *)
+  let protect_own s (node : node) =
+    ignore
+      (S.read s ~slot:hp_own
+         ~load:(fun () -> Some node)
+         ~hdr_of:(fun v -> match v with Some n -> Some n.hdr | None -> None))
+
+  let insert h key =
+    check_key key;
+    S.start_op h.s;
+    let height = random_height h in
+    let node = Pool.alloc h.t.pool ~tid:h.tid (fun () -> fresh_node ~key ~height) in
+    node.key <- key;
+    node.height <- height;
+    Atomic.set node.state st_linking;
+    Array.iter (fun a -> Atomic.set a null_link) node.next;
+    S.on_alloc h.s node.hdr;
+    (* Link level [l]; gives up as soon as the node is marked. *)
+    let rec link_upper l =
+      if l < height then begin
+        let f = find h key in
+        let cur = Atomic.get node.next.(l) in
+        if cur.marked || (Atomic.get node.next.(0)).marked then ()
+        else if
+          Atomic.compare_and_set node.next.(l) cur (link f.levels.(l).curr)
+          && Atomic.compare_and_set f.levels.(l).prev f.levels.(l).expected
+               (link (Some node))
+        then link_upper (l + 1)
+        else link_upper l
+      end
+    in
+    let rec attempt () =
+      let f = find h key in
+      if found_key f key then begin
+        Memory.Hdr.mark_retired node.hdr;
+        Pool.free h.t.pool ~tid:h.tid node;
+        false
+      end
+      else begin
+        for l = 0 to height - 1 do
+          Atomic.set node.next.(l) (link f.levels.(l).curr)
+        done;
+        protect_own h.s node;
+        if
+          Atomic.compare_and_set f.levels.(0).prev f.levels.(0).expected
+            (link (Some node))
+        then begin
+          link_upper 1;
+          (* Ownership handoff: if a deleter already delegated, we are the
+             unique retirer and must unlink our own half-linked tower. *)
+          if not (Atomic.compare_and_set node.state st_linking st_linked)
+          then begin
+            ignore (find h key);
+            S.retire h.s (reclaimable h.t node)
+          end;
+          true
+        end
+        else attempt ()
+      end
+    in
+    let r = attempt () in
+    S.end_op h.s;
+    r
+
+  let delete h key =
+    check_key key;
+    S.start_op h.s;
+    let rec attempt () =
+      let f = find h key in
+      match f.levels.(0).curr with
+      | Some c when key_of c = key ->
+          (* Mark from the top level down. *)
+          let hgt = height_of c in
+          for l = hgt - 1 downto 1 do
+            let rec mark () =
+              let cur = Atomic.get (next_field c l) in
+              if not cur.marked then
+                if
+                  not
+                    (Atomic.compare_and_set (next_field c l) cur
+                       { cur with marked = true })
+                then mark ()
+            in
+            mark ()
+          done;
+          let rec mark0 () =
+            let cur = Atomic.get (next_field c 0) in
+            if cur.marked then false
+            else if
+              Atomic.compare_and_set (next_field c 0) cur
+                { cur with marked = true }
+            then true
+            else mark0 ()
+          in
+          if mark0 () then begin
+            (* We own the deletion.  Resolve the ownership handoff FIRST:
+               if the inserter is still linking, delegate — its final
+               traversal (which runs after its last link CAS) will unlink
+               and retire.  Otherwise the inserter has installed its last
+               link, so our own eager traversal is guaranteed to see every
+               level and we retire after it. *)
+            if Atomic.compare_and_set c.state st_linking st_delegated then
+              true
+            else begin
+              ignore (find h key);
+              S.retire h.s (reclaimable h.t c);
+              true
+            end
+          end
+          else attempt ()
+      | _ -> false
+    in
+    let r = attempt () in
+    S.end_op h.s;
+    r
+
+  let quiesce h = S.flush h.s
+  let restarts t = Memory.Tcounter.total t.restarts
+  let unreclaimed t = S.unreclaimed t.smr
+
+  let pool_stats t =
+    [
+      ("fresh", Pool.allocated_fresh t.pool);
+      ("recycled", Pool.recycled t.pool);
+      ("freed", Pool.freed t.pool);
+    ]
+
+  (* Quiescent-only observers. *)
+
+  let to_list t =
+    let rec go acc (l : link) =
+      match l.ln with
+      | None -> List.rev acc
+      | Some n ->
+          let next = Atomic.get n.next.(0) in
+          let acc = if next.marked then acc else n.key :: acc in
+          go acc next
+    in
+    go [] (Atomic.get t.head.(0))
+
+  let size t = List.length (to_list t)
+
+  let check_invariants t =
+    (* Level 0 strictly sorted. *)
+    let rec go last (l : link) =
+      match l.ln with
+      | None -> ()
+      | Some n ->
+          if n.key <= last then
+            failwith
+              (Printf.sprintf "Skiplist: key order violated (%d after %d)"
+                 n.key last);
+          go n.key (Atomic.get n.next.(0))
+    in
+    go min_int (Atomic.get t.head.(0));
+    (* Each upper level must be sorted as well, and (at quiescence) an
+       unmarked upper link may only belong to a node still live at level
+       0. *)
+    for l = 1 to max_height - 1 do
+      let rec walk last (lk : link) =
+        match lk.ln with
+        | None -> ()
+        | Some n ->
+            if n.key <= last then
+              failwith
+                (Printf.sprintf
+                   "Skiplist: level %d order violated (%d after %d)" l n.key
+                   last);
+            walk n.key (Atomic.get n.next.(l))
+      in
+      walk min_int (Atomic.get t.head.(l))
+    done
+end

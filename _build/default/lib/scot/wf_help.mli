@@ -1,0 +1,38 @@
+(** The wait-free helping protocol of Figure 7, independent of any
+    particular data structure.
+
+    A thread that exhausts its fast path posts (key, input tag); helpers
+    poll round-robin (amortised by a DELAY counter), run the slow path and
+    publish the result with one CAS on the tag word.  Tags strictly
+    increase per requester, so stale helpers always fail their CAS
+    (Lemma 5: at most one publisher per cycle). *)
+
+type t
+
+val default_delay : int
+
+val create : ?delay:int -> threads:int -> unit -> t
+(** [delay] is the DELAY constant of Figure 7 (default {!default_delay}). *)
+
+val threads : t -> int
+
+val request_help : t -> tid:int -> key:int -> int
+(** Post a help request for [key]; returns the cycle tag to pass to
+    {!peek}.  Only thread [tid] may call this for itself. *)
+
+val poll : t -> tid:int -> (int * int * int) option
+(** Amortised scan for one pending request from another thread:
+    [Some (key, tag, helpee)] at most once per [delay] calls. *)
+
+type status =
+  | Pending  (** No result yet: keep searching. *)
+  | Done of bool  (** A thread published the result. *)
+  | Abandoned
+      (** A newer cycle started; helpers must abandon (helpee never sees
+          this). *)
+
+val peek : t -> helpee:int -> tag:int -> status
+
+val publish : t -> helpee:int -> tag:int -> result:bool -> unit
+(** Publish via CAS against the input tag; loses silently if a result for
+    this cycle is already present or a newer cycle started. *)

@@ -1,0 +1,1 @@
+lib/smr/ebr.ml: Array Atomic List Memory Smr_intf

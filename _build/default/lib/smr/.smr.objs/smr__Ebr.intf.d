@@ -1,0 +1,1 @@
+lib/smr/ebr.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/he.ml: Array Atomic List Memory Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/he.mli: Smr_intf

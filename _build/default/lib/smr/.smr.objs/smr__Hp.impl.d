@@ -1,0 +1,1 @@
+lib/smr/hp.ml: Hp_core

@@ -1,0 +1,1 @@
+lib/smr/hp.mli: Smr_intf

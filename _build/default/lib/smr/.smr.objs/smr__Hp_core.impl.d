@@ -1,0 +1,1 @@
+lib/smr/hp_core.ml: Array Atomic List Memory Smr_intf

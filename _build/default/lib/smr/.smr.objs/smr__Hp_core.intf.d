@@ -1,0 +1,1 @@
+lib/smr/hp_core.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/hp_opt.mli: Smr_intf

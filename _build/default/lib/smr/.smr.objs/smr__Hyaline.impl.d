@@ -1,0 +1,1 @@
+lib/smr/hyaline.ml: Array Atomic List Memory Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/hyaline.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/ibr.ml: Array Atomic List Memory Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/ibr.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/nr.ml: Memory Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/nr.mli: Smr_intf

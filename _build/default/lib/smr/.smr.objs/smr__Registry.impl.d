@@ -1,0 +1,1 @@
+lib/smr/registry.ml: Ebr He Hp Hp_opt Hyaline Ibr List Nr Printf Smr_intf String

@@ -1,0 +1,1 @@
+lib/smr/registry.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/smr_intf.ml: Memory

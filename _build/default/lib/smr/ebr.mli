@@ -1,0 +1,7 @@
+(** EBR: epoch-based reclamation (Fraser [12]).
+
+    Fast (plain loads, one epoch publication per operation) and easy to
+    use, but NOT robust: a single stalled thread vetoes epoch advancement
+    and memory usage grows without bound (§2.2.1). *)
+
+include Smr_intf.S

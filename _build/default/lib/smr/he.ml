@@ -1,0 +1,118 @@
+(* HE: hazard eras (Ramalhete & Correia).
+
+   Slots hold logical timestamps ("eras") instead of pointers.  A protected
+   read publishes the current global era in the slot and loops until the era
+   is stable across the load; a retired node is reclaimable once no published
+   era intersects its [birth, retire] lifetime.  The snapshot optimisation
+   from [26] is applied to the limbo scan (the paper applies it to HE and IBR
+   as well as HP). *)
+
+let name = "HE"
+let robust = true
+let no_era = 0
+
+type t = {
+  era : int Atomic.t;
+  slots : int Atomic.t array array; (* published eras; [no_era] if empty *)
+  in_limbo : Memory.Tcounter.t;
+  config : Smr_intf.config;
+}
+
+type th = {
+  global : t;
+  id : int;
+  my_slots : int Atomic.t array;
+  mutable limbo : Smr_intf.reclaimable list;
+  mutable limbo_len : int;
+  mutable retire_count : int;
+}
+
+let create ?config ~threads ~slots () =
+  let config =
+    match config with Some c -> c | None -> Smr_intf.default_config ~threads
+  in
+  {
+    era = Atomic.make 1;
+    slots =
+      Array.init threads (fun _ -> Array.init slots (fun _ -> Atomic.make no_era));
+    in_limbo = Memory.Tcounter.create ~threads;
+    config;
+  }
+
+let register t ~tid =
+  {
+    global = t;
+    id = tid;
+    my_slots = t.slots.(tid);
+    limbo = [];
+    limbo_len = 0;
+    retire_count = 0;
+  }
+
+let tid th = th.id
+let start_op _ = ()
+let end_op th = Array.iter (fun c -> Atomic.set c no_era) th.my_slots
+
+(* Publish the global era for this slot; stable-era validation replaces HP's
+   pointer re-read and needs fewer barriers in the original setting. *)
+let read th ~slot ~load ~hdr_of:_ =
+  let cell = th.my_slots.(slot) in
+  let rec loop prev =
+    let v = load () in
+    let e = Atomic.get th.global.era in
+    if e = prev then v
+    else begin
+      Atomic.set cell e;
+      loop e
+    end
+  in
+  loop (Atomic.get cell)
+
+let dup th ~src ~dst = Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
+let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
+let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
+
+let conflicts_with ~birth ~retire era =
+  era <> no_era && birth <= era && era <= retire
+
+let reclaim_pass th =
+  let t = th.global in
+  (* Snapshot of all published eras (HPopt-style optimisation). *)
+  let snap = ref [] in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          let e = Atomic.get c in
+          if e <> no_era then snap := e :: !snap)
+        row)
+    t.slots;
+  let snap = !snap in
+  let is_protected (r : Smr_intf.reclaimable) =
+    let birth = Memory.Hdr.birth r.hdr in
+    let retire = Memory.Hdr.retire_era r.hdr in
+    List.exists (fun e -> conflicts_with ~birth ~retire e) snap
+  in
+  let keep, free_ = List.partition is_protected th.limbo in
+  List.iter
+    (fun (r : Smr_intf.reclaimable) ->
+      r.free th.id;
+      Memory.Tcounter.decr t.in_limbo ~tid:th.id)
+    free_;
+  th.limbo <- keep;
+  th.limbo_len <- List.length keep
+
+let retire th (r : Smr_intf.reclaimable) =
+  let t = th.global in
+  Memory.Hdr.mark_retired r.hdr;
+  Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
+  th.limbo <- r :: th.limbo;
+  th.limbo_len <- th.limbo_len + 1;
+  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
+  if th.limbo_len >= t.config.limbo_threshold then reclaim_pass th
+
+let flush th = reclaim_pass th
+let unreclaimed t = Memory.Tcounter.total t.in_limbo
+let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]

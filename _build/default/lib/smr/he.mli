@@ -1,0 +1,7 @@
+(** HE: hazard eras (Ramalhete & Correia [28]).
+
+    Hazard slots hold logical timestamps ("eras") instead of pointers; a
+    retired node is reclaimable once no published era intersects its
+    [birth, retire] lifetime.  Robust; fewer barriers than HP. *)
+
+include Smr_intf.S

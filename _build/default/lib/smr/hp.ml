@@ -1,0 +1,6 @@
+(* HP: original hazard pointers [21], per-node slot rescans. *)
+
+include Hp_core.Make (struct
+  let name = "HP"
+  let snapshot = false
+end)

@@ -1,0 +1,7 @@
+(** HP: classic hazard pointers (Michael [21]).
+
+    Robust, strict non-blocking reclamation with per-pointer reservations;
+    the original variant whose limbo scan re-reads the shared slots for
+    every retired node (the paper's "HP" series). *)
+
+include Smr_intf.S

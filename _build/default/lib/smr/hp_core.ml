@@ -1,0 +1,129 @@
+(* Hazard pointers (Michael), parameterised by the limbo-scan strategy.
+
+   [snapshot = false] is the original scheme evaluated as "HP" in the paper:
+   during a reclamation pass every retired node re-reads the shared hazard
+   slots.  [snapshot = true] is "HPopt": a local snapshot of all slots is
+   captured once per pass and membership is tested against the snapshot
+   [26].  The paper reports a substantial difference in some tests. *)
+
+module Make (P : sig
+  val name : string
+  val snapshot : bool
+end) =
+struct
+  let name = P.name
+  let robust = true
+
+  type t = {
+    slots : Memory.Hdr.t option Atomic.t array array; (* [tid].(slot) *)
+    in_limbo : Memory.Tcounter.t;
+    config : Smr_intf.config;
+  }
+
+  type th = {
+    global : t;
+    id : int;
+    my_slots : Memory.Hdr.t option Atomic.t array;
+    mutable limbo : Smr_intf.reclaimable list;
+    mutable limbo_len : int;
+  }
+
+  let create ?config ~threads ~slots () =
+    let config =
+      match config with Some c -> c | None -> Smr_intf.default_config ~threads
+    in
+    {
+      slots =
+        Array.init threads (fun _ ->
+            Array.init slots (fun _ -> Atomic.make None));
+      in_limbo = Memory.Tcounter.create ~threads;
+      config;
+    }
+
+  let register t ~tid =
+    { global = t; id = tid; my_slots = t.slots.(tid); limbo = []; limbo_len = 0 }
+
+  let tid th = th.id
+  let start_op _ = ()
+
+  let end_op th =
+    Array.iter (fun c -> Atomic.set c None) th.my_slots
+
+  (* The paper's [protect] (Figure 1): publish the reservation, then verify
+     the source pointer has not changed; loop otherwise. *)
+  let read th ~slot ~load ~hdr_of =
+    let cell = th.my_slots.(slot) in
+    let rec loop v =
+      match hdr_of v with
+      | None ->
+          Atomic.set cell None;
+          v
+      | Some h -> (
+          Atomic.set cell (Some h);
+          let v' = load () in
+          match hdr_of v' with
+          | Some h' when h' == h -> v'
+          | _ -> loop v')
+    in
+    loop (load ())
+
+  (* The paper's [dup] (Figure 1): copy an existing reservation so the node
+     stays protected across a traversal-role change. *)
+  let dup th ~src ~dst =
+    Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
+
+  let clear_slot th ~slot = Atomic.set th.my_slots.(slot) None
+  let on_alloc _ _ = ()
+
+  let protected_in_snapshot snap h =
+    List.exists (fun h' -> h' == h) snap
+
+  (* Original HP: re-read every shared slot for every retired node. *)
+  let protected_rescan t h =
+    Array.exists
+      (fun row ->
+        Array.exists
+          (fun c -> match Atomic.get c with Some h' -> h' == h | None -> false)
+          row)
+      t.slots
+
+  let reclaim_pass th =
+    let t = th.global in
+    let is_protected : Memory.Hdr.t -> bool =
+      if P.snapshot then begin
+        let snap = ref [] in
+        Array.iter
+          (fun row ->
+            Array.iter
+              (fun c ->
+                match Atomic.get c with
+                | Some h -> snap := h :: !snap
+                | None -> ())
+              row)
+          t.slots;
+        protected_in_snapshot !snap
+      end
+      else protected_rescan t
+    in
+    let keep, free_ =
+      List.partition (fun (r : Smr_intf.reclaimable) -> is_protected r.hdr) th.limbo
+    in
+    List.iter
+      (fun (r : Smr_intf.reclaimable) ->
+        r.free th.id;
+        Memory.Tcounter.decr t.in_limbo ~tid:th.id)
+      free_;
+    th.limbo <- keep;
+    th.limbo_len <- List.length keep
+
+  let retire th (r : Smr_intf.reclaimable) =
+    Memory.Hdr.mark_retired r.hdr;
+    th.limbo <- r :: th.limbo;
+    th.limbo_len <- th.limbo_len + 1;
+    Memory.Tcounter.incr th.global.in_limbo ~tid:th.id;
+    if th.limbo_len >= th.global.config.limbo_threshold then reclaim_pass th
+
+  let flush th = reclaim_pass th
+  let unreclaimed t = Memory.Tcounter.total t.in_limbo
+  let stats t = [ ("in_limbo", unreclaimed t) ]
+end

@@ -1,0 +1,8 @@
+(** Hazard-pointer core shared by {!Hp} and {!Hp_opt}, parameterised by the
+    limbo-scan strategy ([snapshot = true] captures the shared slots once
+    per reclamation pass [26]). *)
+
+module Make (_ : sig
+  val name : string
+  val snapshot : bool
+end) : Smr_intf.S

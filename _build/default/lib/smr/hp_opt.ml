@@ -1,0 +1,7 @@
+(* HPopt: hazard pointers with a local snapshot of the shared slots captured
+   before limbo-list scanning [26]. *)
+
+include Hp_core.Make (struct
+  let name = "HPopt"
+  let snapshot = true
+end)

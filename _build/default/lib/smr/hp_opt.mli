@@ -1,0 +1,5 @@
+(** HPopt: hazard pointers with a local snapshot of the shared slots
+    captured once per limbo scan [26] — the paper's "HPopt" series, often
+    substantially faster than plain HP. *)
+
+include Smr_intf.S

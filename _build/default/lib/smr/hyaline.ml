@@ -1,0 +1,178 @@
+(* Hyaline-1S (Nikolaev & Ravindran, PLDI'21).
+
+   Threads publish a single birth-era reservation like IBR, but reclamation
+   works by reference counting retired *batches*: the retiring thread
+   dispatches a full batch onto the local list of every thread whose
+   reservation may cover the batch (era >= the batch's minimum birth era),
+   incrementing the batch's reference counter per insertion.  A thread
+   finishing its operation detaches its local list and decrements the
+   counters; whoever drops a counter to zero frees the whole batch — hence
+   reclamation is done by *any* thread (§2.2.5), and the only per-read cost
+   is the IBR-style birth-era validation.
+
+   Robustness: a stalled thread with reservation era [e] is skipped by every
+   batch whose minimum birth era exceeds [e], so it can only pin the finitely
+   many nodes born before it stalled. *)
+
+let name = "HLN"
+let robust = true
+let inactive_era = -1
+
+type batch = {
+  nodes : Smr_intf.reclaimable list;
+  min_birth : int;
+  refs : int Atomic.t;
+}
+
+type cell = Inactive | Nil | Cons of cons
+and cons = { batch : batch; mutable next : cell }
+
+type t = {
+  era : int Atomic.t;
+  eras : int Atomic.t array; (* reservation era; [inactive_era] if idle *)
+  heads : cell Atomic.t array; (* per-thread dispatch lists *)
+  in_limbo : Memory.Tcounter.t;
+  config : Smr_intf.config;
+}
+
+type th = {
+  global : t;
+  id : int;
+  mutable pending : Smr_intf.reclaimable list;
+  mutable pending_len : int;
+  mutable pending_min_birth : int;
+  mutable retire_count : int;
+}
+
+let create ?config ~threads ~slots:_ () =
+  let config =
+    match config with Some c -> c | None -> Smr_intf.default_config ~threads
+  in
+  {
+    era = Atomic.make 1;
+    eras = Array.init threads (fun _ -> Atomic.make inactive_era);
+    heads = Array.init threads (fun _ -> Atomic.make Inactive);
+    in_limbo = Memory.Tcounter.create ~threads;
+    config;
+  }
+
+let register t ~tid =
+  {
+    global = t;
+    id = tid;
+    pending = [];
+    pending_len = 0;
+    pending_min_birth = max_int;
+    retire_count = 0;
+  }
+
+let tid th = th.id
+
+let free_batch th batch =
+  List.iter
+    (fun (r : Smr_intf.reclaimable) ->
+      r.free th.id;
+      Memory.Tcounter.decr th.global.in_limbo ~tid:th.id)
+    batch.nodes
+
+let release_ref th batch =
+  if Atomic.fetch_and_add batch.refs (-1) = 1 then free_batch th batch
+
+let start_op th =
+  let t = th.global in
+  Atomic.set t.eras.(th.id) (Atomic.get t.era);
+  (* Between operations the head is [Inactive] and dispatchers never push to
+     an inactive list, so this transition cannot race with a push. *)
+  if not (Atomic.compare_and_set t.heads.(th.id) Inactive Nil) then
+    invalid_arg "Hyaline.start_op: unbalanced start_op/end_op"
+
+let end_op th =
+  let t = th.global in
+  Atomic.set t.eras.(th.id) inactive_era;
+  let head = t.heads.(th.id) in
+  let rec detach () =
+    let cur = Atomic.get head in
+    if Atomic.compare_and_set head cur Inactive then cur else detach ()
+  in
+  let rec drain = function
+    | Inactive | Nil -> ()
+    | Cons c ->
+        let next = c.next in
+        release_ref th c.batch;
+        drain next
+  in
+  drain (detach ())
+
+(* IBR-style birth-era validation against the single reservation era. *)
+let read th ~slot:_ ~load ~hdr_of =
+  let t = th.global in
+  let resv = t.eras.(th.id) in
+  let rec loop () =
+    let v = load () in
+    match hdr_of v with
+    | None -> v
+    | Some h ->
+        if Memory.Hdr.birth h <= Atomic.get resv then v
+        else begin
+          Atomic.set resv (Atomic.get t.era);
+          loop ()
+        end
+  in
+  loop ()
+
+let dup _ ~src:_ ~dst:_ = ()
+let clear_slot _ ~slot:_ = ()
+let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
+
+(* Dispatch the pending batch: push one cons cell onto the list of every
+   thread whose reservation might cover the batch.  The reference counter
+   starts at 1 (the dispatcher's own reference) and is incremented *before*
+   each push attempt, so it can never transiently reach zero while pushes
+   are in flight. *)
+let dispatch th =
+  if th.pending_len > 0 then begin
+    let t = th.global in
+    let batch =
+      { nodes = th.pending; min_birth = th.pending_min_birth; refs = Atomic.make 1 }
+    in
+    th.pending <- [];
+    th.pending_len <- 0;
+    th.pending_min_birth <- max_int;
+    let threads = Array.length t.eras in
+    for j = 0 to threads - 1 do
+      let era_j = Atomic.get t.eras.(j) in
+      if era_j <> inactive_era && era_j >= batch.min_birth then begin
+        ignore (Atomic.fetch_and_add batch.refs 1);
+        let head = t.heads.(j) in
+        let rec push () =
+          match Atomic.get head with
+          | Inactive ->
+              (* The thread finished its op meanwhile; it cannot hold batch
+                 nodes anymore. *)
+              release_ref th batch
+          | cur ->
+              let c = { batch; next = cur } in
+              if Atomic.compare_and_set head cur (Cons c) then ()
+              else push ()
+        in
+        push ()
+      end
+    done;
+    release_ref th batch
+  end
+
+let retire th (r : Smr_intf.reclaimable) =
+  let t = th.global in
+  Memory.Hdr.mark_retired r.hdr;
+  Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
+  th.pending <- r :: th.pending;
+  th.pending_len <- th.pending_len + 1;
+  th.pending_min_birth <- min th.pending_min_birth (Memory.Hdr.birth r.hdr);
+  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
+  if th.pending_len >= t.config.batch_size then dispatch th
+
+let flush th = dispatch th
+let unreclaimed t = Memory.Tcounter.total t.in_limbo
+let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]

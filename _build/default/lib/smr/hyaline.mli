@@ -1,0 +1,8 @@
+(** Hyaline-1S (Nikolaev & Ravindran [26]).
+
+    IBR-style single birth-era reservations plus reference-counted batch
+    dispatch: retired batches are pushed onto the local lists of all
+    possibly-covering threads and freed by whichever thread drops the last
+    reference — reclamation by ANY thread (§2.2.5).  Robust. *)
+
+include Smr_intf.S

@@ -1,0 +1,113 @@
+(* IBR: interval-based reclamation (2GE variant, Wen et al.).
+
+   Each thread publishes a single reservation interval [lower, upper]
+   covering the birth eras of everything it may hold.  A protected read
+   checks the loaded node's birth era against [upper] and widens the
+   reservation when needed; a retired node is reclaimable once its
+   [birth, retire] lifetime overlaps no thread's interval.  No per-pointer
+   slots, which is why IBR "simplifies the programming model" (§2.2.4).
+
+   The reservation is stored as one boxed pair in a single [Atomic.t] so
+   scanning threads always observe a consistent interval. *)
+
+let name = "IBR"
+let robust = true
+
+type t = {
+  era : int Atomic.t;
+  reservations : (int * int) option Atomic.t array; (* (lower, upper) *)
+  in_limbo : Memory.Tcounter.t;
+  config : Smr_intf.config;
+}
+
+type th = {
+  global : t;
+  id : int;
+  mutable limbo : Smr_intf.reclaimable list;
+  mutable limbo_len : int;
+  mutable retire_count : int;
+}
+
+let create ?config ~threads ~slots:_ () =
+  let config =
+    match config with Some c -> c | None -> Smr_intf.default_config ~threads
+  in
+  {
+    era = Atomic.make 1;
+    reservations = Array.init threads (fun _ -> Atomic.make None);
+    in_limbo = Memory.Tcounter.create ~threads;
+    config;
+  }
+
+let register t ~tid =
+  { global = t; id = tid; limbo = []; limbo_len = 0; retire_count = 0 }
+
+let tid th = th.id
+
+let start_op th =
+  let e = Atomic.get th.global.era in
+  Atomic.set th.global.reservations.(th.id) (Some (e, e))
+
+let end_op th = Atomic.set th.global.reservations.(th.id) None
+
+(* Birth-era validation: widen [upper] and re-load until the loaded node's
+   birth fits the reservation. *)
+let read th ~slot:_ ~load ~hdr_of =
+  let resv = th.global.reservations.(th.id) in
+  let rec loop () =
+    let v = load () in
+    match hdr_of v with
+    | None -> v
+    | Some h -> (
+        let b = Memory.Hdr.birth h in
+        match Atomic.get resv with
+        | Some (_, upper) when b <= upper -> v
+        | Some (lower, _) ->
+            Atomic.set resv (Some (lower, Atomic.get th.global.era));
+            loop ()
+        | None ->
+            (* Read outside start_op/end_op: protect pessimistically. *)
+            let e = Atomic.get th.global.era in
+            Atomic.set resv (Some (e, e));
+            loop ())
+  in
+  loop ()
+
+let dup _ ~src:_ ~dst:_ = ()
+let clear_slot _ ~slot:_ = ()
+let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
+
+let reclaim_pass th =
+  let t = th.global in
+  let intervals =
+    Array.to_list t.reservations
+    |> List.filter_map Atomic.get
+  in
+  let is_protected (r : Smr_intf.reclaimable) =
+    let birth = Memory.Hdr.birth r.hdr in
+    let retire = Memory.Hdr.retire_era r.hdr in
+    List.exists (fun (lower, upper) -> birth <= upper && retire >= lower) intervals
+  in
+  let keep, free_ = List.partition is_protected th.limbo in
+  List.iter
+    (fun (r : Smr_intf.reclaimable) ->
+      r.free th.id;
+      Memory.Tcounter.decr t.in_limbo ~tid:th.id)
+    free_;
+  th.limbo <- keep;
+  th.limbo_len <- List.length keep
+
+let retire th (r : Smr_intf.reclaimable) =
+  let t = th.global in
+  Memory.Hdr.mark_retired r.hdr;
+  Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
+  th.limbo <- r :: th.limbo;
+  th.limbo_len <- th.limbo_len + 1;
+  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
+  if th.limbo_len >= t.config.limbo_threshold then reclaim_pass th
+
+let flush th = reclaim_pass th
+let unreclaimed t = Memory.Tcounter.total t.in_limbo
+let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]

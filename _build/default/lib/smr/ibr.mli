@@ -1,0 +1,6 @@
+(** IBR: interval-based reclamation, 2GE variant (Wen et al. [34]).
+
+    One reservation interval per thread covering the birth eras of
+    everything it may hold; no per-pointer slots.  Robust. *)
+
+include Smr_intf.S

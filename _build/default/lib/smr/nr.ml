@@ -1,0 +1,31 @@
+(* NR: no reclamation.  Retired nodes are leaked (counted, never freed).
+   This is the paper's "upper bound" throughput baseline: zero reclamation
+   work, unbounded memory. *)
+
+let name = "NR"
+let robust = false
+
+type t = { leaked : Memory.Tcounter.t }
+type th = { global : t; id : int }
+
+let create ?config:_ ~threads ~slots:_ () =
+  { leaked = Memory.Tcounter.create ~threads }
+
+let register t ~tid = { global = t; id = tid }
+let tid th = th.id
+let start_op _ = ()
+let end_op _ = ()
+let read _ ~slot:_ ~load ~hdr_of:_ = load ()
+let dup _ ~src:_ ~dst:_ = ()
+let clear_slot _ ~slot:_ = ()
+let on_alloc _ _ = ()
+
+let retire th (r : Smr_intf.reclaimable) =
+  (* Mark retired so double-retire bugs still trip the header check, but
+     never reclaim. *)
+  Memory.Hdr.mark_retired r.hdr;
+  Memory.Tcounter.incr th.global.leaked ~tid:th.id
+
+let flush _ = ()
+let unreclaimed t = Memory.Tcounter.total t.leaked
+let stats t = [ ("leaked", Memory.Tcounter.total t.leaked) ]

@@ -1,0 +1,4 @@
+(** NR: no reclamation.  Retired nodes are leaked (counted, never freed) —
+    the paper's "upper bound" throughput baseline with unbounded memory. *)
+
+include Smr_intf.S

@@ -1,0 +1,33 @@
+(* Name -> scheme lookup used by the benchmark harness and CLI. *)
+
+type scheme = (module Smr_intf.S)
+
+let all : scheme list =
+  [
+    (module Nr);
+    (module Ebr);
+    (module Hp);
+    (module Hp_opt);
+    (module He);
+    (module Ibr);
+    (module Hyaline);
+  ]
+
+let robust_schemes =
+  List.filter (fun (module S : Smr_intf.S) -> S.robust) all
+
+let names = List.map (fun (module S : Smr_intf.S) -> S.name) all
+
+let find name =
+  let target = String.uppercase_ascii name in
+  List.find_opt
+    (fun (module S : Smr_intf.S) -> String.uppercase_ascii S.name = target)
+    all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown SMR scheme %S (expected one of: %s)" name
+           (String.concat ", " names))

@@ -1,0 +1,17 @@
+(** Name -> scheme lookup used by the benchmark harness, CLI and tests. *)
+
+type scheme = (module Smr_intf.S)
+
+val all : scheme list
+(** All seven schemes in the paper's order: NR, EBR, HP, HPopt, HE, IBR,
+    HLN (Hyaline-1S). *)
+
+val robust_schemes : scheme list
+
+val names : string list
+
+val find : string -> scheme option
+(** Case-insensitive. *)
+
+val find_exn : string -> scheme
+(** Raises [Invalid_argument] with the list of valid names. *)

@@ -1,0 +1,87 @@
+(* Common interface implemented by every SMR scheme (NR, EBR, HP, HPopt, HE,
+   IBR, Hyaline-1S).
+
+   The shape follows the tracker API of the benchmark the paper extends
+   (Hazard Eras / IBR test harness): [start_op]/[end_op] bracket each
+   data-structure operation, [read] is the protected-load primitive (the
+   paper's [protect]), [dup] copies a protection between slots, and [retire]
+   hands over an unlinked node for deferred reclamation.
+
+   [read] is polymorphic in the link value being loaded: HP validates by
+   re-loading the same field, era-based schemes validate the node's birth
+   era, EBR/NR just load.  This lets a single data-structure implementation
+   (a functor over [S]) serve all schemes — exactly the paper's point that
+   SCOT adapts the data structure and keeps the SMR scheme intact. *)
+
+type reclaimable = {
+  hdr : Memory.Hdr.t;
+  free : int -> unit;
+      (* [free tid] returns the node to its pool; [tid] is the *calling*
+         thread (Hyaline-1S reclaims on any thread). *)
+}
+
+type config = {
+  limbo_threshold : int;
+      (* R: a reclamation pass is attempted every R retire calls (128 in the
+         paper's calibration). *)
+  epoch_freq : int;
+      (* global epoch/era increment every this many retires (12 x threads in
+         the paper's calibration). *)
+  batch_size : int; (* Hyaline-1S dispatch batch size. *)
+}
+
+let default_config ~threads =
+  { limbo_threshold = 128; epoch_freq = 12 * threads; batch_size = 32 }
+
+module type S = sig
+  val name : string
+
+  (** Robust = bounded memory with stalled threads (property (A) of the ERA
+      theorem).  False only for NR and EBR. *)
+  val robust : bool
+
+  type t
+  type th
+
+  val create : ?config:config -> threads:int -> slots:int -> unit -> t
+
+  (** One registration per thread id; the handle is not thread-safe and must
+      only be used by its owner. *)
+  val register : t -> tid:int -> th
+
+  val tid : th -> int
+  val start_op : th -> unit
+  val end_op : th -> unit
+
+  (** [read th ~slot ~load ~hdr_of] performs a protected load: repeatedly
+      evaluates [load] until the scheme can guarantee that the object
+      designated by the result (via [hdr_of]) is protected from reclamation.
+      [slot] indexes the per-thread hazard slot for pointer-based schemes. *)
+  val read :
+    th -> slot:int -> load:(unit -> 'v) -> hdr_of:('v -> Memory.Hdr.t option) -> 'v
+
+  (** [dup th ~src ~dst] copies the protection in slot [src] to slot [dst]
+      (the paper's [dup], Figure 1).  No-op for schemes without per-slot
+      state. *)
+  val dup : th -> src:int -> dst:int -> unit
+
+  (** Drop the protection held in one slot. *)
+  val clear_slot : th -> slot:int -> unit
+
+  (** Allocation hook: stamps the birth era for era-based schemes. *)
+  val on_alloc : th -> Memory.Hdr.t -> unit
+
+  (** Hand an unlinked node to the scheme.  The node must be Live; the
+      scheme marks it Retired and frees it once provably unreachable. *)
+  val retire : th -> reclaimable -> unit
+
+  (** Best-effort: run a reclamation pass now (used at shutdown and by
+      tests); does not violate safety. *)
+  val flush : th -> unit
+
+  (** Number of retired-but-not-yet-reclaimed objects (Figures 10-12). *)
+  val unreclaimed : t -> int
+
+  (** Scheme-specific counters for reports. *)
+  val stats : t -> (string * int) list
+end

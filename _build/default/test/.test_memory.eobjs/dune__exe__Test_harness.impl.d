@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename Harness List Smr Sys

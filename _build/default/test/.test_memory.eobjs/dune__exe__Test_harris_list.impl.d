@@ -1,0 +1,1 @@
+test/test_harris_list.ml: Alcotest Array Harness List Scot Smr Test_support

@@ -1,0 +1,1 @@
+test/test_hashmap.ml: Alcotest Array Domain Fun Harness Int List Printf QCheck QCheck_alcotest Scot Set Smr

@@ -1,0 +1,1 @@
+test/test_hm_list.ml: Alcotest Harness List Scot Smr Test_support

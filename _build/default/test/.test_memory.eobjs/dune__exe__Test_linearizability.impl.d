@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Harness List Printf QCheck QCheck_alcotest Smr Test_support

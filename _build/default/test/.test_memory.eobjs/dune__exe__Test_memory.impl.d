@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Domain List Memory QCheck QCheck_alcotest

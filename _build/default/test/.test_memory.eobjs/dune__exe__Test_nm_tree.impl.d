@@ -1,0 +1,1 @@
+test/test_nm_tree.ml: Alcotest Array Fun Harness List Scot Smr Test_support

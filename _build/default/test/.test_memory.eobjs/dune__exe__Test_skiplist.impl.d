@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Domain Harness List Scot Smr Test_support

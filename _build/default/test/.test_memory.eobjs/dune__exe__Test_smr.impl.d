@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Atomic Fun List Memory Printf Smr

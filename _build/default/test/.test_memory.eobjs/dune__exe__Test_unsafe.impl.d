@@ -1,0 +1,1 @@
+test/test_unsafe.ml: Alcotest Atomic Fun Harness Memory Option Smr

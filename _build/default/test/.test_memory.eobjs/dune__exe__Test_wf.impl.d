@@ -1,0 +1,1 @@
+test/test_wf.ml: Alcotest Array Atomic Domain Harness List Scot Smr Test_support

@@ -1,0 +1,1 @@
+test/support/ds_tests.ml: Alcotest Array Domain Fun Harness Int List Printf QCheck QCheck_alcotest Set Smr String

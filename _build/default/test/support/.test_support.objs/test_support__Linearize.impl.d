@@ -1,0 +1,1 @@
+test/support/linearize.ml: Alcotest Array Atomic Domain Harness Hashtbl Int64 List Printf String

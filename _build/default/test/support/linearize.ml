@@ -1,0 +1,160 @@
+(* A small linearizability checker for concurrent set histories
+   (Wing & Gong style search, specialised to single-key set semantics).
+
+   Worker domains log every operation with start/end timestamps drawn from
+   a global atomic counter.  For a single key, the sequential specification
+   is a boolean state with transitions:
+
+     insert -> true  requires state = false, sets true
+     insert -> false requires state = true
+     delete -> true  requires state = true, sets false
+     delete -> false requires state = false
+     search -> b     requires state = b
+
+   A history is linearizable iff there is a total order of operations,
+   consistent with the real-time partial order (a before b iff
+   a.finish < b.start), whose results follow the specification.  The
+   checker explores that search space depth-first over the set of
+   real-time-minimal pending operations, with memoisation on
+   (chosen-set, state). *)
+
+type kind = Insert | Delete | Search
+
+type event = {
+  kind : kind;
+  result : bool;
+  start_ts : int;
+  finish_ts : int;
+}
+
+let kind_to_string = function
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Search -> "search"
+
+let pp_event e =
+  Printf.sprintf "%s=%b [%d,%d]" (kind_to_string e.kind) e.result e.start_ts
+    e.finish_ts
+
+(* Transition of the single-key set spec; None = result impossible here. *)
+let apply state (e : event) =
+  match (e.kind, e.result) with
+  | Insert, true -> if state then None else Some true
+  | Insert, false -> if state then Some true else None
+  | Delete, true -> if state then Some false else None
+  | Delete, false -> if state then None else Some false
+  | Search, b -> if state = b then Some state else None
+
+exception Too_hard
+
+(* [check events] decides linearizability of a single-key history.
+   Raises [Too_hard] beyond [max_steps] search steps (keep histories to a
+   few hundred events). *)
+let check ?(max_steps = 2_000_000) (events : event list) =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  if n > 62 * 62 then invalid_arg "Linearize.check: history too large";
+  let steps = ref 0 in
+  (* Memoise failed (done-set, state) configurations.  The done-set is a
+     bitset split over int64 words. *)
+  let words = (n + 62) / 63 in
+  let seen = Hashtbl.create 4096 in
+  let key_of done_set state =
+    let l = Array.to_list (Array.map Int64.to_string done_set) in
+    String.concat "," l ^ if state then "t" else "f"
+  in
+  let get done_set i =
+    Int64.logand done_set.(i / 63) (Int64.shift_left 1L (i mod 63)) <> 0L
+  in
+  let set done_set i =
+    let d = Array.copy done_set in
+    d.(i / 63) <- Int64.logor d.(i / 63) (Int64.shift_left 1L (i mod 63));
+    d
+  in
+  let rec go done_set state remaining =
+    if remaining = 0 then true
+    else begin
+      incr steps;
+      if !steps > max_steps then raise Too_hard;
+      let k = key_of done_set state in
+      if Hashtbl.mem seen k then false
+      else begin
+        (* Earliest finish among pending ops bounds which are minimal. *)
+        let min_finish = ref max_int in
+        for i = 0 to n - 1 do
+          if not (get done_set i) then
+            if evs.(i).finish_ts < !min_finish then
+              min_finish := evs.(i).finish_ts
+        done;
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let e = evs.(!i) in
+          if (not (get done_set !i)) && e.start_ts <= !min_finish then begin
+            match apply state e with
+            | Some state' ->
+                if go (set done_set !i) state' (remaining - 1) then ok := true
+            | None -> ()
+          end;
+          incr i
+        done;
+        if not !ok then Hashtbl.add seen k ();
+        !ok
+      end
+    end
+  in
+  go (Array.make words 0L) false n
+
+(* Run [threads] domains of [ops_per_thread] random operations on a single
+   key of the given instance and collect the history. *)
+let record_history ~(inst : Harness.Instance.t) ~threads ~ops_per_thread ~key
+    ~seed =
+  let clock = Atomic.make 0 in
+  let logs = Array.make threads [] in
+  let worker tid () =
+    let rng = Harness.Workload.Rng.create ~seed:(seed + (tid * 131)) in
+    let log = ref [] in
+    for _ = 1 to ops_per_thread do
+      let kind =
+        match Harness.Workload.Rng.int rng 3 with
+        | 0 -> Insert
+        | 1 -> Delete
+        | _ -> Search
+      in
+      let start_ts = Atomic.fetch_and_add clock 1 in
+      let result =
+        match kind with
+        | Insert -> inst.Harness.Instance.insert ~tid key
+        | Delete -> inst.Harness.Instance.delete ~tid key
+        | Search -> inst.Harness.Instance.search ~tid key
+      in
+      let finish_ts = Atomic.fetch_and_add clock 1 in
+      log := { kind; result; start_ts; finish_ts } :: !log
+    done;
+    logs.(tid) <- !log
+  in
+  let doms = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join doms;
+  Array.to_list logs |> List.concat
+
+(* Full battery: record a history on one hot key and check it. *)
+let check_structure ?(threads = 3) ?(ops_per_thread = 40) ?(rounds = 4)
+    (builder : Harness.Instance.builder) scheme =
+  for round = 1 to rounds do
+    let inst = builder.Harness.Instance.build scheme ~threads () in
+    let history =
+      record_history ~inst ~threads ~ops_per_thread ~key:7 ~seed:(round * 997)
+    in
+    match check history with
+    | true -> ()
+    | false ->
+        let dump =
+          String.concat "\n"
+            (List.map pp_event
+               (List.sort (fun a b -> compare a.start_ts b.start_ts) history))
+        in
+        Alcotest.failf "history NOT linearizable (round %d):\n%s" round dump
+    | exception Too_hard ->
+        (* Inconclusive: shrink parameters rather than accept silently. *)
+        Alcotest.failf "linearizability check exceeded its search budget"
+  done

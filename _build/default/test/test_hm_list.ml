@@ -1,0 +1,62 @@
+(* Harris-Michael list: the generic battery over every SMR scheme plus the
+   baseline-specific behaviour — eager unlinking of marked nodes during any
+   traversal, including Search. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let builder = Harness.Instance.find_builder_exn "HMList"
+
+module L = Scot.Harris_michael_list.Make (Smr.Hp)
+
+let mk () =
+  let smr =
+    Smr.Hp.create ~threads:1 ~slots:Scot.Harris_michael_list.slots_needed ()
+  in
+  let t = L.create ~smr ~threads:1 () in
+  (t, L.handle t ~tid:0)
+
+let test_sequential_churn () =
+  let t, h = mk () in
+  for i = 0 to 999 do
+    ignore (L.insert h (i mod 37))
+  done;
+  check_int "37 distinct keys" 37 (L.size t);
+  for i = 0 to 999 do
+    ignore (L.delete h (i mod 37))
+  done;
+  check_int "empty" 0 (L.size t);
+  L.check_invariants t;
+  L.quiesce h;
+  check_int "limbo drained" 0 (L.unreclaimed t)
+
+(* Unlike Harris' list, a *search* in the Harris-Michael list physically
+   unlinks marked nodes it encounters: after delete + search, the retired
+   node count grows even without further updates. *)
+let test_search_unlinks () =
+  let t, h = mk () in
+  List.iter (fun k -> assert (L.insert h k)) [ 1; 2; 3 ];
+  check "delete marks and unlinks" true (L.delete h 2);
+  check "search still correct" false (L.search h 2);
+  check "remaining keys" true (L.to_list t = [ 1; 3 ]);
+  L.check_invariants t
+
+let test_key_bounds () =
+  let _, h = mk () in
+  match L.insert h max_int with
+  | _ -> Alcotest.fail "max_int key must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "harris_michael_list"
+    (Test_support.Ds_tests.full_suite builder
+    @ [
+        ( "hm-specific",
+          [
+            Alcotest.test_case "sequential churn drains limbo" `Quick
+              test_sequential_churn;
+            Alcotest.test_case "search unlinks marked nodes" `Quick
+              test_search_unlinks;
+            Alcotest.test_case "key bounds" `Quick test_key_bounds;
+          ] );
+      ])

@@ -1,0 +1,117 @@
+(* Linearizability (Theorem 8): concurrent single-key histories of every
+   structure must admit a legal sequential witness consistent with
+   real-time order.  Also exercises the checker itself on hand-written
+   histories (both positive and negative). *)
+
+let ev kind result start_ts finish_ts =
+  { Test_support.Linearize.kind; result; start_ts; finish_ts }
+
+open Test_support.Linearize
+
+let test_checker_accepts_sequential () =
+  (* insert -> search -> delete -> search, strictly ordered. *)
+  let h =
+    [
+      ev Insert true 0 1;
+      ev Search true 2 3;
+      ev Delete true 4 5;
+      ev Search false 6 7;
+    ]
+  in
+  Alcotest.(check bool) "sequential history ok" true (check h)
+
+let test_checker_accepts_overlap () =
+  (* Two overlapping inserts: one must win, one must fail. *)
+  let h = [ ev Insert true 0 5; ev Insert false 1 4 ] in
+  Alcotest.(check bool) "overlapping inserts ok" true (check h);
+  (* A search overlapping a winning insert may see either state. *)
+  let h2 = [ ev Insert true 0 5; ev Search false 1 2 ] in
+  Alcotest.(check bool) "search may linearize before insert" true (check h2);
+  let h3 = [ ev Insert true 0 5; ev Search true 1 2 ] in
+  Alcotest.(check bool) "search may linearize after insert" true (check h3)
+
+let test_checker_rejects_bad_histories () =
+  (* Both overlapping inserts succeeding is impossible. *)
+  let h = [ ev Insert true 0 5; ev Insert true 1 4 ] in
+  Alcotest.(check bool) "double insert success rejected" false (check h);
+  (* A search strictly after a successful insert cannot miss it. *)
+  let h2 = [ ev Insert true 0 1; ev Search false 2 3 ] in
+  Alcotest.(check bool) "stale read rejected" false (check h2);
+  (* Delete of a never-inserted key cannot succeed. *)
+  let h3 = [ ev Delete true 0 1 ] in
+  Alcotest.(check bool) "phantom delete rejected" false (check h3);
+  (* Real-time order must be respected transitively. *)
+  let h4 =
+    [ ev Insert true 0 1; ev Delete true 2 3; ev Search true 4 5 ]
+  in
+  Alcotest.(check bool) "read after delete rejected" false (check h4)
+
+(* Property: a sequential execution against the model, with every
+   operation's interval randomly widened (which only ever ADDS legal
+   witnesses), must always be accepted. *)
+let prop_widened_sequential =
+  QCheck.Test.make ~count:200 ~name:"checker accepts widened sequential runs"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 40)
+           (pair (int_bound 2) (pair (int_bound 4) (int_bound 4)))))
+    (fun ops ->
+      let state = ref false in
+      let events =
+        List.mapi
+          (fun i (c, (jl, jr)) ->
+            let kind, result =
+              match c with
+              | 0 ->
+                  let r = not !state in
+                  state := true;
+                  (Insert, r)
+              | 1 ->
+                  let r = !state in
+                  state := false;
+                  (Delete, r)
+              | _ -> (Search, !state)
+            in
+            {
+              Test_support.Linearize.kind;
+              result;
+              start_ts = (10 * i) - jl;
+              finish_ts = (10 * i) + jr;
+            })
+          ops
+      in
+      check events)
+
+let structures = [ "HList"; "HListWF"; "HMList"; "NMTree"; "SkipList" ]
+let schemes = [ "EBR"; "HP"; "HLN" ]
+
+let per_structure =
+  List.concat_map
+    (fun sname ->
+      List.map
+        (fun scheme_name ->
+          Alcotest.test_case
+            (Printf.sprintf "%s under %s" sname scheme_name)
+            `Quick
+            (fun () ->
+              check_structure
+                (Harness.Instance.find_builder_exn sname)
+                (Smr.Registry.find_exn scheme_name)))
+        schemes)
+    structures
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "accepts sequential" `Quick
+            test_checker_accepts_sequential;
+          Alcotest.test_case "accepts legal overlap" `Quick
+            test_checker_accepts_overlap;
+          Alcotest.test_case "rejects illegal histories" `Quick
+            test_checker_rejects_bad_histories;
+          QCheck_alcotest.to_alcotest prop_widened_sequential;
+        ] );
+      ("structures", per_structure);
+    ]

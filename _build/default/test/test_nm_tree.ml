@@ -1,0 +1,95 @@
+(* Natarajan-Mittal tree with SCOT: the generic battery over every SMR
+   scheme plus tree-specific behaviours (sentinel integrity, external-BST
+   shape, flag/tag pruning, larger-range churn). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let builder = Harness.Instance.find_builder_exn "NMTree"
+
+module T = Scot.Nm_tree.Make (Smr.Hp)
+
+let mk ?(threads = 1) () =
+  let smr = Smr.Hp.create ~threads ~slots:Scot.Nm_tree.slots_needed () in
+  let t = T.create ~smr ~threads () in
+  (t, Array.init threads (fun tid -> T.handle t ~tid))
+
+let test_shape_after_inserts () =
+  let t, hs = mk () in
+  let h = hs.(0) in
+  List.iter (fun k -> assert (T.insert h k)) [ 50; 25; 75; 10; 30; 60; 90 ];
+  T.check_invariants t;
+  check "sorted traversal" true (T.to_list t = [ 10; 25; 30; 50; 60; 75; 90 ])
+
+let test_delete_root_region () =
+  let t, hs = mk () in
+  let h = hs.(0) in
+  (* Build then delete in an order that exercises pruning near the
+     sentinels, including deleting down to an empty tree. *)
+  List.iter (fun k -> assert (T.insert h k)) [ 5; 3; 8 ];
+  assert (T.delete h 5);
+  assert (T.delete h 3);
+  assert (T.delete h 8);
+  check_int "empty" 0 (T.size t);
+  T.check_invariants t;
+  (* Tree must remain fully usable after total erasure. *)
+  assert (T.insert h 42);
+  check "reusable after erasure" true (T.search h 42)
+
+let test_large_sequential_churn () =
+  let t, hs = mk () in
+  let h = hs.(0) in
+  let n = 2_000 in
+  for k = 0 to n - 1 do
+    assert (T.insert h ((k * 7919) mod 104729))
+  done;
+  check_int "all inserted" n (T.size t);
+  T.check_invariants t;
+  for k = 0 to n - 1 do
+    assert (T.delete h ((k * 7919) mod 104729))
+  done;
+  check_int "all deleted" 0 (T.size t);
+  T.quiesce h;
+  check_int "limbo drained" 0 (T.unreclaimed t);
+  T.check_invariants t
+
+let test_key_bounds () =
+  let _, hs = mk () in
+  let h = hs.(0) in
+  (match T.insert h Scot.Nm_tree.inf1 with
+  | _ -> Alcotest.fail "sentinel keys must be rejected"
+  | exception Invalid_argument _ -> ());
+  check "large-but-valid key accepted" true (T.insert h (Scot.Nm_tree.inf1 - 1));
+  check "negative keys work" true (T.insert h (-17));
+  check "search negative" true (T.search h (-17))
+
+(* Ascending and descending insertion orders (worst external-BST shapes). *)
+let test_degenerate_orders () =
+  List.iter
+    (fun order ->
+      let t, hs = mk () in
+      let h = hs.(0) in
+      List.iter (fun k -> assert (T.insert h k)) order;
+      check_int "size" (List.length order) (T.size t);
+      T.check_invariants t;
+      List.iter (fun k -> assert (T.delete h k)) order;
+      check_int "emptied" 0 (T.size t))
+    [ List.init 200 Fun.id; List.rev (List.init 200 Fun.id) ]
+
+let () =
+  Alcotest.run "nm_tree"
+    (Test_support.Ds_tests.full_suite builder
+    @ [
+        ( "tree-specific",
+          [
+            Alcotest.test_case "external BST shape" `Quick
+              test_shape_after_inserts;
+            Alcotest.test_case "pruning near sentinels" `Quick
+              test_delete_root_region;
+            Alcotest.test_case "large sequential churn" `Quick
+              test_large_sequential_churn;
+            Alcotest.test_case "key bounds" `Quick test_key_bounds;
+            Alcotest.test_case "degenerate insertion orders" `Quick
+              test_degenerate_orders;
+          ] );
+      ])

@@ -1,0 +1,270 @@
+(* Behavioural tests for every SMR scheme through the uniform interface:
+   reclamation of unprotected retires, protection across reads and dups,
+   robustness bounds with a stalled thread (Theorem 1's setting), and the
+   Hyaline-specific any-thread reclamation. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let reclaimable hdr : Smr.Smr_intf.reclaimable =
+  { hdr; free = (fun _tid -> Memory.Hdr.mark_reclaimed hdr) }
+
+let config_small =
+  { Smr.Smr_intf.limbo_threshold = 4; epoch_freq = 4; batch_size = 2 }
+
+(* Unprotected retires are eventually reclaimed (all schemes except NR). *)
+let test_reclaims_unprotected (module S : Smr.Smr_intf.S) () =
+  let mk_hdr th =
+    let hdr = Memory.Hdr.create () in
+    S.on_alloc th hdr;
+    hdr
+  in
+  let t = S.create ~config:config_small ~threads:1 ~slots:2 () in
+  let th = S.register t ~tid:0 in
+  let hdrs =
+    List.init 64 (fun _ ->
+        S.start_op th;
+        let h = mk_hdr th in
+        S.end_op th;
+        h)
+  in
+  List.iter (fun h -> S.retire th (reclaimable h)) hdrs;
+  S.flush th;
+  if S.name = "NR" then begin
+    check_int "NR leaks everything" 64 (S.unreclaimed t);
+    check "NR frees nothing" true
+      (List.for_all (fun h -> not (Memory.Hdr.is_reclaimed h)) hdrs)
+  end
+  else begin
+    check_int "everything reclaimed" 0 (S.unreclaimed t);
+    check "all poisoned" true (List.for_all Memory.Hdr.is_reclaimed hdrs)
+  end
+
+(* A protected node survives reclamation passes until the protection is
+   dropped. *)
+let test_protection_blocks_reclaim (module S : Smr.Smr_intf.S) () =
+  if S.name = "NR" then ()
+  else begin
+    let mk_hdr th =
+      let hdr = Memory.Hdr.create () in
+      S.on_alloc th hdr;
+      hdr
+    in
+    let t = S.create ~config:config_small ~threads:2 ~slots:2 () in
+    let reader = S.register t ~tid:0 in
+    let writer = S.register t ~tid:1 in
+    S.start_op writer;
+    let hdr = mk_hdr writer in
+    S.end_op writer;
+    let cell = Atomic.make (Some hdr) in
+    (* Reader protects the node. *)
+    S.start_op reader;
+    let seen =
+      S.read reader ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id
+    in
+    check "reader saw the node" true
+      (match seen with Some h -> h == hdr | None -> false);
+    (* Writer unlinks, retires and aggressively reclaims. *)
+    Atomic.set cell None;
+    S.start_op writer;
+    S.retire writer (reclaimable hdr);
+    for _ = 1 to 32 do
+      let filler = mk_hdr writer in
+      S.retire writer (reclaimable filler)
+    done;
+    S.flush writer;
+    check "protected node not reclaimed" false (Memory.Hdr.is_reclaimed hdr);
+    (* Drop protection; now it must go. *)
+    S.end_op reader;
+    S.end_op writer;
+    S.flush writer;
+    check "reclaimed after protection dropped" true
+      (Memory.Hdr.is_reclaimed hdr)
+  end
+
+(* dup must keep the node protected when the original slot is reused
+   (the ascending-index discipline of §3.2 relies on this). *)
+let test_dup_preserves_protection (module S : Smr.Smr_intf.S) () =
+  if S.name = "NR" then ()
+  else begin
+    let mk_hdr th =
+      let hdr = Memory.Hdr.create () in
+      S.on_alloc th hdr;
+      hdr
+    in
+    let t = S.create ~config:config_small ~threads:2 ~slots:3 () in
+    let reader = S.register t ~tid:0 in
+    let writer = S.register t ~tid:1 in
+    S.start_op writer;
+    let hdr = mk_hdr writer in
+    let decoy = mk_hdr writer in
+    S.end_op writer;
+    let cell = Atomic.make (Some hdr) in
+    let decoy_cell = Atomic.make (Some decoy) in
+    S.start_op reader;
+    ignore (S.read reader ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id);
+    S.dup reader ~src:0 ~dst:1;
+    (* Slot 0 is re-used for something else. *)
+    ignore
+      (S.read reader ~slot:0
+         ~load:(fun () -> Atomic.get decoy_cell)
+         ~hdr_of:Fun.id);
+    Atomic.set cell None;
+    S.start_op writer;
+    S.retire writer (reclaimable hdr);
+    for _ = 1 to 32 do
+      S.retire writer (reclaimable (mk_hdr writer))
+    done;
+    S.flush writer;
+    check "dup kept the node protected" false (Memory.Hdr.is_reclaimed hdr);
+    S.end_op reader;
+    S.end_op writer;
+    S.flush writer;
+    check "reclaimed after end_op" true (Memory.Hdr.is_reclaimed hdr)
+  end
+
+(* Theorem 1's setting: with one thread parked inside an operation, robust
+   schemes keep the number of unreclaimed objects bounded; EBR does not. *)
+let test_stalled_thread_bound (module S : Smr.Smr_intf.S) () =
+  if S.name = "NR" then ()
+  else begin
+    let mk_hdr th =
+      let hdr = Memory.Hdr.create () in
+      S.on_alloc th hdr;
+      hdr
+    in
+    let total = 4_000 in
+    let t = S.create ~config:config_small ~threads:2 ~slots:2 () in
+    let stalled = S.register t ~tid:0 in
+    let worker = S.register t ~tid:1 in
+    S.start_op stalled (* ... and never ends its operation *);
+    for _ = 1 to total do
+      S.start_op worker;
+      let h = mk_hdr worker in
+      S.retire worker (reclaimable h);
+      S.end_op worker
+    done;
+    S.flush worker;
+    let unr = S.unreclaimed t in
+    if S.robust then
+      check
+        (Printf.sprintf "%s: bounded despite stall (got %d)" S.name unr)
+        true
+        (unr < total / 4)
+    else
+      check
+        (Printf.sprintf "%s (EBR): unbounded growth (got %d)" S.name unr)
+        true (unr = total)
+  end
+
+(* Hyaline-specific: reclamation is performed by whichever thread drops the
+   last reference — here the *reader*, at end_op, not the retiring thread. *)
+let test_hyaline_any_thread_reclamation () =
+  let module H = Smr.Hyaline in
+  let t = H.create ~config:config_small ~threads:2 ~slots:1 () in
+  let reader = H.register t ~tid:0 in
+  let writer = H.register t ~tid:1 in
+  H.start_op reader;
+  (* Writer retires a full batch while the reader is active: the batch is
+     dispatched to the reader. *)
+  H.start_op writer;
+  let hdrs =
+    List.init 8 (fun _ ->
+        let h = Memory.Hdr.create () in
+        H.on_alloc writer h;
+        h)
+  in
+  List.iter (fun h -> H.retire writer (reclaimable h)) hdrs;
+  H.flush writer;
+  H.end_op writer;
+  check "still pinned by the active reader" true
+    (List.exists (fun h -> not (Memory.Hdr.is_reclaimed h)) hdrs);
+  (* The reader finishes its op: it must free the batch itself. *)
+  H.end_op reader;
+  check "reader reclaimed the batch at end_op" true
+    (List.for_all Memory.Hdr.is_reclaimed hdrs);
+  check_int "nothing left" 0 (H.unreclaimed t)
+
+(* Eras: birth/retire stamps must bracket the node's lifetime. *)
+let test_era_stamping (module S : Smr.Smr_intf.S) () =
+  let mk_hdr th =
+    let hdr = Memory.Hdr.create () in
+    S.on_alloc th hdr;
+    hdr
+  in
+  let t = S.create ~config:config_small ~threads:1 ~slots:1 () in
+  let th = S.register t ~tid:0 in
+  S.start_op th;
+  let h = mk_hdr th in
+  (* Retire enough nodes to advance the era between birth and retire. *)
+  for _ = 1 to 64 do
+    S.retire th (reclaimable (mk_hdr th))
+  done;
+  S.retire th (reclaimable h);
+  let uses_eras =
+    match S.name with "HE" | "IBR" | "HLN" | "EBR" -> true | _ -> false
+  in
+  if uses_eras then
+    check "retire era >= birth era" true
+      (Memory.Hdr.retire_era h >= Memory.Hdr.birth h);
+  S.end_op th;
+  S.flush th
+
+(* EBR epoch advance requires all active threads current. *)
+let test_ebr_epoch_veto () =
+  let module E = Smr.Ebr in
+  let t = E.create ~config:config_small ~threads:2 ~slots:1 () in
+  let a = E.register t ~tid:0 in
+  let b = E.register t ~tid:1 in
+  E.start_op a;
+  (* a parks at the current epoch *)
+  E.start_op b;
+  let h = Memory.Hdr.create () in
+  E.on_alloc b h;
+  E.retire b (reclaimable h);
+  E.end_op b;
+  for _ = 1 to 10 do
+    E.flush b
+  done;
+  check "node pinned by stalled reservation" false (Memory.Hdr.is_reclaimed h);
+  E.end_op a;
+  E.flush b;
+  check "reclaimed once the epoch can advance" true
+    (Memory.Hdr.is_reclaimed h)
+
+(* Registry sanity. *)
+let test_registry () =
+  check_int "seven schemes" 7 (List.length Smr.Registry.all);
+  check "find is case-insensitive" true
+    (match Smr.Registry.find "hpopt" with Some _ -> true | None -> false);
+  (match Smr.Registry.find_exn "nope" with
+  | _ -> Alcotest.fail "unknown scheme accepted"
+  | exception Invalid_argument _ -> ());
+  check_int "five robust schemes" 5 (List.length Smr.Registry.robust_schemes)
+
+let per_scheme name f =
+  List.map
+    (fun (module S : Smr.Smr_intf.S) ->
+      Alcotest.test_case (Printf.sprintf "%s (%s)" name S.name) `Quick
+        (f (module S : Smr.Smr_intf.S)))
+    Smr.Registry.all
+
+let () =
+  Alcotest.run "smr"
+    [
+      ("reclaim-unprotected", per_scheme "reclaim" test_reclaims_unprotected);
+      ( "protection",
+        per_scheme "protection blocks reclaim" test_protection_blocks_reclaim
+      );
+      ("dup", per_scheme "dup preserves protection" test_dup_preserves_protection);
+      ( "robustness",
+        per_scheme "stalled thread bound" test_stalled_thread_bound );
+      ( "scheme-specific",
+        [
+          Alcotest.test_case "hyaline any-thread reclamation" `Quick
+            test_hyaline_any_thread_reclamation;
+          Alcotest.test_case "ebr epoch veto" `Quick test_ebr_epoch_veto;
+        ] );
+      ("eras", per_scheme "era stamping" test_era_stamping);
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+    ]

@@ -1,0 +1,143 @@
+(* The paper's Figure 2: unsafe optimistic traversal under HP.
+
+   Two levels of evidence:
+   1. A deterministic single-domain replay of the exact scenario at the SMR
+      level (threads interleaved by hand): the pointer from a logically
+      deleted node to its successor stays intact after the chain is
+      physically unlinked, so the HP [protect] succeeds on a freed node and
+      the subsequent dereference faults.  The SCOT validation (re-checking
+      the last safe link) detects the unlink instead.
+   2. The actual Harris'-list-without-SCOT implementation under concurrent
+      load: it must fault under robust schemes and must NOT fault under
+      EBR/NR (Table 1's first row). *)
+
+let check = Alcotest.(check bool)
+
+let aggressive =
+  { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 2; batch_size = 1 }
+
+(* --- deterministic replay (Figure 2) --- *)
+
+let test_fig2_deterministic_fault () =
+  let module S = Smr.Hp in
+  let t = S.create ~config:aggressive ~threads:2 ~slots:4 () in
+  let reader = S.register t ~tid:0 in
+  let writer = S.register t ~tid:1 in
+  (* List shape: head -> N1 -> N2 -> N3 -> N4 (headers only; links are
+     explicit cells as in the paper's figure). *)
+  let n1 = Memory.Hdr.create ()
+  and n2 = Memory.Hdr.create ()
+  and n3 = Memory.Hdr.create ()
+  and n4 = Memory.Hdr.create () in
+  let link_head = Atomic.make (Some n1) in
+  let link1 = Atomic.make (Some n2) in
+  let link2 = Atomic.make (Some n3) in
+  let link3 = Atomic.make (Some n4) in
+  ignore link3;
+  S.start_op reader;
+  S.start_op writer;
+  (* Thread 1 (reader) walks to N2 and protects it; N1 -> N2 is intact. *)
+  let seen_n2 =
+    S.read reader ~slot:0 ~load:(fun () -> Atomic.get link1) ~hdr_of:Fun.id
+  in
+  check "reader reached N2" true
+    (match seen_n2 with Some h -> h == n2 | None -> false);
+  (* Threads 2/3 (writer) logically delete N2 and N3, then unlink the whole
+     chain with one CAS on N1's link and retire both nodes. *)
+  Atomic.set link_head (Some n4);
+  S.retire writer { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
+  S.retire writer { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
+  S.flush writer;
+  check "N2 survives (reader holds a hazard)" false (Memory.Hdr.is_reclaimed n2);
+  check "N3 is reclaimed (nobody protects it)" true (Memory.Hdr.is_reclaimed n3);
+  (* Reader continues optimistically: protect N3 through N2's link — the
+     link never changed, so plain HP validation SUCCEEDS on freed memory. *)
+  let seen_n3 =
+    S.read reader ~slot:1 ~load:(fun () -> Atomic.get link2) ~hdr_of:Fun.id
+  in
+  check "protect erroneously succeeds" true
+    (match seen_n3 with Some h -> h == n3 | None -> false);
+  (* ... and the dereference is the simulated SEGFAULT of Figure 2. *)
+  (match Option.iter Memory.Hdr.check seen_n3 with
+  | () -> Alcotest.fail "expected Use_after_free on N3"
+  | exception Memory.Fault.Use_after_free _ -> ());
+  S.end_op reader;
+  S.end_op writer
+
+let test_fig2_scot_validation_detects () =
+  let module S = Smr.Hp in
+  let t = S.create ~config:aggressive ~threads:2 ~slots:4 () in
+  let reader = S.register t ~tid:0 in
+  let writer = S.register t ~tid:1 in
+  let n2 = Memory.Hdr.create () and n3 = Memory.Hdr.create () in
+  let n4 = Memory.Hdr.create () in
+  let link_head = Atomic.make (Some n2) in
+  let link2 = Atomic.make (Some n3) in
+  S.start_op reader;
+  S.start_op writer;
+  (* SCOT: entering the dangerous zone, remember the last safe link's value
+     (prev_next = N2) and protect the first unsafe node. *)
+  let prev_next =
+    S.read reader ~slot:3 ~load:(fun () -> Atomic.get link_head) ~hdr_of:Fun.id
+  in
+  (* Writer prunes the chain. *)
+  Atomic.set link_head (Some n4);
+  S.retire writer { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
+  S.retire writer { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
+  S.flush writer;
+  (* Reader protects N3 (succeeds, same as above)... *)
+  ignore (S.read reader ~slot:1 ~load:(fun () -> Atomic.get link2) ~hdr_of:Fun.id);
+  (* ...but the SCOT check — "does the last safe node still point to the
+     first unsafe node?" — fails, forcing a restart BEFORE any dereference. *)
+  check "SCOT validation detects the unlink" false
+    (Atomic.get link_head == prev_next);
+  S.end_op reader;
+  S.end_op writer
+
+(* --- the real unsafe list under load --- *)
+
+let run_unsafe scheme ~seconds =
+  Harness.Runner.run
+    ~builder:(Harness.Instance.find_builder_exn "HListUnsafe")
+    ~scheme ~threads:8 ~range:16
+    ~mix:(Harness.Workload.mix ~read:20 ~insert:40 ~delete:40)
+    ~duration:seconds ~config:aggressive ~check:false ()
+
+let test_unsafe_list_faults_under_hp () =
+  (* The fault is a race; retry a few short rounds until it fires (it fires
+     within the first round in practice). *)
+  let rec attempt n =
+    if n = 0 then Alcotest.fail "unsafe list never faulted under HP"
+    else
+      let r = run_unsafe (Smr.Registry.find_exn "HP") ~seconds:1.0 in
+      if r.faults = 0 then attempt (n - 1)
+  in
+  attempt 10
+
+let test_unsafe_list_safe_under_ebr () =
+  let r = run_unsafe (Smr.Registry.find_exn "EBR") ~seconds:1.0 in
+  check "no faults under EBR" true (r.faults = 0)
+
+let test_unsafe_list_safe_under_nr () =
+  let r = run_unsafe (Smr.Registry.find_exn "NR") ~seconds:0.5 in
+  check "no faults under NR" true (r.faults = 0)
+
+let () =
+  Alcotest.run "unsafe_traversals"
+    [
+      ( "figure-2 deterministic",
+        [
+          Alcotest.test_case "plain HP faults" `Quick
+            test_fig2_deterministic_fault;
+          Alcotest.test_case "SCOT validation detects" `Quick
+            test_fig2_scot_validation_detects;
+        ] );
+      ( "unsafe list under load",
+        [
+          Alcotest.test_case "faults under HP" `Slow
+            test_unsafe_list_faults_under_hp;
+          Alcotest.test_case "safe under EBR" `Slow
+            test_unsafe_list_safe_under_ebr;
+          Alcotest.test_case "safe under NR" `Slow test_unsafe_list_safe_under_nr;
+        ] );
+    ]

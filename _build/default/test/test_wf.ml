@@ -1,0 +1,157 @@
+(* Wait-free traversal extension: unit tests for the helping protocol of
+   Figure 7 (tag encoding, round-robin amortised polling, Lemma 5's
+   at-most-one-publisher) and the generic battery on the wait-free list. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let builder = Harness.Instance.find_builder_exn "HListWF"
+
+(* --- protocol-level tests --- *)
+
+let test_request_and_peek () =
+  let wf = Scot.Wf_help.create ~threads:2 () in
+  let tag = Scot.Wf_help.request_help wf ~tid:0 ~key:42 in
+  check "pending after request" true
+    (Scot.Wf_help.peek wf ~helpee:0 ~tag = Scot.Wf_help.Pending);
+  Scot.Wf_help.publish wf ~helpee:0 ~tag ~result:true;
+  check "done with published value" true
+    (Scot.Wf_help.peek wf ~helpee:0 ~tag = Scot.Wf_help.Done true)
+
+(* Lemma 5: only the first publisher wins; stale publishers never replace a
+   newer value. *)
+let test_single_publisher () =
+  let wf = Scot.Wf_help.create ~threads:2 () in
+  let tag = Scot.Wf_help.request_help wf ~tid:0 ~key:1 in
+  Scot.Wf_help.publish wf ~helpee:0 ~tag ~result:true;
+  Scot.Wf_help.publish wf ~helpee:0 ~tag ~result:false;
+  check "first publisher wins" true
+    (Scot.Wf_help.peek wf ~helpee:0 ~tag = Scot.Wf_help.Done true)
+
+let test_stale_helper_fails_across_cycles () =
+  let wf = Scot.Wf_help.create ~threads:2 () in
+  let tag0 = Scot.Wf_help.request_help wf ~tid:0 ~key:1 in
+  (* The helpee received no help, eventually found the result itself and
+     started a new cycle. *)
+  Scot.Wf_help.publish wf ~helpee:0 ~tag:tag0 ~result:false;
+  let tag1 = Scot.Wf_help.request_help wf ~tid:0 ~key:2 in
+  check "tags strictly increase" true (tag1 > tag0);
+  (* A very stale helper for tag0 must not disturb cycle tag1. *)
+  Scot.Wf_help.publish wf ~helpee:0 ~tag:tag0 ~result:true;
+  check "new cycle still pending" true
+    (Scot.Wf_help.peek wf ~helpee:0 ~tag:tag1 = Scot.Wf_help.Pending);
+  check "old cycle is seen as abandoned by helpers" true
+    (Scot.Wf_help.peek wf ~helpee:0 ~tag:tag0 = Scot.Wf_help.Abandoned)
+
+let test_poll_amortisation () =
+  let delay = 8 in
+  let wf = Scot.Wf_help.create ~delay ~threads:3 () in
+  ignore (Scot.Wf_help.request_help wf ~tid:1 ~key:7);
+  (* The first delay-1 polls are amortised away. *)
+  for _ = 1 to delay - 1 do
+    check "amortised poll returns nothing" true
+      (Scot.Wf_help.poll wf ~tid:0 = None)
+  done;
+  (* Polls now scan round-robin: within the next few delays we must find
+     thread 1's request exactly once per full round. *)
+  let found = ref 0 in
+  for _ = 1 to 3 * delay do
+    match Scot.Wf_help.poll wf ~tid:0 with
+    | Some (key, _tag, helpee) ->
+        check_int "key" 7 key;
+        check_int "helpee" 1 helpee;
+        incr found
+    | None -> ()
+  done;
+  check "request found at least once" true (!found >= 1)
+
+let test_poll_skips_self_and_outputs () =
+  let wf = Scot.Wf_help.create ~delay:1 ~threads:2 () in
+  (* No requests: all polls return None. *)
+  for _ = 1 to 10 do
+    check "no spurious poll hits" true (Scot.Wf_help.poll wf ~tid:0 = None)
+  done;
+  (* A thread never helps itself. *)
+  ignore (Scot.Wf_help.request_help wf ~tid:0 ~key:3);
+  for _ = 1 to 10 do
+    check "self request skipped" true (Scot.Wf_help.poll wf ~tid:0 = None)
+  done
+
+(* Concurrent uniqueness: many domains racing to publish the same tag. *)
+let test_concurrent_publishers () =
+  let wf = Scot.Wf_help.create ~threads:8 () in
+  for round = 0 to 50 do
+    let tag = Scot.Wf_help.request_help wf ~tid:0 ~key:round in
+    let doms =
+      List.init 7 (fun i ->
+          Domain.spawn (fun () ->
+              Scot.Wf_help.publish wf ~helpee:0 ~tag ~result:(i mod 2 = 0)))
+    in
+    List.iter Domain.join doms;
+    match Scot.Wf_help.peek wf ~helpee:0 ~tag with
+    | Scot.Wf_help.Done _ -> ()
+    | _ -> Alcotest.fail "no result after concurrent publishes"
+  done
+
+(* --- end-to-end: slow path actually produces correct results --- *)
+
+module WL = Scot.Harris_list_wf.Make (Smr.Hp)
+
+(* Force the slow path by setting the fast-path restart budget to zero and
+   having a concurrent updater create churn; every search must still agree
+   with the key-partition expectation. *)
+let test_slow_path_correctness () =
+  let threads = 4 in
+  let smr = Smr.Hp.create ~threads ~slots:Scot.Harris_list_wf.slots_needed () in
+  let t = WL.create ~fast_restarts:0 ~help_delay:2 ~smr ~threads () in
+  let hs = Array.init threads (fun tid -> WL.handle t ~tid) in
+  (* Keys 0..31 are permanently present; 100..131 churn. *)
+  for k = 0 to 31 do
+    assert (WL.insert hs.(0) k)
+  done;
+  let stop = Atomic.make false in
+  let churner tid () =
+    let rng = Harness.Workload.Rng.create ~seed:(tid + 5) in
+    while not (Atomic.get stop) do
+      let k = 100 + Harness.Workload.Rng.int rng 32 in
+      if Harness.Workload.Rng.int rng 2 = 0 then ignore (WL.insert hs.(tid) k)
+      else ignore (WL.delete hs.(tid) k)
+    done
+  in
+  let searcher () =
+    for round = 0 to 200 do
+      let k = round mod 32 in
+      if not (WL.search hs.(3) k) then
+        Alcotest.failf "stable key %d not found on (slow) search" k
+    done
+  in
+  let doms = List.init 3 (fun tid -> Domain.spawn (churner tid)) in
+  searcher ();
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  WL.check_invariants t
+
+let () =
+  Alcotest.run "wait_free"
+    (Test_support.Ds_tests.full_suite builder
+    @ [
+        ( "protocol",
+          [
+            Alcotest.test_case "request/peek/publish" `Quick
+              test_request_and_peek;
+            Alcotest.test_case "single publisher (Lemma 5)" `Quick
+              test_single_publisher;
+            Alcotest.test_case "stale helpers fail across cycles" `Quick
+              test_stale_helper_fails_across_cycles;
+            Alcotest.test_case "poll amortisation" `Quick test_poll_amortisation;
+            Alcotest.test_case "poll skips self and outputs" `Quick
+              test_poll_skips_self_and_outputs;
+            Alcotest.test_case "concurrent publishers race" `Quick
+              test_concurrent_publishers;
+          ] );
+        ( "slow-path",
+          [
+            Alcotest.test_case "forced slow path stays correct" `Quick
+              test_slow_path_correctness;
+          ] );
+      ])
