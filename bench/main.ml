@@ -4,6 +4,9 @@
    figure measuring single-threaded operation cost of the structures that
    the experiment plots.
 
+   Flags:
+     --json PATH   write one machine-readable BENCH artifact covering every
+                   experiment run (schema: EXPERIMENTS.md)
    Environment knobs:
      SCOT_BENCH_FULL=1        full-length experiment runs (scotbench defaults)
      SCOT_BENCH_SKIP_MICRO=1  skip the Bechamel section
@@ -114,6 +117,24 @@ let run_micro () =
   Harness.Report.table ~header:[ "benchmark"; "ns/op"; "r^2" ] rows
 
 let () =
+  let json_path = ref None in
+  Arg.parse
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "PATH  write a machine-readable BENCH JSON artifact of all runs" );
+    ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench/main.exe [--json PATH]";
+  (* Fail on an unwritable --json path before hours of benchmarks run. *)
+  (match !json_path with
+  | None -> ()
+  | Some path -> (
+      match open_out_gen [ Open_wronly; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "bench: cannot write --json artifact: %s\n" msg;
+          exit 1));
   let full = Sys.getenv_opt "SCOT_BENCH_FULL" = Some "1" in
   let cfg =
     if full then Harness.Experiments.default_cfg
@@ -123,5 +144,14 @@ let () =
     "SCOT benchmark suite (%s configuration; cores available: %d)\n%!"
     (if full then "full" else "quick")
     (Domain.recommended_domain_count ());
-  Harness.Experiments.run_all cfg;
+  let results = Harness.Experiments.run_all cfg in
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      Harness.Report.write_bench
+        ~meta:(Harness.Experiments.cfg_meta cfg)
+        ~path
+        ~name:(if full then "bench_full" else "bench_quick")
+        results;
+      Printf.printf "wrote %s (%d runs)\n%!" path (List.length results));
   if Sys.getenv_opt "SCOT_BENCH_SKIP_MICRO" <> Some "1" then run_micro ()

@@ -5,7 +5,12 @@
      scotbench all --quick
      scotbench fig8 --range 512 --threads 1,2,4,8 --duration 2
      scotbench run --structure HList --scheme HP --threads 4 --range 10000
-*)
+     scotbench all --quick --json BENCH_all.json --json-dir results/
+
+   [--json PATH] writes one machine-readable BENCH artifact covering every
+   run of the invoked command (schema documented in EXPERIMENTS.md);
+   [--json-dir DIR] additionally drops one BENCH_<experiment>.json per
+   experiment, next to the [--csv-dir] CSVs. *)
 
 open Cmdliner
 
@@ -32,6 +37,18 @@ let csv_arg =
   Arg.(
     value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
 
+let json_dir_arg =
+  let doc = "Directory to write per-experiment BENCH_<name>.json artifacts into." in
+  Arg.(
+    value & opt (some string) None & info [ "json-dir" ] ~docv:"DIR" ~doc)
+
+let json_arg =
+  let doc =
+    "Write a single machine-readable BENCH JSON artifact covering every run \
+     of this command to $(docv) (schema: EXPERIMENTS.md)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
 let quick_arg =
   let doc = "Short runs with reduced parameters (smoke-level)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
@@ -46,7 +63,7 @@ let fig12_range_arg =
     & info [ "fig12-range" ] ~docv:"N" ~doc)
 
 let cfg_term =
-  let make threads duration repeats csv_dir quick fig12_range =
+  let make threads duration repeats csv_dir json_dir quick fig12_range =
     let base =
       if quick then Harness.Experiments.quick_cfg
       else Harness.Experiments.default_cfg
@@ -62,6 +79,7 @@ let cfg_term =
          else duration);
       repeats;
       csv_dir;
+      json_dir;
       fig12_range =
         (if
            quick
@@ -72,57 +90,86 @@ let cfg_term =
   in
   Term.(
     const make $ threads_arg $ duration_arg $ repeats_arg $ csv_arg
-    $ quick_arg $ fig12_range_arg)
+    $ json_dir_arg $ quick_arg $ fig12_range_arg)
 
 let range_arg ~default =
   let doc = "Key range." in
   Arg.(value & opt int default & info [ "range" ] ~docv:"N" ~doc)
 
+(* Fail on an unwritable [--json] path BEFORE the benchmarks run: a raw
+   Sys_error after minutes of runs would throw all results away. *)
+let preflight_json json =
+  match json with
+  | None -> ()
+  | Some path -> (
+      match open_out_gen [ Open_wronly; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "scotbench: cannot write --json artifact: %s\n" msg;
+          exit 1)
+
+(* Write the combined BENCH artifact when [--json] was given. *)
+let finish ~name cfg json results =
+  match json with
+  | None -> ()
+  | Some path ->
+      Harness.Report.write_bench
+        ~meta:(Harness.Experiments.cfg_meta cfg)
+        ~path ~name results;
+      Printf.printf "wrote %s (%d runs)\n%!" path (List.length results)
+
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
-let fig8_cmd =
-  cmd_of "fig8" "List throughput (HMList vs HList), Figure 8"
+(* A command whose body yields [Runner.result list] and supports [--json]. *)
+let bench_cmd cmd_name doc body =
+  cmd_of cmd_name doc
     Term.(
-      const (fun cfg range -> ignore (Harness.Experiments.fig8 cfg ~range))
-      $ cfg_term
+      const (fun cfg json results_of ->
+          preflight_json json;
+          finish ~name:cmd_name cfg json (results_of cfg))
+      $ cfg_term $ json_arg $ body)
+
+let fig8_cmd =
+  bench_cmd "fig8" "List throughput (HMList vs HList), Figure 8"
+    Term.(
+      const (fun range cfg -> Harness.Experiments.fig8 cfg ~range)
       $ range_arg ~default:512)
 
 let fig9_cmd =
-  cmd_of "fig9" "NMTree throughput, Figure 9"
+  bench_cmd "fig9" "NMTree throughput, Figure 9"
     Term.(
-      const (fun cfg range -> ignore (Harness.Experiments.fig9 cfg ~range))
-      $ cfg_term
+      const (fun range cfg -> Harness.Experiments.fig9 cfg ~range)
       $ range_arg ~default:128)
 
 let fig10_cmd =
-  cmd_of "fig10" "List memory overhead, Figure 10 (reruns Figure 8's runs)"
+  bench_cmd "fig10" "List memory overhead, Figure 10 (reruns Figure 8's runs)"
     Term.(
-      const (fun cfg range ->
+      const (fun range cfg ->
           let results = Harness.Experiments.fig8 cfg ~range in
           Harness.Experiments.memory_table
             ~title:
               (Printf.sprintf
                  "Figure 10 (range %d): list avg unreclaimed objects" range)
-            results)
-      $ cfg_term
+            results;
+          results)
       $ range_arg ~default:512)
 
 let fig11_cmd =
-  cmd_of "fig11" "NMTree memory overhead, Figure 11 (reruns Figure 9's runs)"
+  bench_cmd "fig11" "NMTree memory overhead, Figure 11 (reruns Figure 9's runs)"
     Term.(
-      const (fun cfg range ->
+      const (fun range cfg ->
           let results = Harness.Experiments.fig9 cfg ~range in
           Harness.Experiments.memory_table
             ~title:
               (Printf.sprintf
                  "Figure 11 (range %d): NMTree avg unreclaimed objects" range)
-            results)
-      $ cfg_term
+            results;
+          results)
       $ range_arg ~default:128)
 
 let fig12_cmd =
-  cmd_of "fig12" "NMTree at cache-exceeding key range, Figure 12"
-    Term.(const (fun cfg -> ignore (Harness.Experiments.fig12 cfg)) $ cfg_term)
+  bench_cmd "fig12" "NMTree at cache-exceeding key range, Figure 12"
+    Term.(const (fun cfg -> Harness.Experiments.fig12 cfg))
 
 let table1_cmd =
   cmd_of "table1" "SMR-compatibility matrix, Table 1"
@@ -134,20 +181,16 @@ let table1_cmd =
       $ cfg_term)
 
 let table2_cmd =
-  cmd_of "table2" "Restart statistics under HP, Table 2"
-    Term.(const (fun cfg -> ignore (Harness.Experiments.table2 cfg)) $ cfg_term)
+  bench_cmd "table2" "Restart statistics under HP, Table 2"
+    Term.(const (fun cfg -> Harness.Experiments.table2 cfg))
 
 let ablation_recovery_cmd =
-  cmd_of "ablation-recovery" "Recovery optimisation on/off (SS 3.2.1)"
-    Term.(
-      const (fun cfg -> ignore (Harness.Experiments.ablation_recovery cfg))
-      $ cfg_term)
+  bench_cmd "ablation-recovery" "Recovery optimisation on/off (SS 3.2.1)"
+    Term.(const (fun cfg -> Harness.Experiments.ablation_recovery cfg))
 
 let ablation_wf_cmd =
-  cmd_of "ablation-wf" "Wait-free vs lock-free traversals (SS 3.4)"
-    Term.(
-      const (fun cfg -> ignore (Harness.Experiments.ablation_wf cfg))
-      $ cfg_term)
+  bench_cmd "ablation-wf" "Wait-free vs lock-free traversals (SS 3.4)"
+    Term.(const (fun cfg -> Harness.Experiments.ablation_wf cfg))
 
 let stall_cmd =
   cmd_of "stall" "Stalled-thread robustness demonstration"
@@ -159,18 +202,16 @@ let stall_cmd =
       $ cfg_term)
 
 let fig_skiplist_cmd =
-  cmd_of "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
-    Term.(
-      const (fun cfg -> ignore (Harness.Experiments.fig_skiplist cfg))
-      $ cfg_term)
+  bench_cmd "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
+    Term.(const (fun cfg -> Harness.Experiments.fig_skiplist cfg))
 
 let mixes_cmd =
-  cmd_of "mixes" "Read-dominated and write-only workload mixes (SS 5)"
-    Term.(const (fun cfg -> ignore (Harness.Experiments.mixes cfg)) $ cfg_term)
+  bench_cmd "mixes" "Read-dominated and write-only workload mixes (SS 5)"
+    Term.(const (fun cfg -> Harness.Experiments.mixes cfg))
 
 let all_cmd =
-  cmd_of "all" "Run every experiment in paper order"
-    Term.(const Harness.Experiments.run_all $ cfg_term)
+  bench_cmd "all" "Run every experiment in paper order"
+    Term.(const (fun cfg -> Harness.Experiments.run_all cfg))
 
 let run_cmd =
   let structure =
@@ -185,29 +226,33 @@ let run_cmd =
       & info [ "scheme" ] ~docv:"NAME"
           ~doc:"SMR scheme (NR, EBR, HP, HPopt, HE, IBR, HLN).")
   in
-  let threads =
-    Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Threads.")
-  in
   let mix =
     Arg.(
       value & opt (t3 ~sep:'/' int int int) (50, 25, 25)
       & info [ "mix" ] ~docv:"R/I/D"
           ~doc:"Percent reads/inserts/deletes, e.g. 90/5/5.")
   in
-  cmd_of "run" "One custom benchmark run"
+  (* Thread counts come from the shared [-t N,N,...] list: one run per
+     entry (the old separate [-t] int flag collided with it and crashed
+     cmdliner as soon as the subcommand was invoked). *)
+  bench_cmd "run" "One custom benchmark run per requested thread count"
     Term.(
-      const (fun cfg structure scheme threads range (r, i, d) ->
-          let result =
-            Harness.Runner.run
-              ~mix:(Harness.Workload.mix ~read:r ~insert:i ~delete:d)
-              ~builder:(Harness.Instance.find_builder_exn structure)
-              ~scheme:(Smr.Registry.find_exn scheme)
-              ~threads ~range
-              ~duration:cfg.Harness.Experiments.duration ()
+      const (fun structure scheme range (r, i, d) cfg ->
+          let results =
+            List.map
+              (fun threads ->
+                Harness.Runner.run
+                  ~mix:(Harness.Workload.mix ~read:r ~insert:i ~delete:d)
+                  ~builder:(Harness.Instance.find_builder_exn structure)
+                  ~scheme:(Smr.Registry.find_exn scheme)
+                  ~threads ~range
+                  ~duration:cfg.Harness.Experiments.duration ())
+              cfg.Harness.Experiments.threads
           in
           Harness.Report.table ~header:Harness.Report.result_header
-            [ Harness.Report.result_row result ])
-      $ cfg_term $ structure $ scheme $ threads
+            (List.map Harness.Report.result_row results);
+          results)
+      $ structure $ scheme
       $ range_arg ~default:10_000
       $ mix)
 

@@ -10,6 +10,7 @@ type cfg = {
   duration : float; (* seconds per run; paper: 10 *)
   repeats : int; (* paper: 5 (median); default 1 *)
   csv_dir : string option;
+  json_dir : string option; (* per-experiment BENCH_<name>.json artifacts *)
   fig12_range : int; (* paper: 50,000,000; scaled default 1,000,000 *)
 }
 
@@ -19,6 +20,7 @@ let default_cfg =
     duration = 2.0;
     repeats = 1;
     csv_dir = None;
+    json_dir = None;
     fig12_range = 1_000_000;
   }
 
@@ -28,16 +30,26 @@ let quick_cfg =
     duration = 0.4;
     repeats = 1;
     csv_dir = None;
+    json_dir = None;
     fig12_range = 100_000;
   }
 
 let all_schemes = Smr.Registry.all
 
+(* Median by throughput.  With an even number of repeats there is no middle
+   element; taking the upper-middle (as an earlier version did) biases the
+   reported median upward, so we consistently take the lower-middle run —
+   its fields stay those of one coherent real run, unlike averaging. *)
 let median_result (rs : Runner.result list) =
-  let sorted =
-    List.sort (fun (a : Runner.result) b -> compare a.throughput b.throughput) rs
-  in
-  List.nth sorted (List.length sorted / 2)
+  match rs with
+  | [] -> invalid_arg "Experiments.median_result: empty result list"
+  | _ ->
+      let sorted =
+        List.sort
+          (fun (a : Runner.result) b -> compare a.throughput b.throughput)
+          rs
+      in
+      List.nth sorted ((List.length sorted - 1) / 2)
 
 let run_one cfg ~builder ~scheme ~threads ~range ?mix () =
   let results =
@@ -47,15 +59,46 @@ let run_one cfg ~builder ~scheme ~threads ~range ?mix () =
   in
   median_result results
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
 let maybe_csv cfg ~name results =
   match cfg.csv_dir with
   | None -> ()
   | Some dir ->
-      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      mkdir_p dir;
       Report.write_csv
         ~path:(Filename.concat dir (name ^ ".csv"))
         ~header:Report.result_header
         (List.map Report.result_csv_row results)
+
+let cfg_meta cfg =
+  [
+    ( "config",
+      Json.Obj
+        [
+          ("threads", Json.List (List.map (fun t -> Json.Int t) cfg.threads));
+          ("duration", Json.Float cfg.duration);
+          ("repeats", Json.Int cfg.repeats);
+          ("fig12_range", Json.Int cfg.fig12_range);
+        ] );
+  ]
+
+let maybe_json cfg ~name results =
+  match cfg.json_dir with
+  | None -> ()
+  | Some dir ->
+      mkdir_p dir;
+      Report.write_bench ~meta:(cfg_meta cfg)
+        ~path:(Filename.concat dir ("BENCH_" ^ name ^ ".json"))
+        ~name results
+
+let maybe_artifacts cfg ~name results =
+  maybe_csv cfg ~name results;
+  maybe_json cfg ~name results
 
 (* Generic sweep: structures x schemes x thread counts at one key range. *)
 let sweep cfg ~name ~title ~structures ~schemes ~range ?mix () =
@@ -75,7 +118,7 @@ let sweep cfg ~name ~title ~structures ~schemes ~range ?mix () =
   in
   Report.table ~header:Report.result_header
     (List.map Report.result_row results);
-  maybe_csv cfg ~name results;
+  maybe_artifacts cfg ~name results;
   results
 
 (* Figure 8: list throughput, 50r/25i/25d, ranges 512 and 10,000. *)
@@ -183,7 +226,7 @@ let table2 cfg =
              /. float_of_int (max 1 r.ops));
          ])
        results);
-  maybe_csv cfg ~name:"table2" results;
+  maybe_artifacts cfg ~name:"table2" results;
   results
 
 (* Table 1: SMR-compatibility matrix, demonstrated empirically.  For each
@@ -304,7 +347,8 @@ let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) () =
 let fig_skiplist cfg =
   sweep cfg ~name:"fig_skiplist"
     ~title:
-      "Extension: SkipList (SCOT optimistic) vs SkipList-HS (eager searches),        range 512"
+      "Extension: SkipList (SCOT optimistic) vs SkipList-HS (eager \
+       searches), range 512"
     ~structures:[ "SkipList"; "SkipList-HS" ]
     ~schemes:all_schemes ~range:512 ()
 
@@ -324,7 +368,8 @@ let mixes cfg =
       ("50i-50d", Workload.write_only);
     ]
 
-(* Everything, in paper order. *)
+(* Everything, in paper order; returns every [Runner.result] so the
+   binaries can emit a combined BENCH artifact. *)
 let run_all cfg =
   ignore (table1 ~duration:(cfg.duration /. 2.) ());
   let fig8a = fig8 cfg ~range:512 in
@@ -339,17 +384,23 @@ let run_all cfg =
     fig9a;
   memory_table
     ~title:"Figure 11b (range 100,000): NMTree avg unreclaimed objects" fig9b;
-  ignore (fig12 cfg);
+  let fig12_results = fig12 cfg in
   (* Restart statistics need enough contention time to be meaningful. *)
-  ignore
-    (table2
-       {
-         cfg with
-         duration = Float.max cfg.duration 2.0;
-         threads = List.sort_uniq compare (cfg.threads @ [ 8 ]);
-       });
-  ignore (ablation_recovery cfg);
-  ignore (ablation_wf cfg);
-  ignore (fig_skiplist cfg);
-  ignore (mixes cfg);
-  ignore (stall ~duration:(cfg.duration /. 2.) ())
+  let table2_results =
+    table2
+      {
+        cfg with
+        duration = Float.max cfg.duration 2.0;
+        threads = List.sort_uniq compare (cfg.threads @ [ 8 ]);
+      }
+  in
+  let abl_rec = ablation_recovery cfg in
+  let abl_wf = ablation_wf cfg in
+  let skiplist_results = fig_skiplist cfg in
+  let mix_results = mixes cfg in
+  ignore (stall ~duration:(cfg.duration /. 2.) ());
+  List.concat
+    [
+      fig8a; fig8b; fig9a; fig9b; fig12_results; table2_results; abl_rec;
+      abl_wf; skiplist_results; mix_results;
+    ]

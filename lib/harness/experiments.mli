@@ -8,11 +8,21 @@ type cfg = {
   duration : float; (** seconds per run; paper: 10 *)
   repeats : int; (** paper: 5, median reported *)
   csv_dir : string option;
+  json_dir : string option;
+      (** when set, every experiment drops a [BENCH_<name>.json] there *)
   fig12_range : int; (** paper: 50,000,000; scaled default 1,000,000 *)
 }
 
 val default_cfg : cfg
 val quick_cfg : cfg
+
+val median_result : Runner.result list -> Runner.result
+(** The run with median throughput; for an even count the lower-middle run
+    is taken (consistently), avoiding the upward bias of upper-middle.
+    Raises [Invalid_argument] on an empty list. *)
+
+val cfg_meta : cfg -> (string * Json.t) list
+(** The ["config"] metadata pair embedded in BENCH artifacts. *)
 
 (** Figure 8: HMList vs HList throughput at one key range (512 / 10,000). *)
 val fig8 : cfg -> range:int -> Runner.result list
@@ -51,8 +61,10 @@ val mixes : cfg -> Runner.result list
 val stall :
   ?threads:int -> ?duration:float -> ?range:int -> unit -> string list list
 
-(** Run everything in paper order. *)
-val run_all : cfg -> unit
+(** Run everything in paper order; returns every [Runner.result] (the
+    string-row experiments, Table 1 and the stall demo, print only) so
+    callers can emit a combined BENCH artifact. *)
+val run_all : cfg -> Runner.result list
 
 (** Internals exposed for the CLI. *)
 

@@ -14,6 +14,8 @@ type t = {
   quiesce : tid:int -> unit; (* force a reclamation pass on that thread *)
   restarts : unit -> int;
   unreclaimed : unit -> int;
+  scheme_stats : unit -> (string * int) list;
+      (* scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
   (* Register an extra SMR participant for [tid] and park it inside an
@@ -46,6 +48,7 @@ let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
     restarts = (fun () -> L.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
@@ -69,6 +72,7 @@ let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
     restarts = (fun () -> L.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
@@ -94,6 +98,7 @@ let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
     restarts = (fun () -> L.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
@@ -119,6 +124,7 @@ let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
     restarts = (fun () -> L.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> ());
@@ -142,6 +148,7 @@ let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
     search = (fun ~tid k -> T.search handles.(tid) k);
     quiesce = (fun ~tid -> T.quiesce handles.(tid));
     restarts = (fun () -> T.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> T.unreclaimed t);
     size = (fun () -> T.size t);
     check_invariants = (fun () -> T.check_invariants t);
@@ -166,6 +173,7 @@ let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     search = (fun ~tid k -> SL.search handles.(tid) k);
     quiesce = (fun ~tid -> SL.quiesce handles.(tid));
     restarts = (fun () -> SL.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> SL.unreclaimed t);
     size = (fun () -> SL.size t);
     check_invariants = (fun () -> SL.check_invariants t);
@@ -189,6 +197,7 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
     search = (fun ~tid k -> M.search handles.(tid) k);
     quiesce = (fun ~tid -> M.quiesce handles.(tid));
     restarts = (fun () -> M.restarts t);
+    scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> S.unreclaimed smr);
     size = (fun () -> M.size t);
     check_invariants = (fun () -> M.check_invariants t);

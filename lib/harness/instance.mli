@@ -10,6 +10,8 @@ type t = {
   quiesce : tid:int -> unit; (** force a reclamation pass on that thread *)
   restarts : unit -> int;
   unreclaimed : unit -> int;
+  scheme_stats : unit -> (string * int) list;
+      (** scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
   stall_begin : tid:int -> unit;

@@ -1,0 +1,36 @@
+(** Minimal dependency-free JSON for benchmark artifacts (the container has
+    no yojson).  The printer always emits valid JSON (non-finite floats
+    become [null]); the parser covers the printer's output plus ordinary
+    whitespace — enough for round-trip tests and external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact, single-line. *)
+
+val to_string_pretty : t -> string
+(** Two-space indentation, for diffable BENCH files. *)
+
+val write_file : path:string -> t -> unit
+(** Pretty-printed, trailing newline. *)
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+(** Accessors for tests and validators. *)
+
+val member : string -> t -> t option
+val member_exn : string -> t -> t
+val to_list : t -> t list option
+
+val number : t -> float option
+(** [Int] and [Float] both read as a float. *)

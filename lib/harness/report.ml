@@ -29,8 +29,21 @@ let table ?(out = stdout) ~header rows =
   p (hline widths);
   flush out
 
+(* Collapse interior whitespace runs (including newlines from wrapped
+   string literals) to single spaces, defensively: titles come from
+   multi-line [Printf] format strings and have shipped with embedded
+   run-on blanks before. *)
+let normalise_title s =
+  String.concat " "
+    (List.filter
+       (fun w -> w <> "")
+       (String.split_on_char ' '
+          (String.map
+             (function ' ' | '\t' | '\n' | '\r' -> ' ' | c -> c)
+             s)))
+
 let section ?(out = stdout) title =
-  output_string out (Printf.sprintf "\n=== %s ===\n" title);
+  output_string out (Printf.sprintf "\n=== %s ===\n" (normalise_title title));
   flush out
 
 (* Human-friendly formatting of large numbers (ops/s etc.). *)
@@ -88,3 +101,75 @@ let result_csv_row (r : Runner.result) =
     string_of_int r.max_unreclaimed;
     string_of_int r.faults;
   ]
+
+(* --- JSON emission (the machine-readable side of every report) --- *)
+
+let mix_json (m : Workload.mix) =
+  Json.Obj
+    [
+      ("read_pct", Json.Int m.read_pct);
+      ("insert_pct", Json.Int m.insert_pct);
+      ("delete_pct", Json.Int m.delete_pct);
+    ]
+
+let result_json (r : Runner.result) =
+  Json.Obj
+    [
+      ("structure", Json.String r.structure);
+      ("scheme", Json.String r.scheme);
+      ("threads", Json.Int r.threads);
+      ("range", Json.Int r.range);
+      ("mix", mix_json r.mix);
+      ("ops", Json.Int r.ops);
+      ("duration", Json.Float r.duration);
+      ("wall_total", Json.Float r.wall_total);
+      ("throughput", Json.Float r.throughput);
+      ("restarts", Json.Int r.restarts);
+      ("avg_unreclaimed", Json.Float r.avg_unreclaimed);
+      ("max_unreclaimed", Json.Int r.max_unreclaimed);
+      ("faults", Json.Int r.faults);
+      ("final_size", Json.Int r.final_size);
+      ("op_stats", Json.List (List.map Metrics.op_stats_json r.op_stats));
+      ( "mem_series",
+        Json.List (List.map Metrics.mem_sample_json r.mem_series) );
+      ( "scheme_stats",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.scheme_stats) );
+    ]
+
+(* Current commit, for run provenance in BENCH files. *)
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let rev = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let schema_version = 1
+
+(* The single-document benchmark artifact: run metadata plus one entry per
+   [Runner.result].  This is the BENCH_<name>.json format EXPERIMENTS.md
+   documents; bump [schema_version] on breaking changes. *)
+let bench_json ?(meta = []) ~name results =
+  Json.Obj
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("name", Json.String name);
+       ("created_unix", Json.Float (Unix.gettimeofday ()));
+       ("git_rev", Json.String (git_rev ()));
+       ( "host",
+         Json.Obj
+           [
+             ("cores", Json.Int (Domain.recommended_domain_count ()));
+             ("ocaml", Json.String Sys.ocaml_version);
+             ("word_size", Json.Int Sys.word_size);
+           ] );
+     ]
+    @ meta
+    @ [ ("runs", Json.List (List.map result_json results)) ])
+
+let write_bench ?meta ~path ~name results =
+  Json.write_file ~path (bench_json ?meta ~name results)

@@ -5,6 +5,9 @@
 val table : ?out:out_channel -> header:string list -> string list list -> unit
 
 val section : ?out:out_channel -> string -> unit
+(** Prints a section banner.  Interior whitespace runs in the title
+    (including newlines from wrapped format strings) are collapsed to
+    single spaces. *)
 
 (** Human formatting of large magnitudes: [1.5e9 -> "1.50G"],
     [74992. -> "75.0k"]. *)
@@ -21,3 +24,32 @@ val result_row : Runner.result -> string list
 
 val result_csv_row : Runner.result -> string list
 (** Raw numbers for post-processing. *)
+
+(** {2 JSON emission} *)
+
+val mix_json : Workload.mix -> Json.t
+
+val result_json : Runner.result -> Json.t
+(** One run: identity, mix, throughput, latency percentiles per op kind,
+    the timestamped unreclaimed series, and scheme counters. *)
+
+val git_rev : unit -> string
+(** Short commit hash of the working tree, or ["unknown"]. *)
+
+val schema_version : int
+(** Version stamped into every BENCH document; bumped on breaking
+    changes to the JSON layout. *)
+
+val bench_json :
+  ?meta:(string * Json.t) list -> name:string -> Runner.result list -> Json.t
+(** The single-document benchmark artifact: [schema_version], [name],
+    [created_unix], [git_rev], [host], any extra [meta] pairs, and a
+    ["runs"] array of {!result_json} entries. *)
+
+val write_bench :
+  ?meta:(string * Json.t) list ->
+  path:string ->
+  name:string ->
+  Runner.result list ->
+  unit
+(** Pretty-printed {!bench_json} written to [path]. *)

@@ -4,7 +4,14 @@
    of the key range, release all worker domains at once, run the op mix for
    a fixed wall-clock duration, then stop and aggregate.  While workers run,
    the coordinating domain samples the number of retired-but-unreclaimed
-   objects every [sample_every] seconds (Figures 10-12).
+   objects every [sample_every] seconds, keeping the timestamp of each
+   sample (the time axis of Figures 10-12).
+
+   Timing: [duration] (the throughput denominator) is the measurement
+   window, from releasing the workers to the instant the stop flag is
+   raised.  [wall_total] additionally includes [Domain.join] teardown and
+   the post-stop drain; using it as the denominator — as an earlier version
+   did — deflates throughput by worker-teardown latency.
 
    Note on scale: the evaluation host of this reproduction exposes a single
    core, so domains interleave preemptively instead of running in parallel;
@@ -15,12 +22,17 @@ type result = {
   scheme : string;
   threads : int;
   range : int;
+  mix : Workload.mix;
   ops : int;
-  duration : float;
+  duration : float; (* measurement window: release -> stop flag *)
+  wall_total : float; (* full run including Domain.join teardown *)
   throughput : float; (* ops per second, all threads *)
   restarts : int;
   avg_unreclaimed : float;
   max_unreclaimed : int;
+  mem_series : Metrics.mem_sample list; (* timestamped, chronological *)
+  op_stats : Metrics.op_stats list; (* per-kind counters and latencies *)
+  scheme_stats : (string * int) list; (* SMR counters (epoch/era, limbo) *)
   faults : int; (* simulated use-after-free events (unsafe variants only) *)
   final_size : int;
 }
@@ -29,8 +41,8 @@ let default_sample_every = 0.01
 
 let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
-    ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
-    ~range ~duration () =
+    ?(measure_latency = true) ~(builder : Instance.builder)
+    ~(scheme : Smr.Registry.scheme) ~threads ~range ~duration () =
   let inst = builder.build scheme ~threads ?config () in
   if range >= inst.max_key then
     invalid_arg "Runner.run: key range exceeds the structure's key space";
@@ -42,8 +54,21 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   let stop = Atomic.make false in
   let ops_done = Array.make threads 0 in
   let faults = Array.make threads 0 in
+  let recorders = Array.init threads (fun _ -> Metrics.create_recorder ()) in
   let worker tid () =
     let rng = Workload.Rng.create ~seed:(seed + (31 * (tid + 1))) in
+    let recorder = recorders.(tid) in
+    let exec kind key =
+      match (kind : Workload.op) with
+      | Workload.Search -> inst.search ~tid key
+      | Workload.Insert -> inst.insert ~tid key
+      | Workload.Delete -> inst.delete ~tid key
+    in
+    let kind_of = function
+      | Workload.Search -> Metrics.Search
+      | Workload.Insert -> Metrics.Insert
+      | Workload.Delete -> Metrics.Delete
+    in
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
@@ -51,10 +76,18 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     (try
        while not (Atomic.get stop) do
          let key = Workload.Rng.int rng range in
-         (match Workload.op_for rng mix with
-         | Workload.Search -> ignore (inst.search ~tid key)
-         | Workload.Insert -> ignore (inst.insert ~tid key)
-         | Workload.Delete -> ignore (inst.delete ~tid key));
+         let op = Workload.op_for rng mix in
+         (if measure_latency then begin
+            let t0 = Unix.gettimeofday () in
+            let hit = exec op key in
+            let ns =
+              int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+            in
+            Metrics.observe recorder (kind_of op) ~hit ~ns
+          end
+          else
+            let hit = exec op key in
+            Metrics.count recorder (kind_of op) ~hit);
          incr count
        done
      with Memory.Fault.Use_after_free _ ->
@@ -70,36 +103,55 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     let now = Unix.gettimeofday () in
     if now -. t0 < duration then begin
       ignore (Unix.select [] [] [] sample_every);
-      samples := inst.unreclaimed () :: !samples;
+      samples :=
+        {
+          Metrics.t = Unix.gettimeofday () -. t0;
+          unreclaimed = inst.unreclaimed ();
+        }
+        :: !samples;
       sample_loop ()
     end
   in
   sample_loop ();
   Atomic.set stop true;
-  List.iter Domain.join domains;
+  (* The throughput denominator ends here: joins and the post-stop drain
+     below are teardown, not measured work. *)
   let elapsed = Unix.gettimeofday () -. t0 in
+  List.iter Domain.join domains;
+  let wall_total = Unix.gettimeofday () -. t0 in
   (* Post-run reclamation flush so pool stats are stable, then validate. *)
   for tid = 0 to threads - 1 do
     inst.quiesce ~tid
   done;
   let total_faults = Array.fold_left ( + ) 0 faults in
   if check && total_faults = 0 then inst.check_invariants ();
-  let samples = !samples in
-  let n_samples = max 1 (List.length samples) in
-  let sum_unr = List.fold_left ( + ) 0 samples in
-  let max_unr = List.fold_left max 0 samples in
+  let mem_series = List.rev !samples in
+  let n_samples = max 1 (List.length mem_series) in
+  let sum_unr =
+    List.fold_left (fun acc (s : Metrics.mem_sample) -> acc + s.unreclaimed)
+      0 mem_series
+  in
+  let max_unr =
+    List.fold_left (fun acc (s : Metrics.mem_sample) -> max acc s.unreclaimed)
+      0 mem_series
+  in
   let ops = Array.fold_left ( + ) 0 ops_done in
   {
     structure = inst.structure;
     scheme = inst.scheme;
     threads;
     range;
+    mix;
     ops;
     duration = elapsed;
+    wall_total;
     throughput = float_of_int ops /. elapsed;
     restarts = inst.restarts ();
     avg_unreclaimed = float_of_int sum_unr /. float_of_int n_samples;
     max_unreclaimed = max_unr;
+    mem_series;
+    op_stats = Metrics.merge recorders;
+    scheme_stats = inst.scheme_stats ();
     faults = total_faults;
     final_size = (if total_faults = 0 then inst.size () else -1);
   }

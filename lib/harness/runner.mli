@@ -1,21 +1,32 @@
 (** Timed multi-domain benchmark runs: prefill 50% of the key range,
     release all worker domains, run the op mix for a wall-clock duration
-    while sampling the unreclaimed-object gauge, then stop, quiesce and
-    validate. *)
+    while sampling the unreclaimed-object gauge (with timestamps), then
+    stop, quiesce and validate. *)
 
 type result = {
   structure : string;
   scheme : string;
   threads : int;
   range : int;
+  mix : Workload.mix;
   ops : int;
-  duration : float; (* actual elapsed seconds *)
-  throughput : float; (* ops per second, all threads *)
+  duration : float;
+      (** measurement window: worker release to the stop flag — the
+          throughput denominator *)
+  wall_total : float;
+      (** full run including [Domain.join] teardown and post-stop drain *)
+  throughput : float; (** ops per second, all threads *)
   restarts : int;
-  avg_unreclaimed : float; (* mean of the periodic samples (Figs 10-12) *)
+  avg_unreclaimed : float; (** mean of the periodic samples (Figs 10-12) *)
   max_unreclaimed : int;
-  faults : int; (* simulated use-after-free events (unsafe variants) *)
-  final_size : int; (* -1 when the structure faulted *)
+  mem_series : Metrics.mem_sample list;
+      (** the timestamped samples, chronological *)
+  op_stats : Metrics.op_stats list;
+      (** per-kind hit/miss counters and latency percentiles *)
+  scheme_stats : (string * int) list;
+      (** SMR-scheme counters (epoch/era, limbo depth, ...) at run end *)
+  faults : int; (** simulated use-after-free events (unsafe variants) *)
+  final_size : int; (** -1 when the structure faulted *)
 }
 
 val default_sample_every : float
@@ -23,13 +34,17 @@ val default_sample_every : float
 (** [run ~builder ~scheme ~threads ~range ~duration ()] executes one
     benchmark.  [mix] defaults to the paper's 50r/25i/25d; [config] is the
     SMR calibration; [check] (default true) verifies structure invariants
-    after a fault-free run; [sample_every] is the memory-gauge period. *)
+    after a fault-free run; [sample_every] is the memory-gauge period;
+    [measure_latency] (default true) times every operation for the latency
+    histograms — disable it to remove the two clock reads per op when
+    comparing raw throughput against pre-metrics builds. *)
 val run :
   ?mix:Workload.mix ->
   ?seed:int ->
   ?config:Smr.Smr_intf.config ->
   ?sample_every:float ->
   ?check:bool ->
+  ?measure_latency:bool ->
   builder:Instance.builder ->
   scheme:Smr.Registry.scheme ->
   threads:int ->

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json benchmark artifact against the schema
+documented in EXPERIMENTS.md ("Machine-readable output").
+
+Usage: scripts/validate_bench.py BENCH_file.json [...]
+
+Exits non-zero with a message on the first violation.  Kept in sync with
+Harness.Report.schema_version (currently 1).
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+RUN_KEYS = {
+    "structure": str,
+    "scheme": str,
+    "threads": int,
+    "range": int,
+    "mix": dict,
+    "ops": int,
+    "duration": (int, float),
+    "wall_total": (int, float),
+    "throughput": (int, float),
+    "restarts": int,
+    "avg_unreclaimed": (int, float),
+    "max_unreclaimed": int,
+    "faults": int,
+    "final_size": int,
+    "op_stats": list,
+    "mem_series": list,
+    "scheme_stats": dict,
+}
+
+OP_STAT_KEYS = {
+    "op": str,
+    "hits": int,
+    "misses": int,
+    "count": int,
+    "sampled": int,
+    "p50_ns": (int, float),
+    "p90_ns": (int, float),
+    "p99_ns": (int, float),
+    "max_ns": (int, float),
+    "hist": list,
+}
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: INVALID: {msg}")
+
+
+def require(path, obj, keys, where):
+    for key, typ in keys.items():
+        if key not in obj:
+            fail(path, f"{where} missing key {key!r}")
+        if not isinstance(obj[key], typ):
+            fail(path, f"{where}.{key} has type {type(obj[key]).__name__}")
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(path, f"schema_version {doc.get('schema_version')!r}, "
+                   f"expected {SCHEMA_VERSION}")
+    for key in ("name", "created_unix", "git_rev", "host", "runs"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    runs = doc["runs"]
+    if not isinstance(runs, list) or not runs:
+        fail(path, "runs must be a non-empty array")
+
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        require(path, run, RUN_KEYS, where)
+        mix = run["mix"]
+        if sum(mix.get(k, -1) for k in
+               ("read_pct", "insert_pct", "delete_pct")) != 100:
+            fail(path, f"{where}.mix percentages do not sum to 100")
+        if len(run["op_stats"]) != 3:
+            fail(path, f"{where}.op_stats must have one entry per op kind")
+        for j, stat in enumerate(run["op_stats"]):
+            require(path, stat, OP_STAT_KEYS, f"{where}.op_stats[{j}]")
+            if stat["op"] not in ("search", "insert", "delete"):
+                fail(path, f"{where}.op_stats[{j}].op = {stat['op']!r}")
+            if stat["count"] != stat["hits"] + stat["misses"]:
+                fail(path, f"{where}.op_stats[{j}] hits+misses != count")
+        if sum(s["count"] for s in run["op_stats"]) != run["ops"]:
+            fail(path, f"{where} op_stats counts do not sum to ops")
+        last_t = -1.0
+        for j, sample in enumerate(run["mem_series"]):
+            if "t" not in sample or "unreclaimed" not in sample:
+                fail(path, f"{where}.mem_series[{j}] missing t/unreclaimed")
+            if sample["t"] < last_t:
+                fail(path, f"{where}.mem_series[{j}] timestamps not ordered")
+            last_t = sample["t"]
+
+    print(f"{path}: OK ({len(runs)} runs, schema v{SCHEMA_VERSION})")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for arg in sys.argv[1:]:
+        validate(arg)
