@@ -1,0 +1,322 @@
+(* SMR hot-path microbenchmarks (EXPERIMENTS.md "Hot-path costs").
+
+   Three benches, all against the public scheme API only, so the same
+   binary measures any internal representation of the runtime:
+
+   - retire        T retiring domains in an alloc/retire/reclaim loop:
+                   the per-operation cost the paper's Figures 6-9 budget.
+   - retire-stall  same, but domain 0 is a slow reader that keeps an
+                   operation open ~hold seconds at a time.  Its stale
+                   reservation makes limbo lists grow (the robustness
+                   scenario of Theorem 1), so the reclamation-pass cost
+                   over a long limbo buffer dominates.
+   - retire-allocs single-domain allocation audit: GC minor words per
+                   [retire] call, batch kept below every pass threshold
+                   so only the retire fast path is measured.
+   - counter-incr  per-domain counter increments: Tcounter (padded
+                   cells) vs a plain adjacent [Atomic.t array].
+
+   Flags:
+     --json PATH      write a schema-v1 BENCH artifact (runs carry
+                      "kind": "micro"; see scripts/validate_bench.py)
+     --schemes LIST   comma-separated (default EBR,IBR,HE,HLN,HP)
+     --threads LIST   comma-separated domain counts (default 1,4)
+     --duration SECS  per timed run (default 0.5)
+     --hold SECS      reader hold time for retire-stall (default 0.002)
+     --repeats N      timed-run repeats, median reported (default 1)
+     --smoke          CI preset: 0.1 s, threads 1,2, EBR+IBR, 1 repeat
+*)
+
+module Json = Harness.Json
+
+module Node = struct
+  type t = { hdr : Memory.Hdr.t; mutable rc : Smr.Smr_intf.reclaimable }
+
+  let hdr n = n.hdr
+end
+
+module NPool = Memory.Pool.Make (Node)
+
+let now = Unix.gettimeofday
+
+(* Fresh node with its reclaimable built once: recycling reuses both, so
+   the benchmark loop itself allocates nothing per iteration. *)
+let make_node pool () =
+  let hdr = Memory.Hdr.create () in
+  let n = { Node.hdr; rc = { Smr.Smr_intf.hdr; free = (fun _ -> ()) } } in
+  n.Node.rc <-
+    { Smr.Smr_intf.hdr; free = (fun tid' -> NPool.free pool ~tid:tid' n) };
+  n
+
+type run = {
+  bench : string;
+  scheme : string;
+  threads : int;
+  ops : int;
+  duration : float;
+  throughput : float;
+  minor_words_per_op : float option;
+}
+
+let run_json r =
+  Json.Obj
+    ([
+       ("kind", Json.String "micro");
+       ("bench", Json.String r.bench);
+       ("scheme", Json.String r.scheme);
+       ("threads", Json.Int r.threads);
+       ("ops", Json.Int r.ops);
+       ("duration", Json.Float r.duration);
+       ("throughput", Json.Float r.throughput);
+     ]
+    @
+    match r.minor_words_per_op with
+    | Some w -> [ ("minor_words_per_op", Json.Float w) ]
+    | None -> [])
+
+(* One timed retire/reclaim run.  [hold > 0] dedicates domain 0 to the
+   slow-reader role (requires threads >= 2). *)
+let retire_run (module S : Smr.Smr_intf.S) ~threads ~duration ~hold =
+  let with_reader = hold > 0. && threads > 1 in
+  let t = S.create ~threads ~slots:2 () in
+  let pool = NPool.create ~threads () in
+  let stop = Atomic.make false in
+  let counts = Array.make threads 0 in
+  let seed_hdr = Memory.Hdr.create () in
+  let cell = Atomic.make (Some seed_hdr) in
+  let retirer tid =
+    let th = S.register t ~tid in
+    let mk = make_node pool in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      for _ = 1 to 64 do
+        S.start_op th;
+        let node = NPool.alloc pool ~tid mk in
+        S.on_alloc th node.Node.hdr;
+        S.retire th node.Node.rc;
+        S.end_op th
+      done;
+      n := !n + 64;
+      if Atomic.get stop then continue := false
+    done;
+    S.flush th;
+    counts.(tid) <- !n
+  in
+  let reader tid =
+    let th = S.register t ~tid in
+    while not (Atomic.get stop) do
+      S.start_op th;
+      ignore (S.read th ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id);
+      let deadline = now () +. hold in
+      while now () < deadline && not (Atomic.get stop) do
+        ignore (Sys.opaque_identity 0)
+      done;
+      S.end_op th
+    done
+  in
+  let doms =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            if with_reader && tid = 0 then reader tid else retirer tid))
+  in
+  let t0 = now () in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let elapsed = now () -. t0 in
+  List.iter Domain.join doms;
+  let ops = Array.fold_left ( + ) 0 counts in
+  (ops, elapsed, float_of_int ops /. elapsed)
+
+let retire_bench (module S : Smr.Smr_intf.S) ~threads ~duration ~hold ~repeats =
+  let runs =
+    List.init repeats (fun _ -> retire_run (module S) ~threads ~duration ~hold)
+  in
+  (* Median run by throughput (lower-middle for even repeat counts, like
+     Experiments.median_result). *)
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) runs in
+  let ops, elapsed, med = List.nth sorted ((List.length sorted - 1) / 2) in
+  {
+    bench = (if hold > 0. && threads > 1 then "retire-stall" else "retire");
+    scheme = S.name;
+    threads;
+    ops;
+    duration = elapsed;
+    throughput = med;
+    minor_words_per_op = None;
+  }
+
+(* Minor words allocated per [retire] call on the fast path: batch sized
+   below the limbo threshold and era frequency so no reclamation pass or
+   dispatch runs inside the measured region. *)
+let retire_allocs (module S : Smr.Smr_intf.S) =
+  let batch = 512 in
+  let config =
+    {
+      Smr.Smr_intf.limbo_threshold = batch * 4;
+      epoch_freq = max_int;
+      batch_size = batch * 4;
+    }
+  in
+  let t = S.create ~config ~threads:1 ~slots:1 () in
+  let th = S.register t ~tid:0 in
+  let nodes =
+    Array.init batch (fun _ ->
+        let h = Memory.Hdr.create () in
+        S.on_alloc th h;
+        { Smr.Smr_intf.hdr = h; free = (fun _ -> ()) })
+  in
+  (* Baseline: what a back-to-back pair of [Gc.minor_words] calls itself
+     allocates (the boxed float results). *)
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let t0 = now () in
+  let before = Gc.minor_words () in
+  for i = 0 to batch - 1 do
+    S.retire th nodes.(i)
+  done;
+  let after = Gc.minor_words () in
+  let elapsed = now () -. t0 in
+  S.flush th;
+  let words = after -. before -. overhead in
+  {
+    bench = "retire-allocs";
+    scheme = S.name;
+    threads = 1;
+    ops = batch;
+    duration = elapsed;
+    throughput = float_of_int batch /. elapsed;
+    minor_words_per_op = Some (words /. float_of_int batch);
+  }
+
+(* Per-domain counter increments: Tcounter vs plain adjacent atomics. *)
+let counter_bench ~threads ~duration =
+  let timed incr_fn =
+    let stop = Atomic.make false in
+    let counts = Array.make threads 0 in
+    let worker tid =
+      let n = ref 0 in
+      while not (Atomic.get stop) do
+        for _ = 1 to 512 do
+          incr_fn tid
+        done;
+        n := !n + 512
+      done;
+      counts.(tid) <- !n
+    in
+    let doms =
+      List.init threads (fun tid -> Domain.spawn (fun () -> worker tid))
+    in
+    let t0 = now () in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    let elapsed = now () -. t0 in
+    List.iter Domain.join doms;
+    let ops = Array.fold_left ( + ) 0 counts in
+    (ops, elapsed, float_of_int ops /. elapsed)
+  in
+  let tc = Memory.Tcounter.create ~threads in
+  let plain = Array.init threads (fun _ -> Atomic.make 0) in
+  let p_ops, p_el, p_tp = timed (fun tid -> Memory.Tcounter.incr tc ~tid) in
+  let u_ops, u_el, u_tp = timed (fun tid -> Atomic.incr plain.(tid)) in
+  [
+    {
+      bench = "counter-incr";
+      scheme = "padded";
+      threads;
+      ops = p_ops;
+      duration = p_el;
+      throughput = p_tp;
+      minor_words_per_op = None;
+    };
+    {
+      bench = "counter-incr";
+      scheme = "plain";
+      threads;
+      ops = u_ops;
+      duration = u_el;
+      throughput = u_tp;
+      minor_words_per_op = None;
+    };
+  ]
+
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+let () =
+  let json_path = ref None in
+  let duration = ref 0.5 in
+  let hold = ref 0.002 in
+  let repeats = ref 1 in
+  let schemes = ref "EBR,IBR,HE,HLN,HP" in
+  let threads = ref "1,4" in
+  let smoke = ref false in
+  Arg.parse
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "PATH  write a schema-v1 BENCH artifact" );
+      ("--duration", Arg.Set_float duration, "SECS  per timed run (0.5)");
+      ("--hold", Arg.Set_float hold, "SECS  reader hold for retire-stall (0.002)");
+      ("--repeats", Arg.Set_int repeats, "N  timed-run repeats, median kept (1)");
+      ("--schemes", Arg.Set_string schemes, "LIST  comma-separated scheme names");
+      ("--threads", Arg.Set_string threads, "LIST  comma-separated domain counts");
+      ("--smoke", Arg.Set smoke, " CI preset: quick run");
+    ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench/micro/micro.exe [flags]";
+  if !smoke then begin
+    duration := 0.1;
+    threads := "1,2";
+    schemes := "EBR,IBR";
+    repeats := 1
+  end;
+  let schemes =
+    List.map (fun n -> Smr.Registry.find_exn n) (split_commas !schemes)
+  in
+  let thread_counts = List.map int_of_string (split_commas !threads) in
+  let results = ref [] in
+  let push r = results := r :: !results in
+  List.iter
+    (fun (module S : Smr.Smr_intf.S) ->
+      List.iter
+        (fun tcount ->
+          push
+            (retire_bench
+               (module S)
+               ~threads:tcount ~duration:!duration ~hold:0. ~repeats:!repeats);
+          if tcount > 1 then
+            push
+              (retire_bench
+                 (module S)
+                 ~threads:tcount ~duration:!duration ~hold:!hold
+                 ~repeats:!repeats))
+        thread_counts;
+      push (retire_allocs (module S)))
+    schemes;
+  List.iter (fun tcount ->
+      List.iter push (counter_bench ~threads:tcount ~duration:!duration))
+    thread_counts;
+  let results = List.rev !results in
+  Harness.Report.section "SMR hot-path microbenchmarks";
+  Harness.Report.table
+    ~header:[ "bench"; "scheme"; "threads"; "ops"; "ops/s"; "mw/op" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           r.scheme;
+           string_of_int r.threads;
+           string_of_int r.ops;
+           Harness.Report.human r.throughput;
+           (match r.minor_words_per_op with
+           | Some w -> Printf.sprintf "%.2f" w
+           | None -> "-");
+         ])
+       results);
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Harness.Report.write_bench_doc ~path ~name:"micro"
+        (List.map run_json results);
+      Printf.printf "wrote %s (%d runs)\n%!" path (List.length results)

@@ -150,10 +150,12 @@ let git_rev () =
 
 let schema_version = 1
 
-(* The single-document benchmark artifact: run metadata plus one entry per
-   [Runner.result].  This is the BENCH_<name>.json format EXPERIMENTS.md
-   documents; bump [schema_version] on breaking changes. *)
-let bench_json ?(meta = []) ~name results =
+(* The single-document benchmark artifact: run metadata plus a caller-built
+   ["runs"] array.  This is the BENCH_<name>.json format EXPERIMENTS.md
+   documents; bump [schema_version] on breaking changes.  [bench_doc] is the
+   generic entry point (used by bench/micro for its "micro" run kind);
+   [bench_json] specialises it to [Runner.result] runs. *)
+let bench_doc ?(meta = []) ~name runs =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -169,7 +171,13 @@ let bench_json ?(meta = []) ~name results =
            ] );
      ]
     @ meta
-    @ [ ("runs", Json.List (List.map result_json results)) ])
+    @ [ ("runs", Json.List runs) ])
+
+let bench_json ?meta ~name results =
+  bench_doc ?meta ~name (List.map result_json results)
 
 let write_bench ?meta ~path ~name results =
   Json.write_file ~path (bench_json ?meta ~name results)
+
+let write_bench_doc ?meta ~path ~name runs =
+  Json.write_file ~path (bench_doc ?meta ~name runs)

@@ -40,11 +40,17 @@ val schema_version : int
 (** Version stamped into every BENCH document; bumped on breaking
     changes to the JSON layout. *)
 
+val bench_doc :
+  ?meta:(string * Json.t) list -> name:string -> Json.t list -> Json.t
+(** The single-document benchmark artifact: [schema_version], [name],
+    [created_unix], [git_rev], [host], any extra [meta] pairs, and the
+    given ["runs"] array.  Generic over the run payload so non-[Runner]
+    producers (e.g. [bench/micro]'s ["kind": "micro"] runs) share the
+    same envelope and validator. *)
+
 val bench_json :
   ?meta:(string * Json.t) list -> name:string -> Runner.result list -> Json.t
-(** The single-document benchmark artifact: [schema_version], [name],
-    [created_unix], [git_rev], [host], any extra [meta] pairs, and a
-    ["runs"] array of {!result_json} entries. *)
+(** {!bench_doc} over a ["runs"] array of {!result_json} entries. *)
 
 val write_bench :
   ?meta:(string * Json.t) list ->
@@ -53,3 +59,11 @@ val write_bench :
   Runner.result list ->
   unit
 (** Pretty-printed {!bench_json} written to [path]. *)
+
+val write_bench_doc :
+  ?meta:(string * Json.t) list ->
+  path:string ->
+  name:string ->
+  Json.t list ->
+  unit
+(** Pretty-printed {!bench_doc} written to [path]. *)

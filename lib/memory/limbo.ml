@@ -1,0 +1,73 @@
+(* Growable array buffer for retired-node limbo lists.
+
+   The cons-cell limbo lists the SMR schemes started with cost one
+   allocation per retire and a full re-cons of the survivors on every
+   reclamation pass ([List.partition] + [List.length]).  This buffer makes
+   retire an amortised O(1) array store (zero allocation below capacity)
+   and the sweep a single in-place compaction: survivors slide to the
+   front, dropped slots are cleared, nothing is allocated.
+
+   Single-owner: a limbo buffer belongs to one thread; no operation here
+   is atomic. *)
+
+type 'a t = { mutable buf : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 64) ~dummy () =
+  { buf = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length t = t.len
+let capacity t = Array.length t.buf
+
+let grow t =
+  let nbuf = Array.make (2 * Array.length t.buf) t.dummy in
+  Array.blit t.buf 0 nbuf 0 t.len;
+  t.buf <- nbuf
+
+let push t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Limbo.get: index out of range";
+  t.buf.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+(* In-place compacting sweep: keep the elements satisfying [keep] (in
+   order), call [drop] on the rest, clear the tail so dropped elements are
+   not pinned by the buffer.  [keep]/[drop] must not re-enter the buffer. *)
+let sweep t ~keep ~drop =
+  let buf = t.buf in
+  let n = t.len in
+  let rec go r w =
+    if r = n then w
+    else
+      let x = buf.(r) in
+      if keep x then begin
+        if w <> r then buf.(w) <- x;
+        go (r + 1) (w + 1)
+      end
+      else begin
+        drop x;
+        go (r + 1) w
+      end
+  in
+  let w = go 0 0 in
+  for i = w to n - 1 do
+    buf.(i) <- t.dummy
+  done;
+  t.len <- w
+
+(* Detach the contents as a fresh array (batch dispatch), leaving the
+   buffer empty with its capacity intact. *)
+let take_array t =
+  let a = Array.sub t.buf 0 t.len in
+  for i = 0 to t.len - 1 do
+    t.buf.(i) <- t.dummy
+  done;
+  t.len <- 0;
+  a

@@ -1,0 +1,32 @@
+(** Growable array buffer for retired-node limbo lists.
+
+    Replaces the cons-cell limbo lists: [push] is amortised O(1) with
+    zero allocation below capacity, [sweep] compacts in place (no
+    [List.partition], no [List.length], no re-consing of survivors).
+
+    Single-owner — a buffer belongs to one thread. *)
+
+type 'a t
+
+(** [create ?capacity ~dummy ()] builds an empty buffer.  [dummy] fills
+    unused slots so swept-out elements are not pinned; it is never passed
+    to callbacks.  Pre-size [capacity] to the expected occupancy (e.g.
+    the scheme's limbo threshold) to keep the steady state growth-free. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [sweep t ~keep ~drop] keeps the elements satisfying [keep] (order
+    preserved), calls [drop] on each of the others, and clears the freed
+    tail.  Exactly one of [keep]-true / [drop] happens per element, in
+    index order.  The callbacks must not re-enter [t]. *)
+val sweep : 'a t -> keep:('a -> bool) -> drop:('a -> unit) -> unit
+
+(** [take_array t] detaches the contents as a fresh array and empties [t]
+    (capacity retained).  Used for batch dispatch (Hyaline). *)
+val take_array : 'a t -> 'a array

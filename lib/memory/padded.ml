@@ -1,0 +1,51 @@
+(* Cache-line-spaced atomic cells.
+
+   OCaml 5.1 has no [Atomic.make_contended], and [Array.init n (fun _ ->
+   Atomic.make v)] lays the atomic blocks out back to back in the minor
+   heap: four per-thread cells share one 64-byte line and every write
+   invalidates the others' line (false sharing).  We space the cells the
+   portable way: interleave a spacer block between consecutive [Atomic.make]
+   allocations and keep the spacers alive in the structure, so consecutive
+   cells stay >= one line apart in the minor heap and remain spaced after
+   promotion (the major heap copies survivors in order).
+
+   No [Obj] magic: the cells are ordinary [Atomic.t] values, just never
+   neighbours. *)
+
+type 'a t = { cells : 'a Atomic.t array; pads : int array array }
+
+(* 15 words + header = 128 bytes between consecutive cells on 64-bit: one
+   full line of separation even with the adjacent-line prefetcher. *)
+let pad_words = 15
+
+let create n init =
+  if n <= 0 then invalid_arg "Padded.create: size must be positive";
+  let pads = Array.make (n + 1) [||] in
+  pads.(0) <- Array.make pad_words 0;
+  let c0 = Atomic.make (init 0) in
+  let cells = Array.make n c0 in
+  for i = 1 to n - 1 do
+    pads.(i) <- Array.make pad_words 0;
+    cells.(i) <- Atomic.make (init i)
+  done;
+  pads.(n) <- Array.make pad_words 0;
+  { cells; pads }
+
+let length t = Array.length t.cells
+
+(* The raw atomic, for hot paths that pin their own cell once. *)
+let cell t i = t.cells.(i)
+
+let get t i = Atomic.get t.cells.(i)
+let set t i v = Atomic.set t.cells.(i) v
+let compare_and_set t i old v = Atomic.compare_and_set t.cells.(i) old v
+let fetch_and_add (t : int t) i n = Atomic.fetch_and_add t.cells.(i) n
+let incr (t : int t) i = ignore (Atomic.fetch_and_add t.cells.(i) 1)
+let decr (t : int t) i = ignore (Atomic.fetch_and_add t.cells.(i) (-1))
+let iter f t = Array.iter (fun c -> f (Atomic.get c)) t.cells
+
+let fold f acc t =
+  Array.fold_left (fun acc c -> f acc (Atomic.get c)) acc t.cells
+
+let for_all p t = Array.for_all (fun c -> p (Atomic.get c)) t.cells
+let exists p t = Array.exists (fun c -> p (Atomic.get c)) t.cells

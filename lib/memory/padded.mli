@@ -1,0 +1,34 @@
+(** Cache-line-spaced atomic cells (OCaml 5.1-compatible padding).
+
+    A ['a t] behaves like an ['a Atomic.t array] whose cells are kept at
+    least one cache line apart via interleaved spacer allocations, so
+    per-thread hot cells (SMR reservations, era slots, per-thread
+    counters) do not false-share.  Readers that scan all cells (reclaim
+    passes, [Tcounter.total]) pay a few extra lines per scan, which is
+    the right trade for write-hot cells. *)
+
+type 'a t
+
+(** [create n init] builds [n] spaced cells, cell [i] initialised to
+    [init i].  Raises [Invalid_argument] when [n <= 0]. *)
+val create : int -> (int -> 'a) -> 'a t
+
+val length : 'a t -> int
+
+(** [cell t i] is the raw atomic backing cell [i]: hot paths that own one
+    cell should grab it once and operate on it directly. *)
+val cell : 'a t -> int -> 'a Atomic.t
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val compare_and_set : 'a t -> int -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int -> int
+val incr : int t -> int -> unit
+val decr : int t -> int -> unit
+
+(** Whole-array reads: one [Atomic.get] per cell, in index order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val for_all : ('a -> bool) -> 'a t -> bool
+val exists : ('a -> bool) -> 'a t -> bool

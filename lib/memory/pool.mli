@@ -2,8 +2,9 @@
 
     SMR schemes call [free] once a retired node is provably unreachable;
     the pool poisons its header and recycles it through per-thread
-    freelists.  Recycling makes ABA and use-after-free observable, which is
-    what the SCOT validation protects against. *)
+    freelists (array-backed LIFO stacks — no cons per free/alloc).
+    Recycling makes ABA and use-after-free observable, which is what the
+    SCOT validation protects against. *)
 
 module type NODE = sig
   type t

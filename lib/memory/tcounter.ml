@@ -1,32 +1,37 @@
 (* Per-thread counters.
 
-   Hot paths increment a cell owned by one thread (plain writes, no
-   contention); readers sum the cells for an eventually-consistent total.
-   Used for restart counts (Table 2), retire/reclaim counts and the
-   unreclaimed-object gauges (Figures 10-12). *)
+   Hot paths increment a cell owned by one thread; readers sum the cells
+   for an eventually-consistent total.  Used for restart counts (Table 2),
+   retire/reclaim counts and the unreclaimed-object gauges (Figures 10-12).
 
-type t = { cells : int Atomic.t array }
+   The cells live in a [Padded] array so each thread's cell sits on its
+   own cache line: the counters are written on every retire/reclaim, and
+   adjacent [Atomic.t] cells would false-share across domains. *)
+
+type t = { cells : int Padded.t }
 
 let create ~threads =
   if threads <= 0 then invalid_arg "Tcounter.create: threads must be positive";
-  { cells = Array.init threads (fun _ -> Atomic.make 0) }
+  { cells = Padded.create threads (fun _ -> 0) }
 
-let threads t = Array.length t.cells
+let threads t = Padded.length t.cells
 
 let cell t tid =
-  if tid < 0 || tid >= Array.length t.cells then
+  if tid < 0 || tid >= Padded.length t.cells then
     invalid_arg "Tcounter: thread id out of range";
-  t.cells.(tid)
+  Padded.cell t.cells tid
 
 let incr t ~tid = Atomic.incr (cell t tid)
 let decr t ~tid = Atomic.decr (cell t tid)
 
-let add t ~tid n =
-  let c = cell t tid in
-  Atomic.set c (Atomic.get c + n)
-
+(* Atomic read-modify-write: the owner-only contract of the previous
+   get-then-set version silently corrupted totals when violated (e.g. a
+   racing [reset]); fetch_and_add costs the same uncontended. *)
+let add t ~tid n = ignore (Atomic.fetch_and_add (cell t tid) n)
 let get t ~tid = Atomic.get (cell t tid)
+let total t = Padded.fold ( + ) 0 t.cells
 
-let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
-
-let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
+let reset t =
+  for i = 0 to Padded.length t.cells - 1 do
+    Padded.set t.cells i 0
+  done

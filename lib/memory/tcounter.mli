@@ -1,8 +1,10 @@
 (** Per-thread counters: uncontended owner-thread increments, racy sum reads.
 
-    [incr]/[decr] are atomic per cell so cross-thread adjustments (e.g.
-    Hyaline's any-thread reclamation) remain exact; [add] is an owner-only
-    fast path. *)
+    Each thread's cell sits on its own cache line ({!Padded}), so the
+    owner's writes do not invalidate its neighbours' cells.  All updates
+    ([incr]/[decr]/[add]) are atomic read-modify-writes, so cross-thread
+    adjustments (e.g. Hyaline's any-thread reclamation) and racing
+    [reset]s remain exact. *)
 
 type t
 
@@ -15,7 +17,8 @@ val incr : t -> tid:int -> unit
 
 val decr : t -> tid:int -> unit
 
-(** Owner-only add (plain read-modify-write); only thread [tid] may call. *)
+(** Atomic add to thread [tid]'s cell.  Safe from any thread (the owner
+    is still the intended caller on hot paths). *)
 val add : t -> tid:int -> int -> unit
 
 val get : t -> tid:int -> int

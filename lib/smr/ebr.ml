@@ -1,22 +1,24 @@
 (* EBR: epoch-based reclamation (Fraser).
 
    Threads publish the global epoch on [start_op]; retired nodes are tagged
-   with the epoch current at retire time and freed once every active thread
-   has published a strictly larger epoch (a node unlinked at epoch [e] can
-   only be held by operations that began at [<= e]).  The epoch advances only
-   when all active threads have caught up with it, which is exactly why a
-   stalled thread makes memory usage unbounded: EBR is fast but not robust. *)
+   with the epoch current at retire time (stamped into their header) and
+   freed once every active thread has published a strictly larger epoch (a
+   node unlinked at epoch [e] can only be held by operations that began at
+   [<= e]).  The epoch advances only when all active threads have caught up
+   with it, which is exactly why a stalled thread makes memory usage
+   unbounded: EBR is fast but not robust.
+
+   Reservations live in a [Padded] array (one cache line per thread) and
+   the limbo list is the shared allocation-free [Limbo_local] buffer. *)
 
 let name = "EBR"
 let robust = false
 
 let inactive = max_int
 
-type retired = { at : int; node : Smr_intf.reclaimable }
-
 type t = {
   epoch : int Atomic.t;
-  reservations : int Atomic.t array; (* published epoch, [inactive] if idle *)
+  reservations : int Memory.Padded.t; (* published epoch, [inactive] if idle *)
   in_limbo : Memory.Tcounter.t;
   config : Smr_intf.config;
 }
@@ -24,9 +26,8 @@ type t = {
 type th = {
   global : t;
   id : int;
-  mutable limbo : retired list;
-  mutable limbo_len : int;
-  mutable retire_count : int;
+  my_resv : int Atomic.t; (* this thread's reservation cell *)
+  limbo : Limbo_local.t;
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -35,67 +36,64 @@ let create ?config ~threads ~slots:_ () =
   in
   {
     epoch = Atomic.make 1;
-    reservations = Array.init threads (fun _ -> Atomic.make inactive);
+    reservations = Memory.Padded.create threads (fun _ -> inactive);
     in_limbo = Memory.Tcounter.create ~threads;
     config;
   }
 
 let register t ~tid =
-  { global = t; id = tid; limbo = []; limbo_len = 0; retire_count = 0 }
+  {
+    global = t;
+    id = tid;
+    my_resv = Memory.Padded.cell t.reservations tid;
+    limbo =
+      Limbo_local.create ~capacity:t.config.limbo_threshold
+        ~in_limbo:t.in_limbo ~tid;
+  }
 
 let tid th = th.id
-
-let start_op th =
-  Atomic.set th.global.reservations.(th.id) (Atomic.get th.global.epoch)
-
-let end_op th = Atomic.set th.global.reservations.(th.id) inactive
+let start_op th = Atomic.set th.my_resv (Atomic.get th.global.epoch)
+let end_op th = Atomic.set th.my_resv inactive
 let read _ ~slot:_ ~load ~hdr_of:_ = load ()
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
 
 let min_reservation t =
-  Array.fold_left (fun acc r -> min acc (Atomic.get r)) inactive t.reservations
+  let n = Memory.Padded.length t.reservations in
+  let rec go i acc =
+    if i = n then acc
+    else go (i + 1) (min acc (Memory.Padded.get t.reservations i))
+  in
+  go 0 inactive
 
 (* Advance the epoch if every active thread has published the current one.
    A single stalled thread vetoes the advance — the unboundedness the paper
    motivates robustness with. *)
 let try_advance t =
   let e = Atomic.get t.epoch in
-  let all_current =
-    Array.for_all
-      (fun r ->
-        let v = Atomic.get r in
-        v = inactive || v >= e)
-      t.reservations
+  let n = Memory.Padded.length t.reservations in
+  let rec all_current i =
+    i = n
+    ||
+    let v = Memory.Padded.get t.reservations i in
+    (v = inactive || v >= e) && all_current (i + 1)
   in
-  if all_current then ignore (Atomic.compare_and_set t.epoch e (e + 1))
+  if all_current 0 then ignore (Atomic.compare_and_set t.epoch e (e + 1))
 
 let reclaim_pass th =
-  let t = th.global in
-  let safe_before = min_reservation t in
-  let keep, free_ =
-    List.partition (fun r -> r.at >= safe_before) th.limbo
-  in
-  List.iter
-    (fun r ->
-      r.node.Smr_intf.free th.id;
-      Memory.Tcounter.decr t.in_limbo ~tid:th.id)
-    free_;
-  th.limbo <- keep;
-  th.limbo_len <- List.length keep
+  let safe_before = min_reservation th.global in
+  Limbo_local.sweep th.limbo ~protected_:(fun r ->
+      Memory.Hdr.retire_era r.Smr_intf.hdr >= safe_before)
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
   Memory.Hdr.mark_retired r.hdr;
-  let at = Atomic.get t.epoch in
-  Memory.Hdr.set_retire_era r.hdr at;
-  th.limbo <- { at; node = r } :: th.limbo;
-  th.limbo_len <- th.limbo_len + 1;
-  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod t.config.epoch_freq = 0 then try_advance t;
-  if th.limbo_len >= t.config.limbo_threshold then reclaim_pass th
+  Memory.Hdr.set_retire_era r.hdr (Atomic.get t.epoch);
+  Limbo_local.push th.limbo r;
+  if Limbo_local.retires th.limbo mod t.config.epoch_freq = 0 then try_advance t;
+  if Limbo_local.length th.limbo >= t.config.limbo_threshold then
+    reclaim_pass th
 
 let flush th =
   try_advance th.global;
@@ -103,5 +101,4 @@ let flush th =
 
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
 
-let stats t =
-  [ ("epoch", Atomic.get t.epoch); ("in_limbo", unreclaimed t) ]
+let stats t = [ ("epoch", Atomic.get t.epoch); ("in_limbo", unreclaimed t) ]

@@ -5,7 +5,8 @@
    is stable across the load; a retired node is reclaimable once no published
    era intersects its [birth, retire] lifetime.  The snapshot optimisation
    from [26] is applied to the limbo scan (the paper applies it to HE and IBR
-   as well as HP). *)
+   as well as HP) — the snapshot now lands in a per-thread scratch array
+   reused across passes instead of a freshly consed list. *)
 
 let name = "HE"
 let robust = true
@@ -13,7 +14,7 @@ let no_era = 0
 
 type t = {
   era : int Atomic.t;
-  slots : int Atomic.t array array; (* published eras; [no_era] if empty *)
+  slots : int Memory.Padded.t array; (* published eras; [no_era] if empty *)
   in_limbo : Memory.Tcounter.t;
   config : Smr_intf.config;
 }
@@ -21,10 +22,9 @@ type t = {
 type th = {
   global : t;
   id : int;
-  my_slots : int Atomic.t array;
-  mutable limbo : Smr_intf.reclaimable list;
-  mutable limbo_len : int;
-  mutable retire_count : int;
+  my_slots : int Atomic.t array; (* this thread's cells, un-wrapped once *)
+  limbo : Limbo_local.t;
+  scratch : int array; (* era snapshot, one pass at a time *)
 }
 
 let create ?config ~threads ~slots () =
@@ -34,19 +34,22 @@ let create ?config ~threads ~slots () =
   {
     era = Atomic.make 1;
     slots =
-      Array.init threads (fun _ -> Array.init slots (fun _ -> Atomic.make no_era));
+      Array.init threads (fun _ -> Memory.Padded.create slots (fun _ -> no_era));
     in_limbo = Memory.Tcounter.create ~threads;
     config;
   }
 
 let register t ~tid =
+  let row = t.slots.(tid) in
+  let slots = Memory.Padded.length row in
   {
     global = t;
     id = tid;
-    my_slots = t.slots.(tid);
-    limbo = [];
-    limbo_len = 0;
-    retire_count = 0;
+    my_slots = Array.init slots (fun i -> Memory.Padded.cell row i);
+    limbo =
+      Limbo_local.create ~capacity:t.config.limbo_threshold
+        ~in_limbo:t.in_limbo ~tid;
+    scratch = Array.make (Array.length t.slots * slots) no_era;
   }
 
 let tid th = th.id
@@ -72,46 +75,49 @@ let dup th ~src ~dst = Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src
 let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
 
-let conflicts_with ~birth ~retire era =
-  era <> no_era && birth <= era && era <= retire
-
 let reclaim_pass th =
   let t = th.global in
-  (* Snapshot of all published eras (HPopt-style optimisation). *)
-  let snap = ref [] in
-  Array.iter
-    (fun row ->
-      Array.iter
-        (fun c ->
-          let e = Atomic.get c in
-          if e <> no_era then snap := e :: !snap)
-        row)
-    t.slots;
-  let snap = !snap in
-  let is_protected (r : Smr_intf.reclaimable) =
-    let birth = Memory.Hdr.birth r.hdr in
-    let retire = Memory.Hdr.retire_era r.hdr in
-    List.exists (fun e -> conflicts_with ~birth ~retire e) snap
+  (* Snapshot of all published eras (HPopt-style optimisation), captured
+     once per pass into the reused scratch array. *)
+  let rows = Array.length t.slots in
+  let rec fill_row i k =
+    if i = rows then k
+    else begin
+      let row = t.slots.(i) in
+      let cols = Memory.Padded.length row in
+      let rec fill_col j k =
+        if j = cols then k
+        else
+          let e = Memory.Padded.get row j in
+          if e = no_era then fill_col (j + 1) k
+          else begin
+            th.scratch.(k) <- e;
+            fill_col (j + 1) (k + 1)
+          end
+      in
+      fill_row (i + 1) (fill_col 0 k)
+    end
   in
-  let keep, free_ = List.partition is_protected th.limbo in
-  List.iter
-    (fun (r : Smr_intf.reclaimable) ->
-      r.free th.id;
-      Memory.Tcounter.decr t.in_limbo ~tid:th.id)
-    free_;
-  th.limbo <- keep;
-  th.limbo_len <- List.length keep
+  let k = fill_row 0 0 in
+  Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->
+      let birth = Memory.Hdr.birth r.hdr in
+      let retire = Memory.Hdr.retire_era r.hdr in
+      let rec conflicts i =
+        i < k
+        && ((birth <= th.scratch.(i) && th.scratch.(i) <= retire)
+           || conflicts (i + 1))
+      in
+      conflicts 0)
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
-  th.limbo <- r :: th.limbo;
-  th.limbo_len <- th.limbo_len + 1;
-  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
-  if th.limbo_len >= t.config.limbo_threshold then reclaim_pass th
+  Limbo_local.push th.limbo r;
+  if Limbo_local.retires th.limbo mod t.config.epoch_freq = 0 then
+    Atomic.incr t.era;
+  if Limbo_local.length th.limbo >= t.config.limbo_threshold then
+    reclaim_pass th
 
 let flush th = reclaim_pass th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo

@@ -4,7 +4,11 @@
    during a reclamation pass every retired node re-reads the shared hazard
    slots.  [snapshot = true] is "HPopt": a local snapshot of all slots is
    captured once per pass and membership is tested against the snapshot
-   [26].  The paper reports a substantial difference in some tests. *)
+   [26].  The paper reports a substantial difference in some tests.
+
+   Hazard slots are [Padded] per thread row; the snapshot is captured into
+   a per-thread scratch array reused across passes (the [option] values it
+   stores are the ones already boxed in the slots — no allocation). *)
 
 module Make (P : sig
   val name : string
@@ -15,7 +19,7 @@ struct
   let robust = true
 
   type t = {
-    slots : Memory.Hdr.t option Atomic.t array array; (* [tid].(slot) *)
+    slots : Memory.Hdr.t option Memory.Padded.t array; (* [tid].(slot) *)
     in_limbo : Memory.Tcounter.t;
     config : Smr_intf.config;
   }
@@ -24,8 +28,8 @@ struct
     global : t;
     id : int;
     my_slots : Memory.Hdr.t option Atomic.t array;
-    mutable limbo : Smr_intf.reclaimable list;
-    mutable limbo_len : int;
+    limbo : Limbo_local.t;
+    scratch : Memory.Hdr.t option array; (* snapshot, one pass at a time *)
   }
 
   let create ?config ~threads ~slots () =
@@ -34,20 +38,28 @@ struct
     in
     {
       slots =
-        Array.init threads (fun _ ->
-            Array.init slots (fun _ -> Atomic.make None));
+        Array.init threads (fun _ -> Memory.Padded.create slots (fun _ -> None));
       in_limbo = Memory.Tcounter.create ~threads;
       config;
     }
 
   let register t ~tid =
-    { global = t; id = tid; my_slots = t.slots.(tid); limbo = []; limbo_len = 0 }
+    let row = t.slots.(tid) in
+    let slots = Memory.Padded.length row in
+    {
+      global = t;
+      id = tid;
+      my_slots = Array.init slots (fun i -> Memory.Padded.cell row i);
+      limbo =
+        Limbo_local.create ~capacity:t.config.limbo_threshold
+          ~in_limbo:t.in_limbo ~tid;
+      scratch = Array.make (Array.length t.slots * slots) None;
+    }
 
   let tid th = th.id
   let start_op _ = ()
 
-  let end_op th =
-    Array.iter (fun c -> Atomic.set c None) th.my_slots
+  let end_op th = Array.iter (fun c -> Atomic.set c None) th.my_slots
 
   (* The paper's [protect] (Figure 1): publish the reservation, then verify
      the source pointer has not changed; loop otherwise. *)
@@ -75,53 +87,68 @@ struct
   let clear_slot th ~slot = Atomic.set th.my_slots.(slot) None
   let on_alloc _ _ = ()
 
-  let protected_in_snapshot snap h =
-    List.exists (fun h' -> h' == h) snap
-
   (* Original HP: re-read every shared slot for every retired node. *)
-  let protected_rescan t h =
-    Array.exists
-      (fun row ->
-        Array.exists
-          (fun c -> match Atomic.get c with Some h' -> h' == h | None -> false)
-          row)
-      t.slots
+  let protected_rescan t (h : Memory.Hdr.t) =
+    let rows = Array.length t.slots in
+    let rec scan_row i =
+      i < rows
+      &&
+      let row = t.slots.(i) in
+      let cols = Memory.Padded.length row in
+      let rec scan_col j =
+        j < cols
+        && ((match Memory.Padded.get row j with
+            | Some h' -> h' == h
+            | None -> false)
+           || scan_col (j + 1))
+      in
+      scan_col 0 || scan_row (i + 1)
+    in
+    scan_row 0
 
   let reclaim_pass th =
     let t = th.global in
-    let is_protected : Memory.Hdr.t -> bool =
-      if P.snapshot then begin
-        let snap = ref [] in
-        Array.iter
-          (fun row ->
-            Array.iter
-              (fun c ->
-                match Atomic.get c with
-                | Some h -> snap := h :: !snap
-                | None -> ())
-              row)
-          t.slots;
-        protected_in_snapshot !snap
-      end
-      else protected_rescan t
-    in
-    let keep, free_ =
-      List.partition (fun (r : Smr_intf.reclaimable) -> is_protected r.hdr) th.limbo
-    in
-    List.iter
-      (fun (r : Smr_intf.reclaimable) ->
-        r.free th.id;
-        Memory.Tcounter.decr t.in_limbo ~tid:th.id)
-      free_;
-    th.limbo <- keep;
-    th.limbo_len <- List.length keep
+    if P.snapshot then begin
+      (* HPopt: one capture of all slots per pass into the reused scratch;
+         the stored [Some] blocks are the slots' own. *)
+      let rows = Array.length t.slots in
+      let rec fill_row i k =
+        if i = rows then k
+        else begin
+          let row = t.slots.(i) in
+          let cols = Memory.Padded.length row in
+          let rec fill_col j k =
+            if j = cols then k
+            else
+              match Memory.Padded.get row j with
+              | None -> fill_col (j + 1) k
+              | some ->
+                  th.scratch.(k) <- some;
+                  fill_col (j + 1) (k + 1)
+          in
+          fill_row (i + 1) (fill_col 0 k)
+        end
+      in
+      let k = fill_row 0 0 in
+      Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->
+          let rec mem i =
+            i < k
+            && ((match th.scratch.(i) with
+                | Some h' -> h' == r.hdr
+                | None -> false)
+               || mem (i + 1))
+          in
+          mem 0)
+    end
+    else
+      Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->
+          protected_rescan t r.hdr)
 
   let retire th (r : Smr_intf.reclaimable) =
     Memory.Hdr.mark_retired r.hdr;
-    th.limbo <- r :: th.limbo;
-    th.limbo_len <- th.limbo_len + 1;
-    Memory.Tcounter.incr th.global.in_limbo ~tid:th.id;
-    if th.limbo_len >= th.global.config.limbo_threshold then reclaim_pass th
+    Limbo_local.push th.limbo r;
+    if Limbo_local.length th.limbo >= th.global.config.limbo_threshold then
+      reclaim_pass th
 
   let flush th = reclaim_pass th
   let unreclaimed t = Memory.Tcounter.total t.in_limbo

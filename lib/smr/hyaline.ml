@@ -12,14 +12,19 @@
 
    Robustness: a stalled thread with reservation era [e] is skipped by every
    batch whose minimum birth era exceeds [e], so it can only pin the finitely
-   many nodes born before it stalled. *)
+   many nodes born before it stalled.
+
+   The pending batch accumulates in an allocation-free [Limbo_local]
+   buffer (the retire fast path stores into an array); dispatch detaches
+   it as one [reclaimable array] per batch.  Era and head cells are
+   [Padded] — both are written on every operation. *)
 
 let name = "HLN"
 let robust = true
 let inactive_era = -1
 
 type batch = {
-  nodes : Smr_intf.reclaimable list;
+  nodes : Smr_intf.reclaimable array;
   min_birth : int;
   refs : int Atomic.t;
 }
@@ -29,8 +34,8 @@ and cons = { batch : batch; mutable next : cell }
 
 type t = {
   era : int Atomic.t;
-  eras : int Atomic.t array; (* reservation era; [inactive_era] if idle *)
-  heads : cell Atomic.t array; (* per-thread dispatch lists *)
+  eras : int Memory.Padded.t; (* reservation era; [inactive_era] if idle *)
+  heads : cell Memory.Padded.t; (* per-thread dispatch lists *)
   in_limbo : Memory.Tcounter.t;
   config : Smr_intf.config;
 }
@@ -38,10 +43,10 @@ type t = {
 type th = {
   global : t;
   id : int;
-  mutable pending : Smr_intf.reclaimable list;
-  mutable pending_len : int;
+  my_era : int Atomic.t;
+  my_head : cell Atomic.t;
+  pending : Limbo_local.t;
   mutable pending_min_birth : int;
-  mutable retire_count : int;
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -50,8 +55,8 @@ let create ?config ~threads ~slots:_ () =
   in
   {
     era = Atomic.make 1;
-    eras = Array.init threads (fun _ -> Atomic.make inactive_era);
-    heads = Array.init threads (fun _ -> Atomic.make Inactive);
+    eras = Memory.Padded.create threads (fun _ -> inactive_era);
+    heads = Memory.Padded.create threads (fun _ -> Inactive);
     in_limbo = Memory.Tcounter.create ~threads;
     config;
   }
@@ -60,16 +65,18 @@ let register t ~tid =
   {
     global = t;
     id = tid;
-    pending = [];
-    pending_len = 0;
+    my_era = Memory.Padded.cell t.eras tid;
+    my_head = Memory.Padded.cell t.heads tid;
+    pending =
+      Limbo_local.create ~capacity:t.config.batch_size ~in_limbo:t.in_limbo
+        ~tid;
     pending_min_birth = max_int;
-    retire_count = 0;
   }
 
 let tid th = th.id
 
 let free_batch th batch =
-  List.iter
+  Array.iter
     (fun (r : Smr_intf.reclaimable) ->
       r.free th.id;
       Memory.Tcounter.decr th.global.in_limbo ~tid:th.id)
@@ -79,17 +86,15 @@ let release_ref th batch =
   if Atomic.fetch_and_add batch.refs (-1) = 1 then free_batch th batch
 
 let start_op th =
-  let t = th.global in
-  Atomic.set t.eras.(th.id) (Atomic.get t.era);
+  Atomic.set th.my_era (Atomic.get th.global.era);
   (* Between operations the head is [Inactive] and dispatchers never push to
      an inactive list, so this transition cannot race with a push. *)
-  if not (Atomic.compare_and_set t.heads.(th.id) Inactive Nil) then
+  if not (Atomic.compare_and_set th.my_head Inactive Nil) then
     invalid_arg "Hyaline.start_op: unbalanced start_op/end_op"
 
 let end_op th =
-  let t = th.global in
-  Atomic.set t.eras.(th.id) inactive_era;
-  let head = t.heads.(th.id) in
+  Atomic.set th.my_era inactive_era;
+  let head = th.my_head in
   let rec detach () =
     let cur = Atomic.get head in
     if Atomic.compare_and_set head cur Inactive then cur else detach ()
@@ -106,7 +111,7 @@ let end_op th =
 (* IBR-style birth-era validation against the single reservation era. *)
 let read th ~slot:_ ~load ~hdr_of =
   let t = th.global in
-  let resv = t.eras.(th.id) in
+  let resv = th.my_era in
   let rec loop () =
     let v = load () in
     match hdr_of v with
@@ -130,20 +135,22 @@ let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
    each push attempt, so it can never transiently reach zero while pushes
    are in flight. *)
 let dispatch th =
-  if th.pending_len > 0 then begin
+  if Limbo_local.length th.pending > 0 then begin
     let t = th.global in
     let batch =
-      { nodes = th.pending; min_birth = th.pending_min_birth; refs = Atomic.make 1 }
+      {
+        nodes = Limbo_local.take th.pending;
+        min_birth = th.pending_min_birth;
+        refs = Atomic.make 1;
+      }
     in
-    th.pending <- [];
-    th.pending_len <- 0;
     th.pending_min_birth <- max_int;
-    let threads = Array.length t.eras in
+    let threads = Memory.Padded.length t.eras in
     for j = 0 to threads - 1 do
-      let era_j = Atomic.get t.eras.(j) in
+      let era_j = Memory.Padded.get t.eras j in
       if era_j <> inactive_era && era_j >= batch.min_birth then begin
         ignore (Atomic.fetch_and_add batch.refs 1);
-        let head = t.heads.(j) in
+        let head = Memory.Padded.cell t.heads j in
         let rec push () =
           match Atomic.get head with
           | Inactive ->
@@ -165,13 +172,11 @@ let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
-  th.pending <- r :: th.pending;
-  th.pending_len <- th.pending_len + 1;
+  Limbo_local.push th.pending r;
   th.pending_min_birth <- min th.pending_min_birth (Memory.Hdr.birth r.hdr);
-  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
-  if th.pending_len >= t.config.batch_size then dispatch th
+  if Limbo_local.retires th.pending mod t.config.epoch_freq = 0 then
+    Atomic.incr t.era;
+  if Limbo_local.length th.pending >= t.config.batch_size then dispatch th
 
 let flush th = dispatch th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo

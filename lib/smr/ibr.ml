@@ -8,14 +8,19 @@
    slots, which is why IBR "simplifies the programming model" (§2.2.4).
 
    The reservation is stored as one boxed pair in a single [Atomic.t] so
-   scanning threads always observe a consistent interval. *)
+   scanning threads always observe a consistent interval; the cells are
+   [Padded] so the once-per-operation publish does not false-share.  A
+   reclamation pass snapshots all intervals once into per-thread scratch
+   arrays (reused across passes — the old code rebuilt a cons list with
+   [List.filter_map] on every pass) and sweeps the limbo buffer in
+   place. *)
 
 let name = "IBR"
 let robust = true
 
 type t = {
   era : int Atomic.t;
-  reservations : (int * int) option Atomic.t array; (* (lower, upper) *)
+  reservations : (int * int) option Memory.Padded.t; (* (lower, upper) *)
   in_limbo : Memory.Tcounter.t;
   config : Smr_intf.config;
 }
@@ -23,9 +28,10 @@ type t = {
 type th = {
   global : t;
   id : int;
-  mutable limbo : Smr_intf.reclaimable list;
-  mutable limbo_len : int;
-  mutable retire_count : int;
+  my_resv : (int * int) option Atomic.t;
+  limbo : Limbo_local.t;
+  scratch_lo : int array; (* snapshot of active intervals, one pass at *)
+  scratch_hi : int array; (* a time; length = threads *)
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -34,26 +40,36 @@ let create ?config ~threads ~slots:_ () =
   in
   {
     era = Atomic.make 1;
-    reservations = Array.init threads (fun _ -> Atomic.make None);
+    reservations = Memory.Padded.create threads (fun _ -> None);
     in_limbo = Memory.Tcounter.create ~threads;
     config;
   }
 
 let register t ~tid =
-  { global = t; id = tid; limbo = []; limbo_len = 0; retire_count = 0 }
+  let threads = Memory.Padded.length t.reservations in
+  {
+    global = t;
+    id = tid;
+    my_resv = Memory.Padded.cell t.reservations tid;
+    limbo =
+      Limbo_local.create ~capacity:t.config.limbo_threshold
+        ~in_limbo:t.in_limbo ~tid;
+    scratch_lo = Array.make threads 0;
+    scratch_hi = Array.make threads 0;
+  }
 
 let tid th = th.id
 
 let start_op th =
   let e = Atomic.get th.global.era in
-  Atomic.set th.global.reservations.(th.id) (Some (e, e))
+  Atomic.set th.my_resv (Some (e, e))
 
-let end_op th = Atomic.set th.global.reservations.(th.id) None
+let end_op th = Atomic.set th.my_resv None
 
 (* Birth-era validation: widen [upper] and re-load until the loaded node's
    birth fits the reservation. *)
 let read th ~slot:_ ~load ~hdr_of =
-  let resv = th.global.reservations.(th.id) in
+  let resv = th.my_resv in
   let rec loop () =
     let v = load () in
     match hdr_of v with
@@ -79,34 +95,39 @@ let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
 
 let reclaim_pass th =
   let t = th.global in
-  let intervals =
-    Array.to_list t.reservations
-    |> List.filter_map Atomic.get
+  let n = Memory.Padded.length t.reservations in
+  (* One scan of the reservation array per pass, into the reused
+     scratch; [k] counts the active intervals. *)
+  let rec fill i k =
+    if i = n then k
+    else
+      match Memory.Padded.get t.reservations i with
+      | None -> fill (i + 1) k
+      | Some (lower, upper) ->
+          th.scratch_lo.(k) <- lower;
+          th.scratch_hi.(k) <- upper;
+          fill (i + 1) (k + 1)
   in
-  let is_protected (r : Smr_intf.reclaimable) =
-    let birth = Memory.Hdr.birth r.hdr in
-    let retire = Memory.Hdr.retire_era r.hdr in
-    List.exists (fun (lower, upper) -> birth <= upper && retire >= lower) intervals
-  in
-  let keep, free_ = List.partition is_protected th.limbo in
-  List.iter
-    (fun (r : Smr_intf.reclaimable) ->
-      r.free th.id;
-      Memory.Tcounter.decr t.in_limbo ~tid:th.id)
-    free_;
-  th.limbo <- keep;
-  th.limbo_len <- List.length keep
+  let k = fill 0 0 in
+  Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->
+      let birth = Memory.Hdr.birth r.hdr in
+      let retire = Memory.Hdr.retire_era r.hdr in
+      let rec overlaps i =
+        i < k
+        && ((birth <= th.scratch_hi.(i) && retire >= th.scratch_lo.(i))
+           || overlaps (i + 1))
+      in
+      overlaps 0)
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
-  th.limbo <- r :: th.limbo;
-  th.limbo_len <- th.limbo_len + 1;
-  Memory.Tcounter.incr t.in_limbo ~tid:th.id;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod t.config.epoch_freq = 0 then Atomic.incr t.era;
-  if th.limbo_len >= t.config.limbo_threshold then reclaim_pass th
+  Limbo_local.push th.limbo r;
+  if Limbo_local.retires th.limbo mod t.config.epoch_freq = 0 then
+    Atomic.incr t.era;
+  if Limbo_local.length th.limbo >= t.config.limbo_threshold then
+    reclaim_pass th
 
 let flush th = reclaim_pass th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo

@@ -1,0 +1,53 @@
+(* Shared per-thread limbo bookkeeping for the deferred-reclamation
+   schemes (EBR, HP/HPopt, HE, IBR, Hyaline-1S's pending batch).
+
+   Every scheme used to carry its own copy of the same three fields
+   (retired list, its length, a retire counter) and the same
+   partition-and-free pass.  This module owns that state once, backed by
+   the allocation-free [Memory.Limbo] buffer; each scheme keeps only its
+   policy: when to advance its era, when to trigger a pass, and its
+   "is this node still protected?" predicate. *)
+
+type t = {
+  buf : Smr_intf.reclaimable Memory.Limbo.t;
+  in_limbo : Memory.Tcounter.t; (* shared gauge, this thread's cell *)
+  tid : int;
+  mutable retires : int; (* lifetime retire count for era-freq policies *)
+  drop : Smr_intf.reclaimable -> unit; (* built once: free + gauge decr *)
+}
+
+(* Fills unused buffer slots; never dereferenced, never dropped. *)
+let dummy : Smr_intf.reclaimable =
+  { hdr = Memory.Hdr.create (); free = (fun _ -> ()) }
+
+let create ~capacity ~in_limbo ~tid =
+  {
+    buf = Memory.Limbo.create ~capacity ~dummy ();
+    in_limbo;
+    tid;
+    retires = 0;
+    drop =
+      (fun (r : Smr_intf.reclaimable) ->
+        r.free tid;
+        Memory.Tcounter.decr in_limbo ~tid);
+  }
+
+let length t = Memory.Limbo.length t.buf
+let retires t = t.retires
+
+(* Retire fast path: an array store plus two counter bumps — no list
+   cells, no allocation below buffer capacity.  The caller has already
+   marked the node retired and stamped its era. *)
+let push t (r : Smr_intf.reclaimable) =
+  Memory.Limbo.push t.buf r;
+  Memory.Tcounter.incr t.in_limbo ~tid:t.tid;
+  t.retires <- t.retires + 1
+
+(* Reclamation pass: single in-place compaction; frees (and decrements
+   the gauge for) every node the predicate no longer protects. *)
+let sweep t ~protected_ = Memory.Limbo.sweep t.buf ~keep:protected_ ~drop:t.drop
+
+(* Detach everything as a batch (Hyaline dispatch).  The in-limbo gauge is
+   NOT touched: the nodes stay unreclaimed until whoever drops the last
+   batch reference frees them. *)
+let take t = Memory.Limbo.take_array t.buf

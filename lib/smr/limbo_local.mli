@@ -1,0 +1,31 @@
+(** Shared per-thread limbo bookkeeping for deferred-reclamation schemes.
+
+    Owns the retired-node buffer, the retire counter and the shared
+    unreclaimed gauge wiring; schemes keep only their protection
+    predicate and era/threshold policy.  Single-owner, like the
+    underlying {!Memory.Limbo}. *)
+
+type t
+
+(** [create ~capacity ~in_limbo ~tid] — pre-size [capacity] to the
+    scheme's pass threshold so the steady state never grows the buffer. *)
+val create : capacity:int -> in_limbo:Memory.Tcounter.t -> tid:int -> t
+
+(** Nodes currently in this thread's limbo. *)
+val length : t -> int
+
+(** Lifetime retire count (drives [epoch_freq]-style policies). *)
+val retires : t -> int
+
+(** Append a retired node (caller already marked/stamped it) and bump the
+    shared gauge.  Zero allocation below capacity. *)
+val push : t -> Smr_intf.reclaimable -> unit
+
+(** [sweep t ~protected_] frees every node for which [protected_] is
+    false (calling its [free] with this thread's id and decrementing the
+    gauge) and compacts the survivors in place. *)
+val sweep : t -> protected_:(Smr_intf.reclaimable -> bool) -> unit
+
+(** Detach the whole buffer as a fresh array (Hyaline batch dispatch);
+    the gauge is left untouched — the nodes are still unreclaimed. *)
+val take : t -> Smr_intf.reclaimable array

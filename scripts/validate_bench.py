@@ -46,6 +46,20 @@ OP_STAT_KEYS = {
     "hist": list,
 }
 
+# bench/micro emits runs with "kind": "micro" (hot-path microbenchmarks);
+# runs without a "kind" are the classic mixed-workload shape above.
+MICRO_RUN_KEYS = {
+    "kind": str,
+    "bench": str,
+    "scheme": str,
+    "threads": int,
+    "ops": int,
+    "duration": (int, float),
+    "throughput": (int, float),
+}
+
+MICRO_BENCHES = ("retire", "retire-stall", "retire-allocs", "counter-incr")
+
 
 def fail(path, msg):
     sys.exit(f"{path}: INVALID: {msg}")
@@ -75,6 +89,17 @@ def validate(path):
 
     for i, run in enumerate(runs):
         where = f"runs[{i}]"
+        if run.get("kind") == "micro":
+            require(path, run, MICRO_RUN_KEYS, where)
+            if run["bench"] not in MICRO_BENCHES:
+                fail(path, f"{where}.bench = {run['bench']!r}")
+            if run["ops"] < 0 or run["duration"] < 0 or run["throughput"] < 0:
+                fail(path, f"{where} negative ops/duration/throughput")
+            if "minor_words_per_op" in run and \
+                    not isinstance(run["minor_words_per_op"], (int, float)):
+                fail(path, f"{where}.minor_words_per_op has type "
+                           f"{type(run['minor_words_per_op']).__name__}")
+            continue
         require(path, run, RUN_KEYS, where)
         mix = run["mix"]
         if sum(mix.get(k, -1) for k in

@@ -1,0 +1,317 @@
+(* Tests for the allocation-free SMR hot-path runtime: Memory.Padded
+   spaced cells, the Memory.Limbo array buffer (trace-equivalence against
+   the old list-based sweep), the zero-allocation retire fast path of
+   every scheme, and the padded Tcounter under domains. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Padded cells --- *)
+
+let test_padded_basic () =
+  let p = Memory.Padded.create 4 (fun i -> i * 10) in
+  check_int "length" 4 (Memory.Padded.length p);
+  check_int "init per index" 30 (Memory.Padded.get p 3);
+  Memory.Padded.set p 1 7;
+  check_int "set/get" 7 (Memory.Padded.get p 1);
+  check_int "fetch_and_add returns old" 7 (Memory.Padded.fetch_and_add p 1 5);
+  check_int "fetch_and_add added" 12 (Memory.Padded.get p 1);
+  Memory.Padded.incr p 0;
+  Memory.Padded.decr p 0;
+  check_int "incr/decr" 0 (Memory.Padded.get p 0);
+  check "cell is the backing atomic" true
+    (Atomic.get (Memory.Padded.cell p 1) = 12);
+  check "cas" true (Memory.Padded.compare_and_set p 2 20 99);
+  check_int "cas applied" 99 (Memory.Padded.get p 2);
+  check_int "fold" (0 + 12 + 99 + 30) (Memory.Padded.fold ( + ) 0 p);
+  check "for_all" true (Memory.Padded.for_all (fun v -> v >= 0) p);
+  check "exists" true (Memory.Padded.exists (fun v -> v = 99) p)
+
+let test_padded_bounds () =
+  match Memory.Padded.create 0 (fun _ -> 0) with
+  | _ -> Alcotest.fail "size 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Spacing: consecutive cells are distinct blocks (padding is a layout
+   property we cannot observe portably, but the cells must at least be
+   independent atomics). *)
+let test_padded_cells_independent () =
+  let p = Memory.Padded.create 3 (fun _ -> 0) in
+  Memory.Padded.set p 1 42;
+  check_int "neighbour left untouched" 0 (Memory.Padded.get p 0);
+  check_int "neighbour right untouched" 0 (Memory.Padded.get p 2)
+
+(* --- Limbo buffer basics --- *)
+
+let test_limbo_push_grow () =
+  let l = Memory.Limbo.create ~capacity:2 ~dummy:(-1) () in
+  check_int "initial capacity" 2 (Memory.Limbo.capacity l);
+  for i = 0 to 9 do
+    Memory.Limbo.push l i
+  done;
+  check_int "length" 10 (Memory.Limbo.length l);
+  check "grown" true (Memory.Limbo.capacity l >= 10);
+  for i = 0 to 9 do
+    check_int "order preserved" i (Memory.Limbo.get l i)
+  done;
+  match Memory.Limbo.get l 10 with
+  | _ -> Alcotest.fail "out-of-range get accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_limbo_take_array () =
+  let l = Memory.Limbo.create ~capacity:4 ~dummy:0 () in
+  List.iter (Memory.Limbo.push l) [ 1; 2; 3 ];
+  let a = Memory.Limbo.take_array l in
+  check "take returns contents" true (a = [| 1; 2; 3 |]);
+  check_int "buffer emptied" 0 (Memory.Limbo.length l);
+  check_int "capacity retained" 4 (Memory.Limbo.capacity l);
+  Memory.Limbo.push l 9;
+  check_int "reusable after take" 9 (Memory.Limbo.get l 0)
+
+(* Minor words allocated by [f ()], net of what a back-to-back pair of
+   [Gc.minor_words] calls itself costs (the boxed float results). *)
+let minor_words_in f =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let before = Gc.minor_words () in
+  f ();
+  let after = Gc.minor_words () in
+  after -. before -. overhead
+
+let test_limbo_push_no_alloc () =
+  let l = Memory.Limbo.create ~capacity:128 ~dummy:0 () in
+  let words =
+    minor_words_in (fun () ->
+        for i = 1 to 100 do
+          Memory.Limbo.push l i
+        done)
+  in
+  Alcotest.(check (float 0.)) "pushes below capacity allocate nothing" 0. words
+
+(* --- Trace equivalence: array sweep vs the old list-based sweep --- *)
+
+(* The old schemes kept [retired list]s and ran
+   [List.partition is_protected] per pass.  These properties drive the new
+   in-place sweep and that reference implementation over the same recorded
+   retire/reservation traces and require identical freed sets (and
+   survivor order, which the compaction preserves). *)
+
+(* A node is (id, birth, retire); a reservation is (lower, upper).
+   IBR-style protection: lifetime overlaps some reserved interval. *)
+let protected_by intervals (_, birth, retire) =
+  List.exists (fun (lo, hi) -> birth <= hi && retire >= lo) intervals
+
+let trace_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_bound 200)
+         (pair (int_bound 50) (int_bound 20))) (* nodes: (birth, lifetime) *)
+      (list_size (int_bound 8)
+         (pair (int_bound 50) (int_bound 20))) (* resvs: (lower, width) *))
+
+let prop_sweep_equiv =
+  QCheck.Test.make ~count:500
+    ~name:"limbo: sweep frees exactly the List.partition set, keeps order"
+    (QCheck.make trace_gen) (fun (raw_nodes, raw_resvs) ->
+      let nodes = List.mapi (fun i (b, l) -> (i, b, b + l)) raw_nodes in
+      let intervals = List.map (fun (lo, w) -> (lo, lo + w)) raw_resvs in
+      let keep = protected_by intervals in
+      (* Reference: the old cons-list pass. *)
+      let keep_ref, free_ref = List.partition keep nodes in
+      (* New: array buffer with in-place compaction. *)
+      let buf = Memory.Limbo.create ~capacity:4 ~dummy:(-1, 0, 0) () in
+      List.iter (Memory.Limbo.push buf) nodes;
+      let freed = ref [] in
+      Memory.Limbo.sweep buf ~keep ~drop:(fun n -> freed := n :: !freed);
+      let kept = ref [] in
+      Memory.Limbo.iter (fun n -> kept := n :: !kept) buf;
+      List.rev !kept = keep_ref
+      && List.sort compare !freed = List.sort compare free_ref)
+
+(* Multi-pass trace: retires and sweeps interleave, the reservation set
+   changing between passes — the survivors of pass [k] are re-examined at
+   pass [k+1], as in a real limbo list. *)
+let multi_trace_gen =
+  QCheck.Gen.(
+    list_size (int_bound 20)
+      (pair
+         (list_size (int_bound 40) (pair (int_bound 50) (int_bound 20)))
+         (list_size (int_bound 6) (pair (int_bound 50) (int_bound 20)))))
+
+let prop_sweep_multi_pass_equiv =
+  QCheck.Test.make ~count:200
+    ~name:"limbo: interleaved retire/sweep rounds match the list model"
+    (QCheck.make multi_trace_gen) (fun rounds ->
+      let buf = Memory.Limbo.create ~capacity:4 ~dummy:(-1, 0, 0) () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (raw_nodes, raw_resvs) ->
+          let nodes =
+            List.map
+              (fun (b, l) ->
+                let id = !next_id in
+                incr next_id;
+                (id, b, b + l))
+              raw_nodes
+          in
+          List.iter (Memory.Limbo.push buf) nodes;
+          model := !model @ nodes;
+          let intervals = List.map (fun (lo, w) -> (lo, lo + w)) raw_resvs in
+          let keep = protected_by intervals in
+          let keep_ref, free_ref = List.partition keep !model in
+          let freed = ref [] in
+          Memory.Limbo.sweep buf ~keep ~drop:(fun n -> freed := n :: !freed);
+          model := keep_ref;
+          if
+            not
+              (List.sort compare !freed = List.sort compare free_ref
+              && Memory.Limbo.length buf = List.length keep_ref)
+          then ok := false)
+        rounds;
+      !ok)
+
+(* --- Zero-allocation retire fast path, per scheme --- *)
+
+(* Acceptance criterion: a retire batch below every pass/dispatch
+   threshold must not allocate at all (no cons cells, no records).  The
+   nodes and their [reclaimable]s are created outside the measured
+   region, as a data structure would (node birth pays it once). *)
+let test_retire_fast_path_no_alloc (module S : Smr.Smr_intf.S) () =
+  let batch = 256 in
+  let config =
+    {
+      Smr.Smr_intf.limbo_threshold = 4 * batch;
+      epoch_freq = max_int;
+      batch_size = 4 * batch;
+    }
+  in
+  let t = S.create ~config ~threads:1 ~slots:1 () in
+  let th = S.register t ~tid:0 in
+  let nodes =
+    Array.init batch (fun _ ->
+        let h = Memory.Hdr.create () in
+        S.on_alloc th h;
+        { Smr.Smr_intf.hdr = h; free = (fun _ -> ()) })
+  in
+  let words =
+    minor_words_in (fun () ->
+        for i = 0 to batch - 1 do
+          S.retire th nodes.(i)
+        done)
+  in
+  Alcotest.(check (float 0.))
+    (Printf.sprintf "%s: minor words per %d-retire batch" S.name batch)
+    0. words;
+  S.flush th
+
+(* --- Schemes still reclaim exactly the unprotected set after the port --- *)
+
+let test_sweep_end_to_end (module S : Smr.Smr_intf.S) () =
+  if S.name = "NR" then ()
+  else begin
+    let config =
+      { Smr.Smr_intf.limbo_threshold = 8; epoch_freq = 4; batch_size = 4 }
+    in
+    let t = S.create ~config ~threads:1 ~slots:1 () in
+    let th = S.register t ~tid:0 in
+    let hdrs =
+      List.init 100 (fun _ ->
+          S.start_op th;
+          let h = Memory.Hdr.create () in
+          S.on_alloc th h;
+          S.end_op th;
+          h)
+    in
+    List.iter
+      (fun h ->
+        S.retire th
+          { Smr.Smr_intf.hdr = h; free = (fun _ -> Memory.Hdr.mark_reclaimed h) })
+      hdrs;
+    S.flush th;
+    S.flush th;
+    check_int
+      (Printf.sprintf "%s: nothing left unreclaimed" S.name)
+      0 (S.unreclaimed t);
+    check "all poisoned" true (List.for_all Memory.Hdr.is_reclaimed hdrs)
+  end
+
+(* --- Tcounter after the padding rebase --- *)
+
+let test_tcounter_multidomain_sum () =
+  let threads = 4 in
+  let per = 24_000 in
+  let c = Memory.Tcounter.create ~threads in
+  let doms =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              if i mod 3 = 0 then Memory.Tcounter.add c ~tid 2
+              else Memory.Tcounter.incr c ~tid
+            done))
+  in
+  List.iter Domain.join doms;
+  (* per thread: per/3 adds of 2 plus the rest incremented by 1 *)
+  let per_thread = (2 * (per / 3)) + (per - (per / 3)) in
+  check_int "total = sum of per-domain increments" (threads * per_thread)
+    (Memory.Tcounter.total c);
+  List.init threads Fun.id
+  |> List.iter (fun tid ->
+         check_int "per-cell count" per_thread (Memory.Tcounter.get c ~tid))
+
+(* add is now a real atomic RMW: concurrent add/incr on the SAME cell
+   must not lose updates (the old get-then-set could). *)
+let test_tcounter_add_atomic () =
+  let c = Memory.Tcounter.create ~threads:1 in
+  let per = 20_000 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Memory.Tcounter.add c ~tid:0 1
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "no lost updates on one cell" (4 * per) (Memory.Tcounter.total c)
+
+let per_scheme name f =
+  List.map
+    (fun (module S : Smr.Smr_intf.S) ->
+      Alcotest.test_case (Printf.sprintf "%s (%s)" name S.name) `Quick
+        (f (module S : Smr.Smr_intf.S)))
+    Smr.Registry.all
+
+let () =
+  Alcotest.run "limbo"
+    [
+      ( "padded",
+        [
+          Alcotest.test_case "basic" `Quick test_padded_basic;
+          Alcotest.test_case "bounds" `Quick test_padded_bounds;
+          Alcotest.test_case "independent cells" `Quick
+            test_padded_cells_independent;
+        ] );
+      ( "limbo-buffer",
+        [
+          Alcotest.test_case "push/grow/get" `Quick test_limbo_push_grow;
+          Alcotest.test_case "take_array" `Quick test_limbo_take_array;
+          Alcotest.test_case "push below capacity allocates nothing" `Quick
+            test_limbo_push_no_alloc;
+        ] );
+      ( "trace-equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_equiv;
+          QCheck_alcotest.to_alcotest prop_sweep_multi_pass_equiv;
+        ] );
+      ( "retire-fast-path",
+        per_scheme "zero allocation" test_retire_fast_path_no_alloc );
+      ("end-to-end", per_scheme "reclaims all" test_sweep_end_to_end);
+      ( "tcounter",
+        [
+          Alcotest.test_case "multi-domain sum" `Quick
+            test_tcounter_multidomain_sum;
+          Alcotest.test_case "add is atomic" `Quick test_tcounter_add_atomic;
+        ] );
+    ]
