@@ -16,16 +16,29 @@ open Bechamel
 open Toolkit
 
 (* One mixed operation (50r/25i/25d) against a prefilled structure; this is
-   the workload unit the paper's figures are built from. *)
+   the workload unit the paper's figures are built from.
+
+   The instance is a Bechamel resource: allocated (built + prefilled) when
+   its benchmark starts and torn down (every thread quiesced, limbo drained
+   back to the pools) when it ends, so later groups measure from a clean
+   slate instead of inheriting reclamation state grown by earlier groups. *)
+type mixed_resource = {
+  inst : Harness.Instance.t;
+  rng : Harness.Workload.Rng.t;
+}
+
 let mixed_op_test ~name ~structure ~scheme ~range =
   let builder = Harness.Instance.find_builder_exn structure in
-  let inst = builder.Harness.Instance.build scheme ~threads:1 () in
-  Array.iter
-    (fun k -> ignore (inst.Harness.Instance.insert ~tid:0 k))
-    (Harness.Workload.prefill_keys ~range ~seed:7);
-  let rng = Harness.Workload.Rng.create ~seed:11 in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  let allocate () =
+    let inst = builder.Harness.Instance.build scheme ~threads:1 () in
+    Array.iter
+      (fun k -> ignore (inst.Harness.Instance.insert ~tid:0 k))
+      (Harness.Workload.prefill_keys ~range ~seed:7);
+    { inst; rng = Harness.Workload.Rng.create ~seed:11 }
+  in
+  let free r = r.inst.Harness.Instance.teardown () in
+  Test.make_with_resource ~name Test.uniq ~allocate ~free
+    (Staged.stage (fun { inst; rng } ->
          let key = Harness.Workload.Rng.int rng range in
          match Harness.Workload.op_for rng Harness.Workload.read_write_50 with
          | Harness.Workload.Search ->

@@ -15,16 +15,25 @@
                    so only the retire fast path is measured.
    - counter-incr  per-domain counter increments: Tcounter (padded
                    cells) vs a plain adjacent [Atomic.t array].
+   - ops           end-to-end mixed-op throughput (50r/25i/25d, range 512)
+                   per structure x scheme, through [Harness.Runner] with
+                   latency timing off — the canonical throughput smoke.
+   - op-allocs     single-domain allocation audit of the operation fast
+                   paths: GC minor words per HList search / insert /
+                   delete after warm-up.  Asserts 0.00 words per search
+                   for EBR, HP, HE and IBR (disable with --no-assert).
 
    Flags:
      --json PATH      write a schema-v1 BENCH artifact (runs carry
                       "kind": "micro"; see scripts/validate_bench.py)
      --schemes LIST   comma-separated (default EBR,IBR,HE,HLN,HP)
+     --structures L   comma-separated, for ops (default HList,HMList,SkipList)
      --threads LIST   comma-separated domain counts (default 1,4)
      --duration SECS  per timed run (default 0.5)
      --hold SECS      reader hold time for retire-stall (default 0.002)
      --repeats N      timed-run repeats, median reported (default 1)
-     --smoke          CI preset: 0.1 s, threads 1,2, EBR+IBR, 1 repeat
+     --no-assert      report op-allocs without the zero-allocation check
+     --smoke          CI preset: 0.1 s, threads 1,2, EBR+IBR, HList, 1 repeat
 *)
 
 module Json = Harness.Json
@@ -56,6 +65,8 @@ type run = {
   duration : float;
   throughput : float;
   minor_words_per_op : float option;
+  structure : string option; (* ops / op-allocs: the data structure *)
+  op : string option; (* op-allocs: search / insert / delete *)
 }
 
 let run_json r =
@@ -69,10 +80,14 @@ let run_json r =
        ("duration", Json.Float r.duration);
        ("throughput", Json.Float r.throughput);
      ]
+    @ (match r.minor_words_per_op with
+      | Some w -> [ ("minor_words_per_op", Json.Float w) ]
+      | None -> [])
+    @ (match r.structure with
+      | Some s -> [ ("structure", Json.String s) ]
+      | None -> [])
     @
-    match r.minor_words_per_op with
-    | Some w -> [ ("minor_words_per_op", Json.Float w) ]
-    | None -> [])
+    match r.op with Some o -> [ ("op", Json.String o) ] | None -> [])
 
 (* One timed retire/reclaim run.  [hold > 0] dedicates domain 0 to the
    slow-reader role (requires threads >= 2). *)
@@ -144,6 +159,8 @@ let retire_bench (module S : Smr.Smr_intf.S) ~threads ~duration ~hold ~repeats =
     duration = elapsed;
     throughput = med;
     minor_words_per_op = None;
+    structure = None;
+    op = None;
   }
 
 (* Minor words allocated per [retire] call on the fast path: batch sized
@@ -188,6 +205,8 @@ let retire_allocs (module S : Smr.Smr_intf.S) =
     duration = elapsed;
     throughput = float_of_int batch /. elapsed;
     minor_words_per_op = Some (words /. float_of_int batch);
+    structure = None;
+    op = None;
   }
 
 (* Per-domain counter increments: Tcounter vs plain adjacent atomics. *)
@@ -229,6 +248,8 @@ let counter_bench ~threads ~duration =
       duration = p_el;
       throughput = p_tp;
       minor_words_per_op = None;
+      structure = None;
+      op = None;
     };
     {
       bench = "counter-incr";
@@ -238,8 +259,156 @@ let counter_bench ~threads ~duration =
       duration = u_el;
       throughput = u_tp;
       minor_words_per_op = None;
+      structure = None;
+      op = None;
     };
   ]
+
+(* End-to-end mixed-op throughput (the paper's 50r/25i/25d) through the
+   full harness with latency timing off: a structure x scheme matrix cell
+   whose medians EXPERIMENTS.md "Operation-path costs" tracks, and the
+   smoke throughput number --compare checks across commits. *)
+let ops_bench ~structure ~(scheme : Smr.Registry.scheme) ~threads ~duration
+    ~repeats ~latency =
+  let builder = Harness.Instance.find_builder_exn structure in
+  let runs =
+    List.init repeats (fun i ->
+        Harness.Runner.run ~seed:(0xC0FFEE + i) ~measure_latency:latency
+          ~builder ~scheme ~threads ~range:512 ~duration ())
+  in
+  let sorted =
+    List.sort
+      (fun (a : Harness.Runner.result) (b : Harness.Runner.result) ->
+        compare a.throughput b.throughput)
+      runs
+  in
+  let r = List.nth sorted ((List.length sorted - 1) / 2) in
+  {
+    bench = (if latency then "ops-timed" else "ops");
+    scheme = r.scheme;
+    threads;
+    ops = r.ops;
+    duration = r.duration;
+    throughput = r.throughput;
+    minor_words_per_op = None;
+    structure = Some r.structure;
+    op = None;
+  }
+
+(* Allocation audit of the operation fast paths: GC minor words per HList
+   search / insert / delete on a single domain, with the SMR calibration
+   pushed out (huge limbo threshold, era increments off) so no reclamation
+   pass runs inside a measured region.  Warm-up fills the node pool's
+   freelist and grows the limbo buffers to capacity, so the steady state
+   being measured is the recycling path the long benchmarks run on. *)
+let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
+  let builder = Harness.Instance.find_builder_exn "HList" in
+  let config =
+    {
+      Smr.Smr_intf.limbo_threshold = 1_000_000;
+      epoch_freq = max_int;
+      batch_size = 1_000_000;
+    }
+  in
+  let inst =
+    builder.Harness.Instance.build (module S) ~threads:1 ~config ()
+  in
+  let tid = 0 in
+  let keys = 128 in
+  let odd = Array.init (keys / 2) (fun i -> (2 * i) + 1) in
+  (* Warm-up: populate, churn the odd keys through retire/reclaim, touch
+     every search path, and quiesce so the freelist is primed. *)
+  for _ = 1 to 4 do
+    for k = 0 to keys - 1 do
+      ignore (inst.Harness.Instance.insert ~tid k)
+    done;
+    Array.iter (fun k -> ignore (inst.Harness.Instance.delete ~tid k)) odd;
+    for k = 0 to keys - 1 do
+      ignore (inst.Harness.Instance.search ~tid k)
+    done;
+    inst.Harness.Instance.quiesce ~tid
+  done;
+  (* Baseline: what a back-to-back pair of [Gc.minor_words] calls itself
+     allocates (the boxed float results). *)
+  let overhead =
+    let a = Gc.minor_words () in
+    let b = Gc.minor_words () in
+    b -. a
+  in
+  let measure f =
+    let t0 = now () in
+    let before = Gc.minor_words () in
+    f ();
+    let after = Gc.minor_words () in
+    (after -. before -. overhead, now () -. t0)
+  in
+  let search_batch = 4096 in
+  let s_words, s_el =
+    measure (fun () ->
+        for i = 0 to search_batch - 1 do
+          ignore (inst.Harness.Instance.search ~tid (i land (keys - 1)))
+        done)
+  in
+  (* Insert/delete cycle the odd keys; the quiesce between rounds returns
+     the retired nodes to the freelist and is not measured. *)
+  let rounds = 8 in
+  let i_words = ref 0. and i_el = ref 0. in
+  let d_words = ref 0. and d_el = ref 0. in
+  for _ = 1 to rounds do
+    (* Index loops, not [Array.iter]: the iteration closure would cons
+       inside the measured region. *)
+    let w, el =
+      measure (fun () ->
+          for i = 0 to Array.length odd - 1 do
+            ignore (inst.Harness.Instance.insert ~tid odd.(i))
+          done)
+    in
+    i_words := !i_words +. w;
+    i_el := !i_el +. el;
+    let w, el =
+      measure (fun () ->
+          for i = 0 to Array.length odd - 1 do
+            ignore (inst.Harness.Instance.delete ~tid odd.(i))
+          done)
+    in
+    d_words := !d_words +. w;
+    d_el := !d_el +. el;
+    inst.Harness.Instance.quiesce ~tid
+  done;
+  let wr_batch = rounds * Array.length odd in
+  let mk_run op n words el =
+    {
+      bench = "op-allocs";
+      scheme = S.name;
+      threads = 1;
+      ops = n;
+      duration = el;
+      throughput = float_of_int n /. el;
+      minor_words_per_op = Some (words /. float_of_int n);
+      structure = Some "HList";
+      op = Some op;
+    }
+  in
+  let runs =
+    [
+      mk_run "search" search_batch s_words s_el;
+      mk_run "insert" wr_batch !i_words !i_el;
+      mk_run "delete" wr_batch !d_words !d_el;
+    ]
+  in
+  let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR" ] in
+  if assert_zero && List.mem S.name zero_alloc_schemes then begin
+    let per_op = s_words /. float_of_int search_batch in
+    if per_op > 0.01 then begin
+      Printf.eprintf
+        "op-allocs: %s HList search allocates %.3f minor words/op (expected \
+         0.00)\n\
+         %!"
+        S.name per_op;
+      exit 1
+    end
+  end;
+  runs
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -249,8 +418,11 @@ let () =
   let hold = ref 0.002 in
   let repeats = ref 1 in
   let schemes = ref "EBR,IBR,HE,HLN,HP" in
+  let structures = ref "HList,HMList,SkipList" in
   let threads = ref "1,4" in
   let smoke = ref false in
+  let no_assert = ref false in
+  let latency = ref false in
   Arg.parse
     [
       ( "--json",
@@ -260,7 +432,17 @@ let () =
       ("--hold", Arg.Set_float hold, "SECS  reader hold for retire-stall (0.002)");
       ("--repeats", Arg.Set_int repeats, "N  timed-run repeats, median kept (1)");
       ("--schemes", Arg.Set_string schemes, "LIST  comma-separated scheme names");
+      ( "--structures",
+        Arg.Set_string structures,
+        "LIST  structures for the ops bench (HList,HMList,SkipList)" );
       ("--threads", Arg.Set_string threads, "LIST  comma-separated domain counts");
+      ( "--no-assert",
+        Arg.Set no_assert,
+        " report op-allocs without the zero-allocation check" );
+      ( "--latency",
+        Arg.Set latency,
+        " run ops with per-op latency timing on (bench \"ops-timed\"), to\n\
+        \          measure the cost of the timed loop itself" );
       ("--smoke", Arg.Set smoke, " CI preset: quick run");
     ]
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
@@ -269,11 +451,13 @@ let () =
     duration := 0.1;
     threads := "1,2";
     schemes := "EBR,IBR";
+    structures := "HList";
     repeats := 1
   end;
   let schemes =
     List.map (fun n -> Smr.Registry.find_exn n) (split_commas !schemes)
   in
+  let structure_names = split_commas !structures in
   let thread_counts = List.map int_of_string (split_commas !threads) in
   let results = ref [] in
   let push r = results := r :: !results in
@@ -297,14 +481,33 @@ let () =
   List.iter (fun tcount ->
       List.iter push (counter_bench ~threads:tcount ~duration:!duration))
     thread_counts;
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun tcount ->
+              push
+                (ops_bench ~structure ~scheme ~threads:tcount
+                   ~duration:!duration ~repeats:!repeats ~latency:!latency))
+            thread_counts)
+        schemes)
+    structure_names;
+  List.iter
+    (fun (module S : Smr.Smr_intf.S) ->
+      List.iter push (op_allocs_runs (module S) ~assert_zero:(not !no_assert)))
+    schemes;
   let results = List.rev !results in
   Harness.Report.section "SMR hot-path microbenchmarks";
   Harness.Report.table
-    ~header:[ "bench"; "scheme"; "threads"; "ops"; "ops/s"; "mw/op" ]
+    ~header:
+      [ "bench"; "struct"; "op"; "scheme"; "threads"; "ops"; "ops/s"; "mw/op" ]
     (List.map
        (fun r ->
          [
            r.bench;
+           Option.value r.structure ~default:"-";
+           Option.value r.op ~default:"-";
            r.scheme;
            string_of_int r.threads;
            string_of_int r.ops;

@@ -52,10 +52,13 @@ let median_result (rs : Runner.result list) =
       List.nth sorted ((List.length sorted - 1) / 2)
 
 let run_one cfg ~builder ~scheme ~threads ~range ?mix () =
+  (* One recorder set shared across the repeats: [Runner.run] resets and
+     reuses the buffers instead of reallocating them per repeat. *)
+  let recorders = Array.init threads (fun _ -> Metrics.create_recorder ()) in
   let results =
     List.init cfg.repeats (fun i ->
-        Runner.run ?mix ~seed:(0xC0FFEE + i) ~builder ~scheme ~threads ~range
-          ~duration:cfg.duration ())
+        Runner.run ?mix ~seed:(0xC0FFEE + i) ~recorders ~builder ~scheme
+          ~threads ~range ~duration:cfg.duration ())
   in
   median_result results
 

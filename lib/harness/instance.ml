@@ -12,6 +12,9 @@ type t = {
   delete : tid:int -> int -> bool;
   search : tid:int -> int -> bool;
   quiesce : tid:int -> unit; (* force a reclamation pass on that thread *)
+  teardown : unit -> unit;
+      (* quiesce every thread: drain limbo/pools so a reused process does
+         not leak grown reclamation state into the next measurement *)
   restarts : unit -> int;
   unreclaimed : unit -> int;
   scheme_stats : unit -> (string * int) list;
@@ -47,6 +50,7 @@ let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter L.quiesce handles);
     restarts = (fun () -> L.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
@@ -71,6 +75,7 @@ let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter L.quiesce handles);
     restarts = (fun () -> L.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
@@ -97,6 +102,7 @@ let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter L.quiesce handles);
     restarts = (fun () -> L.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
@@ -123,6 +129,7 @@ let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
     quiesce = (fun ~tid -> L.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter L.quiesce handles);
     restarts = (fun () -> L.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> L.unreclaimed t);
@@ -147,6 +154,7 @@ let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
     delete = (fun ~tid k -> T.delete handles.(tid) k);
     search = (fun ~tid k -> T.search handles.(tid) k);
     quiesce = (fun ~tid -> T.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter T.quiesce handles);
     restarts = (fun () -> T.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> T.unreclaimed t);
@@ -172,6 +180,7 @@ let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     delete = (fun ~tid k -> SL.delete handles.(tid) k);
     search = (fun ~tid k -> SL.search handles.(tid) k);
     quiesce = (fun ~tid -> SL.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter SL.quiesce handles);
     restarts = (fun () -> SL.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> SL.unreclaimed t);
@@ -196,6 +205,7 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
     delete = (fun ~tid k -> M.delete handles.(tid) k);
     search = (fun ~tid k -> M.search handles.(tid) k);
     quiesce = (fun ~tid -> M.quiesce handles.(tid));
+    teardown = (fun () -> Array.iter M.quiesce handles);
     restarts = (fun () -> M.restarts t);
     scheme_stats = (fun () -> S.stats smr);
     unreclaimed = (fun () -> S.unreclaimed smr);

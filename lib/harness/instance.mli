@@ -8,6 +8,9 @@ type t = {
   delete : tid:int -> int -> bool;
   search : tid:int -> int -> bool;
   quiesce : tid:int -> unit; (** force a reclamation pass on that thread *)
+  teardown : unit -> unit;
+      (** quiesce every thread: drain limbo/pools so repeated in-process
+          measurements do not inherit grown reclamation state *)
   restarts : unit -> int;
   unreclaimed : unit -> int;
   scheme_stats : unit -> (string * int) list;

@@ -14,6 +14,10 @@ type recorder
 
 val create_recorder : unit -> recorder
 
+val reset_recorder : recorder -> unit
+(** Zero all counters in place, allowing the buffers to be reused across
+    runs (e.g. benchmark repeats) without reallocating. *)
+
 val count : recorder -> op_kind -> hit:bool -> unit
 (** Count an operation without a latency sample ([hit] is the op's boolean
     result: found / inserted / removed). *)

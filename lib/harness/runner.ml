@@ -41,7 +41,7 @@ let default_sample_every = 0.01
 
 let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
-    ?(measure_latency = true) ~(builder : Instance.builder)
+    ?(measure_latency = true) ?recorders ~(builder : Instance.builder)
     ~(scheme : Smr.Registry.scheme) ~threads ~range ~duration () =
   let inst = builder.build scheme ~threads ?config () in
   if range >= inst.max_key then
@@ -54,42 +54,63 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   let stop = Atomic.make false in
   let ops_done = Array.make threads 0 in
   let faults = Array.make threads 0 in
-  let recorders = Array.init threads (fun _ -> Metrics.create_recorder ()) in
+  let recorders =
+    (* Callers running many repeats pass their own recorders so the buffers
+       are reused instead of reallocated per run. *)
+    match recorders with
+    | Some rs when Array.length rs = threads ->
+        Array.iter Metrics.reset_recorder rs;
+        rs
+    | Some _ -> invalid_arg "Runner.run: recorders array length <> threads"
+    | None -> Array.init threads (fun _ -> Metrics.create_recorder ())
+  in
+  (* The two measurement loops are split on [measure_latency] *outside* the
+     loop so the steady state is branch-free.  The timed loop pays two clock
+     reads and one boxed-float allocation per op; the untimed loop performs
+     no timestamp reads at all and allocates nothing per operation (the op
+     dispatch is an inline match, not a closure call). *)
   let worker tid () =
     let rng = Workload.Rng.create ~seed:(seed + (31 * (tid + 1))) in
     let recorder = recorders.(tid) in
-    let exec kind key =
-      match (kind : Workload.op) with
-      | Workload.Search -> inst.search ~tid key
-      | Workload.Insert -> inst.insert ~tid key
-      | Workload.Delete -> inst.delete ~tid key
-    in
-    let kind_of = function
-      | Workload.Search -> Metrics.Search
-      | Workload.Insert -> Metrics.Insert
-      | Workload.Delete -> Metrics.Delete
-    in
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
     let count = ref 0 in
     (try
-       while not (Atomic.get stop) do
-         let key = Workload.Rng.int rng range in
-         let op = Workload.op_for rng mix in
-         (if measure_latency then begin
-            let t0 = Unix.gettimeofday () in
-            let hit = exec op key in
-            let ns =
-              int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
-            in
-            Metrics.observe recorder (kind_of op) ~hit ~ns
-          end
-          else
-            let hit = exec op key in
-            Metrics.count recorder (kind_of op) ~hit);
-         incr count
-       done
+       if measure_latency then
+         while not (Atomic.get stop) do
+           let key = Workload.Rng.int rng range in
+           let op = Workload.op_for rng mix in
+           let t0 = Unix.gettimeofday () in
+           let hit =
+             match op with
+             | Workload.Search -> inst.search ~tid key
+             | Workload.Insert -> inst.insert ~tid key
+             | Workload.Delete -> inst.delete ~tid key
+           in
+           let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+           let kind =
+             match op with
+             | Workload.Search -> Metrics.Search
+             | Workload.Insert -> Metrics.Insert
+             | Workload.Delete -> Metrics.Delete
+           in
+           Metrics.observe recorder kind ~hit ~ns;
+           incr count
+         done
+       else
+         while not (Atomic.get stop) do
+           let key = Workload.Rng.int rng range in
+           (match Workload.op_for rng mix with
+           | Workload.Search ->
+               Metrics.count recorder Metrics.Search ~hit:(inst.search ~tid key)
+           | Workload.Insert ->
+               Metrics.count recorder Metrics.Insert ~hit:(inst.insert ~tid key)
+           | Workload.Delete ->
+               Metrics.count recorder Metrics.Delete
+                 ~hit:(inst.delete ~tid key));
+           incr count
+         done
      with Memory.Fault.Use_after_free _ ->
        (* The simulated SEGFAULT: record and stop this worker. *)
        faults.(tid) <- faults.(tid) + 1);

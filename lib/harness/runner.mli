@@ -36,8 +36,10 @@ val default_sample_every : float
     SMR calibration; [check] (default true) verifies structure invariants
     after a fault-free run; [sample_every] is the memory-gauge period;
     [measure_latency] (default true) times every operation for the latency
-    histograms — disable it to remove the two clock reads per op when
-    comparing raw throughput against pre-metrics builds. *)
+    histograms — when disabled the worker loop performs no timestamp reads
+    and allocates nothing per operation, for raw-throughput comparisons;
+    [recorders] lets callers running many repeats supply the per-thread
+    metric buffers (reset and reused; length must equal [threads]). *)
 val run :
   ?mix:Workload.mix ->
   ?seed:int ->
@@ -45,6 +47,7 @@ val run :
   ?sample_every:float ->
   ?check:bool ->
   ?measure_latency:bool ->
+  ?recorders:Metrics.recorder array ->
   builder:Instance.builder ->
   scheme:Smr.Registry.scheme ->
   threads:int ->

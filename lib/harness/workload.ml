@@ -5,24 +5,32 @@
    Figures 8-12) and prefills the structure with unique keys covering 50% of
    the range. *)
 
-(* SplitMix64: fast, statistically solid, and deterministic across runs. *)
+(* Unboxed xorshift over the native int: per-draw cost is three shifts and
+   three xors with no Int64 boxing, so the measurement loop's RNG draw is
+   allocation-free.  Deterministic across runs for a given seed. *)
 module Rng = struct
-  type t = { mutable state : int64 }
+  type t = { mutable state : int }
 
-  let create ~seed = { state = Int64.of_int seed }
+  (* Seed 0 is a fixed point of xorshift; displace it with a golden-ratio
+     constant (also used to decorrelate small consecutive seeds). *)
+  let mix_seed s = (s + 0x9E3779B9) lxor (s lsl 7)
+
+  let create ~seed =
+    let s = mix_seed seed land max_int in
+    { state = (if s = 0 then 0x9E3779B9 else s) }
 
   let next t =
-    let open Int64 in
-    t.state <- add t.state 0x9E3779B97F4A7C15L;
-    let z = t.state in
-    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-    logxor z (shift_right_logical z 31)
+    let x = t.state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    let x = x land max_int in
+    let x = if x = 0 then 0x9E3779B9 else x in
+    t.state <- x;
+    x
 
   (* Uniform int in [0, bound); bound must be positive. *)
-  let int t bound =
-    let r = Int64.to_int (next t) land max_int in
-    r mod bound
+  let int t bound = next t mod bound
 end
 
 type mix = { read_pct : int; insert_pct : int; delete_pct : int }

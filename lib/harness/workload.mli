@@ -2,13 +2,15 @@
     key-range prefill, mirroring the paper's benchmark parameters. *)
 
 module Rng : sig
-  (** SplitMix64: fast, deterministic, statistically solid. *)
+  (** Unboxed native-int xorshift: fast, deterministic, and allocation-free
+      per draw (no [Int64] boxing on the hot path). *)
 
   type t
 
   val create : seed:int -> t
 
-  val next : t -> int64
+  val next : t -> int
+  (** Non-negative. *)
 
   (** Uniform int in [0, bound); [bound] must be positive. *)
   val int : t -> int -> int

@@ -17,7 +17,13 @@
    Hazard-slot roles (§3.2): Hp0 = next, Hp1 = curr, Hp2 = last safe node
    (prev), Hp3 = first unsafe node.  All [dup] calls copy from a lower to a
    higher index, preserving the ascending-order discipline the paper
-   requires to avoid the transient-unprotected race in retire scans. *)
+   requires to avoid the transient-unprotected race in retire scans.
+
+   The operation fast paths are allocation-free: protected loads go through
+   the scheme's staged reader (built once per handle), link values are the
+   nodes' canonical prebuilt records, retire hands over the node's prebuilt
+   [rc], and the traversal state that an attempt returns lives in
+   handle-owned scratch fields instead of a consed [pos] record. *)
 
 module N = List_node
 
@@ -32,132 +38,154 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   type t = {
     head : N.link Atomic.t;
+    tail : N.t;
     smr : S.t;
     pool : N.Pool.t;
+    mk : unit -> N.t; (* pool-bound maker; prebuilds each node's [rc] *)
     restarts : Memory.Tcounter.t;
     recovery : bool;
   }
 
-  type handle = { t : t; s : S.th; tid : int }
+  type handle = {
+    t : t;
+    s : S.th;
+    tid : int;
+    rdr : N.link S.reader;
+    (* Scratch for the current traversal attempt — the old [pos] record,
+       hoisted: [prev] is the last safe link cell, [expected] the physical
+       record currently installed there, [pos_curr] the first node with
+       key >= target, [pos_next] its successor link. *)
+    mutable prev : N.link Atomic.t;
+    mutable expected : N.link;
+    mutable pos_curr : N.t;
+    mutable pos_next : N.link;
+  }
 
   let create ?(recovery = true) ?(recycle = true) ~smr ~threads () =
     let tail = N.fresh ~key:max_int ~next:N.null_link in
+    let pool = N.Pool.create ~recycle ~threads () in
     {
-      head = Atomic.make (N.link (Some tail));
+      head = Atomic.make tail.N.in_link;
+      tail;
       smr;
-      pool = N.Pool.create ~recycle ~threads ();
+      pool;
+      mk = N.maker pool;
       restarts = Memory.Tcounter.create ~threads;
       recovery;
     }
 
-  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
-
-  let protect_link s ~slot field =
-    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+  let handle t ~tid =
+    let s = S.register t.smr ~tid in
+    {
+      t;
+      s;
+      tid;
+      rdr = S.reader s N.desc;
+      prev = t.head;
+      expected = N.null_link;
+      pos_curr = t.tail;
+      pos_next = N.null_link;
+    }
 
   let node_of (l : N.link) =
     match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
-
-  let reclaimable t (n : N.t) : Smr.Smr_intf.reclaimable =
-    { hdr = n.N.hdr; free = (fun tid -> N.Pool.free t.pool ~tid n) }
 
   (* Retire the unlinked chain [from, until) — the paper's Do_Retire.  The
      chain is private to us after the successful unlink CAS. *)
   let rec retire_chain h (n : N.t) ~until =
     if n != until then begin
       let next = Atomic.get n.N.next in
-      S.retire h.s (reclaimable h.t n);
+      S.retire h.s n.N.rc;
       retire_chain h (node_of next) ~until
     end
 
-  (* Result of Do_Find: [prev] is the last safe link cell, [expected] the
-     physical record currently installed there (pointing at [curr]), [curr]
-     the first node with key >= target, [next] its successor link. *)
-  type pos = {
-    prev : N.link Atomic.t;
-    expected : N.link;
-    curr : N.t;
-    next : N.link;
-  }
-
   let no_step () = ()
 
-  let rec do_find ?(on_step = no_step) h key ~srch =
-    try find_attempt ~on_step h key ~srch
+  (* Do_Find.  Results land in [h.prev]/[h.expected]/[h.pos_curr]/
+     [h.pos_next]; the body is a top-level recursion over explicit
+     arguments so a steady-state attempt allocates nothing. *)
+  let rec do_find h key ~srch ~on_step =
+    try find_attempt h key ~srch ~on_step
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-      do_find ~on_step h key ~srch
+      do_find h key ~srch ~on_step
 
-  and find_attempt ~on_step h key ~srch =
-    let t = h.t and s = h.s in
-    let prev = ref t.head in
-    let expected = ref (protect_link s ~slot:hp_curr t.head) in
-    (* Dangerous-zone validation: the last safe node must still hold the
-       exact link record we read from it.  On failure, §3.2.1 recovery
-       re-reads the link: if the last safe node is itself now deleted we
-       must restart from the head; otherwise traversal continues at the
-       link's new target. *)
-    let validate () =
-      if Atomic.get !prev == !expected then None
-      else if not t.recovery then raise Restart
-      else begin
-        let l = protect_link s ~slot:hp_curr !prev in
-        if l.N.marked then raise Restart;
-        expected := l;
-        Some (node_of l)
-      end
-    in
-    (* Phase 1 ([step] on an unmarked [next]): the safe zone.  Identical
-       hazard discipline to the Harris-Michael list: shift curr->prev
-       (Hp1->Hp2) and next->curr (Hp0->Hp1) while nodes are unmarked.
+  and find_attempt h key ~srch ~on_step =
+    let first = S.read_field h.rdr ~slot:hp_curr h.t.head in
+    h.prev <- h.t.head;
+    h.expected <- first;
+    let first = node_of first in
+    step h key ~srch ~on_step first
+      (S.read_field h.rdr ~slot:hp_next (N.next_field first))
 
-       Phase 2: the dangerous zone.  [curr] is marked and [next] is its
-       (marked) successor link whose target is protected in Hp0 but not yet
-       validated.  We validate the last safe link *before* dereferencing
-       the protected target (Theorem 2's ordering), then advance. *)
-    let rec step (curr : N.t) (next : N.link) =
-      on_step ();
-      if next.N.marked then begin
-        (* [curr] is logically deleted: protect the first unsafe node and
-           enter the dangerous zone. *)
-        S.dup s ~src:hp_curr ~dst:hp_unsafe;
-        phase2 ~zstart:curr next
-      end
-      else if N.key curr >= key then
-        { prev = !prev; expected = !expected; curr; next }
-      else begin
-        prev := N.next_field curr;
-        expected := next;
-        S.dup s ~src:hp_curr ~dst:hp_prev;
+  (* Dangerous-zone validation: the last safe node must still hold the
+     exact link record we read from it.  On failure, §3.2.1 recovery
+     re-reads the link: if the last safe node is itself now deleted we
+     must restart from the head; otherwise traversal continues at the
+     link's new target. *)
+  and validate h =
+    if Atomic.get h.prev == h.expected then None
+    else if not h.t.recovery then raise Restart
+    else begin
+      let l = S.read_field h.rdr ~slot:hp_curr h.prev in
+      if l.N.marked then raise Restart;
+      h.expected <- l;
+      Some (node_of l)
+    end
+
+  (* Phase 1 ([step] on an unmarked [next]): the safe zone.  Identical
+     hazard discipline to the Harris-Michael list: shift curr->prev
+     (Hp1->Hp2) and next->curr (Hp0->Hp1) while nodes are unmarked.
+
+     Phase 2: the dangerous zone.  [curr] is marked and [next] is its
+     (marked) successor link whose target is protected in Hp0 but not yet
+     validated.  We validate the last safe link *before* dereferencing
+     the protected target (Theorem 2's ordering), then advance. *)
+  and step h key ~srch ~on_step (curr : N.t) (next : N.link) =
+    on_step ();
+    if next.N.marked then begin
+      (* [curr] is logically deleted: protect the first unsafe node and
+         enter the dangerous zone. *)
+      S.dup h.s ~src:hp_curr ~dst:hp_unsafe;
+      phase2 h key ~srch ~on_step ~zstart:curr next
+    end
+    else if N.key curr >= key then begin
+      h.pos_curr <- curr;
+      h.pos_next <- next
+    end
+    else begin
+      h.prev <- N.next_field curr;
+      h.expected <- next;
+      S.dup h.s ~src:hp_curr ~dst:hp_prev;
+      let curr' = node_of next in
+      S.dup h.s ~src:hp_next ~dst:hp_curr;
+      step h key ~srch ~on_step curr'
+        (S.read_field h.rdr ~slot:hp_next (N.next_field curr'))
+    end
+
+  and phase2 h key ~srch ~on_step ~zstart (next : N.link) =
+    on_step ();
+    match validate h with
+    | Some recovered ->
+        step h key ~srch ~on_step recovered
+          (S.read_field h.rdr ~slot:hp_next (N.next_field recovered))
+    | None ->
         let curr' = node_of next in
-        S.dup s ~src:hp_next ~dst:hp_curr;
-        step curr' (protect_link s ~slot:hp_next (N.next_field curr'))
-      end
-    and phase2 ~zstart (next : N.link) =
-      on_step ();
-      match validate () with
-      | Some recovered ->
-          step recovered (protect_link s ~slot:hp_next (N.next_field recovered))
-      | None ->
-          let curr' = node_of next in
-          S.dup s ~src:hp_next ~dst:hp_curr;
-          let next' = protect_link s ~slot:hp_next (N.next_field curr') in
-          if next'.N.marked then phase2 ~zstart next'
-          else if srch then
-            (* Search skips the chain without unlinking (read-only). *)
-            step curr' next'
-          else begin
-            (* Unlink the whole chain [zstart, curr') with one CAS. *)
-            let desired = N.link (Some curr') in
-            if not (Atomic.compare_and_set !prev !expected desired) then
-              raise Restart;
-            retire_chain h zstart ~until:curr';
-            expected := desired;
-            step curr' next'
-          end
-    in
-    let first = node_of !expected in
-    step first (protect_link s ~slot:hp_next (N.next_field first))
+        S.dup h.s ~src:hp_next ~dst:hp_curr;
+        let next' = S.read_field h.rdr ~slot:hp_next (N.next_field curr') in
+        if next'.N.marked then phase2 h key ~srch ~on_step ~zstart next'
+        else if srch then
+          (* Search skips the chain without unlinking (read-only). *)
+          step h key ~srch ~on_step curr' next'
+        else begin
+          (* Unlink the whole chain [zstart, curr') with one CAS. *)
+          let desired = curr'.N.in_link in
+          if not (Atomic.compare_and_set h.prev h.expected desired) then
+            raise Restart;
+          retire_chain h zstart ~until:curr';
+          h.expected <- desired;
+          step h key ~srch ~on_step curr' next'
+        end
 
   let check_key key =
     if key >= max_int then invalid_arg "Harris_list: key must be < max_int"
@@ -165,8 +193,8 @@ module Make (S : Smr.Smr_intf.S) = struct
   let search h key =
     check_key key;
     S.start_op h.s;
-    let pos = do_find h key ~srch:true in
-    let found = N.key pos.curr = key in
+    do_find h key ~srch:true ~on_step:no_step;
+    let found = N.key h.pos_curr = key in
     S.end_op h.s;
     found
 
@@ -177,8 +205,8 @@ module Make (S : Smr.Smr_intf.S) = struct
     check_key key;
     S.start_op h.s;
     let result =
-      match do_find ~on_step h key ~srch:true with
-      | pos -> Ok (N.key pos.curr = key)
+      match do_find h key ~srch:true ~on_step with
+      | () -> Ok (N.key h.pos_curr = key)
       | exception e -> Error e
     in
     S.end_op h.s;
@@ -188,73 +216,67 @@ module Make (S : Smr.Smr_intf.S) = struct
      — the fast path of the wait-free extension (§3.4). *)
   let search_bounded h key ~max_restarts =
     check_key key;
-    let exception Out_of_budget in
     S.start_op h.s;
-    let budget = ref max_restarts in
-    let result =
-      let rec attempt () =
-        match find_attempt ~on_step:no_step h key ~srch:true with
-        | pos -> Some (N.key pos.curr = key)
-        | exception Restart ->
-            Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-            if !budget = 0 then raise Out_of_budget
-            else begin
-              decr budget;
-              attempt ()
-            end
-      in
-      try attempt () with Out_of_budget -> None
+    let rec attempt budget =
+      match find_attempt h key ~srch:true ~on_step:no_step with
+      | () -> Some (N.key h.pos_curr = key)
+      | exception Restart ->
+          Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+          if budget = 0 then None else attempt (budget - 1)
     in
+    let result = attempt max_restarts in
     S.end_op h.s;
     result
+
+  (* Retry loops live at top level (closures capturing [h]/[key]/[node]
+     would cons once per operation). *)
+  let rec insert_loop h key node =
+    do_find h key ~srch:false ~on_step:no_step;
+    if N.key h.pos_curr = key then begin
+      N.dealloc h.t.pool ~tid:h.tid node;
+      false
+    end
+    else begin
+      Atomic.set node.N.next h.pos_curr.N.in_link;
+      if Atomic.compare_and_set h.prev h.expected node.N.in_link then true
+      else insert_loop h key node
+    end
 
   let insert h key =
     check_key key;
     S.start_op h.s;
     (* Allocate once and reuse across retries, as in Figure 3. *)
-    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
     S.on_alloc h.s node.N.hdr;
-    let rec loop () =
-      let pos = do_find h key ~srch:false in
-      if N.key pos.curr = key then begin
-        N.dealloc h.t.pool ~tid:h.tid node;
-        false
-      end
-      else begin
-        Atomic.set node.N.next (N.link (Some pos.curr));
-        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
-        then true
-        else loop ()
-      end
-    in
-    let r = loop () in
+    let r = insert_loop h key node in
     S.end_op h.s;
     r
+
+  let rec delete_loop h key =
+    do_find h key ~srch:false ~on_step:no_step;
+    let curr = h.pos_curr in
+    if N.key curr <> key then false
+    else begin
+      let next = h.pos_next in
+      if
+        next.N.marked
+        || not
+             (Atomic.compare_and_set (N.next_field curr) next
+                (N.marked_copy next))
+      then delete_loop h key
+      else begin
+        (* Logically deleted; one unlink attempt (Figure 3, L22),
+           otherwise a later traversal cleans the chain. *)
+        if Atomic.compare_and_set h.prev h.expected next then
+          S.retire h.s curr.N.rc;
+        true
+      end
+    end
 
   let delete h key =
     check_key key;
     S.start_op h.s;
-    let rec loop () =
-      let pos = do_find h key ~srch:false in
-      if N.key pos.curr <> key then false
-      else begin
-        let next = pos.next in
-        if
-          next.N.marked
-          || not
-               (Atomic.compare_and_set (N.next_field pos.curr) next
-                  (N.marked_copy next))
-        then loop ()
-        else begin
-          (* Logically deleted; one unlink attempt (Figure 3, L22),
-             otherwise a later traversal cleans the chain. *)
-          if Atomic.compare_and_set pos.prev pos.expected next then
-            S.retire h.s (reclaimable h.t pos.curr);
-          true
-        end
-      end
-    in
-    let r = loop () in
+    let r = delete_loop h key in
     S.end_op h.s;
     r
 

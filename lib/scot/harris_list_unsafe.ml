@@ -22,24 +22,28 @@ module Make (S : Smr.Smr_intf.S) = struct
     head : N.link Atomic.t;
     smr : S.t;
     pool : N.Pool.t;
+    mk : unit -> N.t;
     restarts : Memory.Tcounter.t;
   }
 
-  type handle = { t : t; s : S.th; tid : int }
+  type handle = { t : t; s : S.th; tid : int; rdr : N.link S.reader }
 
   let create ?(recycle = true) ~smr ~threads () =
     let tail = N.fresh ~key:max_int ~next:N.null_link in
+    let pool = N.Pool.create ~recycle ~threads () in
     {
       head = Atomic.make (N.link (Some tail));
       smr;
-      pool = N.Pool.create ~recycle ~threads ();
+      pool;
+      mk = N.maker pool;
       restarts = Memory.Tcounter.create ~threads;
     }
 
-  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
+  let handle t ~tid =
+    let s = S.register t.smr ~tid in
+    { t; s; tid; rdr = S.reader s N.desc }
 
-  let protect_link s ~slot field =
-    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+  let protect_link h ~slot field = S.read_field h.rdr ~slot field
 
   (* In the unsafe variant a dangling traversal can observe a recycled
      node that was re-initialised concurrently; in C this is a wild
@@ -89,14 +93,14 @@ module Make (S : Smr.Smr_intf.S) = struct
   and find_attempt h key ~srch =
     let t = h.t and s = h.s in
     let prev = ref t.head in
-    let expected = ref (protect_link s ~slot:hp_curr t.head) in
+    let expected = ref (protect_link h ~slot:hp_curr t.head) in
     let zone_start = ref None in
     let steps = ref 0 in
     let rec step (curr : N.t) =
       incr steps;
       if !steps > max_steps then
         Memory.Fault.fail "unsafe traversal entered a corrupted cycle";
-      let next = protect_link s ~slot:hp_next (N.next_field curr) in
+      let next = protect_link h ~slot:hp_next (N.next_field curr) in
       if next.N.marked then begin
         if !zone_start = None then zone_start := Some curr;
         let curr' = node_of next in
@@ -139,7 +143,7 @@ module Make (S : Smr.Smr_intf.S) = struct
   let insert h key =
     check_key key;
     S.start_op h.s;
-    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
     S.on_alloc h.s node.N.hdr;
     let rec loop () =
       let pos = do_find h key ~srch:false in

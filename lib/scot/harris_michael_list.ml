@@ -8,7 +8,11 @@
    traversed.  The price is more CAS operations, mandatory restarts under
    contention (Table 2) and no read-only searches.
 
-   Hazard-slot roles: Hp0 = next, Hp1 = curr, Hp2 = prev. *)
+   Hazard-slot roles: Hp0 = next, Hp1 = curr, Hp2 = prev.
+
+   Like [Harris_list], the operation fast paths are allocation-free: staged
+   protected loads, canonical link records, prebuilt retire records, and
+   handle-owned traversal scratch. *)
 
 module N = List_node
 
@@ -22,39 +26,51 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   type t = {
     head : N.link Atomic.t;
+    tail : N.t;
     smr : S.t;
     pool : N.Pool.t;
+    mk : unit -> N.t;
     restarts : Memory.Tcounter.t;
   }
 
-  type handle = { t : t; s : S.th; tid : int }
+  type handle = {
+    t : t;
+    s : S.th;
+    tid : int;
+    rdr : N.link S.reader;
+    mutable prev : N.link Atomic.t;
+    mutable expected : N.link;
+    mutable pos_curr : N.t;
+    mutable pos_next : N.link;
+  }
 
   let create ?(recycle = true) ~smr ~threads () =
     let tail = N.fresh ~key:max_int ~next:N.null_link in
+    let pool = N.Pool.create ~recycle ~threads () in
     {
-      head = Atomic.make (N.link (Some tail));
+      head = Atomic.make tail.N.in_link;
+      tail;
       smr;
-      pool = N.Pool.create ~recycle ~threads ();
+      pool;
+      mk = N.maker pool;
       restarts = Memory.Tcounter.create ~threads;
     }
 
-  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
-
-  let protect_link s ~slot field =
-    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:N.hdr_of_link
+  let handle t ~tid =
+    let s = S.register t.smr ~tid in
+    {
+      t;
+      s;
+      tid;
+      rdr = S.reader s N.desc;
+      prev = t.head;
+      expected = N.null_link;
+      pos_curr = t.tail;
+      pos_next = N.null_link;
+    }
 
   let node_of (l : N.link) =
     match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
-
-  let reclaimable t (n : N.t) : Smr.Smr_intf.reclaimable =
-    { hdr = n.N.hdr; free = (fun tid -> N.Pool.free t.pool ~tid n) }
-
-  type pos = {
-    prev : N.link Atomic.t;
-    expected : N.link;
-    curr : N.t;
-    next : N.link;
-  }
 
   let rec do_find h key =
     try find_attempt h key
@@ -63,34 +79,36 @@ module Make (S : Smr.Smr_intf.S) = struct
       do_find h key
 
   and find_attempt h key =
-    let t = h.t and s = h.s in
-    let prev = ref t.head in
-    let expected = ref (protect_link s ~slot:hp_curr t.head) in
-    let rec step (curr : N.t) =
-      let next = protect_link s ~slot:hp_next (N.next_field curr) in
-      if next.N.marked then begin
-        (* Eager unlink of the single marked node; restart on failure. *)
-        let desired = N.link next.ln in
-        if not (Atomic.compare_and_set !prev !expected desired) then
-          raise Restart;
-        S.retire s (reclaimable t curr);
-        expected := desired;
-        let curr' = node_of next in
-        S.dup s ~src:hp_next ~dst:hp_curr;
-        step curr'
-      end
-      else if N.key curr >= key then
-        { prev = !prev; expected = !expected; curr; next }
-      else begin
-        prev := N.next_field curr;
-        expected := next;
-        S.dup s ~src:hp_curr ~dst:hp_prev;
-        let curr' = node_of next in
-        S.dup s ~src:hp_next ~dst:hp_curr;
-        step curr'
-      end
-    in
-    step (node_of !expected)
+    let first = S.read_field h.rdr ~slot:hp_curr h.t.head in
+    h.prev <- h.t.head;
+    h.expected <- first;
+    step h key (node_of first)
+
+  and step h key (curr : N.t) =
+    let next = S.read_field h.rdr ~slot:hp_next (N.next_field curr) in
+    if next.N.marked then begin
+      (* Eager unlink of the single marked node; restart on failure. *)
+      let desired = N.unmarked_copy next in
+      if not (Atomic.compare_and_set h.prev h.expected desired) then
+        raise Restart;
+      S.retire h.s curr.N.rc;
+      h.expected <- desired;
+      let curr' = node_of next in
+      S.dup h.s ~src:hp_next ~dst:hp_curr;
+      step h key curr'
+    end
+    else if N.key curr >= key then begin
+      h.pos_curr <- curr;
+      h.pos_next <- next
+    end
+    else begin
+      h.prev <- N.next_field curr;
+      h.expected <- next;
+      S.dup h.s ~src:hp_curr ~dst:hp_prev;
+      let curr' = node_of next in
+      S.dup h.s ~src:hp_next ~dst:hp_curr;
+      step h key curr'
+    end
 
   let check_key key =
     if key >= max_int then
@@ -99,58 +117,60 @@ module Make (S : Smr.Smr_intf.S) = struct
   let search h key =
     check_key key;
     S.start_op h.s;
-    let pos = do_find h key in
-    let found = N.key pos.curr = key in
+    do_find h key;
+    let found = N.key h.pos_curr = key in
     S.end_op h.s;
     found
+
+  (* Retry loops live at top level (closures capturing [h]/[key]/[node]
+     would cons once per operation). *)
+  let rec insert_loop h key node =
+    do_find h key;
+    if N.key h.pos_curr = key then begin
+      N.dealloc h.t.pool ~tid:h.tid node;
+      false
+    end
+    else begin
+      Atomic.set node.N.next h.pos_curr.N.in_link;
+      if Atomic.compare_and_set h.prev h.expected node.N.in_link then true
+      else insert_loop h key node
+    end
 
   let insert h key =
     check_key key;
     S.start_op h.s;
-    let node = N.alloc h.t.pool ~tid:h.tid ~key ~next:N.null_link in
+    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
     S.on_alloc h.s node.N.hdr;
-    let rec loop () =
-      let pos = do_find h key in
-      if N.key pos.curr = key then begin
-        N.dealloc h.t.pool ~tid:h.tid node;
-        false
-      end
-      else begin
-        Atomic.set node.N.next (N.link (Some pos.curr));
-        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
-        then true
-        else loop ()
-      end
-    in
-    let r = loop () in
+    let r = insert_loop h key node in
     S.end_op h.s;
     r
+
+  let rec delete_loop h key =
+    do_find h key;
+    let curr = h.pos_curr in
+    if N.key curr <> key then false
+    else begin
+      let next = h.pos_next in
+      if
+        next.N.marked
+        || not
+             (Atomic.compare_and_set (N.next_field curr) next
+                (N.marked_copy next))
+      then delete_loop h key
+      else begin
+        if Atomic.compare_and_set h.prev h.expected next then
+          S.retire h.s curr.N.rc
+        else
+          (* Delegate the unlink to a fresh traversal, as in [20]. *)
+          do_find h key;
+        true
+      end
+    end
 
   let delete h key =
     check_key key;
     S.start_op h.s;
-    let rec loop () =
-      let pos = do_find h key in
-      if N.key pos.curr <> key then false
-      else begin
-        let next = pos.next in
-        if
-          next.N.marked
-          || not
-               (Atomic.compare_and_set (N.next_field pos.curr) next
-                  (N.marked_copy next))
-        then loop ()
-        else begin
-          if Atomic.compare_and_set pos.prev pos.expected next then
-            S.retire h.s (reclaimable h.t pos.curr)
-          else
-            (* Delegate the unlink to a fresh traversal, as in [20]. *)
-            ignore (do_find h key);
-          true
-        end
-      end
-    in
-    let r = loop () in
+    let r = delete_loop h key in
     S.end_op h.s;
     r
 

@@ -20,7 +20,14 @@
 
    Sentinels: two internal nodes R (key inf2) and S (key inf1) plus three
    sentinel leaves, exactly as in [24]; real keys are < inf1, so S is never
-   the parent of a real leaf and the sentinels are never deleted. *)
+   the parent of a real leaf and the sentinels are never deleted.
+
+   The seek fast path is allocation-free: protected edge loads go through
+   the scheme's staged reader and the seek record lives in handle-owned
+   scratch fields.  Nodes carry a prebuilt [rc] (pool-bound) so retiring a
+   pruned branch allocates nothing.  Edge records themselves are still
+   consed on the update paths (tag/flag/promote) — they are the CAS
+   descriptors of the algorithm, not traversal state. *)
 
 let hp_child = 0
 let hp_leaf = 1
@@ -33,17 +40,26 @@ let inf1 = max_int - 1
 let inf2 = max_int
 
 type node =
-  | Leaf of { hdr : Memory.Hdr.t; mutable key : int }
+  | Leaf of {
+      hdr : Memory.Hdr.t;
+      mutable key : int;
+      mutable rc : Smr.Smr_intf.reclaimable;
+    }
   | Internal of {
       hdr : Memory.Hdr.t;
       mutable key : int;
       left : edge Atomic.t;
       right : edge Atomic.t;
+      mutable rc : Smr.Smr_intf.reclaimable;
     }
 
 and edge = { dst : node; flag : bool; tag : bool }
 
 let hdr_of = function Leaf { hdr; _ } | Internal { hdr; _ } -> hdr
+let rc_of = function Leaf { rc; _ } | Internal { rc; _ } -> rc
+
+let set_rc n rc =
+  match n with Leaf l -> l.rc <- rc | Internal i -> i.rc <- rc
 
 (* Dereference helpers; every access models a C pointer dereference and goes
    through the poison check. *)
@@ -64,6 +80,28 @@ let opposite = function L -> R | R -> L
 
 let edge ?(flag = false) ?(tag = false) dst = { dst; flag; tag }
 
+(* Staged-reader descriptor: an edge always has a destination node. *)
+let edge_desc : edge Smr.Smr_intf.desc =
+  { is_null = (fun _ -> false); hdr = (fun e -> hdr_of e.dst) }
+
+let nop_free (_ : int) = ()
+let nop_rc hdr = { Smr.Smr_intf.hdr; free = nop_free }
+
+let fresh_leaf key =
+  let hdr = Memory.Hdr.create () in
+  Leaf { hdr; key; rc = nop_rc hdr }
+
+let fresh_internal key ~left ~right =
+  let hdr = Memory.Hdr.create () in
+  Internal
+    {
+      hdr;
+      key;
+      left = Atomic.make (edge left);
+      right = Atomic.make (edge right);
+      rc = nop_rc hdr;
+    }
+
 module NodeT = struct
   type t = node
 
@@ -71,6 +109,27 @@ module NodeT = struct
 end
 
 module Pool = Memory.Pool.Make (NodeT)
+
+(* Pool-bound makers (one per pool): fresh nodes get their [rc] built once;
+   recycled nodes keep theirs. *)
+let leaf_maker pool () =
+  let n = fresh_leaf 0 in
+  set_rc n
+    { Smr.Smr_intf.hdr = hdr_of n; free = (fun tid -> Pool.free pool ~tid n) };
+  n
+
+let internal_maker pool =
+  (* Placeholder destination for the freshly built edges; [alloc_internal]
+     re-points both before the node is published. *)
+  let dummy = fresh_leaf 0 in
+  fun () ->
+    let n = fresh_internal 0 ~left:dummy ~right:dummy in
+    set_rc n
+      {
+        Smr.Smr_intf.hdr = hdr_of n;
+        free = (fun tid -> Pool.free pool ~tid n);
+      };
+    n
 
 module Make (S : Smr.Smr_intf.S) = struct
   exception Restart
@@ -81,47 +140,64 @@ module Make (S : Smr.Smr_intf.S) = struct
     smr : S.t;
     leaf_pool : Pool.t;
     internal_pool : Pool.t;
+    leaf_mk : unit -> node;
+    internal_mk : unit -> node;
     restarts : Memory.Tcounter.t;
   }
 
-  type handle = { t : t; s : S.th; tid : int }
-
-  let fresh_leaf key = Leaf { hdr = Memory.Hdr.create (); key }
-
-  let fresh_internal key ~left ~right =
-    Internal
-      {
-        hdr = Memory.Hdr.create ();
-        key;
-        left = Atomic.make (edge left);
-        right = Atomic.make (edge right);
-      }
+  (* Seek record (original terminology, §3.3), hoisted into the handle:
+     [sk_parent]/[sk_leaf] are the last two nodes on the access path;
+     [sk_successor] is the target of the last untagged edge, [sk_ancestor]
+     its source, [sk_anc_edge] the physical edge record at the ancestor
+     (the CAS expectation for pruning and the SCOT validation witness). *)
+  type handle = {
+    t : t;
+    s : S.th;
+    tid : int;
+    rdr : edge S.reader;
+    mutable sk_ancestor : node;
+    mutable sk_successor : node;
+    mutable sk_anc_edge : edge;
+    mutable sk_parent : node;
+    mutable sk_leaf : node;
+    mutable sk_par_edge : edge;
+  }
 
   let create ?(recycle = true) ~smr ~threads () =
     let s_left = fresh_leaf inf1 and s_right = fresh_leaf inf2 in
     let sroot = fresh_internal inf1 ~left:s_left ~right:s_right in
     let r_right = fresh_leaf inf2 in
     let root = fresh_internal inf2 ~left:sroot ~right:r_right in
+    let leaf_pool = Pool.create ~recycle ~threads () in
+    let internal_pool = Pool.create ~recycle ~threads () in
     {
       root;
       sroot;
       smr;
-      leaf_pool = Pool.create ~recycle ~threads ();
-      internal_pool = Pool.create ~recycle ~threads ();
+      leaf_pool;
+      internal_pool;
+      leaf_mk = leaf_maker leaf_pool;
+      internal_mk = internal_maker internal_pool;
       restarts = Memory.Tcounter.create ~threads;
     }
 
-  let handle t ~tid = { t; s = S.register t.smr ~tid; tid }
-
-  let protect_edge s ~slot field =
-    S.read s ~slot
-      ~load:(fun () -> Atomic.get field)
-      ~hdr_of:(fun e -> Some (hdr_of e.dst))
+  let handle t ~tid =
+    let s = S.register t.smr ~tid in
+    {
+      t;
+      s;
+      tid;
+      rdr = S.reader s edge_desc;
+      sk_ancestor = t.root;
+      sk_successor = t.sroot;
+      sk_anc_edge = Atomic.get (child_field t.root L);
+      sk_parent = t.sroot;
+      sk_leaf = t.sroot;
+      sk_par_edge = Atomic.get (child_field t.sroot L);
+    }
 
   let alloc_leaf h key =
-    let n =
-      Pool.alloc h.t.leaf_pool ~tid:h.tid (fun () -> fresh_leaf key)
-    in
+    let n = Pool.alloc h.t.leaf_pool ~tid:h.tid h.t.leaf_mk in
     (match n with
     | Leaf l -> l.key <- key
     | Internal _ -> assert false);
@@ -129,10 +205,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     n
 
   let alloc_internal h key ~left ~right =
-    let n =
-      Pool.alloc h.t.internal_pool ~tid:h.tid (fun () ->
-          fresh_internal key ~left ~right)
-    in
+    let n = Pool.alloc h.t.internal_pool ~tid:h.tid h.t.internal_mk in
     (match n with
     | Internal i ->
         i.key <- key;
@@ -146,12 +219,6 @@ module Make (S : Smr.Smr_intf.S) = struct
     Memory.Hdr.mark_retired (hdr_of n);
     Pool.free h.t.leaf_pool ~tid:h.tid n
 
-  let reclaimable t (n : node) : Smr.Smr_intf.reclaimable =
-    let pool =
-      match n with Leaf _ -> t.leaf_pool | Internal _ -> t.internal_pool
-    in
-    { hdr = hdr_of n; free = (fun tid -> Pool.free pool ~tid n) }
-
   (* Retire the pruned branch rooted at [n], sparing the promoted subtree.
      The region consists of the tagged internal chain plus its flagged
      leaves, all unreachable after the ancestor CAS. *)
@@ -162,22 +229,16 @@ module Make (S : Smr.Smr_intf.S) = struct
       | Internal { left; right; _ } ->
           retire_branch h (Atomic.get left).dst ~spare;
           retire_branch h (Atomic.get right).dst ~spare);
-      S.retire h.s (reclaimable h.t n)
+      S.retire h.s (rc_of n)
     end
 
-  (* Seek record (original terminology, §3.3): [parent]/[leaf] are the last
-     two nodes on the access path; [successor] is the target of the last
-     untagged edge, [ancestor] its source, [anc_edge] the physical edge
-     record at the ancestor (the CAS expectation for pruning and the SCOT
-     validation witness). *)
-  type seek_record = {
-    ancestor : node;
-    successor : node;
-    anc_edge : edge;
-    parent : node;
-    leaf : node;
-    par_edge : edge;
-  }
+  (* SCOT validation: inside the tagged zone the ancestor must still hold
+     the exact edge record we saw; otherwise part of the zone may already
+     have been pruned and reclaimed. *)
+  let seek_validate h key =
+    let d = dir_for ~key h.sk_ancestor in
+    if Atomic.get (child_field h.sk_ancestor d) != h.sk_anc_edge then
+      raise Restart
 
   let rec seek h key =
     try seek_attempt h key
@@ -186,58 +247,46 @@ module Make (S : Smr.Smr_intf.S) = struct
       seek h key
 
   and seek_attempt h key =
-    let t = h.t and s = h.s in
-    let ancestor = ref t.root
-    and successor = ref t.sroot
-    and anc_edge = ref (protect_edge s ~slot:hp_successor (child_field t.root L))
-    and parent = ref t.sroot in
-    if !anc_edge.tag then raise Restart;
-    let par_edge = ref (protect_edge s ~slot:hp_leaf (child_field t.sroot L)) in
-    let leaf = ref !par_edge.dst in
-    (* SCOT validation: inside the tagged zone the ancestor must still hold
-       the exact edge record we saw; otherwise part of the zone may already
-       have been pruned and reclaimed. *)
-    let validate () =
-      let d = dir_for ~key !ancestor in
-      if Atomic.get (child_field !ancestor d) != !anc_edge then raise Restart
-    in
-    let rec loop () =
-      match !leaf with
-      | Leaf _ ->
-          {
-            ancestor = !ancestor;
-            successor = !successor;
-            anc_edge = !anc_edge;
-            parent = !parent;
-            leaf = !leaf;
-            par_edge = !par_edge;
-          }
-      | Internal _ as il ->
-          let d = dir_for ~key il in
-          let cur_edge = protect_edge s ~slot:hp_child (child_field il d) in
-          if not !par_edge.tag then begin
-            (* The edge into [il] is untagged: advance ancestor/successor. *)
-            ancestor := !parent;
-            S.dup s ~src:hp_parent ~dst:hp_ancestor;
-            successor := il;
-            S.dup s ~src:hp_leaf ~dst:hp_successor;
-            anc_edge := !par_edge
-          end;
-          (* Dangerous zone = tagged and flagged edges (Figure 6): a step
-             arriving through a tagged edge, entering one, or crossing a
-             flagged leaf edge — none of these links ever change after the
-             branch is pruned, so only the ancestor->successor validation
-             (run after the protection and before the next dereference,
-             Theorem 2's ordering) proves the target is not reclaimed. *)
-          if !par_edge.tag || cur_edge.tag || cur_edge.flag then validate ();
-          parent := il;
-          S.dup s ~src:hp_leaf ~dst:hp_parent;
-          leaf := cur_edge.dst;
-          S.dup s ~src:hp_child ~dst:hp_leaf;
-          par_edge := cur_edge;
-          loop ()
-    in
-    loop ()
+    let t = h.t in
+    h.sk_ancestor <- t.root;
+    h.sk_successor <- t.sroot;
+    let ae = S.read_field h.rdr ~slot:hp_successor (child_field t.root L) in
+    h.sk_anc_edge <- ae;
+    h.sk_parent <- t.sroot;
+    if ae.tag then raise Restart;
+    let pe = S.read_field h.rdr ~slot:hp_leaf (child_field t.sroot L) in
+    h.sk_par_edge <- pe;
+    h.sk_leaf <- pe.dst;
+    seek_loop h key
+
+  and seek_loop h key =
+    match h.sk_leaf with
+    | Leaf _ -> ()
+    | Internal _ as il ->
+        let d = dir_for ~key il in
+        let cur_edge = S.read_field h.rdr ~slot:hp_child (child_field il d) in
+        if not h.sk_par_edge.tag then begin
+          (* The edge into [il] is untagged: advance ancestor/successor. *)
+          h.sk_ancestor <- h.sk_parent;
+          S.dup h.s ~src:hp_parent ~dst:hp_ancestor;
+          h.sk_successor <- il;
+          S.dup h.s ~src:hp_leaf ~dst:hp_successor;
+          h.sk_anc_edge <- h.sk_par_edge
+        end;
+        (* Dangerous zone = tagged and flagged edges (Figure 6): a step
+           arriving through a tagged edge, entering one, or crossing a
+           flagged leaf edge — none of these links ever change after the
+           branch is pruned, so only the ancestor->successor validation
+           (run after the protection and before the next dereference,
+           Theorem 2's ordering) proves the target is not reclaimed. *)
+        if h.sk_par_edge.tag || cur_edge.tag || cur_edge.flag then
+          seek_validate h key;
+        h.sk_parent <- il;
+        S.dup h.s ~src:hp_leaf ~dst:hp_parent;
+        h.sk_leaf <- cur_edge.dst;
+        S.dup h.s ~src:hp_child ~dst:hp_leaf;
+        h.sk_par_edge <- cur_edge;
+        seek_loop h key
 
   (* Freeze an edge by setting its TAG bit (flag preserved); returns the
      frozen record.  Tagged edges never change again. *)
@@ -248,23 +297,27 @@ module Make (S : Smr.Smr_intf.S) = struct
       let tagged = { e with tag = true } in
       if Atomic.compare_and_set field e tagged then tagged else tag_edge field
 
-  (* Prune the branch between ancestor and parent (original CleanUp).
-     Returns true iff this call performed the physical deletion. *)
-  let cleanup h key (sk : seek_record) =
-    let d = dir_for ~key sk.parent in
-    let child_field_d = child_field sk.parent d in
-    let sibling_field = child_field sk.parent (opposite d) in
+  (* Prune the branch between ancestor and parent (original CleanUp), using
+     the current seek state in [h.sk_*].  Returns true iff this call
+     performed the physical deletion. *)
+  let cleanup h key =
+    let d = dir_for ~key h.sk_parent in
+    let child_field_d = child_field h.sk_parent d in
+    let sibling_field = child_field h.sk_parent (opposite d) in
     (* If the edge on the key side is not flagged, the flagged edge is the
        sibling one and the key side is what survives ([24]'s switch). *)
     let promote_field =
       if (Atomic.get child_field_d).flag then sibling_field else child_field_d
     in
     let frozen = tag_edge promote_field in
-    let anc_d = dir_for ~key sk.ancestor in
+    let anc_d = dir_for ~key h.sk_ancestor in
     let desired = { dst = frozen.dst; flag = frozen.flag; tag = false } in
-    if Atomic.compare_and_set (child_field sk.ancestor anc_d) sk.anc_edge desired
+    if
+      Atomic.compare_and_set
+        (child_field h.sk_ancestor anc_d)
+        h.sk_anc_edge desired
     then begin
-      retire_branch h sk.successor ~spare:frozen.dst;
+      retire_branch h h.sk_successor ~spare:frozen.dst;
       true
     end
     else false
@@ -275,8 +328,8 @@ module Make (S : Smr.Smr_intf.S) = struct
   let search h key =
     check_key key;
     S.start_op h.s;
-    let sk = seek h key in
-    let found = key_of sk.leaf = key in
+    seek h key;
+    let found = key_of h.sk_leaf = key in
     S.end_op h.s;
     found
 
@@ -285,25 +338,26 @@ module Make (S : Smr.Smr_intf.S) = struct
     S.start_op h.s;
     let new_leaf = alloc_leaf h key in
     let rec loop () =
-      let sk = seek h key in
-      if key_of sk.leaf = key then begin
+      seek h key;
+      if key_of h.sk_leaf = key then begin
         dealloc_leaf h new_leaf;
         false
       end
-      else if sk.par_edge.flag || sk.par_edge.tag then begin
+      else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
         (* The leaf edge is being deleted: help prune, then retry. *)
-        ignore (cleanup h key sk);
+        ignore (cleanup h key);
         loop ()
       end
       else begin
-        let leaf_key = key_of sk.leaf in
+        let leaf = h.sk_leaf in
+        let leaf_key = key_of leaf in
         let left, right =
-          if key < leaf_key then (new_leaf, sk.leaf) else (sk.leaf, new_leaf)
+          if key < leaf_key then (new_leaf, leaf) else (leaf, new_leaf)
         in
         let new_internal = alloc_internal h (max key leaf_key) ~left ~right in
-        let d = dir_for ~key sk.parent in
+        let d = dir_for ~key h.sk_parent in
         if
-          Atomic.compare_and_set (child_field sk.parent d) sk.par_edge
+          Atomic.compare_and_set (child_field h.sk_parent d) h.sk_par_edge
             (edge new_internal)
         then true
         else begin
@@ -311,8 +365,8 @@ module Make (S : Smr.Smr_intf.S) = struct
              a deletion of this very leaf. *)
           Memory.Hdr.mark_retired (hdr_of new_internal);
           Pool.free h.t.internal_pool ~tid:h.tid new_internal;
-          let e = Atomic.get (child_field sk.parent d) in
-          if e.dst == sk.leaf && (e.flag || e.tag) then ignore (cleanup h key sk);
+          let e = Atomic.get (child_field h.sk_parent d) in
+          if e.dst == leaf && (e.flag || e.tag) then ignore (cleanup h key);
           loop ()
         end
       end
@@ -328,29 +382,32 @@ module Make (S : Smr.Smr_intf.S) = struct
        keep pruning until the leaf is physically gone (possibly removed for
        us by a concurrent chain prune). *)
     let rec injection () =
-      let sk = seek h key in
-      if key_of sk.leaf <> key then false
-      else if sk.par_edge.flag || sk.par_edge.tag then begin
-        if sk.par_edge.dst == sk.leaf then ignore (cleanup h key sk);
+      seek h key;
+      if key_of h.sk_leaf <> key then false
+      else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
+        if h.sk_par_edge.dst == h.sk_leaf then ignore (cleanup h key);
         injection ()
       end
       else begin
-        let d = dir_for ~key sk.parent in
-        let flagged = { dst = sk.leaf; flag = true; tag = false } in
-        if Atomic.compare_and_set (child_field sk.parent d) sk.par_edge flagged
+        let leaf = h.sk_leaf in
+        let d = dir_for ~key h.sk_parent in
+        let flagged = { dst = leaf; flag = true; tag = false } in
+        if
+          Atomic.compare_and_set (child_field h.sk_parent d) h.sk_par_edge
+            flagged
         then begin
-          if cleanup h key sk then true else cleanup_mode sk.leaf
+          if cleanup h key then true else cleanup_mode leaf
         end
         else begin
-          let e = Atomic.get (child_field sk.parent d) in
-          if e.dst == sk.leaf && (e.flag || e.tag) then ignore (cleanup h key sk);
+          let e = Atomic.get (child_field h.sk_parent d) in
+          if e.dst == leaf && (e.flag || e.tag) then ignore (cleanup h key);
           injection ()
         end
       end
     and cleanup_mode target =
-      let sk = seek h key in
-      if sk.leaf != target then true (* pruned by a concurrent operation *)
-      else if cleanup h key sk then true
+      seek h key;
+      if h.sk_leaf != target then true (* pruned by a concurrent operation *)
+      else if cleanup h key then true
       else cleanup_mode target
     in
     let r = injection () in

@@ -18,9 +18,8 @@
    too early would let the inserter re-link a freed node.  Two mechanisms
    make this safe under every robust scheme:
 
-   - the inserter protects its own node in a dedicated hazard slot for the
-     whole linking phase (self-allocated nodes are otherwise invisible to
-     HP/HE/IBR reservations), and
+   - the inserter protects its own node in a dedicated hazard slot (self-
+     allocated nodes are otherwise invisible to HP/HE/IBR reservations), and
    - a three-state ownership handoff decides the unique retirer: the node
      starts as [linking]; the inserter's final act is CAS linking->linked;
      a deleter that wins the level-0 mark does CAS linking->delegated.
@@ -29,7 +28,13 @@
 
    Hazard slots: 0 = next, 1 = curr, 2 = first unsafe node of the current
    level, 3 = the inserter's own node, 4+l = the level-l predecessor (kept
-   live for the multi-level insert CASes).  Dups go low -> high. *)
+   live for the multi-level insert CASes).  Dups go low -> high.
+
+   As in the list structures, the operation fast paths are allocation-free:
+   staged protected loads, canonical per-node link records (including the
+   canonical [Some self] reused for predecessor tracking), a prebuilt
+   retire record per node, and per-level traversal results stored in
+   handle-owned arrays instead of a consed array-of-records. *)
 
 let max_height = 12
 
@@ -51,22 +56,48 @@ type node = {
   mutable height : int;
   state : int Atomic.t;
   next : link Atomic.t array; (* length max_height; [0..height-1] in use *)
+  in_link : link; (* canonical { ln = Some self; marked = false } *)
+  in_link_marked : link; (* canonical { ln = Some self; marked = true } *)
+  mutable rc : Smr.Smr_intf.reclaimable;
 }
 
 and link = { ln : node option; marked : bool }
 
-let link ?(marked = false) ln = { ln; marked }
 let null_link = { ln = None; marked = false }
-let hdr_of_link l = match l.ln with None -> None | Some n -> Some n.hdr
+let marked_null = { ln = None; marked = true }
+
+(* Canonical (allocation-free) link constructors. *)
+let marked_copy l =
+  match l.ln with None -> marked_null | Some n -> n.in_link_marked
+
+let unmarked_copy l = match l.ln with None -> null_link | Some n -> n.in_link
+let link_of_opt = function None -> null_link | Some n -> n.in_link
+
+let desc : link Smr.Smr_intf.desc =
+  {
+    is_null = (fun l -> match l.ln with None -> true | Some _ -> false);
+    hdr =
+      (fun l ->
+        match l.ln with Some n -> n.hdr | None -> assert false (* is_null *));
+  }
+
+let nop_free (_ : int) = ()
 
 let fresh_node ~key ~height =
-  {
-    hdr = Memory.Hdr.create ();
-    key;
-    height;
-    state = Atomic.make st_linking;
-    next = Array.init max_height (fun _ -> Atomic.make null_link);
-  }
+  let hdr = Memory.Hdr.create () in
+  let rec n =
+    {
+      hdr;
+      key;
+      height;
+      state = Atomic.make st_linking;
+      next = Array.init max_height (fun _ -> Atomic.make null_link);
+      in_link = { ln = Some n; marked = false };
+      in_link_marked = { ln = Some n; marked = true };
+      rc = { Smr.Smr_intf.hdr; free = nop_free };
+    }
+  in
+  n
 
 let key_of n =
   Memory.Hdr.check n.hdr;
@@ -88,6 +119,13 @@ end
 
 module Pool = Memory.Pool.Make (NodeT)
 
+(* Pool-bound maker: fresh nodes get their [rc] built once; recycled nodes
+   keep theirs (the closure references that exact node). *)
+let maker pool () =
+  let n = fresh_node ~key:0 ~height:1 in
+  n.rc <- { Smr.Smr_intf.hdr = n.hdr; free = (fun tid -> Pool.free pool ~tid n) };
+  n
+
 module Make (S : Smr.Smr_intf.S) = struct
   exception Restart
 
@@ -95,41 +133,72 @@ module Make (S : Smr.Smr_intf.S) = struct
     head : link Atomic.t array; (* implicit pre-head tower *)
     smr : S.t;
     pool : Pool.t;
+    mk : unit -> node;
     restarts : Memory.Tcounter.t;
     optimistic : bool;
   }
 
-  type handle = { t : t; s : S.th; tid : int; rng : int64 ref }
+  type handle = {
+    t : t;
+    s : S.th;
+    tid : int;
+    rdr : link S.reader;
+    mutable rng : int;
+    own_cell : link Atomic.t; (* staging cell for [protect_own] *)
+    (* Per-level traversal results (the old [found.levels], hoisted). *)
+    level_prev : link Atomic.t array;
+    level_expected : link array;
+    level_pred : node option array;
+    level_curr : node option array;
+    (* Scratch of the level currently being traversed. *)
+    mutable lf_prev : link Atomic.t;
+    mutable lf_expected : link;
+    mutable lf_pred : node option;
+  }
 
   (* [optimistic:false] gives the Herlihy-Shavit-style baseline: searches
      run the eager-unlink traversal too (no read-only searches), which is
      HP-compatible without SCOT — the skip-list analogue of the
      Harris-Michael list (Table 1). *)
   let create ?(recycle = true) ?(optimistic = true) ~smr ~threads () =
+    let pool = Pool.create ~recycle ~threads () in
     {
       head = Array.init max_height (fun _ -> Atomic.make null_link);
       smr;
-      pool = Pool.create ~recycle ~threads ();
+      pool;
+      mk = maker pool;
       restarts = Memory.Tcounter.create ~threads;
       optimistic;
     }
 
   let handle t ~tid =
+    let s = S.register t.smr ~tid in
     {
       t;
-      s = S.register t.smr ~tid;
+      s;
       tid;
-      rng = ref (Int64.of_int (((tid + 1) * 0x9E3779B9) lor 1));
+      rdr = S.reader s desc;
+      rng = ((tid + 1) * 0x9E3779B9) lor 1;
+      own_cell = Atomic.make null_link;
+      level_prev = Array.make max_height t.head.(0);
+      level_expected = Array.make max_height null_link;
+      level_pred = Array.make max_height None;
+      level_curr = Array.make max_height None;
+      lf_prev = t.head.(0);
+      lf_expected = null_link;
+      lf_pred = None;
     }
 
-  (* Geometric tower height (p = 1/2), capped at [max_height]. *)
+  (* Geometric tower height (p = 1/2), capped at [max_height]; xorshift on
+     unboxed int state. *)
   let random_height h =
-    let x = !(h.rng) in
-    let x = Int64.logxor x (Int64.shift_left x 13) in
-    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
-    let x = Int64.logxor x (Int64.shift_left x 17) in
-    h.rng := x;
-    let bits = Int64.to_int x land max_int in
+    let x = h.rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    let x = if x = 0 then 0x9E3779B9 else x in
+    h.rng <- x;
+    let bits = x land max_int in
     let rec first_zero i =
       if i >= max_height - 1 then max_height - 1
       else if bits land (1 lsl i) = 0 then i
@@ -137,157 +206,144 @@ module Make (S : Smr.Smr_intf.S) = struct
     in
     first_zero 0 + 1
 
-  let protect_link s ~slot field =
-    S.read s ~slot ~load:(fun () -> Atomic.get field) ~hdr_of:hdr_of_link
+  (* Traverse one level.  The running state lives in [h.lf_*]; the result
+     for level [l] lands in [h.level_*.(l)] ([lf_finish]).  [eager] =
+     Harris-Michael eager unlinking (update traversals, levels >= 1);
+     otherwise marked nodes are skipped under the SCOT validation and,
+     when [cleanup], the adjacent chain is removed with one CAS (never
+     retired here — see header). *)
+  let lf_finish h ~level curr =
+    h.level_prev.(level) <- h.lf_prev;
+    h.level_expected.(level) <- h.lf_expected;
+    h.level_pred.(level) <- h.lf_pred;
+    h.level_curr.(level) <- curr
 
-  let reclaimable t (n : node) : Smr.Smr_intf.reclaimable =
-    { hdr = n.hdr; free = (fun tid -> Pool.free t.pool ~tid n) }
+  let lf_advance h ~level c next =
+    h.lf_prev <- next_field c level;
+    h.lf_pred <- c.in_link.ln;
+    h.lf_expected <- next;
+    S.dup h.s ~src:hp_curr ~dst:(hp_pred level)
 
-  type level_pos = {
-    prev : link Atomic.t; (* the last safe predecessor's level-l field *)
-    expected : link; (* physical record in [prev], pointing at [curr] *)
-    pred_node : node option; (* the predecessor node; None = head tower *)
-    curr : node option; (* first unmarked node with key >= target *)
-  }
+  let rec lf_step h ~level ~eager ~cleanup key (curr : node option) =
+    match curr with
+    | None -> lf_finish h ~level None
+    | Some c ->
+        let next = S.read_field h.rdr ~slot:hp_next (next_field c level) in
+        if next.marked then
+          if eager then begin
+            (* Unlink the single marked node from its unmarked pred. *)
+            let desired = unmarked_copy next in
+            if not (Atomic.compare_and_set h.lf_prev h.lf_expected desired)
+            then raise Restart;
+            h.lf_expected <- desired;
+            S.dup h.s ~src:hp_next ~dst:hp_curr;
+            lf_step h ~level ~eager ~cleanup key next.ln
+          end
+          else begin
+            (* Enter the dangerous zone: protect the first unsafe node. *)
+            S.dup h.s ~src:hp_curr ~dst:hp_unsafe;
+            lf_zone h ~level ~eager ~cleanup key next
+          end
+        else if key_of c >= key then lf_finish h ~level curr
+        else begin
+          lf_advance h ~level c next;
+          S.dup h.s ~src:hp_next ~dst:hp_curr;
+          lf_step h ~level ~eager ~cleanup key next.ln
+        end
 
-  (* Traverse one level starting from [start] (a level-l link field whose
-     owner is protected by the caller).  [eager] = Harris-Michael eager
-     unlinking (update traversals, levels >= 1); otherwise marked nodes are
-     skipped under the SCOT validation and, when [cleanup], the adjacent
-     chain is removed with one CAS (never retired here — see header). *)
+  and lf_zone h ~level ~eager ~cleanup key (next : link) =
+    (* [next] points at a protected-but-unvalidated target; validate the
+       last safe link before dereferencing it (Theorem 2's ordering). *)
+    if Atomic.get h.lf_prev != h.lf_expected then raise Restart;
+    match next.ln with
+    | None -> lf_exit_zone h ~level ~cleanup None
+    | Some c' ->
+        S.dup h.s ~src:hp_next ~dst:hp_curr;
+        let next' = S.read_field h.rdr ~slot:hp_next (next_field c' level) in
+        if next'.marked then lf_zone h ~level ~eager ~cleanup key next'
+        else lf_exit_zone_continue h ~level ~eager ~cleanup key c' next'
+
+  and lf_exit_zone h ~level ~cleanup curr =
+    if cleanup then begin
+      let desired = link_of_opt curr in
+      if not (Atomic.compare_and_set h.lf_prev h.lf_expected desired) then
+        raise Restart;
+      h.lf_expected <- desired
+    end;
+    lf_finish h ~level curr
+
+  and lf_exit_zone_continue h ~level ~eager ~cleanup key c' next' =
+    if cleanup then begin
+      let desired = c'.in_link in
+      if not (Atomic.compare_and_set h.lf_prev h.lf_expected desired) then
+        raise Restart;
+      h.lf_expected <- desired
+    end;
+    if key_of c' >= key then lf_finish h ~level c'.in_link.ln
+    else begin
+      lf_advance h ~level c' next';
+      S.dup h.s ~src:hp_next ~dst:hp_curr;
+      lf_step h ~level ~eager ~cleanup key next'.ln
+    end
+
   let level_find h ~level ~eager ~cleanup key ~(start : link Atomic.t)
       ~(start_node : node option) =
-    let s = h.s in
-    let prev = ref start in
-    let pred_node = ref start_node in
-    let expected = ref (protect_link s ~slot:hp_curr !prev) in
-    if !expected.marked then raise Restart;
-    let validate () = if Atomic.get !prev != !expected then raise Restart in
-    let advance_pred c next =
-      prev := next_field c level;
-      pred_node := Some c;
-      expected := next;
-      S.dup s ~src:hp_curr ~dst:(hp_pred level)
-    in
-    let finish curr =
-      { prev = !prev; expected = !expected; pred_node = !pred_node; curr }
-    in
-    let rec step (curr : node option) =
-      match curr with
-      | None -> finish None
-      | Some c ->
-          let next = protect_link s ~slot:hp_next (next_field c level) in
-          if next.marked then
-            if eager then begin
-              (* Unlink the single marked node from its unmarked pred. *)
-              let desired = link next.ln in
-              if not (Atomic.compare_and_set !prev !expected desired) then
-                raise Restart;
-              expected := desired;
-              S.dup s ~src:hp_next ~dst:hp_curr;
-              step next.ln
-            end
-            else begin
-              (* Enter the dangerous zone: protect the first unsafe node. *)
-              S.dup s ~src:hp_curr ~dst:hp_unsafe;
-              zone next
-            end
-          else if key_of c >= key then finish curr
-          else begin
-            advance_pred c next;
-            S.dup s ~src:hp_next ~dst:hp_curr;
-            step next.ln
-          end
-    and zone (next : link) =
-      (* [next] points at a protected-but-unvalidated target; validate the
-         last safe link before dereferencing it (Theorem 2's ordering). *)
-      validate ();
-      match next.ln with
-      | None -> exit_zone None
-      | Some c' ->
-          S.dup s ~src:hp_next ~dst:hp_curr;
-          let next' = protect_link s ~slot:hp_next (next_field c' level) in
-          if next'.marked then zone next'
-          else exit_zone_continue c' next'
-    and exit_zone curr =
-      if cleanup then begin
-        let desired = link curr in
-        if not (Atomic.compare_and_set !prev !expected desired) then
-          raise Restart;
-        expected := desired
-      end;
-      finish curr
-    and exit_zone_continue c' next' =
-      if cleanup then begin
-        let desired = link (Some c') in
-        if not (Atomic.compare_and_set !prev !expected desired) then
-          raise Restart;
-        expected := desired
-      end;
-      if key_of c' >= key then finish (Some c')
-      else begin
-        advance_pred c' next';
-        S.dup s ~src:hp_next ~dst:hp_curr;
-        step next'.ln
-      end
-    in
-    step !expected.ln
+    h.lf_prev <- start;
+    h.lf_pred <- start_node;
+    let e = S.read_field h.rdr ~slot:hp_curr start in
+    if e.marked then raise Restart;
+    h.lf_expected <- e;
+    lf_step h ~level ~eager ~cleanup key e.ln
 
-  type found = { levels : level_pos array }
-
-  let rec find h ?(eager = true) key =
+  let rec find h ~eager key =
     try find_attempt h ~eager key
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
       find h ~eager key
 
   and find_attempt h ~eager key =
-    let levels =
-      Array.make max_height
-        { prev = h.t.head.(0); expected = null_link; pred_node = None; curr = None }
+    let rec down l (start_node : node option) =
+      if l >= 0 then begin
+        let start =
+          match start_node with
+          | None -> h.t.head.(l)
+          | Some n -> next_field n l
+        in
+        level_find h ~level:l ~eager:(eager && l > 0)
+          ~cleanup:(eager && l = 0) key ~start ~start_node;
+        down (l - 1) h.level_pred.(l)
+      end
     in
-    let start_node = ref None in
-    for l = max_height - 1 downto 0 do
-      let start =
-        match !start_node with None -> h.t.head.(l) | Some n -> next_field n l
-      in
-      let pos =
-        level_find h ~level:l ~eager:(eager && l > 0) ~cleanup:(eager && l = 0)
-          key ~start ~start_node:!start_node
-      in
-      levels.(l) <- pos;
-      start_node := pos.pred_node
-    done;
-    { levels }
+    down (max_height - 1) None
 
   let check_key key =
     if key >= max_int then invalid_arg "Skiplist: key must be < max_int"
 
-  let found_key (f : found) key =
-    match f.levels.(0).curr with Some c -> key_of c = key | None -> false
+  let found_key h key =
+    match h.level_curr.(0) with Some c -> key_of c = key | None -> false
 
   let search h key =
     check_key key;
     S.start_op h.s;
-    let f = find h ~eager:(not h.t.optimistic) key in
-    let r = found_key f key in
+    find h ~eager:(not h.t.optimistic) key;
+    let r = found_key h key in
     S.end_op h.s;
     r
 
   (* Protect our own freshly published node: self-allocated nodes are not
      covered by any read-side reservation, yet the inserter keeps touching
-     the node while linking upper levels. *)
-  let protect_own s (node : node) =
-    ignore
-      (S.read s ~slot:hp_own
-         ~load:(fun () -> Some node)
-         ~hdr_of:(fun v -> match v with Some n -> Some n.hdr | None -> None))
+     the node while linking upper levels.  The node's canonical link is
+     staged through a handle-owned cell so the staged reader can protect
+     and validate it like any other field. *)
+  let protect_own h (node : node) =
+    Atomic.set h.own_cell node.in_link;
+    ignore (S.read_field h.rdr ~slot:hp_own h.own_cell)
 
   let insert h key =
     check_key key;
     S.start_op h.s;
     let height = random_height h in
-    let node = Pool.alloc h.t.pool ~tid:h.tid (fun () -> fresh_node ~key ~height) in
+    let node = Pool.alloc h.t.pool ~tid:h.tid h.t.mk in
     node.key <- key;
     node.height <- height;
     Atomic.set node.state st_linking;
@@ -296,40 +352,41 @@ module Make (S : Smr.Smr_intf.S) = struct
     (* Link level [l]; gives up as soon as the node is marked. *)
     let rec link_upper l =
       if l < height then begin
-        let f = find h key in
+        find h ~eager:true key;
         let cur = Atomic.get node.next.(l) in
         if cur.marked || (Atomic.get node.next.(0)).marked then ()
         else if
-          Atomic.compare_and_set node.next.(l) cur (link f.levels.(l).curr)
-          && Atomic.compare_and_set f.levels.(l).prev f.levels.(l).expected
-               (link (Some node))
+          Atomic.compare_and_set node.next.(l) cur
+            (link_of_opt h.level_curr.(l))
+          && Atomic.compare_and_set h.level_prev.(l) h.level_expected.(l)
+               node.in_link
         then link_upper (l + 1)
         else link_upper l
       end
     in
     let rec attempt () =
-      let f = find h key in
-      if found_key f key then begin
+      find h ~eager:true key;
+      if found_key h key then begin
         Memory.Hdr.mark_retired node.hdr;
         Pool.free h.t.pool ~tid:h.tid node;
         false
       end
       else begin
         for l = 0 to height - 1 do
-          Atomic.set node.next.(l) (link f.levels.(l).curr)
+          Atomic.set node.next.(l) (link_of_opt h.level_curr.(l))
         done;
-        protect_own h.s node;
+        protect_own h node;
         if
-          Atomic.compare_and_set f.levels.(0).prev f.levels.(0).expected
-            (link (Some node))
+          Atomic.compare_and_set h.level_prev.(0) h.level_expected.(0)
+            node.in_link
         then begin
           link_upper 1;
           (* Ownership handoff: if a deleter already delegated, we are the
              unique retirer and must unlink our own half-linked tower. *)
           if not (Atomic.compare_and_set node.state st_linking st_linked)
           then begin
-            ignore (find h key);
-            S.retire h.s (reclaimable h.t node)
+            find h ~eager:true key;
+            S.retire h.s node.rc
           end;
           true
         end
@@ -344,8 +401,8 @@ module Make (S : Smr.Smr_intf.S) = struct
     check_key key;
     S.start_op h.s;
     let rec attempt () =
-      let f = find h key in
-      match f.levels.(0).curr with
+      find h ~eager:true key;
+      match h.level_curr.(0) with
       | Some c when key_of c = key ->
           (* Mark from the top level down. *)
           let hgt = height_of c in
@@ -356,7 +413,7 @@ module Make (S : Smr.Smr_intf.S) = struct
                 if
                   not
                     (Atomic.compare_and_set (next_field c l) cur
-                       { cur with marked = true })
+                       (marked_copy cur))
                 then mark ()
             in
             mark ()
@@ -365,8 +422,7 @@ module Make (S : Smr.Smr_intf.S) = struct
             let cur = Atomic.get (next_field c 0) in
             if cur.marked then false
             else if
-              Atomic.compare_and_set (next_field c 0) cur
-                { cur with marked = true }
+              Atomic.compare_and_set (next_field c 0) cur (marked_copy cur)
             then true
             else mark0 ()
           in
@@ -380,8 +436,8 @@ module Make (S : Smr.Smr_intf.S) = struct
             if Atomic.compare_and_set c.state st_linking st_delegated then
               true
             else begin
-              ignore (find h key);
-              S.retire h.s (reclaimable h.t c);
+              find h ~eager:true key;
+              S.retire h.s c.rc;
               true
             end
           end

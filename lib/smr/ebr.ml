@@ -55,6 +55,13 @@ let tid th = th.id
 let start_op th = Atomic.set th.my_resv (Atomic.get th.global.epoch)
 let end_op th = Atomic.set th.my_resv inactive
 let read _ ~slot:_ ~load ~hdr_of:_ = load ()
+
+(* The epoch reservation published by [start_op] already covers every node
+   reachable during the operation: the staged read is a plain load. *)
+type 'v reader = unit
+
+let reader _ _ = ()
+let read_field () ~slot:_ field = Atomic.get field
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()

@@ -71,6 +71,27 @@ let read th ~slot ~load ~hdr_of:_ =
   in
   loop (Atomic.get cell)
 
+(* Era validation needs no header access, so the staged reader is just the
+   handle ([desc] is unused); the loop is [read] with the load inlined.  The
+   loop lives at top level with explicit arguments — an inner [let rec]
+   would capture its environment and cons a closure on every call. *)
+type 'v reader = th
+
+let reader th _ = th
+
+let rec stable_era_loop field era cell prev =
+  let v = Atomic.get field in
+  let e = Atomic.get era in
+  if e = prev then v
+  else begin
+    Atomic.set cell e;
+    stable_era_loop field era cell e
+  end
+
+let read_field (th : _ reader) ~slot field =
+  let cell = th.my_slots.(slot) in
+  stable_era_loop field th.global.era cell (Atomic.get cell)
+
 let dup th ~src ~dst = Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
 let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)

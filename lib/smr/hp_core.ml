@@ -6,9 +6,17 @@
    captured once per pass and membership is tested against the snapshot
    [26].  The paper reports a substantial difference in some tests.
 
-   Hazard slots are [Padded] per thread row; the snapshot is captured into
-   a per-thread scratch array reused across passes (the [option] values it
-   stores are the ones already boxed in the slots — no allocation). *)
+   Hazard slots are [Padded] per thread row.  An empty slot holds the
+   [no_hazard] sentinel header rather than [None]: publishing a hazard is
+   then a plain unboxed store (the legacy [option] representation allocated
+   a [Some] per publish in the staged path).  The sentinel is a private
+   header that never equals a real node's header, so membership tests need
+   no case analysis.  The snapshot is captured into a per-thread scratch
+   array reused across passes. *)
+
+(* Shared across instantiations; physical inequality with every live node
+   header is all that matters. *)
+let no_hazard : Memory.Hdr.t = Memory.Hdr.create ()
 
 module Make (P : sig
   val name : string
@@ -19,7 +27,7 @@ struct
   let robust = true
 
   type t = {
-    slots : Memory.Hdr.t option Memory.Padded.t array; (* [tid].(slot) *)
+    slots : Memory.Hdr.t Memory.Padded.t array; (* [tid].(slot) *)
     in_limbo : Memory.Tcounter.t;
     config : Smr_intf.config;
   }
@@ -27,9 +35,9 @@ struct
   type th = {
     global : t;
     id : int;
-    my_slots : Memory.Hdr.t option Atomic.t array;
+    my_slots : Memory.Hdr.t Atomic.t array;
     limbo : Limbo_local.t;
-    scratch : Memory.Hdr.t option array; (* snapshot, one pass at a time *)
+    scratch : Memory.Hdr.t array; (* snapshot, one pass at a time *)
   }
 
   let create ?config ~threads ~slots () =
@@ -38,7 +46,8 @@ struct
     in
     {
       slots =
-        Array.init threads (fun _ -> Memory.Padded.create slots (fun _ -> None));
+        Array.init threads (fun _ ->
+            Memory.Padded.create slots (fun _ -> no_hazard));
       in_limbo = Memory.Tcounter.create ~threads;
       config;
     }
@@ -53,13 +62,13 @@ struct
       limbo =
         Limbo_local.create ~capacity:t.config.limbo_threshold
           ~in_limbo:t.in_limbo ~tid;
-      scratch = Array.make (Array.length t.slots * slots) None;
+      scratch = Array.make (Array.length t.slots * slots) no_hazard;
     }
 
   let tid th = th.id
   let start_op _ = ()
 
-  let end_op th = Array.iter (fun c -> Atomic.set c None) th.my_slots
+  let end_op th = Array.iter (fun c -> Atomic.set c no_hazard) th.my_slots
 
   (* The paper's [protect] (Figure 1): publish the reservation, then verify
      the source pointer has not changed; loop otherwise. *)
@@ -68,10 +77,10 @@ struct
     let rec loop v =
       match hdr_of v with
       | None ->
-          Atomic.set cell None;
+          Atomic.set cell no_hazard;
           v
       | Some h -> (
-          Atomic.set cell (Some h);
+          Atomic.set cell h;
           let v' = load () in
           match hdr_of v' with
           | Some h' when h' == h -> v'
@@ -79,15 +88,40 @@ struct
     in
     loop (load ())
 
+  (* Staged reader: [read] with the load and header access resolved through
+     the prebuilt descriptor — publish is one unboxed store per hop.  The
+     loop is a top-level function over explicit arguments so a protected
+     load allocates nothing (an inner [let rec] would cons a closure). *)
+  type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
+
+  let reader th desc = { r_th = th; r_desc = desc }
+
+  let rec read_field_loop cell (desc : _ Smr_intf.desc) field v =
+    if desc.Smr_intf.is_null v then begin
+      Atomic.set cell no_hazard;
+      v
+    end
+    else begin
+      let h = desc.Smr_intf.hdr v in
+      Atomic.set cell h;
+      let v' = Atomic.get field in
+      if (not (desc.Smr_intf.is_null v')) && desc.Smr_intf.hdr v' == h then v'
+      else read_field_loop cell desc field v'
+    end
+
+  let read_field r ~slot field =
+    read_field_loop r.r_th.my_slots.(slot) r.r_desc field (Atomic.get field)
+
   (* The paper's [dup] (Figure 1): copy an existing reservation so the node
      stays protected across a traversal-role change. *)
   let dup th ~src ~dst =
     Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
 
-  let clear_slot th ~slot = Atomic.set th.my_slots.(slot) None
+  let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_hazard
   let on_alloc _ _ = ()
 
-  (* Original HP: re-read every shared slot for every retired node. *)
+  (* Original HP: re-read every shared slot for every retired node.  The
+     sentinel never equals a live header, so no emptiness test is needed. *)
   let protected_rescan t (h : Memory.Hdr.t) =
     let rows = Array.length t.slots in
     let rec scan_row i =
@@ -96,11 +130,7 @@ struct
       let row = t.slots.(i) in
       let cols = Memory.Padded.length row in
       let rec scan_col j =
-        j < cols
-        && ((match Memory.Padded.get row j with
-            | Some h' -> h' == h
-            | None -> false)
-           || scan_col (j + 1))
+        j < cols && (Memory.Padded.get row j == h || scan_col (j + 1))
       in
       scan_col 0 || scan_row (i + 1)
     in
@@ -109,8 +139,7 @@ struct
   let reclaim_pass th =
     let t = th.global in
     if P.snapshot then begin
-      (* HPopt: one capture of all slots per pass into the reused scratch;
-         the stored [Some] blocks are the slots' own. *)
+      (* HPopt: one capture of all slots per pass into the reused scratch. *)
       let rows = Array.length t.slots in
       let rec fill_row i k =
         if i = rows then k
@@ -120,24 +149,19 @@ struct
           let rec fill_col j k =
             if j = cols then k
             else
-              match Memory.Padded.get row j with
-              | None -> fill_col (j + 1) k
-              | some ->
-                  th.scratch.(k) <- some;
-                  fill_col (j + 1) (k + 1)
+              let h = Memory.Padded.get row j in
+              if h == no_hazard then fill_col (j + 1) k
+              else begin
+                th.scratch.(k) <- h;
+                fill_col (j + 1) (k + 1)
+              end
           in
           fill_row (i + 1) (fill_col 0 k)
         end
       in
       let k = fill_row 0 0 in
       Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->
-          let rec mem i =
-            i < k
-            && ((match th.scratch.(i) with
-                | Some h' -> h' == r.hdr
-                | None -> false)
-               || mem (i + 1))
-          in
+          let rec mem i = i < k && (th.scratch.(i) == r.hdr || mem (i + 1)) in
           mem 0)
     end
     else

@@ -125,6 +125,25 @@ let read th ~slot:_ ~load ~hdr_of =
   in
   loop ()
 
+(* Staged variant of the same validation with the load and header access
+   resolved through the prebuilt descriptor.  Top-level loop with explicit
+   arguments: an inner [let rec] would cons a closure per call. *)
+type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
+
+let reader th desc = { r_th = th; r_desc = desc }
+
+let rec read_field_loop (desc : _ Smr_intf.desc) field resv era =
+  let v = Atomic.get field in
+  if desc.Smr_intf.is_null v then v
+  else if Memory.Hdr.birth (desc.Smr_intf.hdr v) <= Atomic.get resv then v
+  else begin
+    Atomic.set resv (Atomic.get era);
+    read_field_loop desc field resv era
+  end
+
+let read_field r ~slot:_ field =
+  read_field_loop r.r_desc field r.r_th.my_era r.r_th.global.era
+
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)

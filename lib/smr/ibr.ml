@@ -7,20 +7,35 @@
    [birth, retire] lifetime overlaps no thread's interval.  No per-pointer
    slots, which is why IBR "simplifies the programming model" (§2.2.4).
 
-   The reservation is stored as one boxed pair in a single [Atomic.t] so
-   scanning threads always observe a consistent interval; the cells are
-   [Padded] so the once-per-operation publish does not false-share.  A
-   reclamation pass snapshots all intervals once into per-thread scratch
-   arrays (reused across passes — the old code rebuilt a cons list with
-   [List.filter_map] on every pass) and sweeps the limbo buffer in
-   place. *)
+   The reservation is stored as two unboxed [Padded] int cells (lower /
+   upper), like the original's two-word per-thread record, so the
+   once-per-operation publish and the per-read widen allocate nothing.
+   Scanners tolerate word-by-word reads because of the store/load order
+   below ([Atomic] operations are seq_cst):
+
+   - [start_op] stores upper, then lower; [read] widens only upper (it
+     grows monotonically within an operation); [end_op] deactivates lower
+     first, then resets upper.
+   - a scanning pass reads lower first and skips the thread when it is
+     [inactive]; otherwise the upper it reads afterwards is at least the
+     upper that accompanied that lower — every torn interval it can
+     observe is a superset-or-equal of one the legacy boxed-pair code
+     could have observed, so nothing protected is ever reclaimed.
+
+   A reclamation pass snapshots all intervals once into per-thread scratch
+   arrays (reused across passes) and sweeps the limbo buffer in place. *)
 
 let name = "IBR"
 let robust = true
 
+(* Sentinels for an idle thread: an "interval" that overlaps nothing. *)
+let inactive = max_int (* lower when idle *)
+let no_upper = min_int (* upper when idle *)
+
 type t = {
   era : int Atomic.t;
-  reservations : (int * int) option Memory.Padded.t; (* (lower, upper) *)
+  lowers : int Memory.Padded.t; (* reservation lower bounds *)
+  uppers : int Memory.Padded.t; (* reservation upper bounds *)
   in_limbo : Memory.Tcounter.t;
   config : Smr_intf.config;
 }
@@ -28,7 +43,8 @@ type t = {
 type th = {
   global : t;
   id : int;
-  my_resv : (int * int) option Atomic.t;
+  my_lower : int Atomic.t;
+  my_upper : int Atomic.t;
   limbo : Limbo_local.t;
   scratch_lo : int array; (* snapshot of active intervals, one pass at *)
   scratch_hi : int array; (* a time; length = threads *)
@@ -40,17 +56,19 @@ let create ?config ~threads ~slots:_ () =
   in
   {
     era = Atomic.make 1;
-    reservations = Memory.Padded.create threads (fun _ -> None);
+    lowers = Memory.Padded.create threads (fun _ -> inactive);
+    uppers = Memory.Padded.create threads (fun _ -> no_upper);
     in_limbo = Memory.Tcounter.create ~threads;
     config;
   }
 
 let register t ~tid =
-  let threads = Memory.Padded.length t.reservations in
+  let threads = Memory.Padded.length t.lowers in
   {
     global = t;
     id = tid;
-    my_resv = Memory.Padded.cell t.reservations tid;
+    my_lower = Memory.Padded.cell t.lowers tid;
+    my_upper = Memory.Padded.cell t.uppers tid;
     limbo =
       Limbo_local.create ~capacity:t.config.limbo_threshold
         ~in_limbo:t.in_limbo ~tid;
@@ -62,32 +80,70 @@ let tid th = th.id
 
 let start_op th =
   let e = Atomic.get th.global.era in
-  Atomic.set th.my_resv (Some (e, e))
+  (* Upper before lower: a scanner that sees the activated lower is
+     guaranteed to read an upper from this operation, not the stale
+     [no_upper]. *)
+  Atomic.set th.my_upper e;
+  Atomic.set th.my_lower e
 
-let end_op th = Atomic.set th.my_resv None
+let end_op th =
+  (* Lower first: once a scanner can still read this operation's upper,
+     it must also still see the interval as inactive-or-complete. *)
+  Atomic.set th.my_lower inactive;
+  Atomic.set th.my_upper no_upper
+
+(* Activate the reservation from inside a read (load outside
+   start_op/end_op): same order as [start_op]. *)
+let activate th =
+  let e = Atomic.get th.global.era in
+  Atomic.set th.my_upper e;
+  Atomic.set th.my_lower e
 
 (* Birth-era validation: widen [upper] and re-load until the loaded node's
    birth fits the reservation. *)
 let read th ~slot:_ ~load ~hdr_of =
-  let resv = th.my_resv in
   let rec loop () =
     let v = load () in
     match hdr_of v with
     | None -> v
-    | Some h -> (
+    | Some h ->
         let b = Memory.Hdr.birth h in
-        match Atomic.get resv with
-        | Some (_, upper) when b <= upper -> v
-        | Some (lower, _) ->
-            Atomic.set resv (Some (lower, Atomic.get th.global.era));
-            loop ()
-        | None ->
-            (* Read outside start_op/end_op: protect pessimistically. *)
-            let e = Atomic.get th.global.era in
-            Atomic.set resv (Some (e, e));
-            loop ())
+        if Atomic.get th.my_lower = inactive then begin
+          activate th;
+          loop ()
+        end
+        else if b <= Atomic.get th.my_upper then v
+        else begin
+          Atomic.set th.my_upper (Atomic.get th.global.era);
+          loop ()
+        end
   in
   loop ()
+
+(* Staged reader: same validation loop with the load and header access
+   resolved through the prebuilt descriptor.  The loop is a top-level
+   function over explicit arguments — an inner [let rec] would capture the
+   environment and cons a closure on every protected load. *)
+type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
+
+let reader th desc = { r_th = th; r_desc = desc }
+
+let rec read_field_loop th (desc : _ Smr_intf.desc) field =
+  let v = Atomic.get field in
+  if desc.Smr_intf.is_null v then v
+  else
+    let b = Memory.Hdr.birth (desc.Smr_intf.hdr v) in
+    if Atomic.get th.my_lower = inactive then begin
+      activate th;
+      read_field_loop th desc field
+    end
+    else if b <= Atomic.get th.my_upper then v
+    else begin
+      Atomic.set th.my_upper (Atomic.get th.global.era);
+      read_field_loop th desc field
+    end
+
+let read_field r ~slot:_ field = read_field_loop r.r_th r.r_desc field
 
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
@@ -95,18 +151,20 @@ let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
 
 let reclaim_pass th =
   let t = th.global in
-  let n = Memory.Padded.length t.reservations in
-  (* One scan of the reservation array per pass, into the reused
-     scratch; [k] counts the active intervals. *)
+  let n = Memory.Padded.length t.lowers in
+  (* One scan of the reservation cells per pass, into the reused
+     scratch; [k] counts the active intervals.  Lower is read before
+     upper (see the ordering argument in the header comment). *)
   let rec fill i k =
     if i = n then k
     else
-      match Memory.Padded.get t.reservations i with
-      | None -> fill (i + 1) k
-      | Some (lower, upper) ->
-          th.scratch_lo.(k) <- lower;
-          th.scratch_hi.(k) <- upper;
-          fill (i + 1) (k + 1)
+      let lower = Memory.Padded.get t.lowers i in
+      if lower = inactive then fill (i + 1) k
+      else begin
+        th.scratch_lo.(k) <- lower;
+        th.scratch_hi.(k) <- Memory.Padded.get t.uppers i;
+        fill (i + 1) (k + 1)
+      end
   in
   let k = fill 0 0 in
   Limbo_local.sweep th.limbo ~protected_:(fun (r : Smr_intf.reclaimable) ->

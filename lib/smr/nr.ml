@@ -16,6 +16,12 @@ let tid th = th.id
 let start_op _ = ()
 let end_op _ = ()
 let read _ ~slot:_ ~load ~hdr_of:_ = load ()
+
+(* No protection: the staged read is a plain atomic load. *)
+type 'v reader = unit
+
+let reader _ _ = ()
+let read_field () ~slot:_ field = Atomic.get field
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()

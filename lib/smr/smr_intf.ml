@@ -20,6 +20,17 @@ type reclaimable = {
          thread (Hyaline-1S reclaims on any thread). *)
 }
 
+(* First-class field descriptor for the staged protected-load primitive.
+   Built once per link type (a top-level constant in the data structure), it
+   replaces the per-call [~load]/[~hdr_of] closures of [read]: the scheme
+   stages whatever per-handle state it needs into a ['v reader] at handle
+   time, and the steady-state [read_field] is a direct call with no closure
+   capture.  [hdr] is only called on values for which [is_null] is false. *)
+type 'v desc = {
+  is_null : 'v -> bool;
+  hdr : 'v -> Memory.Hdr.t;
+}
+
 type config = {
   limbo_threshold : int;
       (* R: a reclamation pass is attempted every R retire calls (128 in the
@@ -59,6 +70,15 @@ module type S = sig
       [slot] indexes the per-thread hazard slot for pointer-based schemes. *)
   val read :
     th -> slot:int -> load:(unit -> 'v) -> hdr_of:('v -> Memory.Hdr.t option) -> 'v
+
+  (** Staged variant of [read].  [reader th desc] is built once per handle
+      (and link type); [read_field r ~slot field] then performs the protected
+      load of an atomic field directly — same protection guarantee as [read],
+      but the steady state allocates nothing and calls no closures. *)
+  type 'v reader
+
+  val reader : th -> 'v desc -> 'v reader
+  val read_field : 'v reader -> slot:int -> 'v Atomic.t -> 'v
 
   (** [dup th ~src ~dst] copies the protection in slot [src] to slot [dst]
       (the paper's [dup], Figure 1).  No-op for schemes without per-slot

@@ -3,13 +3,24 @@
 documented in EXPERIMENTS.md ("Machine-readable output").
 
 Usage: scripts/validate_bench.py BENCH_file.json [...]
+       scripts/validate_bench.py --compare OLD.json NEW.json
 
-Exits non-zero with a message on the first violation.  Kept in sync with
-Harness.Report.schema_version (currently 1).
+Validation exits non-zero with a message on the first violation.  Kept in
+sync with Harness.Report.schema_version (currently 1).
+
+--compare matches runs between two artifacts by their identity key
+(kind/bench/structure/scheme/threads/op and, for workload runs, range+mix)
+and warns about throughput regressions greater than 10% and about
+minor-words-per-op increases greater than 0.005.  It always exits 0: the
+numbers from CI runners are too noisy to gate a merge on, so the report is
+advisory (warn-only).
 """
 
 import json
 import sys
+
+THROUGHPUT_REGRESSION = 0.10  # warn when NEW is >10% below OLD
+MINOR_WORDS_SLACK = 0.005  # warn when words/op grows by more than this
 
 SCHEMA_VERSION = 1
 
@@ -58,7 +69,23 @@ MICRO_RUN_KEYS = {
     "throughput": (int, float),
 }
 
-MICRO_BENCHES = ("retire", "retire-stall", "retire-allocs", "counter-incr")
+MICRO_BENCHES = (
+    "retire",
+    "retire-stall",
+    "retire-allocs",
+    "counter-incr",
+    "ops",
+    "ops-timed",
+    "op-allocs",
+)
+
+# Optional micro-run keys: "ops" runs carry the structure they drive,
+# "op-allocs" runs additionally carry the audited operation.
+MICRO_OPTIONAL_KEYS = {
+    "minor_words_per_op": (int, float),
+    "structure": str,
+    "op": str,
+}
 
 
 def fail(path, msg):
@@ -95,10 +122,13 @@ def validate(path):
                 fail(path, f"{where}.bench = {run['bench']!r}")
             if run["ops"] < 0 or run["duration"] < 0 or run["throughput"] < 0:
                 fail(path, f"{where} negative ops/duration/throughput")
-            if "minor_words_per_op" in run and \
-                    not isinstance(run["minor_words_per_op"], (int, float)):
-                fail(path, f"{where}.minor_words_per_op has type "
-                           f"{type(run['minor_words_per_op']).__name__}")
+            for key, typ in MICRO_OPTIONAL_KEYS.items():
+                if key in run and not isinstance(run[key], typ):
+                    fail(path, f"{where}.{key} has type "
+                               f"{type(run[key]).__name__}")
+            if run["bench"] == "op-allocs" and \
+                    run.get("op") not in ("search", "insert", "delete"):
+                fail(path, f"{where}.op = {run.get('op')!r}")
             continue
         require(path, run, RUN_KEYS, where)
         mix = run["mix"]
@@ -126,8 +156,60 @@ def validate(path):
     print(f"{path}: OK ({len(runs)} runs, schema v{SCHEMA_VERSION})")
 
 
+def run_key(run):
+    """Identity of a run for cross-artifact matching."""
+    if run.get("kind") == "micro":
+        return ("micro", run["bench"], run.get("structure"),
+                run["scheme"], run["threads"], run.get("op"))
+    mix = run["mix"]
+    return ("workload", run["structure"], run["scheme"], run["threads"],
+            run["range"], mix.get("read_pct"), mix.get("insert_pct"),
+            mix.get("delete_pct"))
+
+
+def compare(old_path, new_path):
+    """Warn-only regression report between two validated artifacts."""
+    validate(old_path)
+    validate(new_path)
+    with open(old_path) as f:
+        old_runs = {run_key(r): r for r in json.load(f)["runs"]}
+    with open(new_path) as f:
+        new_runs = {run_key(r): r for r in json.load(f)["runs"]}
+
+    matched = 0
+    warnings = 0
+    for key, new in new_runs.items():
+        old = old_runs.get(key)
+        if old is None:
+            continue
+        matched += 1
+        label = "/".join(str(p) for p in key if p is not None)
+        old_tp, new_tp = old["throughput"], new["throughput"]
+        if old_tp > 0 and new_tp < old_tp * (1 - THROUGHPUT_REGRESSION):
+            warnings += 1
+            print(f"WARN {label}: throughput {old_tp:.3g} -> {new_tp:.3g} "
+                  f"({100 * (new_tp / old_tp - 1):+.1f}%)")
+        old_mw = old.get("minor_words_per_op")
+        new_mw = new.get("minor_words_per_op")
+        if old_mw is not None and new_mw is not None and \
+                new_mw > old_mw + MINOR_WORDS_SLACK:
+            warnings += 1
+            print(f"WARN {label}: minor words/op {old_mw:.3f} -> {new_mw:.3f}")
+    dropped = sorted(set(old_runs) - set(new_runs))
+    for key in dropped:
+        print("NOTE missing from NEW: "
+              + "/".join(str(p) for p in key if p is not None))
+    print(f"compare: {matched} matched runs, {warnings} warnings, "
+          f"{len(dropped)} old runs without a match (advisory only)")
+
+
 if __name__ == "__main__":
     if len(sys.argv) < 2:
         sys.exit(__doc__)
-    for arg in sys.argv[1:]:
-        validate(arg)
+    if sys.argv[1] == "--compare":
+        if len(sys.argv) != 4:
+            sys.exit("--compare takes exactly two artifacts: OLD NEW")
+        compare(sys.argv[2], sys.argv[3])
+    else:
+        for arg in sys.argv[1:]:
+            validate(arg)

@@ -232,6 +232,133 @@ let test_ebr_epoch_veto () =
   check "reclaimed once the epoch can advance" true
     (Memory.Hdr.is_reclaimed h)
 
+(* --- allocation-free operation fast paths --- *)
+
+(* SMR calibration pushed out of the way: no reclamation pass or era
+   increment can run inside a measured region. *)
+let config_huge =
+  {
+    Smr.Smr_intf.limbo_threshold = 1_000_000;
+    epoch_freq = max_int;
+    batch_size = 1_000_000;
+  }
+
+(* The HList operation fast paths must allocate zero minor words once the
+   node pool is warm: staged protected loads, canonical link records,
+   prebuilt retire records and handle-owned traversal scratch leave nothing
+   to cons.  Asserted for EBR/HP/HPopt/HE/IBR; NR's insert legitimately
+   allocates (it never reclaims, so the freelist stays empty) and
+   Hyaline-1S pays a by-design per-op cons for its batch reference. *)
+let test_zero_alloc_ops (module S : Smr.Smr_intf.S) () =
+  let module L = Scot.Harris_list.Make (S) in
+  let smr =
+    S.create ~config:config_huge ~threads:1
+      ~slots:Scot.Harris_list.slots_needed ()
+  in
+  let t = L.create ~smr ~threads:1 () in
+  let h = L.handle t ~tid:0 in
+  let keys = 64 in
+  (* Warm-up: prime the freelist, grow the limbo buffers, touch every
+     traversal path. *)
+  for _ = 1 to 4 do
+    for k = 0 to keys - 1 do
+      ignore (L.insert h k)
+    done;
+    for i = 0 to (keys / 2) - 1 do
+      ignore (L.delete h ((2 * i) + 1))
+    done;
+    for k = 0 to keys - 1 do
+      ignore (L.search h k)
+    done;
+    L.quiesce h
+  done;
+  (* What a back-to-back pair of [Gc.minor_words] calls itself allocates
+     (the boxed float results). *)
+  let overhead =
+    let a = Gc.minor_words () in
+    let b = Gc.minor_words () in
+    b -. a
+  in
+  let assertable =
+    match S.name with
+    | "EBR" | "HP" | "HPopt" | "HE" | "IBR" -> true
+    | _ -> false
+  in
+  (* Full searches across hits, misses and the whole key range. *)
+  let before = Gc.minor_words () in
+  for k = 0 to keys - 1 do
+    ignore (L.search h k)
+  done;
+  let search_words = Gc.minor_words () -. before -. overhead in
+  (* Insert + delete cycles over the (absent) odd keys: allocation comes
+     from the warm freelist, retire hands over the prebuilt record. *)
+  let before = Gc.minor_words () in
+  for i = 0 to (keys / 2) - 1 do
+    ignore (L.insert h ((2 * i) + 1))
+  done;
+  for i = 0 to (keys / 2) - 1 do
+    ignore (L.delete h ((2 * i) + 1))
+  done;
+  let wr_words = Gc.minor_words () -. before -. overhead in
+  L.quiesce h;
+  if assertable then begin
+    check
+      (Printf.sprintf "%s: searches allocate nothing (got %.2f words)" S.name
+         search_words)
+      true
+      (search_words <= 0.01);
+    check
+      (Printf.sprintf "%s: insert+delete allocate nothing (got %.2f words)"
+         S.name wr_words)
+      true
+      (wr_words <= 0.01)
+  end
+
+(* Staged-reader law: for any link value installed in a field, [read_field]
+   through the prebuilt descriptor observes exactly the physical record the
+   legacy closure-based [read] observes. *)
+let test_reader_law (module S : Smr.Smr_intf.S) =
+  let module N = Scot.List_node in
+  let qtest =
+    QCheck.Test.make ~count:100
+      ~name:(Printf.sprintf "staged reader = legacy read (%s)" S.name)
+      QCheck.(list (pair (int_bound 15) bool))
+      (fun updates ->
+        let t = S.create ~threads:1 ~slots:2 () in
+        let th = S.register t ~tid:0 in
+        let rdr = S.reader th N.desc in
+        let nodes =
+          Array.init 16 (fun k ->
+              let n = N.fresh ~key:k ~next:N.null_link in
+              S.on_alloc th n.N.hdr;
+              n)
+        in
+        let field = Atomic.make N.null_link in
+        S.start_op th;
+        let ok =
+          List.for_all
+            (fun (i, marked) ->
+              let l =
+                if i = 0 then if marked then N.marked_null else N.null_link
+                else if marked then nodes.(i).N.in_link_marked
+                else nodes.(i).N.in_link
+              in
+              Atomic.set field l;
+              let via_reader = S.read_field rdr ~slot:0 field in
+              let via_read =
+                S.read th ~slot:1
+                  ~load:(fun () -> Atomic.get field)
+                  ~hdr_of:(fun (l : N.link) ->
+                    match l.N.ln with None -> None | Some n -> Some n.N.hdr)
+              in
+              via_reader == l && via_read == l)
+            updates
+        in
+        S.end_op th;
+        ok)
+  in
+  QCheck_alcotest.to_alcotest qtest
+
 (* Registry sanity. *)
 let test_registry () =
   check_int "seven schemes" 7 (List.length Smr.Registry.all);
@@ -266,5 +393,7 @@ let () =
           Alcotest.test_case "ebr epoch veto" `Quick test_ebr_epoch_veto;
         ] );
       ("eras", per_scheme "era stamping" test_era_stamping);
+      ("op-allocs", per_scheme "zero-alloc HList ops" test_zero_alloc_ops);
+      ("reader-law", List.map test_reader_law Smr.Registry.all);
       ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
     ]
