@@ -169,11 +169,8 @@ let retire_bench (module S : Smr.Smr_intf.S) ~threads ~duration ~hold ~repeats =
 let retire_allocs (module S : Smr.Smr_intf.S) =
   let batch = 512 in
   let config =
-    {
-      Smr.Smr_intf.limbo_threshold = batch * 4;
-      epoch_freq = max_int;
-      batch_size = batch * 4;
-    }
+    Smr.Smr_intf.make_config ~limbo_threshold:(batch * 4) ~epoch_freq:max_int
+      ~batch_size:(batch * 4) ~threads:1 ()
   in
   let t = S.create ~config ~threads:1 ~slots:1 () in
   let th = S.register t ~tid:0 in
@@ -304,11 +301,8 @@ let ops_bench ~structure ~(scheme : Smr.Registry.scheme) ~threads ~duration
 let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
   let builder = Harness.Instance.find_builder_exn "HList" in
   let config =
-    {
-      Smr.Smr_intf.limbo_threshold = 1_000_000;
-      epoch_freq = max_int;
-      batch_size = 1_000_000;
-    }
+    Smr.Smr_intf.make_config ~limbo_threshold:1_000_000 ~epoch_freq:max_int
+      ~batch_size:1_000_000 ~threads:1 ()
   in
   let inst =
     builder.Harness.Instance.build (module S) ~threads:1 ~config ()

@@ -201,6 +201,113 @@ let stall_cmd =
                ~duration:cfg.Harness.Experiments.duration ()))
       $ cfg_term)
 
+let chaos_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI-sized run: 2 domains, short duration, and a quick \
+             use-after-free fuzz on HListUnsafe.")
+  in
+  let fuzz_flag =
+    Arg.(
+      value & flag
+      & info [ "fuzz" ]
+          ~doc:
+            "Hunt use-after-free with random fault schedules: HListUnsafe \
+             must fault, the safe structure must not.")
+  in
+  let structure =
+    Arg.(
+      value & opt string "HList"
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:"Structure to validate the memory bounds on.")
+  in
+  let point =
+    Arg.(
+      value & opt string "read"
+      & info [ "point" ] ~docv:"POINT"
+          ~doc:
+            "Injection point the stalled domain parks at (start_op, read, \
+             retire, reclaim).")
+  in
+  cmd_of "chaos"
+    "Fault-injection validation: memory bounds under stalls, plus fuzzing"
+    Term.(
+      const (fun cfg json smoke do_fuzz structure point range ->
+          preflight_json json;
+          let threads_list =
+            if smoke then [ 2 ]
+            else if
+              cfg.Harness.Experiments.threads
+              = Harness.Experiments.default_cfg.threads
+            then [ 2; 4 ]
+            else List.filter (fun n -> n >= 2) cfg.Harness.Experiments.threads
+          in
+          let duration =
+            if smoke then 0.3 else cfg.Harness.Experiments.duration
+          in
+          let runs =
+            Harness.Experiments.chaos_matrix ~structure ~threads_list ~point
+              ~range ~duration ()
+          in
+          let failed =
+            List.filter (fun r -> not r.Harness.Experiments.c_ok) runs
+          in
+          let fuzzes =
+            if do_fuzz || smoke then (
+              let scheme = Smr.Registry.find_exn "HP" in
+              let unsafe =
+                Harness.Experiments.fuzz ~structure:"HListUnsafe"
+                  ~budget_s:(if smoke then 15.0 else 60.0)
+                  ~scheme ()
+              in
+              if smoke then [ unsafe ]
+              else
+                [
+                  unsafe;
+                  Harness.Experiments.fuzz ~structure ~budget_s:10.0 ~scheme ();
+                ])
+            else []
+          in
+          List.iter
+            (fun f ->
+              Printf.printf "fuzz %-12s %-5s seeds=%d  %s\n%!"
+                f.Harness.Experiments.fz_structure f.fz_scheme f.fz_seeds
+                (match f.fz_uaf_seed with
+                | Some s -> Printf.sprintf "use-after-free at seed %d" s
+                | None -> "no fault"))
+            fuzzes;
+          let fuzz_bad =
+            List.exists
+              (fun f ->
+                let expect_uaf =
+                  f.Harness.Experiments.fz_structure = "HListUnsafe"
+                in
+                f.Harness.Experiments.fz_uaf_seed <> None <> expect_uaf)
+              fuzzes
+          in
+          (match json with
+          | None -> ()
+          | Some path ->
+              Harness.Report.write_bench_doc
+                ~meta:(Harness.Experiments.cfg_meta cfg)
+                ~path ~name:"chaos"
+                (List.map Harness.Experiments.chaos_run_json runs
+                @ List.map Harness.Experiments.fuzz_result_json fuzzes);
+              Printf.printf "wrote %s (%d runs)\n%!" path
+                (List.length runs + List.length fuzzes));
+          if failed <> [] || fuzz_bad then (
+            if failed <> [] then
+              Printf.eprintf "scotbench chaos: %d verdict(s) failed\n"
+                (List.length failed);
+            if fuzz_bad then
+              Printf.eprintf "scotbench chaos: fuzzer expectation failed\n";
+            Stdlib.exit 1))
+      $ cfg_term $ json_arg $ smoke $ fuzz_flag $ structure $ point
+      $ range_arg ~default:256)
+
 let fig_skiplist_cmd =
   bench_cmd "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
     Term.(const (fun cfg -> Harness.Experiments.fig_skiplist cfg))
@@ -267,5 +374,6 @@ let () =
           [
             fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; table1_cmd;
             table2_cmd; ablation_recovery_cmd; ablation_wf_cmd;
-            fig_skiplist_cmd; mixes_cmd; stall_cmd; all_cmd; run_cmd;
+            fig_skiplist_cmd; mixes_cmd; stall_cmd; chaos_cmd; all_cmd;
+            run_cmd;
           ]))

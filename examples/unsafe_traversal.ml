@@ -8,7 +8,8 @@
 
 let aggressive =
   (* Reclaim as eagerly as possible to widen the fault window. *)
-  { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 2; batch_size = 1 }
+  Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:2 ~batch_size:1
+    ~threads:1 ()
 
 let run structure scheme =
   let r =

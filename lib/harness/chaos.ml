@@ -1,0 +1,285 @@
+(* Deterministic fault injection at SMR injection points.
+
+   The engine installs a handler for [Smr.Probe] and drives three kinds of
+   faults at named points inside schemes and traversals:
+
+   - [Stall]: the domain parks on a per-tid mutex/condition pair at the
+     injection point — with its reservation/hazards *published*, which is
+     exactly the adversarial state the paper's robustness claims are about.
+     A stall either lasts until [resume] (or [release_all]) or expires on a
+     wall-clock deadline.
+   - [Crash]: the domain raises {!Crashed} from inside the operation, so
+     [end_op] never runs and the thread's published protection leaks — the
+     paper's crashed-thread scenario.  A crashed tid stays crashed: further
+     probe crossings by that tid re-raise (the handle is poisoned).
+
+   Rules are armed per (tid, point) with a hit countdown, so schedules such
+   as "stall tid 3 at the retire boundary after its 10_000th retire" are a
+   single [arm].  Triggering is deterministic per tid: probe crossings of a
+   tid happen in that tid's program order, so the same schedule over the
+   same per-tid op sequence fires at the same crossing every run (the event
+   trace records this and the replay test asserts it).
+
+   All cell state is guarded by the cell mutex.  The probe handler takes
+   that mutex on every crossing — chaos mode trades hot-path speed for
+   control, which is fine because the injection points compile to a single
+   never-taken branch when chaos is not installed (asserted by the
+   op-allocs benchmark). *)
+
+exception Crashed
+
+type action = Stall of { for_s : float option } | Crash
+
+type rule = { tid : int; point : Smr.Probe.point; after : int; action : action }
+
+type schedule = rule list
+
+type event = { ev_tid : int; ev_point : Smr.Probe.point; ev_action : action }
+
+type cell = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable parked : bool;
+  mutable release : bool;
+  mutable crashed : bool;
+  countdown : int array; (* per point; -1 = disarmed *)
+  actions : action option array; (* per point *)
+}
+
+type t = {
+  cells : cell array;
+  ev_mutex : Mutex.t;
+  mutable events : event list; (* reverse order *)
+}
+
+let create ~threads () =
+  {
+    cells =
+      Array.init threads (fun _ ->
+          {
+            mutex = Mutex.create ();
+            cond = Condition.create ();
+            parked = false;
+            release = false;
+            crashed = false;
+            countdown = Array.make Smr.Probe.n_points (-1);
+            actions = Array.make Smr.Probe.n_points None;
+          });
+    ev_mutex = Mutex.create ();
+    events = [];
+  }
+
+let threads t = Array.length t.cells
+
+let record t ev =
+  Mutex.lock t.ev_mutex;
+  t.events <- ev :: t.events;
+  Mutex.unlock t.ev_mutex
+
+let action_name = function Stall _ -> "stall" | Crash -> "crash"
+
+let event_to_string ev =
+  Printf.sprintf "tid=%d point=%s action=%s" ev.ev_tid
+    (Smr.Probe.point_name ev.ev_point)
+    (action_name ev.ev_action)
+
+let events t =
+  Mutex.lock t.ev_mutex;
+  let es = List.rev t.events in
+  Mutex.unlock t.ev_mutex;
+  es
+
+let trace t = List.map event_to_string (events t)
+
+(* Park the calling domain.  Indefinite stalls block on the condition
+   variable; deadline stalls poll (the stdlib [Condition] has no timed
+   wait), releasing the mutex between polls so the controller can get in. *)
+let park t c =
+  ignore t;
+  c.parked <- true;
+  c.release <- false;
+  Condition.broadcast c.cond
+
+let unpark_check_crashed c =
+  c.parked <- false;
+  Condition.broadcast c.cond;
+  let crashed = c.crashed in
+  Mutex.unlock c.mutex;
+  if crashed then raise Crashed
+
+(* Called with [c.mutex] held; returns with it released. *)
+let stall_here t c ~for_s =
+  park t c;
+  (match for_s with
+  | None -> while not c.release do Condition.wait c.cond c.mutex done
+  | Some s ->
+      let deadline = Unix.gettimeofday () +. s in
+      while (not c.release) && Unix.gettimeofday () < deadline do
+        Mutex.unlock c.mutex;
+        Unix.sleepf 0.0002;
+        Mutex.lock c.mutex
+      done);
+  unpark_check_crashed c
+
+let on_hit t tid point =
+  if tid < Array.length t.cells then begin
+    let c = t.cells.(tid) in
+    Mutex.lock c.mutex;
+    if c.crashed then begin
+      Mutex.unlock c.mutex;
+      raise Crashed
+    end;
+    let i = Smr.Probe.point_index point in
+    let n = c.countdown.(i) in
+    if n > 0 then begin
+      c.countdown.(i) <- n - 1;
+      Mutex.unlock c.mutex
+    end
+    else if n = 0 then begin
+      c.countdown.(i) <- -1;
+      let action =
+        match c.actions.(i) with
+        | Some a -> a
+        | None -> Stall { for_s = None }
+      in
+      record t { ev_tid = tid; ev_point = point; ev_action = action };
+      match action with
+      | Crash ->
+          c.crashed <- true;
+          Mutex.unlock c.mutex;
+          raise Crashed
+      | Stall { for_s } -> stall_here t c ~for_s
+    end
+    else Mutex.unlock c.mutex
+  end
+
+let install t = Smr.Probe.install (on_hit t)
+let uninstall () = Smr.Probe.uninstall ()
+
+let arm t ~tid ~point ~after action =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  let i = Smr.Probe.point_index point in
+  c.actions.(i) <- Some action;
+  c.countdown.(i) <- after;
+  Mutex.unlock c.mutex
+
+let disarm t ~tid ~point =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  let i = Smr.Probe.point_index point in
+  c.actions.(i) <- None;
+  c.countdown.(i) <- -1;
+  Mutex.unlock c.mutex
+
+let apply t (s : schedule) =
+  List.iter (fun r -> arm t ~tid:r.tid ~point:r.point ~after:r.after r.action)
+    s
+
+let resume t ~tid =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  c.release <- true;
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mutex
+
+(* Poison the tid: a parked domain wakes, finds [crashed] set and raises
+   {!Crashed}; a running one raises at its next probe crossing. *)
+let kill t ~tid =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  c.crashed <- true;
+  c.release <- true;
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mutex
+
+let release_all t =
+  Array.iteri (fun tid _ -> resume t ~tid) t.cells
+
+let parked t ~tid =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  let p = c.parked in
+  Mutex.unlock c.mutex;
+  p
+
+let crashed t ~tid =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  let p = c.crashed in
+  Mutex.unlock c.mutex;
+  p
+
+let wait_parked ?(timeout_s = 5.0) t ~tid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if parked t ~tid then true
+    else if crashed t ~tid then false
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.0005;
+      go ()
+    end
+  in
+  go ()
+
+(* Seeded schedule generator for the fuzzer.  Rules target worker tids
+   only ([1, threads)): tid 0 stays fault-free so every fuzz run makes
+   progress (retires keep happening while victims stall or crash).  Stalls
+   always carry a finite deadline so runs terminate without an explicit
+   resume. *)
+let random_schedule ~threads ~seed : schedule =
+  let rng = Workload.Rng.create ~seed in
+  let n_rules = 1 + Workload.Rng.int rng (max 1 (threads - 1)) in
+  let victims = max 1 (threads - 1) in
+  List.init n_rules (fun _ ->
+      let tid = 1 + Workload.Rng.int rng victims in
+      let point =
+        List.nth Smr.Probe.all_points
+          (Workload.Rng.int rng Smr.Probe.n_points)
+      in
+      let after = Workload.Rng.int rng 2_000 in
+      let action =
+        if Workload.Rng.int rng 4 = 0 then Crash
+        else
+          Stall { for_s = Some (0.002 +. (0.001 *. float (Workload.Rng.int rng 40))) }
+      in
+      { tid; point; after; action })
+
+let rule_to_string r =
+  Printf.sprintf "%s tid=%d point=%s after=%d" (action_name r.action) r.tid
+    (Smr.Probe.point_name r.point)
+    r.after
+
+(* Memory bound for a robust scheme with [stalled] faulted threads.
+
+   Components (counted in nodes, i.e. [S.unreclaimed] units):
+   - [n * limbo_threshold]: every thread's limbo/pending buffer may be full
+     without having crossed its reclaim trigger (for HLN the buffer is
+     [batch_size] deep).
+   - per stalled thread, what its published protection can pin:
+     * HP/HPopt: at most [slots] hazard-pointered nodes — but each of the
+       [n] other threads also fails to reclaim anything its *own* scan sees
+       protected, so the pinned set appears once per limbo buffer; the
+       buffers are already counted, so the extra term is [slots] per
+       stalled thread.
+     * HE/IBR/HLN: the reservation (era / interval / era) pins nodes whose
+       lifetime intersects it.  Between the stall and any later retire the
+       era advances once per [epoch_freq] retires, so only nodes retired
+       while the global era still intersected the stalled reservation are
+       pinned: at most the structure's live set at stall time ([range]
+       keys) plus [2 * epoch_freq] retires in flight around the era bump.
+   The whole thing is doubled and given a constant floor as slack —
+   schedules are adversarial but the point of the assertion is "bounded,
+   does not grow with ops", not a tight constant. *)
+let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
+    ~threads ~slots ~range ~stalled =
+  if not S.robust then None
+  else
+    let n = threads and k = stalled in
+    let buffers = n * max config.limbo_threshold config.batch_size in
+    let per_stall =
+      if S.name = "HP" || S.name = "HPopt" then slots
+      else range + (2 * config.epoch_freq)
+    in
+    Some ((2 * (buffers + (k * per_stall))) + 256)

@@ -244,7 +244,8 @@ let table1 ?(threads = 8) ?(duration = 1.0) () =
      use-after-free observed)";
   let config =
     (* Aggressive reclamation maximises the fault window. *)
-    { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 4; batch_size = 1 }
+    Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:4 ~batch_size:1
+      ~threads ()
   in
   let structures =
     [ "HListUnsafe"; "HList"; "HListWF"; "HMList"; "NMTree"; "SkipList";
@@ -300,10 +301,11 @@ let ablation_wf cfg =
     ~schemes:[ Smr.Registry.find_exn "HP"; Smr.Registry.find_exn "EBR" ]
     ~range:10_000 ()
 
-(* Robustness demonstration (§1, §2.2.1): park one thread inside an
-   operation and watch the unreclaimed count.  EBR must grow without bound
-   while the robust schemes stay bounded — the motivation for SCOT. *)
-let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) () =
+(* Robustness demonstration (§1, §2.2.1): park one thread mid-traversal and
+   watch the unreclaimed count.  EBR must grow without bound while the
+   robust schemes stay bounded — the motivation for SCOT. *)
+let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) ?(point = "read") ()
+    =
   Report.section
     "Stalled-thread robustness: unreclaimed objects with one thread parked \
      inside an operation (EBR unbounded vs robust schemes bounded)";
@@ -317,8 +319,9 @@ let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) () =
         Array.iter
           (fun k -> ignore (inst.Instance.insert ~tid:0 k))
           (Workload.prefill_keys ~range ~seed:42);
-        (* Thread [threads-1] stalls inside an operation; the rest churn. *)
-        inst.Instance.stall_begin ~tid:(threads - 1);
+        (* Thread [threads-1] parks at the injection point inside a real
+           operation (protection published); the rest churn. *)
+        inst.Instance.fault.stall ~tid:(threads - 1) ~point;
         let stop = Atomic.make false in
         let worker tid () =
           let rng = Workload.Rng.create ~seed:(tid + 1) in
@@ -338,12 +341,296 @@ let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) () =
         for tid = 0 to threads - 2 do
           inst.Instance.quiesce ~tid
         done;
+        (* Read the gauge while the thread is still parked, then release
+           it — the resumed operation completes and the robust schemes'
+           backlog drains, demonstrating recovery as well as boundedness. *)
         let unr = inst.Instance.unreclaimed () in
-        [ S.name; (if S.robust then "robust" else "not robust"); string_of_int unr ])
+        inst.Instance.fault.shutdown ();
+        for tid = 0 to threads - 1 do
+          inst.Instance.quiesce ~tid
+        done;
+        let after_resume = inst.Instance.unreclaimed () in
+        [
+          S.name;
+          (if S.robust then "robust" else "not robust");
+          string_of_int unr;
+          string_of_int after_resume;
+        ])
       all_schemes
   in
-  Report.table ~header:[ "scheme"; "class"; "unreclaimed_after_stall" ] rows;
+  Report.table
+    ~header:
+      [ "scheme"; "class"; "unreclaimed_stalled"; "unreclaimed_resumed" ]
+    rows;
   rows
+
+(* {2 Chaos: fault-injection validation (bounded memory under stalls)} *)
+
+type chaos_run = {
+  c_structure : string;
+  c_scheme : string;
+  c_robust : bool;
+  c_threads : int; (* total participants, workers + stalled *)
+  c_workers : int;
+  c_stalled : int;
+  c_point : string;
+  c_range : int;
+  c_duration : float;
+  c_ops : int;
+  c_throughput : float;
+  c_bound : int option; (* computed ceiling; None for non-robust schemes *)
+  c_max_unreclaimed : int;
+  c_first_third : float; (* mean unreclaimed over the first third of *)
+  c_last_third : float; (* samples / the last third: the growth signal *)
+  c_ok : bool;
+  c_mem_series : Metrics.mem_sample list;
+  c_trace : string list;
+}
+
+(* Mean unreclaimed over the first and last thirds of the sample series:
+   robust schemes must flatten (bounded), EBR/NR must keep climbing. *)
+let third_means (series : Metrics.mem_sample list) =
+  let arr =
+    Array.of_list
+      (List.map
+         (fun (s : Metrics.mem_sample) -> float_of_int s.unreclaimed)
+         series)
+  in
+  let n = Array.length arr in
+  if n < 3 then (0.0, 0.0)
+  else begin
+    let third = n / 3 in
+    let mean lo hi =
+      let s = ref 0.0 in
+      for i = lo to hi - 1 do
+        s := !s +. arr.(i)
+      done;
+      !s /. float_of_int (max 1 (hi - lo))
+    in
+    (mean 0 third, mean (n - third) n)
+  end
+
+(* One validated run: [stalled] extra participants park at [point] while
+   [threads - stalled] workers churn.  Robust schemes must keep the
+   unreclaimed gauge under the {!Chaos.mem_bound} ceiling; EBR/NR must show
+   clear growth between the first and last third of the series. *)
+let chaos ?(structure = "HList") ?(threads = 4) ?(stalled = 1)
+    ?(point = "read") ?(range = 256) ?(duration = 1.0) ?config
+    ~scheme:(module S : Smr.Smr_intf.S) () =
+  let workers = threads - stalled in
+  if workers < 1 then invalid_arg "Experiments.chaos: no worker threads left";
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        (* Small limbo threshold so reclamation keeps pace with the gauge
+           sampling during a one-second run. *)
+        Smr.Smr_intf.make_config ~limbo_threshold:32 ~epoch_freq:16
+          ~batch_size:8 ~threads ()
+  in
+  let builder = Instance.find_builder_exn structure in
+  let bound = ref None in
+  let trace = ref [] in
+  let r =
+    Runner.run ~config ~workers ~check:false ~measure_latency:false
+      ~sample_every:0.002
+      ~prepare:(fun inst ->
+        bound :=
+          Chaos.mem_bound
+            (module S)
+            ~config ~threads ~slots:inst.Instance.slots ~range ~stalled;
+        for tid = workers to threads - 1 do
+          inst.Instance.fault.stall ~tid ~point
+        done)
+      ~finish:(fun inst ->
+        trace := Chaos.trace (inst.Instance.fault.engine ());
+        inst.Instance.fault.shutdown ())
+      ~builder
+      ~scheme:(module S)
+      ~threads ~range ~duration ()
+  in
+  let first_third, last_third = third_means r.mem_series in
+  let ok =
+    match !bound with
+    | Some b -> r.max_unreclaimed <= b
+    | None ->
+        (* Non-robust: the stalled reservation must visibly pin memory —
+           the tail of the series sits clearly above its head. *)
+        last_third > (1.5 *. first_third) +. 32.0
+  in
+  {
+    c_structure = r.structure;
+    c_scheme = r.scheme;
+    c_robust = S.robust;
+    c_threads = threads;
+    c_workers = workers;
+    c_stalled = stalled;
+    c_point = point;
+    c_range = range;
+    c_duration = r.duration;
+    c_ops = r.ops;
+    c_throughput = r.throughput;
+    c_bound = !bound;
+    c_max_unreclaimed = r.max_unreclaimed;
+    c_first_third = first_third;
+    c_last_third = last_third;
+    c_ok = ok;
+    c_mem_series = r.mem_series;
+    c_trace = !trace;
+  }
+
+let chaos_header =
+  [ "scheme"; "class"; "threads"; "stalled"; "point"; "bound";
+    "max_unreclaimed"; "first_third"; "last_third"; "verdict" ]
+
+let chaos_row (c : chaos_run) =
+  [
+    c.c_scheme;
+    (if c.c_robust then "robust" else "not robust");
+    string_of_int c.c_threads;
+    string_of_int c.c_stalled;
+    c.c_point;
+    (match c.c_bound with Some b -> string_of_int b | None -> "-");
+    string_of_int c.c_max_unreclaimed;
+    Printf.sprintf "%.0f" c.c_first_third;
+    Printf.sprintf "%.0f" c.c_last_third;
+    (if c.c_ok then "ok"
+     else if c.c_robust then "BOUND EXCEEDED"
+     else "NO GROWTH");
+  ]
+
+(* The chaos validation matrix: every scheme at each thread count, one
+   stalled participant, mid-traversal stall.  Robust schemes bounded,
+   EBR/NR growing. *)
+let chaos_matrix ?(structure = "HList") ?(threads_list = [ 2; 4 ])
+    ?(stalled = 1) ?(point = "read") ?(range = 256) ?(duration = 1.0) () =
+  Report.section
+    (Printf.sprintf
+       "Chaos: unreclaimed-memory validation with %d thread(s) stalled at \
+        '%s' (robust schemes bounded, EBR/NR growing)"
+       stalled point);
+  let runs =
+    List.concat_map
+      (fun (module S : Smr.Smr_intf.S) ->
+        List.map
+          (fun threads ->
+            chaos ~structure ~threads ~stalled ~point ~range ~duration
+              ~scheme:(module S : Smr.Smr_intf.S) ())
+          threads_list)
+      all_schemes
+  in
+  Report.table ~header:chaos_header (List.map chaos_row runs);
+  runs
+
+let chaos_run_json (c : chaos_run) =
+  Json.Obj
+    [
+      ("kind", Json.String "chaos");
+      ("structure", Json.String c.c_structure);
+      ("scheme", Json.String c.c_scheme);
+      ("robust", Json.Bool c.c_robust);
+      ("threads", Json.Int c.c_threads);
+      ("workers", Json.Int c.c_workers);
+      ("stalled", Json.Int c.c_stalled);
+      ("point", Json.String c.c_point);
+      ("range", Json.Int c.c_range);
+      ("duration", Json.Float c.c_duration);
+      ("ops", Json.Int c.c_ops);
+      ("throughput", Json.Float c.c_throughput);
+      ( "bound",
+        match c.c_bound with Some b -> Json.Int b | None -> Json.Null );
+      ("max_unreclaimed", Json.Int c.c_max_unreclaimed);
+      ("first_third", Json.Float c.c_first_third);
+      ("last_third", Json.Float c.c_last_third);
+      ("ok", Json.Bool c.c_ok);
+      ( "mem_series",
+        Json.List
+          (List.map
+             (fun (s : Metrics.mem_sample) ->
+               Json.Obj
+                 [ ("t", Json.Float s.t); ("unreclaimed", Json.Int s.unreclaimed) ])
+             c.c_mem_series) );
+      ("trace", Json.List (List.map (fun e -> Json.String e) c.c_trace));
+    ]
+
+(* {2 Chaos: schedule fuzzing (hunting use-after-free)} *)
+
+type fuzz_result = {
+  fz_structure : string;
+  fz_scheme : string;
+  fz_seeds : int; (* schedules tried *)
+  fz_uaf_seed : int option; (* first seed whose run faulted *)
+  fz_trace : string list; (* injection trace of the faulting run *)
+}
+
+(* One seeded schedule against one (structure, scheme): aggressive
+   reclamation, tiny key range, write-heavy mix — the Table 1 stress — plus
+   random stalls and crashes on the worker tids. *)
+let fuzz_once ~builder ~scheme ~threads ~duration ~seed () =
+  let schedule = Chaos.random_schedule ~threads ~seed in
+  let config =
+    Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:4 ~batch_size:1
+      ~threads ()
+  in
+  let trace = ref [] in
+  let r =
+    Runner.run ~seed ~config ~check:false ~measure_latency:false
+      ~sample_every:0.05
+      ~prepare:(fun inst ->
+        Chaos.apply (inst.Instance.fault.engine ()) schedule)
+      ~finish:(fun inst ->
+        trace := Chaos.trace (inst.Instance.fault.engine ());
+        inst.Instance.fault.shutdown ())
+      ~builder ~scheme ~threads ~range:16
+      ~mix:(Workload.mix ~read:20 ~insert:40 ~delete:40)
+      ~duration ()
+  in
+  (r.Runner.faults > 0, !trace)
+
+(* Try seeded schedules until a use-after-free fires or the time budget
+   runs out.  On HListUnsafe a fault surfaces within seconds; on the
+   SCOT-enabled structures it must never fire. *)
+let fuzz ?(structure = "HListUnsafe") ?(threads = 4) ?(budget_s = 30.0)
+    ?(duration = 0.25) ~scheme:(module S : Smr.Smr_intf.S) () =
+  let builder = Instance.find_builder_exn structure in
+  let t0 = Unix.gettimeofday () in
+  let rec go seed =
+    if Unix.gettimeofday () -. t0 > budget_s then
+      {
+        fz_structure = structure;
+        fz_scheme = S.name;
+        fz_seeds = seed - 1;
+        fz_uaf_seed = None;
+        fz_trace = [];
+      }
+    else
+      let uaf, trace =
+        fuzz_once ~builder ~scheme:(module S : Smr.Smr_intf.S) ~threads
+          ~duration ~seed ()
+      in
+      if uaf then
+        {
+          fz_structure = structure;
+          fz_scheme = S.name;
+          fz_seeds = seed;
+          fz_uaf_seed = Some seed;
+          fz_trace = trace;
+        }
+      else go (seed + 1)
+  in
+  go 1
+
+let fuzz_result_json (f : fuzz_result) =
+  Json.Obj
+    [
+      ("kind", Json.String "fuzz");
+      ("structure", Json.String f.fz_structure);
+      ("scheme", Json.String f.fz_scheme);
+      ("seeds", Json.Int f.fz_seeds);
+      ( "uaf_seed",
+        match f.fz_uaf_seed with Some s -> Json.Int s | None -> Json.Null );
+      ("trace", Json.List (List.map (fun e -> Json.String e) f.fz_trace));
+    ]
 
 (* Extension: the skip-list analogue of Figure 8 — SCOT optimistic searches
    vs Herlihy-Shavit eager searches (Table 1's skip-list rows). *)

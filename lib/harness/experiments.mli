@@ -57,9 +57,110 @@ val fig_skiplist : cfg -> Runner.result list
 (** §5's other workload mixes (90/5/5 and 50i/50d). *)
 val mixes : cfg -> Runner.result list
 
-(** Stalled-thread robustness demonstration; returns the printed rows. *)
+(** Stalled-thread robustness demonstration: parks one thread at an
+    injection point (default mid-traversal, ["read"]) via
+    {!Instance.fault_control}, reports the gauge stalled and after resume;
+    returns the printed rows. *)
 val stall :
-  ?threads:int -> ?duration:float -> ?range:int -> unit -> string list list
+  ?threads:int ->
+  ?duration:float ->
+  ?range:int ->
+  ?point:string ->
+  unit ->
+  string list list
+
+(** {2 Chaos: fault-injection validation and fuzzing} *)
+
+type chaos_run = {
+  c_structure : string;
+  c_scheme : string;
+  c_robust : bool;
+  c_threads : int;  (** total participants, workers + stalled *)
+  c_workers : int;
+  c_stalled : int;
+  c_point : string;
+  c_range : int;
+  c_duration : float;
+  c_ops : int;
+  c_throughput : float;
+  c_bound : int option;
+      (** {!Chaos.mem_bound} ceiling; [None] for non-robust schemes *)
+  c_max_unreclaimed : int;
+  c_first_third : float;
+  c_last_third : float;
+      (** mean unreclaimed over the first/last third of samples *)
+  c_ok : bool;
+      (** robust: stayed under [c_bound]; non-robust: clear growth *)
+  c_mem_series : Metrics.mem_sample list;
+  c_trace : string list; (** injection events, trigger order *)
+}
+
+(** One validated run: [stalled] participants park at [point] while the
+    remaining workers churn; see {!chaos_run} for the verdict. *)
+val chaos :
+  ?structure:string ->
+  ?threads:int ->
+  ?stalled:int ->
+  ?point:string ->
+  ?range:int ->
+  ?duration:float ->
+  ?config:Smr.Smr_intf.config ->
+  scheme:Smr.Registry.scheme ->
+  unit ->
+  chaos_run
+
+(** Every scheme at each thread count (default 2 and 4) with one stalled
+    participant; prints the verdict table and returns the runs. *)
+val chaos_matrix :
+  ?structure:string ->
+  ?threads_list:int list ->
+  ?stalled:int ->
+  ?point:string ->
+  ?range:int ->
+  ?duration:float ->
+  unit ->
+  chaos_run list
+
+val chaos_header : string list
+val chaos_row : chaos_run -> string list
+
+val chaos_run_json : chaos_run -> Json.t
+(** ["kind": "chaos"] run entry for {!Report.write_bench_doc}. *)
+
+type fuzz_result = {
+  fz_structure : string;
+  fz_scheme : string;
+  fz_seeds : int;
+  fz_uaf_seed : int option;
+  fz_trace : string list;
+}
+
+(** Seeded random schedules (stalls and crashes on worker tids) under
+    aggressive reclamation until a use-after-free fires or [budget_s]
+    expires.  Finds a fault on HListUnsafe within seconds; must never on
+    the SCOT-enabled structures. *)
+val fuzz :
+  ?structure:string ->
+  ?threads:int ->
+  ?budget_s:float ->
+  ?duration:float ->
+  scheme:Smr.Registry.scheme ->
+  unit ->
+  fuzz_result
+
+val fuzz_result_json : fuzz_result -> Json.t
+
+val fuzz_once :
+  builder:Instance.builder ->
+  scheme:Smr.Registry.scheme ->
+  threads:int ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  bool * string list
+(** One seeded {!Chaos.random_schedule} run under aggressive reclamation;
+    [(use_after_free_fired, trace)].  Exposed for the property-based
+    tests. *)
 
 (** Run everything in paper order; returns every [Runner.result] (the
     string-row experiments, Table 1 and the stall demo, print only) so

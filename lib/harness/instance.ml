@@ -3,11 +3,31 @@
    Every benchmark and test runs against this record, so a single runner
    serves the full (structure x SMR scheme) matrix.  Builders instantiate
    the structure functor with the chosen scheme and pre-register one handle
-   per thread. *)
+   per thread.
+
+   Fault control: instead of the old [stall_begin] (which registered an
+   extra SMR handle and left it inside a synthetic operation), the [fault]
+   sub-record drives *real* operations to named injection points.  A stall
+   spawns a driver domain that runs an actual operation on the instance and
+   parks at the requested {!Smr.Probe.point} via the shared {!Chaos}
+   engine — so the stalled thread holds exactly the protection a real
+   operation holds at that point (published hazard mid-traversal, epoch
+   reservation after start-op, a pending retire at the retire boundary). *)
+
+type fault_control = {
+  stall : tid:int -> point:string -> unit;
+  resume : tid:int -> unit;
+  crash : tid:int -> unit;
+  capabilities : string list;
+  engine : unit -> Chaos.t;
+  shutdown : unit -> unit;
+}
 
 type t = {
   structure : string;
   scheme : string;
+  threads : int;
+  slots : int; (* hazard/era slots per thread the structure needs *)
   insert : tid:int -> int -> bool;
   delete : tid:int -> int -> bool;
   search : tid:int -> int -> bool;
@@ -21,12 +41,118 @@ type t = {
       (* scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
-  (* Register an extra SMR participant for [tid] and park it inside an
-     operation forever: the stalled-thread robustness experiment (the
-     stalled tid must not run regular operations afterwards). *)
-  stall_begin : tid:int -> unit;
+  fault : fault_control;
   max_key : int; (* exclusive upper bound on valid keys *)
 }
+
+let no_fault : fault_control =
+  let missing _ = invalid_arg "Instance: fault control not attached" in
+  {
+    stall = (fun ~tid:_ ~point:_ -> missing ());
+    resume = (fun ~tid:_ -> missing ());
+    crash = (fun ~tid:_ -> missing ());
+    capabilities = [];
+    engine = (fun () -> missing ());
+    shutdown = (fun () -> ());
+  }
+
+(* Run one real operation sequence on [t] as [tid], long enough to cross
+   the requested injection point: a search crosses start-op and read; an
+   insert-sentinel-then-delete crosses retire (the delete unlinks and
+   retires the sentinel); the trailing quiesce forces a reclamation pass.
+   The sentinel key is the top of the valid range so workloads (which draw
+   from [0, range)) never collide with it. *)
+let drive (t : t) ~tid ~(point : Smr.Probe.point) =
+  match point with
+  | Smr.Probe.Start_op | Smr.Probe.Read ->
+      (* Search the top of the range: the traversal walks the whole list,
+         so rules with a countdown (crash on the n-th protected load) are
+         guaranteed enough crossings to trigger. *)
+      ignore (t.search ~tid (t.max_key - 1))
+  | Smr.Probe.Retire | Smr.Probe.Reclaim ->
+      let k = t.max_key - 1 in
+      ignore (t.insert ~tid k);
+      ignore (t.delete ~tid k);
+      t.quiesce ~tid
+
+(* Attach fault control to a built record.  The chaos engine is created
+   and installed lazily on first use, so instances that never inject
+   faults keep every injection point compiled to a never-taken branch.
+   Not thread-safe: drive faults from one controller domain. *)
+let with_fault (t : t) =
+  let eng : Chaos.t option ref = ref None in
+  let drivers : (int, unit Domain.t) Hashtbl.t = Hashtbl.create 8 in
+  let engine () =
+    match !eng with
+    | Some e -> e
+    | None ->
+        let e = Chaos.create ~threads:t.threads () in
+        Chaos.install e;
+        eng := Some e;
+        e
+  in
+  let spawn_driver ~tid ~point =
+    let d =
+      Domain.spawn (fun () ->
+          try drive t ~tid ~point with Chaos.Crashed -> ())
+    in
+    Hashtbl.replace drivers tid d
+  in
+  let join_driver ~tid =
+    match Hashtbl.find_opt drivers tid with
+    | None -> ()
+    | Some d ->
+        Domain.join d;
+        Hashtbl.remove drivers tid
+  in
+  let stall ~tid ~point =
+    let point = Smr.Probe.point_of_string_exn point in
+    let e = engine () in
+    Chaos.arm e ~tid ~point ~after:0 (Chaos.Stall { for_s = None });
+    spawn_driver ~tid ~point;
+    ignore (Chaos.wait_parked e ~tid)
+  in
+  let resume ~tid =
+    match !eng with
+    | None -> ()
+    | Some e ->
+        Chaos.resume e ~tid;
+        join_driver ~tid
+  in
+  let crash ~tid =
+    let e = engine () in
+    if Chaos.parked e ~tid then Chaos.kill e ~tid
+    else begin
+      (* Crash mid-traversal: the second read crossing guarantees the
+         protection for the first hop is already published when the
+         exception unwinds past [end_op]. *)
+      Chaos.arm e ~tid ~point:Smr.Probe.Read ~after:2 Chaos.Crash;
+      spawn_driver ~tid ~point:Smr.Probe.Read
+    end;
+    join_driver ~tid
+  in
+  let shutdown () =
+    match !eng with
+    | None -> ()
+    | Some e ->
+        Chaos.release_all e;
+        Hashtbl.iter (fun _ d -> Domain.join d) drivers;
+        Hashtbl.reset drivers;
+        Chaos.uninstall ();
+        eng := None
+  in
+  {
+    t with
+    fault =
+      {
+        stall;
+        resume;
+        crash;
+        capabilities = List.map Smr.Probe.point_name Smr.Probe.all_points;
+        engine;
+        shutdown;
+      };
+  }
 
 type builder = {
   name : string;
@@ -40,12 +166,15 @@ type builder = {
 let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     () =
   let module L = Scot.Harris_list.Make (S) in
-  let smr = S.create ?config ~threads ~slots:Scot.Harris_list.slots_needed () in
+  let slots = Scot.Harris_list.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = L.create ~recovery ~smr ~threads () in
   let handles = Array.init threads (fun tid -> L.handle t ~tid) in
   {
     structure = (if recovery then "HList" else "HList-norec");
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> L.insert handles.(tid) k);
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
@@ -56,21 +185,21 @@ let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
   let module L = Scot.Harris_list_wf.Make (S) in
-  let smr = S.create ?config ~threads ~slots:Scot.Harris_list_wf.slots_needed () in
+  let slots = Scot.Harris_list_wf.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = L.create ~smr ~threads () in
   let handles = Array.init threads (fun tid -> L.handle t ~tid) in
   {
     structure = "HListWF";
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> L.insert handles.(tid) k);
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
@@ -81,23 +210,21 @@ let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
   let module L = Scot.Harris_michael_list.Make (S) in
-  let smr =
-    S.create ?config ~threads ~slots:Scot.Harris_michael_list.slots_needed ()
-  in
+  let slots = Scot.Harris_michael_list.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = L.create ~smr ~threads () in
   let handles = Array.init threads (fun tid -> L.handle t ~tid) in
   {
     structure = "HMList";
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> L.insert handles.(tid) k);
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
@@ -108,23 +235,21 @@ let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
   let module L = Scot.Harris_list_unsafe.Make (S) in
-  let smr =
-    S.create ?config ~threads ~slots:Scot.Harris_list_unsafe.slots_needed ()
-  in
+  let slots = Scot.Harris_list_unsafe.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = L.create ~smr ~threads () in
   let handles = Array.init threads (fun tid -> L.handle t ~tid) in
   {
     structure = "HListUnsafe";
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> L.insert handles.(tid) k);
     delete = (fun ~tid k -> L.delete handles.(tid) k);
     search = (fun ~tid k -> L.search handles.(tid) k);
@@ -135,21 +260,21 @@ let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> ());
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
   let module T = Scot.Nm_tree.Make (S) in
-  let smr = S.create ?config ~threads ~slots:Scot.Nm_tree.slots_needed () in
+  let slots = Scot.Nm_tree.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = T.create ~smr ~threads () in
   let handles = Array.init threads (fun tid -> T.handle t ~tid) in
   {
     structure = "NMTree";
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> T.insert handles.(tid) k);
     delete = (fun ~tid k -> T.delete handles.(tid) k);
     search = (fun ~tid k -> T.search handles.(tid) k);
@@ -160,22 +285,22 @@ let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> T.unreclaimed t);
     size = (fun () -> T.size t);
     check_invariants = (fun () -> T.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = Scot.Nm_tree.inf1;
   }
 
 let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     ?config () =
   let module SL = Scot.Skiplist.Make (S) in
-  let smr = S.create ?config ~threads ~slots:Scot.Skiplist.slots_needed () in
+  let slots = Scot.Skiplist.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = SL.create ~optimistic ~smr ~threads () in
   let handles = Array.init threads (fun tid -> SL.handle t ~tid) in
   {
     structure = (if optimistic then "SkipList" else "SkipList-HS");
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> SL.insert handles.(tid) k);
     delete = (fun ~tid k -> SL.delete handles.(tid) k);
     search = (fun ~tid k -> SL.search handles.(tid) k);
@@ -186,21 +311,21 @@ let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     unreclaimed = (fun () -> SL.unreclaimed t);
     size = (fun () -> SL.size t);
     check_invariants = (fun () -> SL.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
   let module M = Scot.Hashmap.Make (S) in
-  let smr = S.create ?config ~threads ~slots:Scot.Hashmap.slots_needed () in
+  let slots = Scot.Hashmap.slots_needed in
+  let smr = S.create ?config ~threads ~slots () in
   let t = M.create ~buckets:64 ~smr ~threads () in
   let handles = Array.init threads (fun tid -> M.handle t ~tid) in
   {
     structure = "HashMap";
     scheme = S.name;
+    threads;
+    slots;
     insert = (fun ~tid k -> M.insert handles.(tid) k);
     delete = (fun ~tid k -> M.delete handles.(tid) k);
     search = (fun ~tid k -> M.search handles.(tid) k);
@@ -211,85 +336,79 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> S.unreclaimed smr);
     size = (fun () -> M.size t);
     check_invariants = (fun () -> M.check_invariants t);
-    stall_begin =
-      (fun ~tid ->
-        let th = S.register smr ~tid in
-        S.start_op th);
+    fault = no_fault;
     max_key = max_int;
   }
 
 let builders : builder list =
+  let fc build = fun s ~threads ?config () -> with_fault (build s ~threads ?config ()) in
   [
     {
       name = "HList";
       description = "Harris' list with SCOT (lock-free, recovery opt)";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_hlist s ~threads ?config ());
+      build = fc (fun s ~threads ?config () -> make_hlist s ~threads ?config ());
     };
     {
       name = "HList-norec";
       description = "Harris' list with SCOT, recovery optimisation disabled";
       safe_for_robust = true;
       build =
-        (fun s ~threads ?config () ->
-          make_hlist ~recovery:false s ~threads ?config ());
+        fc (fun s ~threads ?config () ->
+            make_hlist ~recovery:false s ~threads ?config ());
     };
     {
       name = "HListWF";
       description = "Harris' list with SCOT and wait-free traversals";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_hlist_wf s ~threads ?config ());
+      build =
+        fc (fun s ~threads ?config () -> make_hlist_wf s ~threads ?config ());
     };
     {
       name = "HMList";
       description = "Harris-Michael list (eager unlink baseline)";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_hmlist s ~threads ?config ());
+      build = fc (fun s ~threads ?config () -> make_hmlist s ~threads ?config ());
     };
     {
       name = "HListUnsafe";
       description = "Harris' list WITHOUT SCOT (Figure 2 demo; unsafe)";
       safe_for_robust = false;
       build =
-        (fun s ~threads ?config () -> make_hlist_unsafe s ~threads ?config ());
+        fc (fun s ~threads ?config () ->
+            make_hlist_unsafe s ~threads ?config ());
     };
     {
       name = "NMTree";
       description = "Natarajan-Mittal tree with SCOT";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_nmtree s ~threads ?config ());
+      build = fc (fun s ~threads ?config () -> make_nmtree s ~threads ?config ());
     };
     {
       name = "SkipList";
       description = "Skip list with SCOT per-level optimistic traversals";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_skiplist s ~threads ?config ());
+      build =
+        fc (fun s ~threads ?config () -> make_skiplist s ~threads ?config ());
     };
     {
       name = "HashMap";
       description = "Lock-free hash set: array of SCOT Harris lists";
       safe_for_robust = true;
-      build = (fun s ~threads ?config () -> make_hashmap s ~threads ?config ());
+      build = fc (fun s ~threads ?config () -> make_hashmap s ~threads ?config ());
     };
     {
       name = "SkipList-HS";
       description = "Skip list, Herlihy-Shavit-style eager searches (baseline)";
       safe_for_robust = true;
       build =
-        (fun s ~threads ?config () ->
-          make_skiplist ~optimistic:false s ~threads ?config ());
+        fc (fun s ~threads ?config () ->
+            make_skiplist ~optimistic:false s ~threads ?config ());
     };
   ]
 
-let find_builder name =
-  List.find_opt
-    (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii name)
-    builders
+let lookup_builder name =
+  Smr.Lookup.find ~name_of:(fun b -> b.name) builders name
 
-let find_builder_exn name =
-  match find_builder name with
-  | Some b -> b
-  | None ->
-      invalid_arg
-        (Printf.sprintf "unknown structure %S (expected one of: %s)" name
-           (String.concat ", " (List.map (fun b -> b.name) builders)))
+let find_builder name = Result.to_option (lookup_builder name)
+let find_builder_exn name = Smr.Lookup.to_exn ~what:"structure" (lookup_builder name)

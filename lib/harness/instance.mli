@@ -1,9 +1,46 @@
 (** Type-erased data-structure instances: a single runner and test battery
     serve the full (structure x SMR scheme) matrix through this record. *)
 
+type fault_control = {
+  stall : tid:int -> point:string -> unit;
+      (** Park [tid] at the named injection point (see
+          {!Smr.Probe.point_of_string}; one of [capabilities]).  Spawns a
+          driver domain that runs a *real* operation on the instance and
+          stalls inside it, so the parked thread holds exactly the
+          protection a live operation holds at that point.  Returns once
+          the driver is parked.  The tid must not be running regular
+          operations concurrently. *)
+  resume : tid:int -> unit;
+      (** Wake a stalled tid; its driven operation completes (including
+          [end_op]) and the driver domain is joined. *)
+  crash : tid:int -> unit;
+      (** Kill the tid without [end_op]: a stalled tid wakes into
+          {!Chaos.Crashed}; an idle tid is driven into a traversal and
+          crashed mid-read with its protection published.  Irreversible —
+          the tid's probe crossings poison it thereafter. *)
+  capabilities : string list;
+      (** Injection point names accepted by [stall]
+          (["start-op"; "read"; "retire"; "reclaim"]). *)
+  engine : unit -> Chaos.t;
+      (** The instance's chaos engine (created and installed on first
+          use).  Experiments that combine workload domains with fault
+          schedules must arm rules on *this* engine — installing a second
+          engine would displace it. *)
+  shutdown : unit -> unit;
+      (** Release every stalled tid, join all driver domains, uninstall
+          the engine.  Call before [teardown] whenever faults were
+          injected (teardown quiesces handles the drivers were using). *)
+}
+(** Not thread-safe: drive faults from a single controller domain.
+    Replaces the former [stall_begin] field — where [stall_begin]
+    registered a synthetic extra participant, [stall] parks a real
+    operation at a named point and is resumable. *)
+
 type t = {
   structure : string;
   scheme : string;
+  threads : int;
+  slots : int;  (** hazard/era slots per thread the structure needs *)
   insert : tid:int -> int -> bool;
   delete : tid:int -> int -> bool;
   search : tid:int -> int -> bool;
@@ -17,11 +54,10 @@ type t = {
       (** scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
-  stall_begin : tid:int -> unit;
-      (** Register an extra SMR participant for [tid] and park it inside an
-          operation forever (stalled-thread robustness experiments); the
-          stalled tid must not run regular operations afterwards. *)
-  max_key : int; (** exclusive upper bound on valid keys *)
+  fault : fault_control;
+  max_key : int;
+      (** exclusive upper bound on valid keys; [max_key - 1] is reserved
+          as the fault drivers' sentinel *)
 }
 
 type builder = {
@@ -38,8 +74,12 @@ type builder = {
     HListUnsafe, NMTree, SkipList, SkipList-HS, HashMap. *)
 val builders : builder list
 
+val lookup_builder : string -> (builder, Smr.Lookup.error) result
+(** Case-insensitive; the shared lookup the CLI, benchmarks and tests all
+    route through ({!Smr.Registry.lookup} is its twin). *)
+
 val find_builder : string -> builder option
-(** Case-insensitive. *)
+(** [Result.to_option] over {!lookup_builder}. *)
 
 val find_builder_exn : string -> builder
 (** Raises [Invalid_argument] listing the valid names. *)

@@ -41,8 +41,15 @@ let default_sample_every = 0.01
 
 let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
-    ?(measure_latency = true) ?recorders ~(builder : Instance.builder)
-    ~(scheme : Smr.Registry.scheme) ~threads ~range ~duration () =
+    ?(measure_latency = true) ?recorders ?workers ?prepare ?finish
+    ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
+    ~range ~duration () =
+  (* [workers] < [threads] reserves the top tids for fault injection: they
+     get SMR handles (registered by the builder) but no workload domain —
+     the caller parks or crashes them via [Instance.fault] in [prepare]. *)
+  let workers = match workers with Some w -> w | None -> threads in
+  if workers < 1 || workers > threads then
+    invalid_arg "Runner.run: workers must be in [1, threads]";
   let inst = builder.build scheme ~threads ?config () in
   if range >= inst.max_key then
     invalid_arg "Runner.run: key range exceeds the structure's key space";
@@ -111,12 +118,18 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
                  ~hit:(inst.delete ~tid key));
            incr count
          done
-     with Memory.Fault.Use_after_free _ ->
-       (* The simulated SEGFAULT: record and stop this worker. *)
-       faults.(tid) <- faults.(tid) + 1);
+     with
+    | Memory.Fault.Use_after_free _ ->
+        (* The simulated SEGFAULT: record and stop this worker. *)
+        faults.(tid) <- faults.(tid) + 1
+    | Chaos.Crashed ->
+        (* Fault injection killed this worker mid-operation (no [end_op]);
+           the run continues with the survivors. *)
+        ());
     ops_done.(tid) <- !count
   in
-  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  (match prepare with Some f -> f inst | None -> ());
+  let domains = List.init workers (fun tid -> Domain.spawn (worker tid)) in
   let samples = ref [] in
   let t0 = Unix.gettimeofday () in
   Atomic.set go true;
@@ -138,11 +151,17 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   (* The throughput denominator ends here: joins and the post-stop drain
      below are teardown, not measured work. *)
   let elapsed = Unix.gettimeofday () -. t0 in
+  (* Fault-injecting callers release stalled tids, join their driver
+     domains and uninstall the chaos engine here (typically
+     [inst.fault.shutdown]) so the joins and quiesce below cannot hang on
+     a parked domain or trip a poisoned tid. *)
+  (match finish with Some f -> f inst | None -> ());
   List.iter Domain.join domains;
   let wall_total = Unix.gettimeofday () -. t0 in
-  (* Post-run reclamation flush so pool stats are stable, then validate. *)
+  (* Post-run reclamation flush so pool stats are stable, then validate.
+     A tid crashed by fault injection may refuse the pass; skip it. *)
   for tid = 0 to threads - 1 do
-    inst.quiesce ~tid
+    try inst.quiesce ~tid with Chaos.Crashed -> ()
   done;
   let total_faults = Array.fold_left ( + ) 0 faults in
   if check && total_faults = 0 then inst.check_invariants ();

@@ -39,7 +39,15 @@ val default_sample_every : float
     histograms — when disabled the worker loop performs no timestamp reads
     and allocates nothing per operation, for raw-throughput comparisons;
     [recorders] lets callers running many repeats supply the per-thread
-    metric buffers (reset and reused; length must equal [threads]). *)
+    metric buffers (reset and reused; length must equal [threads]).
+
+    Fault injection: [workers] (default [threads]) spawns workload domains
+    only for tids [0, workers) — the remaining tids are registered SMR
+    participants reserved for {!Instance.fault_control}; [prepare] runs
+    after prefill and before the workers are released (stall victims
+    there); [finish] runs after the stop flag and before the worker joins
+    (call [inst.fault.shutdown] there).  Workers killed by
+    {!Chaos.Crashed} stop silently and the run continues. *)
 val run :
   ?mix:Workload.mix ->
   ?seed:int ->
@@ -48,6 +56,9 @@ val run :
   ?check:bool ->
   ?measure_latency:bool ->
   ?recorders:Metrics.recorder array ->
+  ?workers:int ->
+  ?prepare:(Instance.t -> unit) ->
+  ?finish:(Instance.t -> unit) ->
   builder:Instance.builder ->
   scheme:Smr.Registry.scheme ->
   threads:int ->

@@ -5,9 +5,20 @@
    Figures 8-12) and prefills the structure with unique keys covering 50% of
    the range. *)
 
-(* Unboxed xorshift over the native int: per-draw cost is three shifts and
-   three xors with no Int64 boxing, so the measurement loop's RNG draw is
-   allocation-free.  Deterministic across runs for a given seed. *)
+(* Unboxed xorshift over the native int: per-draw cost is a handful of
+   shifts, xors and multiplies with no Int64 boxing, so the measurement
+   loop's RNG draw is allocation-free.  Deterministic across runs for a
+   given seed.
+
+   The raw xorshift output is scrambled through a splitmix-style finalizer
+   (xor-shift / odd-multiply rounds) before use.  Without it, consecutive
+   raw outputs are GF(2)-linear functions of each other, and drawing
+   [key = next mod range] followed by [op = next mod 2] makes the op bit a
+   *function of the key*: each key is then only ever paired with one
+   operation, so an insert/delete churn converges to the absorbing state
+   where every key sits at "insert present / delete absent" and every
+   subsequent operation fails — silently freezing the workload after a few
+   hundred successes. *)
 module Rng = struct
   type t = { mutable state : int }
 
@@ -27,7 +38,15 @@ module Rng = struct
     let x = x land max_int in
     let x = if x = 0 then 0x9E3779B9 else x in
     t.state <- x;
-    x
+    (* Finalizer: break the linear correlation between consecutive draws
+       (multiplication wraps modulo the native-int width, which is fine
+       for mixing; constants are odd and fit in 62 bits). *)
+    let z = x lxor (x lsr 30) in
+    let z = z * 0x2545F4914F6CDD1D in
+    let z = z lxor (z lsr 27) in
+    let z = z * 0x1CE4E5B9BF58476D in
+    let z = z lxor (z lsr 31) in
+    z land max_int
 
   (* Uniform int in [0, bound); bound must be positive. *)
   let int t bound = next t mod bound

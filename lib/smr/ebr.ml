@@ -52,16 +52,27 @@ let register t ~tid =
   }
 
 let tid th = th.id
-let start_op th = Atomic.set th.my_resv (Atomic.get th.global.epoch)
+
+let start_op th =
+  Atomic.set th.my_resv (Atomic.get th.global.epoch);
+  Probe.hit th.id Probe.Start_op
+
 let end_op th = Atomic.set th.my_resv inactive
-let read _ ~slot:_ ~load ~hdr_of:_ = load ()
+
+let read th ~slot:_ ~load ~hdr_of:_ =
+  Probe.hit th.id Probe.Read;
+  load ()
 
 (* The epoch reservation published by [start_op] already covers every node
-   reachable during the operation: the staged read is a plain load. *)
-type 'v reader = unit
+   reachable during the operation: the staged read is a plain load (plus
+   the injection-point crossing, a never-taken branch when chaos is off). *)
+type 'v reader = th
 
-let reader _ _ = ()
-let read_field () ~slot:_ field = Atomic.get field
+let reader th _ = th
+
+let read_field (th : _ reader) ~slot:_ field =
+  Probe.hit th.id Probe.Read;
+  Atomic.get field
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -89,12 +100,14 @@ let try_advance t =
   if all_current 0 then ignore (Atomic.compare_and_set t.epoch e (e + 1))
 
 let reclaim_pass th =
+  Probe.hit th.id Probe.Reclaim;
   let safe_before = min_reservation th.global in
   Limbo_local.sweep th.limbo ~protected_:(fun r ->
       Memory.Hdr.retire_era r.Smr_intf.hdr >= safe_before)
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
+  Probe.hit th.id Probe.Retire;
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.epoch);
   Limbo_local.push th.limbo r;

@@ -53,12 +53,13 @@ let register t ~tid =
   }
 
 let tid th = th.id
-let start_op _ = ()
+let start_op th = Probe.hit th.id Probe.Start_op
 let end_op th = Array.iter (fun c -> Atomic.set c no_era) th.my_slots
 
 (* Publish the global era for this slot; stable-era validation replaces HP's
    pointer re-read and needs fewer barriers in the original setting. *)
 let read th ~slot ~load ~hdr_of:_ =
+  Probe.hit th.id Probe.Read;
   let cell = th.my_slots.(slot) in
   let rec loop prev =
     let v = load () in
@@ -89,6 +90,7 @@ let rec stable_era_loop field era cell prev =
   end
 
 let read_field (th : _ reader) ~slot field =
+  Probe.hit th.id Probe.Read;
   let cell = th.my_slots.(slot) in
   stable_era_loop field th.global.era cell (Atomic.get cell)
 
@@ -97,6 +99,7 @@ let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
 
 let reclaim_pass th =
+  Probe.hit th.id Probe.Reclaim;
   let t = th.global in
   (* Snapshot of all published eras (HPopt-style optimisation), captured
      once per pass into the reused scratch array. *)
@@ -132,6 +135,7 @@ let reclaim_pass th =
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
+  Probe.hit th.id Probe.Retire;
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
   Limbo_local.push th.limbo r;

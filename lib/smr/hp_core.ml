@@ -66,13 +66,14 @@ struct
     }
 
   let tid th = th.id
-  let start_op _ = ()
+  let start_op th = Probe.hit th.id Probe.Start_op
 
   let end_op th = Array.iter (fun c -> Atomic.set c no_hazard) th.my_slots
 
   (* The paper's [protect] (Figure 1): publish the reservation, then verify
      the source pointer has not changed; loop otherwise. *)
   let read th ~slot ~load ~hdr_of =
+    Probe.hit th.id Probe.Read;
     let cell = th.my_slots.(slot) in
     let rec loop v =
       match hdr_of v with
@@ -110,6 +111,7 @@ struct
     end
 
   let read_field r ~slot field =
+    Probe.hit r.r_th.id Probe.Read;
     read_field_loop r.r_th.my_slots.(slot) r.r_desc field (Atomic.get field)
 
   (* The paper's [dup] (Figure 1): copy an existing reservation so the node
@@ -137,6 +139,7 @@ struct
     scan_row 0
 
   let reclaim_pass th =
+    Probe.hit th.id Probe.Reclaim;
     let t = th.global in
     if P.snapshot then begin
       (* HPopt: one capture of all slots per pass into the reused scratch. *)
@@ -169,6 +172,7 @@ struct
           protected_rescan t r.hdr)
 
   let retire th (r : Smr_intf.reclaimable) =
+    Probe.hit th.id Probe.Retire;
     Memory.Hdr.mark_retired r.hdr;
     Limbo_local.push th.limbo r;
     if Limbo_local.length th.limbo >= th.global.config.limbo_threshold then

@@ -90,7 +90,8 @@ let start_op th =
   (* Between operations the head is [Inactive] and dispatchers never push to
      an inactive list, so this transition cannot race with a push. *)
   if not (Atomic.compare_and_set th.my_head Inactive Nil) then
-    invalid_arg "Hyaline.start_op: unbalanced start_op/end_op"
+    invalid_arg "Hyaline.start_op: unbalanced start_op/end_op";
+  Probe.hit th.id Probe.Start_op
 
 let end_op th =
   Atomic.set th.my_era inactive_era;
@@ -110,6 +111,7 @@ let end_op th =
 
 (* IBR-style birth-era validation against the single reservation era. *)
 let read th ~slot:_ ~load ~hdr_of =
+  Probe.hit th.id Probe.Read;
   let t = th.global in
   let resv = th.my_era in
   let rec loop () =
@@ -142,6 +144,7 @@ let rec read_field_loop (desc : _ Smr_intf.desc) field resv era =
   end
 
 let read_field r ~slot:_ field =
+  Probe.hit r.r_th.id Probe.Read;
   read_field_loop r.r_desc field r.r_th.my_era r.r_th.global.era
 
 let dup _ ~src:_ ~dst:_ = ()
@@ -154,6 +157,7 @@ let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
    each push attempt, so it can never transiently reach zero while pushes
    are in flight. *)
 let dispatch th =
+  Probe.hit th.id Probe.Reclaim;
   if Limbo_local.length th.pending > 0 then begin
     let t = th.global in
     let batch =
@@ -189,6 +193,7 @@ let dispatch th =
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
+  Probe.hit th.id Probe.Retire;
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
   Limbo_local.push th.pending r;

@@ -84,7 +84,8 @@ let start_op th =
      guaranteed to read an upper from this operation, not the stale
      [no_upper]. *)
   Atomic.set th.my_upper e;
-  Atomic.set th.my_lower e
+  Atomic.set th.my_lower e;
+  Probe.hit th.id Probe.Start_op
 
 let end_op th =
   (* Lower first: once a scanner can still read this operation's upper,
@@ -102,6 +103,7 @@ let activate th =
 (* Birth-era validation: widen [upper] and re-load until the loaded node's
    birth fits the reservation. *)
 let read th ~slot:_ ~load ~hdr_of =
+  Probe.hit th.id Probe.Read;
   let rec loop () =
     let v = load () in
     match hdr_of v with
@@ -143,13 +145,16 @@ let rec read_field_loop th (desc : _ Smr_intf.desc) field =
       read_field_loop th desc field
     end
 
-let read_field r ~slot:_ field = read_field_loop r.r_th r.r_desc field
+let read_field r ~slot:_ field =
+  Probe.hit r.r_th.id Probe.Read;
+  read_field_loop r.r_th r.r_desc field
 
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)
 
 let reclaim_pass th =
+  Probe.hit th.id Probe.Reclaim;
   let t = th.global in
   let n = Memory.Padded.length t.lowers in
   (* One scan of the reservation cells per pass, into the reused
@@ -179,6 +184,7 @@ let reclaim_pass th =
 
 let retire th (r : Smr_intf.reclaimable) =
   let t = th.global in
+  Probe.hit th.id Probe.Retire;
   Memory.Hdr.mark_retired r.hdr;
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.era);
   Limbo_local.push th.limbo r;

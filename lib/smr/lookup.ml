@@ -1,0 +1,23 @@
+(* One case-insensitive name lookup shared by every registry in the tree
+   (SMR schemes, data-structure builders, injection points), so the CLI,
+   benchmarks and tests all report unknown names the same way. *)
+
+type error = [ `Unknown of string * string list ]
+
+let find ~name_of candidates name =
+  let target = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun c -> String.lowercase_ascii (name_of c) = target)
+      candidates
+  with
+  | Some c -> Ok c
+  | None -> Error (`Unknown (name, List.map name_of candidates))
+
+let error_message ~what (`Unknown (name, valid)) =
+  Printf.sprintf "unknown %s %S (expected one of: %s)" what name
+    (String.concat ", " valid)
+
+let to_exn ~what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (error_message ~what e)

@@ -1,0 +1,14 @@
+(** One case-insensitive name lookup shared by every registry in the tree
+    (SMR schemes, data-structure builders, injection points), so the CLI,
+    benchmarks and tests all report unknown names identically. *)
+
+type error = [ `Unknown of string * string list ]
+(** The requested name and the full list of valid names. *)
+
+val find : name_of:('a -> string) -> 'a list -> string -> ('a, error) result
+
+val error_message : what:string -> error -> string
+(** ["unknown <what> \"name\" (expected one of: a, b, c)"]. *)
+
+val to_exn : what:string -> ('a, error) result -> 'a
+(** Raises [Invalid_argument] with {!error_message} on [Error]. *)

@@ -13,15 +13,22 @@ let create ?config:_ ~threads ~slots:_ () =
 
 let register t ~tid = { global = t; id = tid }
 let tid th = th.id
-let start_op _ = ()
+let start_op th = Probe.hit th.id Probe.Start_op
 let end_op _ = ()
-let read _ ~slot:_ ~load ~hdr_of:_ = load ()
 
-(* No protection: the staged read is a plain atomic load. *)
-type 'v reader = unit
+let read th ~slot:_ ~load ~hdr_of:_ =
+  Probe.hit th.id Probe.Read;
+  load ()
 
-let reader _ _ = ()
-let read_field () ~slot:_ field = Atomic.get field
+(* No protection: the staged read is a plain atomic load (plus the
+   injection-point crossing, a never-taken branch when chaos is off). *)
+type 'v reader = th
+
+let reader th _ = th
+
+let read_field (th : _ reader) ~slot:_ field =
+  Probe.hit th.id Probe.Read;
+  Atomic.get field
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -29,6 +36,7 @@ let on_alloc _ _ = ()
 let retire th (r : Smr_intf.reclaimable) =
   (* Mark retired so double-retire bugs still trip the header check, but
      never reclaim. *)
+  Probe.hit th.id Probe.Retire;
   Memory.Hdr.mark_retired r.hdr;
   Memory.Tcounter.incr th.global.leaked ~tid:th.id
 

@@ -1,0 +1,56 @@
+(* Named injection points inside the SMR schemes — the hook layer the
+   chaos harness (Harness.Chaos) drives.
+
+   Every scheme calls [hit tid point] at four boundaries of its lifecycle:
+   right after the reservation of [start_op] is published, at the entry of
+   every protected load, after the caller's unlink but before the node is
+   handed to [retire], and at the entry of a reclamation pass (Hyaline's
+   batch dispatch).  With no handler installed the call is one ref load and
+   a never-taken branch — nothing is allocated and no closure is invoked,
+   which is what keeps the operation fast paths at 0.00 minor words/op
+   (asserted by bench/micro op-allocs and test_smr's zero-alloc suites).
+
+   The handler itself runs on the domain that crossed the point, so it may
+   park that domain (a stall) or raise (a simulated crash that skips
+   [end_op]).  Installation is process-global and not itself thread-safe:
+   install/uninstall from a coordinating domain while no workers run. *)
+
+type point = Start_op | Read | Retire | Reclaim
+
+let all_points = [ Start_op; Read; Retire; Reclaim ]
+
+let point_name = function
+  | Start_op -> "start-op"
+  | Read -> "read"
+  | Retire -> "retire"
+  | Reclaim -> "reclaim"
+
+let point_index = function Start_op -> 0 | Read -> 1 | Retire -> 2 | Reclaim -> 3
+let n_points = 4
+
+let point_of_string name =
+  Lookup.find ~name_of:point_name all_points name
+
+let point_of_string_exn name =
+  Lookup.to_exn ~what:"injection point" (point_of_string name)
+
+type handler = int -> point -> unit
+
+let nop : handler = fun _ _ -> ()
+
+(* Split flag + handler: the disabled fast path reads one bool ref and
+   branches; the handler ref is only dereferenced when chaos is active. *)
+let enabled = ref false
+let handler = ref nop
+
+let[@inline] hit tid point = if !enabled then !handler tid point
+
+let install h =
+  handler := h;
+  enabled := true
+
+let uninstall () =
+  enabled := false;
+  handler := nop
+
+let active () = !enabled

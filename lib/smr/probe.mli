@@ -1,0 +1,38 @@
+(** Named injection points inside the SMR schemes, driven by the chaos
+    harness.  Disabled (the default), a crossing costs one ref load and a
+    never-taken branch and allocates nothing — the operation fast paths
+    stay at 0.00 minor words/op. *)
+
+type point =
+  | Start_op  (** reservation of [start_op] just published *)
+  | Read  (** entry of a protected load (between two protected loads) *)
+  | Retire  (** node unlinked, about to be handed to the scheme *)
+  | Reclaim  (** entry of a reclamation pass / batch dispatch *)
+
+val all_points : point list
+val point_name : point -> string
+
+val point_index : point -> int
+(** Dense index in [0, n_points); for per-point counter arrays. *)
+
+val n_points : int
+
+val point_of_string : string -> (point, Lookup.error) result
+(** Case-insensitive, by {!point_name}. *)
+
+val point_of_string_exn : string -> point
+(** Raises [Invalid_argument] listing the valid names. *)
+
+(** The handler runs on the domain that crossed the point ([hit tid point])
+    and may block it (stall) or raise (crash, skipping [end_op]). *)
+type handler = int -> point -> unit
+
+val hit : int -> point -> unit
+(** Called by the schemes; inlined no-op unless a handler is installed. *)
+
+val install : handler -> unit
+(** Process-global; install from a coordinating domain while no workers
+    run.  A second [install] displaces the first. *)
+
+val uninstall : unit -> unit
+val active : unit -> bool

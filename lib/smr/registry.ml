@@ -18,16 +18,8 @@ let robust_schemes =
 
 let names = List.map (fun (module S : Smr_intf.S) -> S.name) all
 
-let find name =
-  let target = String.uppercase_ascii name in
-  List.find_opt
-    (fun (module S : Smr_intf.S) -> String.uppercase_ascii S.name = target)
-    all
+let lookup name =
+  Lookup.find ~name_of:(fun (module S : Smr_intf.S) -> S.name) all name
 
-let find_exn name =
-  match find name with
-  | Some s -> s
-  | None ->
-      invalid_arg
-        (Printf.sprintf "unknown SMR scheme %S (expected one of: %s)" name
-           (String.concat ", " names))
+let find name = Result.to_option (lookup name)
+let find_exn name = Lookup.to_exn ~what:"SMR scheme" (lookup name)

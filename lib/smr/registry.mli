@@ -10,8 +10,12 @@ val robust_schemes : scheme list
 
 val names : string list
 
+val lookup : string -> (scheme, Lookup.error) result
+(** Case-insensitive; the shared lookup the CLI, benchmarks and tests all
+    route through ({!Harness.Instance.lookup_builder} is its twin). *)
+
 val find : string -> scheme option
-(** Case-insensitive. *)
+(** [Result.to_option] over {!lookup}. *)
 
 val find_exn : string -> scheme
 (** Raises [Invalid_argument] with the list of valid names. *)

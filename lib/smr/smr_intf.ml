@@ -44,6 +44,17 @@ type config = {
 let default_config ~threads =
   { limbo_threshold = 128; epoch_freq = 12 * threads; batch_size = 32 }
 
+(* Forward-compatible constructor: call sites name only the knobs they care
+   about, so growing [config] (e.g. with chaos-related fields) does not
+   break every record literal in tests and benchmarks. *)
+let make_config ?limbo_threshold ?epoch_freq ?batch_size ~threads () =
+  let d = default_config ~threads in
+  {
+    limbo_threshold = Option.value limbo_threshold ~default:d.limbo_threshold;
+    epoch_freq = Option.value epoch_freq ~default:d.epoch_freq;
+    batch_size = Option.value batch_size ~default:d.batch_size;
+  }
+
 module type S = sig
   val name : string
 

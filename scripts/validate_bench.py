@@ -87,6 +87,41 @@ MICRO_OPTIONAL_KEYS = {
     "op": str,
 }
 
+# `scotbench chaos` emits runs with "kind": "chaos" (bounded-memory
+# validation under injected stalls; "bound" is null for non-robust
+# schemes) and "kind": "fuzz" (random-schedule use-after-free hunts;
+# "uaf_seed" is null when no fault fired).
+CHAOS_RUN_KEYS = {
+    "kind": str,
+    "structure": str,
+    "scheme": str,
+    "robust": bool,
+    "threads": int,
+    "workers": int,
+    "stalled": int,
+    "point": str,
+    "range": int,
+    "duration": (int, float),
+    "ops": int,
+    "throughput": (int, float),
+    "max_unreclaimed": int,
+    "first_third": (int, float),
+    "last_third": (int, float),
+    "ok": bool,
+    "mem_series": list,
+    "trace": list,
+}
+
+CHAOS_POINTS = ("start_op", "read", "retire", "reclaim")
+
+FUZZ_RUN_KEYS = {
+    "kind": str,
+    "structure": str,
+    "scheme": str,
+    "seeds": int,
+    "trace": list,
+}
+
 
 def fail(path, msg):
     sys.exit(f"{path}: INVALID: {msg}")
@@ -130,6 +165,39 @@ def validate(path):
                     run.get("op") not in ("search", "insert", "delete"):
                 fail(path, f"{where}.op = {run.get('op')!r}")
             continue
+        if run.get("kind") == "chaos":
+            require(path, run, CHAOS_RUN_KEYS, where)
+            if run["point"] not in CHAOS_POINTS:
+                fail(path, f"{where}.point = {run['point']!r}")
+            if not 0 < run["workers"] < run["threads"] or \
+                    run["workers"] + run["stalled"] != run["threads"]:
+                fail(path, f"{where} workers+stalled != threads")
+            bound = run.get("bound")
+            if run["robust"]:
+                if not isinstance(bound, int):
+                    fail(path, f"{where} robust run needs an int bound")
+                if run["ok"] and run["max_unreclaimed"] > bound:
+                    fail(path, f"{where} ok but max_unreclaimed > bound")
+            elif bound is not None:
+                fail(path, f"{where} non-robust run must have bound null")
+            last_t = -1.0
+            for j, sample in enumerate(run["mem_series"]):
+                if "t" not in sample or "unreclaimed" not in sample:
+                    fail(path,
+                         f"{where}.mem_series[{j}] missing t/unreclaimed")
+                if sample["t"] < last_t:
+                    fail(path,
+                         f"{where}.mem_series[{j}] timestamps not ordered")
+                last_t = sample["t"]
+            continue
+        if run.get("kind") == "fuzz":
+            require(path, run, FUZZ_RUN_KEYS, where)
+            uaf_seed = run.get("uaf_seed")
+            if uaf_seed is not None and not isinstance(uaf_seed, int):
+                fail(path, f"{where}.uaf_seed must be int or null")
+            if run["seeds"] < 0:
+                fail(path, f"{where}.seeds negative")
+            continue
         require(path, run, RUN_KEYS, where)
         mix = run["mix"]
         if sum(mix.get(k, -1) for k in
@@ -161,6 +229,11 @@ def run_key(run):
     if run.get("kind") == "micro":
         return ("micro", run["bench"], run.get("structure"),
                 run["scheme"], run["threads"], run.get("op"))
+    if run.get("kind") == "chaos":
+        return ("chaos", run["structure"], run["scheme"], run["threads"],
+                run["stalled"], run["point"], run["range"])
+    if run.get("kind") == "fuzz":
+        return ("fuzz", run["structure"], run["scheme"])
     mix = run["mix"]
     return ("workload", run["structure"], run["scheme"], run["threads"],
             run["range"], mix.get("read_pct"), mix.get("insert_pct"),
@@ -184,7 +257,9 @@ def compare(old_path, new_path):
             continue
         matched += 1
         label = "/".join(str(p) for p in key if p is not None)
-        old_tp, new_tp = old["throughput"], new["throughput"]
+        old_tp, new_tp = old.get("throughput"), new.get("throughput")
+        if old_tp is None or new_tp is None:
+            continue  # fuzz runs carry no throughput
         if old_tp > 0 and new_tp < old_tp * (1 - THROUGHPUT_REGRESSION):
             warnings += 1
             print(f"WARN {label}: throughput {old_tp:.3g} -> {new_tp:.3g} "

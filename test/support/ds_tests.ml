@@ -167,7 +167,8 @@ let concurrent_stress ?(threads = 4) ?(range = 128) ?(ops = 30_000) builder
 let aggressive_reclaim_stress ?(threads = 4) ?(range = 8) ?(ops = 20_000)
     builder scheme () =
   let config =
-    { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 2; batch_size = 1 }
+    Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:2 ~batch_size:1
+      ~threads ()
   in
   let i = builder.Harness.Instance.build scheme ~threads ~config () in
   let worker tid () =

@@ -182,11 +182,8 @@ let prop_sweep_multi_pass_equiv =
 let test_retire_fast_path_no_alloc (module S : Smr.Smr_intf.S) () =
   let batch = 256 in
   let config =
-    {
-      Smr.Smr_intf.limbo_threshold = 4 * batch;
-      epoch_freq = max_int;
-      batch_size = 4 * batch;
-    }
+    Smr.Smr_intf.make_config ~limbo_threshold:(4 * batch) ~epoch_freq:max_int
+      ~batch_size:(4 * batch) ~threads:1 ()
   in
   let t = S.create ~config ~threads:1 ~slots:1 () in
   let th = S.register t ~tid:0 in
@@ -213,7 +210,8 @@ let test_sweep_end_to_end (module S : Smr.Smr_intf.S) () =
   if S.name = "NR" then ()
   else begin
     let config =
-      { Smr.Smr_intf.limbo_threshold = 8; epoch_freq = 4; batch_size = 4 }
+      Smr.Smr_intf.make_config ~limbo_threshold:8 ~epoch_freq:4 ~batch_size:4
+        ~threads:1 ()
     in
     let t = S.create ~config ~threads:1 ~slots:1 () in
     let th = S.register t ~tid:0 in

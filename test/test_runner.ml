@@ -95,7 +95,8 @@ let test_fault_final_size () =
      overwhelming probability; retry a few short attempts like
      test_unsafe.ml does. *)
   let config =
-    { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 4; batch_size = 1 }
+    Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:4 ~batch_size:1
+      ~threads:8 ()
   in
   let unsafe = Harness.Instance.find_builder_exn "HListUnsafe" in
   let rec attempt n =

@@ -10,7 +10,8 @@ let reclaimable hdr : Smr.Smr_intf.reclaimable =
   { hdr; free = (fun _tid -> Memory.Hdr.mark_reclaimed hdr) }
 
 let config_small =
-  { Smr.Smr_intf.limbo_threshold = 4; epoch_freq = 4; batch_size = 2 }
+  Smr.Smr_intf.make_config ~limbo_threshold:4 ~epoch_freq:4 ~batch_size:2
+    ~threads:1 ()
 
 (* Unprotected retires are eventually reclaimed (all schemes except NR). *)
 let test_reclaims_unprotected (module S : Smr.Smr_intf.S) () =
@@ -237,11 +238,8 @@ let test_ebr_epoch_veto () =
 (* SMR calibration pushed out of the way: no reclamation pass or era
    increment can run inside a measured region. *)
 let config_huge =
-  {
-    Smr.Smr_intf.limbo_threshold = 1_000_000;
-    epoch_freq = max_int;
-    batch_size = 1_000_000;
-  }
+  Smr.Smr_intf.make_config ~limbo_threshold:1_000_000 ~epoch_freq:max_int
+    ~batch_size:1_000_000 ~threads:1 ()
 
 (* The HList operation fast paths must allocate zero minor words once the
    node pool is warm: staged protected loads, canonical link records,

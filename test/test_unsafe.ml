@@ -14,7 +14,8 @@
 let check = Alcotest.(check bool)
 
 let aggressive =
-  { Smr.Smr_intf.limbo_threshold = 1; epoch_freq = 2; batch_size = 1 }
+  Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:2 ~batch_size:1
+    ~threads:1 ()
 
 (* --- deterministic replay (Figure 2) --- *)
 
