@@ -308,6 +308,64 @@ let chaos_cmd =
       $ cfg_term $ json_arg $ smoke $ fuzz_flag $ structure $ point
       $ range_arg ~default:256)
 
+let recover_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI-sized run: 2 domains, one crash, short duration.")
+  in
+  let structure =
+    Arg.(
+      value & opt string "HList"
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:"Structure to validate crash recovery on.")
+  in
+  let crashed =
+    Arg.(
+      value & opt int 1
+      & info [ "crashed" ] ~docv:"K"
+          ~doc:"Worker domains to crash mid-traversal.")
+  in
+  cmd_of "recover"
+    "Crash recovery validation: kill domains mid-traversal, supervise \
+     (deactivate + adopt + respawn), check the memory bounds"
+    Term.(
+      const (fun cfg json smoke structure crashed range ->
+          preflight_json json;
+          let threads_list =
+            if smoke then [ 2 ]
+            else if
+              cfg.Harness.Experiments.threads
+              = Harness.Experiments.default_cfg.threads
+            then [ 2; 4 ]
+            else List.filter (fun n -> n >= 2) cfg.Harness.Experiments.threads
+          in
+          let duration =
+            if smoke then 0.3 else cfg.Harness.Experiments.duration
+          in
+          let runs =
+            Harness.Experiments.recover_matrix ~structure ~threads_list
+              ~crashed ~range ~duration ()
+          in
+          let failed =
+            List.filter (fun r -> not r.Harness.Experiments.rc_ok) runs
+          in
+          (match json with
+          | None -> ()
+          | Some path ->
+              Harness.Report.write_bench_doc
+                ~meta:(Harness.Experiments.cfg_meta cfg)
+                ~path ~name:"recover"
+                (List.map Harness.Experiments.recover_run_json runs);
+              Printf.printf "wrote %s (%d runs)\n%!" path (List.length runs));
+          if failed <> [] then (
+            Printf.eprintf "scotbench recover: %d verdict(s) failed\n"
+              (List.length failed);
+            Stdlib.exit 1))
+      $ cfg_term $ json_arg $ smoke $ structure $ crashed
+      $ range_arg ~default:256)
+
 let fig_skiplist_cmd =
   bench_cmd "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
     Term.(const (fun cfg -> Harness.Experiments.fig_skiplist cfg))
@@ -374,6 +432,7 @@ let () =
           [
             fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; table1_cmd;
             table2_cmd; ablation_recovery_cmd; ablation_wf_cmd;
-            fig_skiplist_cmd; mixes_cmd; stall_cmd; chaos_cmd; all_cmd;
+            fig_skiplist_cmd; mixes_cmd; stall_cmd; chaos_cmd; recover_cmd;
+            all_cmd;
             run_cmd;
           ]))

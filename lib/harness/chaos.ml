@@ -193,6 +193,22 @@ let kill t ~tid =
   Condition.broadcast c.cond;
   Mutex.unlock c.mutex
 
+(* Un-poison a tid whose dead handle has been recovered: clears the
+   crashed/parked state and disarms every pending rule so a replacement
+   worker spawned on the same tid does not instantly re-crash.  Only
+   meaningful once the old domain is gone — a still-running domain would
+   simply stop seeing faults. *)
+let revive t ~tid =
+  let c = t.cells.(tid) in
+  Mutex.lock c.mutex;
+  c.crashed <- false;
+  c.parked <- false;
+  c.release <- false;
+  Array.fill c.countdown 0 (Array.length c.countdown) (-1);
+  Array.fill c.actions 0 (Array.length c.actions) None;
+  Condition.broadcast c.cond;
+  Mutex.unlock c.mutex
+
 let release_all t =
   Array.iteri (fun tid _ -> resume t ~tid) t.cells
 
@@ -254,9 +270,14 @@ let rule_to_string r =
 (* Memory bound for a robust scheme with [stalled] faulted threads.
 
    Components (counted in nodes, i.e. [S.unreclaimed] units):
-   - [n * limbo_threshold]: every thread's limbo/pending buffer may be full
-     without having crossed its reclaim trigger (for HLN the buffer is
-     [batch_size] deep).
+   - per running thread: its limbo/pending buffer may be full without
+     having crossed its reclaim trigger (for HLN the buffer is
+     [batch_size] deep) — and for the era/interval schemes a *running*
+     reader's reservation also transiently pins retires whose lifetime
+     intersects it, up to one era bump's worth ([2 * epoch_freq]) per
+     reader even with no fault injected.  HP readers pin nothing beyond
+     their own scan snapshot, so their per-thread term is the buffer
+     alone.
    - per stalled thread, what its published protection can pin:
      * HP/HPopt: at most [slots] hazard-pointered nodes — but each of the
        [n] other threads also fails to reclaim anything its *own* scan sees
@@ -269,17 +290,25 @@ let rule_to_string r =
        while the global era still intersected the stalled reservation are
        pinned: at most the structure's live set at stall time ([range]
        keys) plus [2 * epoch_freq] retires in flight around the era bump.
-   The whole thing is doubled and given a constant floor as slack —
-   schedules are adversarial but the point of the assertion is "bounded,
-   does not grow with ops", not a tight constant. *)
+   - [adopted]: the post-recovery transient.  Each adoption parks up to
+     one full orphan buffer in its adopter on top of the adopter's own
+     buffer ([buffers] counts one per thread, and until the adopter's
+     next pass it effectively owns two), so the term is one buffer per
+     adopted handle — explicit, where it used to hide in a +256 flat
+     slack.
+   The stall/buffer components are doubled and the total gets a small
+   constant floor — schedules are adversarial but the point of the
+   assertion is "bounded, does not grow with ops", not a tight
+   constant. *)
 let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
-    ~threads ~slots ~range ~stalled =
+    ~threads ~slots ~range ?(adopted = 0) ~stalled () =
   if not S.robust then None
   else
     let n = threads and k = stalled in
-    let buffers = n * max config.limbo_threshold config.batch_size in
-    let per_stall =
-      if S.name = "HP" || S.name = "HPopt" then slots
-      else range + (2 * config.epoch_freq)
+    let hp = S.name = "HP" || S.name = "HPopt" in
+    let buffer_one = max config.limbo_threshold config.batch_size in
+    let per_thread =
+      if hp then buffer_one else buffer_one + (2 * config.epoch_freq)
     in
-    Some ((2 * (buffers + (k * per_stall))) + 256)
+    let per_stall = if hp then slots else range + (2 * config.epoch_freq) in
+    Some ((2 * ((n * per_thread) + (k * per_stall))) + (adopted * buffer_one) + 64)

@@ -50,7 +50,13 @@ val resume : t -> tid:int -> unit
 
 val kill : t -> tid:int -> unit
 (** Poison the tid: parked -> wakes and raises {!Crashed}; running ->
-    raises at its next probe crossing.  Irreversible. *)
+    raises at its next probe crossing.  Reversible only through
+    {!revive}, once the domain is gone. *)
+
+val revive : t -> tid:int -> unit
+(** Clear a tid's crashed/parked state and disarm its pending rules, so
+    a replacement worker respawned on the same tid (after deactivate +
+    adopt) runs fault-free.  Only call once the old domain has died. *)
 
 val release_all : t -> unit
 (** [resume] every tid — run teardown must call this before joining. *)
@@ -84,9 +90,13 @@ val mem_bound :
   threads:int ->
   slots:int ->
   range:int ->
+  ?adopted:int ->
   stalled:int ->
+  unit ->
   int option
 (** Node-count ceiling [unreclaimed] must stay under for a robust scheme
     with [stalled] faulted threads; [None] for non-robust schemes (EBR/NR,
-    whose growth the chaos validator asserts instead).  See the formula
-    derivation in the implementation. *)
+    whose growth the chaos validator asserts instead).  [adopted] (default
+    0) adds the post-recovery transient: one orphan limbo buffer per
+    adopted handle, unswept in its adopter until the adopter's next pass.
+    See the formula derivation in the implementation. *)

@@ -438,7 +438,7 @@ let chaos ?(structure = "HList") ?(threads = 4) ?(stalled = 1)
         bound :=
           Chaos.mem_bound
             (module S)
-            ~config ~threads ~slots:inst.Instance.slots ~range ~stalled;
+            ~config ~threads ~slots:inst.Instance.slots ~range ~stalled ();
         for tid = workers to threads - 1 do
           inst.Instance.fault.stall ~tid ~point
         done)
@@ -551,6 +551,260 @@ let chaos_run_json (c : chaos_run) =
                  [ ("t", Json.Float s.t); ("unreclaimed", Json.Int s.unreclaimed) ])
              c.c_mem_series) );
       ("trace", Json.List (List.map (fun e -> Json.String e) c.c_trace));
+    ]
+
+(* {2 Recovery: crash k domains mid-traversal, supervise, validate} *)
+
+type recover_run = {
+  rc_structure : string;
+  rc_scheme : string;
+  rc_robust : bool;
+  rc_recoverable : bool;
+  rc_threads : int;
+  rc_crashed : int; (* workers crashed mid-traversal *)
+  rc_range : int;
+  rc_duration : float;
+  rc_ops : int;
+  rc_throughput : float;
+  rc_recoveries : int; (* supervised recoveries observed *)
+  rc_events : Metrics.recovery_event list;
+  rc_peak_bound : int option; (* ceiling while the crash is unrecovered *)
+  rc_post_bound : int option; (* ceiling once the orphan is adopted *)
+  rc_max_unreclaimed : int;
+  rc_post_max : int; (* gauge peak after the last recovery *)
+  rc_post_quiesced : int; (* gauge after the post-run quiesce *)
+  rc_recovery_s : float; (* last recovery completed, seconds since release *)
+  rc_settle_s : float; (* first post-recovery sample under the post
+                          bound; -1 when it never settled *)
+  rc_warnings : int; (* adopt warnings fired (NR fires one per adopt) *)
+  rc_ok : bool;
+  rc_verdict : string;
+  rc_mem_series : Metrics.mem_sample list;
+  rc_trace : string list;
+}
+
+(* One validated crash-recovery run: the top [crashed] worker tids are
+   armed to raise {!Chaos.Crashed} on their 201st protected-read crossing
+   (mid-traversal, protection published), the supervised runner recovers
+   each handle (deactivate + adopt + sweep) and respawns a replacement,
+   and the gauge series is checked against the recovery claims:
+
+   - robust schemes: peak under the [stalled:k, adopted:k] bound (the
+     orphan pins memory only until adoption), every sample after the last
+     recovery under the tighter [stalled:0, adopted:k] bound, and the
+     post-run quiesce drains to that bound too;
+   - EBR (recoverable, not robust): once the dead reservation is
+     deactivated the epoch advances again, so growth must flatten over
+     the post-recovery samples;
+   - NR: adoption cannot bound memory — the run must still respawn every
+     victim and fire {!Smr.Smr_intf.adopt_warning} once per adoption. *)
+let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
+    ?(range = 256) ?(duration = 1.0) ?config
+    ~scheme:(module S : Smr.Smr_intf.S) () =
+  if crashed < 1 || crashed >= threads then
+    invalid_arg "Experiments.recover: crashed must be in [1, threads)";
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        Smr.Smr_intf.make_config ~limbo_threshold:32 ~epoch_freq:16
+          ~batch_size:8 ~threads ()
+  in
+  let builder = Instance.find_builder_exn structure in
+  let peak_bound = ref None and post_bound = ref None in
+  let trace = ref [] in
+  let captured = ref None in
+  let warnings = ref 0 in
+  let prev_warn = !Smr.Smr_intf.adopt_warning in
+  Smr.Smr_intf.adopt_warning := (fun _ -> incr warnings);
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Smr.Smr_intf.adopt_warning := prev_warn)
+    @@ fun () ->
+    Runner.run ~config ~check:false ~measure_latency:false
+      ~sample_every:0.002 ~supervise:Supervisor.default
+      ~prepare:(fun inst ->
+        captured := Some inst;
+        let slots = inst.Instance.slots in
+        peak_bound :=
+          Chaos.mem_bound
+            (module S)
+            ~config ~threads ~slots ~range ~adopted:crashed ~stalled:crashed
+            ();
+        post_bound :=
+          Chaos.mem_bound
+            (module S)
+            ~config ~threads ~slots ~range ~adopted:crashed ~stalled:0 ();
+        let e = inst.Instance.fault.engine () in
+        for tid = threads - crashed to threads - 1 do
+          Chaos.arm e ~tid ~point:Smr.Probe.Read ~after:200 Chaos.Crash
+        done)
+      ~finish:(fun inst ->
+        trace := Chaos.trace (inst.Instance.fault.engine ());
+        inst.Instance.fault.shutdown ())
+      ~builder
+      ~scheme:(module S)
+      ~threads ~range ~duration ()
+  in
+  (* The runner has quiesced every tid by now (recovered handles are
+     fresh, so no tid refuses the pass); the instance outlives the run,
+     so this reads the fully drained gauge. *)
+  let post_quiesced =
+    match !captured with
+    | Some inst -> inst.Instance.unreclaimed ()
+    | None -> -1
+  in
+  let n_rec = List.length r.recoveries in
+  let recovery_s =
+    List.fold_left
+      (fun acc (e : Metrics.recovery_event) -> Float.max acc e.rv_t)
+      0.0 r.recoveries
+  in
+  let post =
+    List.filter
+      (fun (s : Metrics.mem_sample) -> s.t >= recovery_s)
+      r.mem_series
+  in
+  let post_max =
+    List.fold_left
+      (fun acc (s : Metrics.mem_sample) -> max acc s.unreclaimed)
+      0 post
+  in
+  let settle_s =
+    match !post_bound with
+    | None -> recovery_s
+    | Some b -> (
+        match
+          List.find_opt
+            (fun (s : Metrics.mem_sample) -> s.unreclaimed <= b)
+            post
+        with
+        | Some s -> s.t
+        | None -> -1.0)
+  in
+  let first_third, last_third = third_means post in
+  let ok, verdict =
+    if n_rec < crashed then (false, "MISSING RECOVERIES")
+    else if S.recoverable && S.robust then
+      match (!peak_bound, !post_bound) with
+      | Some pk, Some pb ->
+          if r.max_unreclaimed > pk then (false, "PEAK BOUND EXCEEDED")
+          else if post_max > pb then (false, "POST-ADOPTION BOUND EXCEEDED")
+          else if post_quiesced > pb then (false, "DID NOT DRAIN")
+          else (true, "recovered, bounded")
+      | _ -> (false, "NO BOUND") (* unreachable: robust implies a bound *)
+    else if S.recoverable then
+      (* EBR: no a-priori bound, but deactivation must stop the growth. *)
+      if last_third > (1.5 *. first_third) +. 64.0 then
+        (false, "STILL GROWING")
+      else (true, "recovered, growth stopped")
+    else if !warnings < crashed then (false, "NO ADOPT WARNING")
+    else (true, "supervised (leaks by design)")
+  in
+  {
+    rc_structure = r.structure;
+    rc_scheme = r.scheme;
+    rc_robust = S.robust;
+    rc_recoverable = S.recoverable;
+    rc_threads = threads;
+    rc_crashed = crashed;
+    rc_range = range;
+    rc_duration = r.duration;
+    rc_ops = r.ops;
+    rc_throughput = r.throughput;
+    rc_recoveries = n_rec;
+    rc_events = r.recoveries;
+    rc_peak_bound = !peak_bound;
+    rc_post_bound = !post_bound;
+    rc_max_unreclaimed = r.max_unreclaimed;
+    rc_post_max = post_max;
+    rc_post_quiesced = post_quiesced;
+    rc_recovery_s = recovery_s;
+    rc_settle_s = settle_s;
+    rc_warnings = !warnings;
+    rc_ok = ok;
+    rc_verdict = verdict;
+    rc_mem_series = r.mem_series;
+    rc_trace = !trace;
+  }
+
+let recover_header =
+  [ "scheme"; "class"; "threads"; "crashed"; "recoveries"; "peak"; "bound";
+    "post_max"; "post_bound"; "quiesced"; "recovery_s"; "verdict" ]
+
+let recover_row (c : recover_run) =
+  let opt = function Some b -> string_of_int b | None -> "-" in
+  [
+    c.rc_scheme;
+    (if c.rc_robust then "robust"
+     else if c.rc_recoverable then "recoverable"
+     else "leaky");
+    string_of_int c.rc_threads;
+    string_of_int c.rc_crashed;
+    string_of_int c.rc_recoveries;
+    string_of_int c.rc_max_unreclaimed;
+    opt c.rc_peak_bound;
+    string_of_int c.rc_post_max;
+    opt c.rc_post_bound;
+    string_of_int c.rc_post_quiesced;
+    Printf.sprintf "%.3f" c.rc_recovery_s;
+    (if c.rc_ok then "ok" else c.rc_verdict);
+  ]
+
+(* The recovery matrix: every scheme at each thread count, crashing one
+   worker mid-traversal under supervision. *)
+let recover_matrix ?(structure = "HList") ?(threads_list = [ 2; 4 ])
+    ?(crashed = 1) ?(range = 256) ?(duration = 1.0) () =
+  Report.section
+    (Printf.sprintf
+       "Recovery: crash %d domain(s) mid-traversal, supervise \
+        (deactivate + adopt + respawn); robust schemes return under the \
+        adoption bound, EBR stops growing, NR warns"
+       crashed);
+  let runs =
+    List.concat_map
+      (fun (module S : Smr.Smr_intf.S) ->
+        List.map
+          (fun threads ->
+            recover ~structure ~threads ~crashed ~range ~duration
+              ~scheme:(module S : Smr.Smr_intf.S) ())
+          threads_list)
+      all_schemes
+  in
+  Report.table ~header:recover_header (List.map recover_row runs);
+  runs
+
+let recover_run_json (c : recover_run) =
+  let opt = function Some b -> Json.Int b | None -> Json.Null in
+  Json.Obj
+    [
+      ("kind", Json.String "recovery");
+      ("structure", Json.String c.rc_structure);
+      ("scheme", Json.String c.rc_scheme);
+      ("robust", Json.Bool c.rc_robust);
+      ("recoverable", Json.Bool c.rc_recoverable);
+      ("threads", Json.Int c.rc_threads);
+      ("crashed", Json.Int c.rc_crashed);
+      ("range", Json.Int c.rc_range);
+      ("duration", Json.Float c.rc_duration);
+      ("ops", Json.Int c.rc_ops);
+      ("throughput", Json.Float c.rc_throughput);
+      ("recoveries", Json.Int c.rc_recoveries);
+      ( "events",
+        Json.List (List.map Metrics.recovery_event_json c.rc_events) );
+      ("peak_bound", opt c.rc_peak_bound);
+      ("post_bound", opt c.rc_post_bound);
+      ("max_unreclaimed", Json.Int c.rc_max_unreclaimed);
+      ("post_max_unreclaimed", Json.Int c.rc_post_max);
+      ("post_quiesced", Json.Int c.rc_post_quiesced);
+      ("recovery_s", Json.Float c.rc_recovery_s);
+      ("settle_s", Json.Float c.rc_settle_s);
+      ("adopt_warnings", Json.Int c.rc_warnings);
+      ("ok", Json.Bool c.rc_ok);
+      ("verdict", Json.String c.rc_verdict);
+      ( "mem_series",
+        Json.List (List.map Metrics.mem_sample_json c.rc_mem_series) );
+      ("trace", Json.List (List.map (fun e -> Json.String e) c.rc_trace));
     ]
 
 (* {2 Chaos: schedule fuzzing (hunting use-after-free)} *)

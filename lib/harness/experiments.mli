@@ -127,6 +127,76 @@ val chaos_row : chaos_run -> string list
 val chaos_run_json : chaos_run -> Json.t
 (** ["kind": "chaos"] run entry for {!Report.write_bench_doc}. *)
 
+(** {2 Recovery: supervised crash-and-adopt validation} *)
+
+type recover_run = {
+  rc_structure : string;
+  rc_scheme : string;
+  rc_robust : bool;
+  rc_recoverable : bool;  (** {!Smr.Smr_intf.S.recoverable} *)
+  rc_threads : int;
+  rc_crashed : int;  (** workers crashed mid-traversal *)
+  rc_range : int;
+  rc_duration : float;
+  rc_ops : int;
+  rc_throughput : float;
+  rc_recoveries : int;  (** supervised recoveries observed *)
+  rc_events : Metrics.recovery_event list;
+  rc_peak_bound : int option;
+      (** {!Chaos.mem_bound} with [stalled = crashed, adopted = crashed]:
+          the ceiling while a crash is still unrecovered *)
+  rc_post_bound : int option;
+      (** the tighter [stalled = 0, adopted = crashed] ceiling that must
+          hold once the orphans are adopted *)
+  rc_max_unreclaimed : int;
+  rc_post_max : int;  (** gauge peak after the last recovery *)
+  rc_post_quiesced : int;  (** gauge after the post-run quiesce *)
+  rc_recovery_s : float;
+      (** last recovery completed, seconds since release *)
+  rc_settle_s : float;
+      (** first post-recovery sample under [rc_post_bound]; [-1.] when it
+          never settled *)
+  rc_warnings : int;  (** {!Smr.Smr_intf.adopt_warning} firings (NR) *)
+  rc_ok : bool;
+  rc_verdict : string;
+  rc_mem_series : Metrics.mem_sample list;
+  rc_trace : string list;
+}
+
+(** One validated crash-recovery run: crash the top [crashed] worker tids
+    mid-traversal (protection published, no [end_op]) under a supervised
+    runner and check the gauge against the recovery claims — robust
+    schemes return under the adoption bound within one sweep, EBR stops
+    growing once the dead reservation is deactivated, NR respawns but
+    warns that adoption cannot bound its memory. *)
+val recover :
+  ?structure:string ->
+  ?threads:int ->
+  ?crashed:int ->
+  ?range:int ->
+  ?duration:float ->
+  ?config:Smr.Smr_intf.config ->
+  scheme:Smr.Registry.scheme ->
+  unit ->
+  recover_run
+
+(** Every scheme at each thread count (default 2 and 4) with one crashed
+    worker; prints the verdict table and returns the runs. *)
+val recover_matrix :
+  ?structure:string ->
+  ?threads_list:int list ->
+  ?crashed:int ->
+  ?range:int ->
+  ?duration:float ->
+  unit ->
+  recover_run list
+
+val recover_header : string list
+val recover_row : recover_run -> string list
+
+val recover_run_json : recover_run -> Json.t
+(** ["kind": "recovery"] run entry for {!Report.write_bench_doc}. *)
+
 type fuzz_result = {
   fz_structure : string;
   fz_scheme : string;

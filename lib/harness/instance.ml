@@ -41,6 +41,15 @@ type t = {
       (* scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
+  recover : tid:int -> unit;
+      (* crash recovery: deactivate [tid]'s dead handle, register a
+         replacement on the same tid, adopt the orphaned limbo onto it
+         and sweep once.  Only call after the owning domain has died (the
+         supervisor's job); subsequent per-tid operations use the
+         replacement handle. *)
+  recoverable : bool;
+      (* [S.recoverable]: whether [recover] restores a bounded gauge
+         (false for NR, whose adopt warns instead) *)
   fault : fault_control;
   max_key : int; (* exclusive upper bound on valid keys *)
 }
@@ -185,6 +194,8 @@ let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }
@@ -210,6 +221,8 @@ let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }
@@ -235,6 +248,8 @@ let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }
@@ -260,6 +275,8 @@ let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> L.unreclaimed t);
     size = (fun () -> L.size t);
     check_invariants = (fun () -> ());
+    recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }
@@ -285,6 +302,8 @@ let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> T.unreclaimed t);
     size = (fun () -> T.size t);
     check_invariants = (fun () -> T.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- T.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = Scot.Nm_tree.inf1;
   }
@@ -311,6 +330,8 @@ let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     unreclaimed = (fun () -> SL.unreclaimed t);
     size = (fun () -> SL.size t);
     check_invariants = (fun () -> SL.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- SL.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }
@@ -336,6 +357,8 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
     unreclaimed = (fun () -> S.unreclaimed smr);
     size = (fun () -> M.size t);
     check_invariants = (fun () -> M.check_invariants t);
+    recover = (fun ~tid -> handles.(tid) <- M.recover handles.(tid));
+    recoverable = S.recoverable;
     fault = no_fault;
     max_key = max_int;
   }

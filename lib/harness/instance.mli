@@ -54,6 +54,19 @@ type t = {
       (** scheme-specific counters (epoch/era, limbo depth, ...) *)
   size : unit -> int;
   check_invariants : unit -> unit;
+  recover : tid:int -> unit;
+      (** Crash recovery: deactivate [tid]'s dead handle, register a
+          replacement on the same tid, adopt the orphaned limbo onto the
+          replacement and sweep it once
+          ({!Smr.Smr_intf.S.deactivate}/[adopt]).  Only call once the
+          owning domain has died — and, if the tid was chaos-poisoned,
+          after {!Chaos.revive} so the sweep's probe crossings do not
+          re-raise.  Subsequent per-tid operations use the replacement
+          handle. *)
+  recoverable : bool;
+      (** {!Smr.Smr_intf.S.recoverable}: whether [recover] restores a
+          bounded unreclaimed gauge ([false] for NR, whose adopt fires
+          {!Smr.Smr_intf.adopt_warning}). *)
   fault : fault_control;
   max_key : int;
       (** exclusive upper bound on valid keys; [max_key - 1] is reserved

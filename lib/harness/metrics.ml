@@ -148,6 +148,16 @@ let total_ops stats = List.fold_left (fun acc s -> acc + s.count) 0 stats
 
 type mem_sample = { t : float; (* seconds since release *) unreclaimed : int }
 
+(* --- crash-recovery events (supervised runs) --- *)
+
+type recovery_event = {
+  rv_t : float; (* seconds since release *)
+  rv_tid : int;
+  rv_reason : string; (* "crash" | "heartbeat-timeout" *)
+  rv_action : string; (* "respawn" | "abandon" | "recover-at-stop" *)
+  rv_restarts : int; (* recoveries of this tid so far, this one included *)
+}
+
 (* --- JSON projections --- *)
 
 let op_stats_json (s : op_stats) =
@@ -171,3 +181,13 @@ let op_stats_json (s : op_stats) =
 
 let mem_sample_json (s : mem_sample) =
   Json.Obj [ ("t", Json.Float s.t); ("unreclaimed", Json.Int s.unreclaimed) ]
+
+let recovery_event_json (e : recovery_event) =
+  Json.Obj
+    [
+      ("t", Json.Float e.rv_t);
+      ("tid", Json.Int e.rv_tid);
+      ("reason", Json.String e.rv_reason);
+      ("action", Json.String e.rv_action);
+      ("restarts", Json.Int e.rv_restarts);
+    ]

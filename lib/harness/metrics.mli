@@ -54,5 +54,21 @@ val total_ops : op_stats list -> int
     workers were released — the time axis Figures 10-12 plot. *)
 type mem_sample = { t : float; unreclaimed : int }
 
+(** One supervised crash recovery: at [rv_t] seconds after release, worker
+    [rv_tid] was found dead ([rv_reason]: ["crash"] for a {!Chaos.Crashed}
+    notification, ["heartbeat-timeout"] for the watchdog path) and its
+    handle was deactivated, adopted and swept.  [rv_action] says what
+    happened next: ["respawn"] (a replacement worker was started),
+    ["abandon"] (restart budget exhausted) or ["recover-at-stop"] (the run
+    was already over, recovery only drained the orphan). *)
+type recovery_event = {
+  rv_t : float;
+  rv_tid : int;
+  rv_reason : string;
+  rv_action : string;
+  rv_restarts : int; (** recoveries of this tid so far, this one included *)
+}
+
 val op_stats_json : op_stats -> Json.t
 val mem_sample_json : mem_sample -> Json.t
+val recovery_event_json : recovery_event -> Json.t

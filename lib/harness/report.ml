@@ -129,6 +129,8 @@ let result_json (r : Runner.result) =
       ("max_unreclaimed", Json.Int r.max_unreclaimed);
       ("faults", Json.Int r.faults);
       ("final_size", Json.Int r.final_size);
+      ( "recoveries",
+        Json.List (List.map Metrics.recovery_event_json r.recoveries) );
       ("op_stats", Json.List (List.map Metrics.op_stats_json r.op_stats));
       ( "mem_series",
         Json.List (List.map Metrics.mem_sample_json r.mem_series) );

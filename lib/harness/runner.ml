@@ -35,13 +35,14 @@ type result = {
   scheme_stats : (string * int) list; (* SMR counters (epoch/era, limbo) *)
   faults : int; (* simulated use-after-free events (unsafe variants only) *)
   final_size : int;
+  recoveries : Metrics.recovery_event list; (* supervised runs, chronological *)
 }
 
 let default_sample_every = 0.01
 
 let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
-    ?(measure_latency = true) ?recorders ?workers ?prepare ?finish
+    ?(measure_latency = true) ?recorders ?workers ?supervise ?prepare ?finish
     ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
     ~range ~duration () =
   (* [workers] < [threads] reserves the top tids for fault injection: they
@@ -61,6 +62,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   let stop = Atomic.make false in
   let ops_done = Array.make threads 0 in
   let faults = Array.make threads 0 in
+  let sup = Option.map (fun cfg -> Supervisor.create cfg ~workers) supervise in
   let recorders =
     (* Callers running many repeats pass their own recorders so the buffers
        are reused instead of reallocated per run. *)
@@ -79,6 +81,14 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   let worker tid () =
     let rng = Workload.Rng.create ~seed:(seed + (31 * (tid + 1))) in
     let recorder = recorders.(tid) in
+    (* Supervised workers bump their padded heartbeat cell once per op;
+       unsupervised ones bump a worker-local dummy so both loops stay a
+       single (allocation-free) code path. *)
+    let beat =
+      match sup with
+      | Some s -> Supervisor.beat_cell s ~tid
+      | None -> Atomic.make 0
+    in
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
@@ -103,6 +113,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
              | Workload.Delete -> Metrics.Delete
            in
            Metrics.observe recorder kind ~hit ~ns;
+           Atomic.incr beat;
            incr count
          done
        else
@@ -116,6 +127,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
            | Workload.Delete ->
                Metrics.count recorder Metrics.Delete
                  ~hit:(inst.delete ~tid key));
+           Atomic.incr beat;
            incr count
          done
      with
@@ -124,14 +136,41 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
         faults.(tid) <- faults.(tid) + 1
     | Chaos.Crashed ->
         (* Fault injection killed this worker mid-operation (no [end_op]);
-           the run continues with the survivors. *)
-        ());
-    ops_done.(tid) <- !count
+           the run continues with the survivors — and, when supervised,
+           the coordinator recovers the handle and respawns. *)
+        (match sup with
+        | Some s -> Supervisor.notify_crashed s ~tid
+        | None -> ()));
+    (* Accumulate rather than assign: a respawned worker adds its ops to
+       its crashed predecessor's on the same tid. *)
+    ops_done.(tid) <- ops_done.(tid) + !count
   in
   (match prepare with Some f -> f inst | None -> ());
-  let domains = List.init workers (fun tid -> Domain.spawn (worker tid)) in
+  let domains =
+    Array.init threads (fun tid ->
+        if tid < workers then Some (Domain.spawn (worker tid)) else None)
+  in
+  let join_tid ~tid =
+    match domains.(tid) with
+    | Some d ->
+        Domain.join d;
+        domains.(tid) <- None
+    | None -> ()
+  in
+  let respawn ~tid = domains.(tid) <- Some (Domain.spawn (worker tid)) in
   let samples = ref [] in
   let t0 = Unix.gettimeofday () in
+  let supervise_check ~final =
+    match sup with
+    | None -> ()
+    | Some s ->
+        Supervisor.check s
+          ~now:(Unix.gettimeofday () -. t0)
+          ~final
+          ~engine:(fun () -> inst.fault.engine ())
+          ~recover:(fun ~tid -> inst.recover ~tid)
+          ~join:join_tid ~respawn
+  in
   Atomic.set go true;
   let rec sample_loop () =
     let now = Unix.gettimeofday () in
@@ -143,6 +182,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
           unreclaimed = inst.unreclaimed ();
         }
         :: !samples;
+      supervise_check ~final:false;
       sample_loop ()
     end
   in
@@ -151,12 +191,21 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
   (* The throughput denominator ends here: joins and the post-stop drain
      below are teardown, not measured work. *)
   let elapsed = Unix.gettimeofday () -. t0 in
+  (* One last supervision pass so a crash between the final sample and the
+     stop flag still gets its handle recovered (no kill, no respawn); it
+     must run before [finish] can shut the chaos engine down, because
+     reviving the tid targets the engine that poisoned it. *)
+  supervise_check ~final:true;
   (* Fault-injecting callers release stalled tids, join their driver
      domains and uninstall the chaos engine here (typically
      [inst.fault.shutdown]) so the joins and quiesce below cannot hang on
      a parked domain or trip a poisoned tid. *)
   (match finish with Some f -> f inst | None -> ());
-  List.iter Domain.join domains;
+  Array.iter (function Some d -> Domain.join d | None -> ()) domains;
+  (* If the watchdog created the chaos engine itself (heartbeat kill with
+     no fault-injecting caller), no [finish] callback knows to uninstall
+     it; a second shutdown after one in [finish] is a no-op. *)
+  (match sup with Some _ -> inst.fault.shutdown () | None -> ());
   let wall_total = Unix.gettimeofday () -. t0 in
   (* Post-run reclamation flush so pool stats are stable, then validate.
      A tid crashed by fault injection may refuse the pass; skip it. *)
@@ -194,4 +243,5 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     scheme_stats = inst.scheme_stats ();
     faults = total_faults;
     final_size = (if total_faults = 0 then inst.size () else -1);
+    recoveries = (match sup with Some s -> Supervisor.events s | None -> []);
   }

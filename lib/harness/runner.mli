@@ -27,6 +27,9 @@ type result = {
       (** SMR-scheme counters (epoch/era, limbo depth, ...) at run end *)
   faults : int; (** simulated use-after-free events (unsafe variants) *)
   final_size : int; (** -1 when the structure faulted *)
+  recoveries : Metrics.recovery_event list;
+      (** supervised crash recoveries, chronological (empty when
+          [supervise] was not passed) *)
 }
 
 val default_sample_every : float
@@ -47,7 +50,17 @@ val default_sample_every : float
     after prefill and before the workers are released (stall victims
     there); [finish] runs after the stop flag and before the worker joins
     (call [inst.fault.shutdown] there).  Workers killed by
-    {!Chaos.Crashed} stop silently and the run continues. *)
+    {!Chaos.Crashed} stop silently and the run continues.
+
+    Crash supervision: passing [supervise] arms a {!Supervisor} — workers
+    heartbeat once per op, and the coordinator (inside its sample loop)
+    detects crashed or wedged workers, recovers their SMR handles
+    (deactivate + adopt + sweep, {!Instance.t.recover}) and respawns
+    replacements within the config's restart/backoff budget.  Recoveries
+    are reported in [result.recoveries].  Migration note: [result] gained
+    that field, so exhaustive record construction or pattern matches on
+    [result] need the extra line — callers reading fields are
+    unaffected. *)
 val run :
   ?mix:Workload.mix ->
   ?seed:int ->
@@ -57,6 +70,7 @@ val run :
   ?measure_latency:bool ->
   ?recorders:Metrics.recorder array ->
   ?workers:int ->
+  ?supervise:Supervisor.config ->
   ?prepare:(Instance.t -> unit) ->
   ?finish:(Instance.t -> unit) ->
   builder:Instance.builder ->

@@ -283,6 +283,18 @@ module Make (S : Smr.Smr_intf.S) = struct
   (* Force the scheme's reclamation machinery; for shutdown and tests. *)
   let quiesce h = S.flush h.s
 
+  (* Crash recovery (supervisor protocol): quiesce the dead handle's
+     reservations, register a replacement on the same tid, move the
+     orphaned limbo onto the replacement and sweep it once.  Must only
+     run once [h]'s owner domain is dead; the returned handle is ready
+     for a respawned worker. *)
+  let recover (h : handle) =
+    S.deactivate h.s;
+    let fresh = handle h.t ~tid:h.tid in
+    S.adopt ~victim:h.s ~into:fresh.s;
+    S.flush fresh.s;
+    fresh
+
   let restarts t = Memory.Tcounter.total t.restarts
   let unreclaimed t = S.unreclaimed t.smr
   let pool_stats t =

@@ -71,6 +71,13 @@ module Make (S : Smr.Smr_intf.S) : sig
   val quiesce : handle -> unit
   (** Force a reclamation pass on this thread's retired nodes. *)
 
+  val recover : handle -> handle
+  (** [recover h] — crash recovery: deactivate the dead handle [h]
+      (unpublish its reservations), register a replacement on the same
+      tid, adopt the orphaned limbo into the replacement and sweep it
+      once.  Only call after [h]'s owner domain has died; [h] must not
+      be used afterwards. *)
+
   val restarts : t -> int
   (** Total traversal restarts across all threads (Table 2's metric). *)
 

@@ -29,6 +29,12 @@ module Make (S : Smr.Smr_intf.S) : sig
   (** May raise {!Memory.Fault.Use_after_free} under robust schemes. *)
 
   val quiesce : handle -> unit
+
+  val recover : handle -> handle
+  (** Crash recovery: deactivate the dead handle, register a replacement
+      on the same tid, adopt the orphaned limbo and sweep it once.  Only
+      call after the owner domain has died (see {!Harris_list.Make.recover}). *)
+
   val restarts : t -> int
   val unreclaimed : t -> int
 

@@ -76,6 +76,13 @@ module Make (S : Smr.Smr_intf.S) = struct
         slow_search h ~key ~tag ~helpee:h.tid
 
   let quiesce h = L.quiesce h.hl
+
+  (* Crash recovery: the inner list handle carries all the SMR state.  A
+     help request the victim left pending is harmless — helpers publish
+     an output for it (or the replacement's next [request_help]
+     supersedes it, and stale helpers fail their tag CAS). *)
+  let recover (h : handle) = { h with hl = L.recover h.hl }
+
   let restarts t = L.restarts t.list
   let unreclaimed t = L.unreclaimed t.list
   let to_list t = L.to_list t.list

@@ -38,6 +38,12 @@ module Make (S : Smr.Smr_intf.S) : sig
   (** Wait-free (Theorem 7): bounded fast path, then the helped slow path. *)
 
   val quiesce : handle -> unit
+
+  val recover : handle -> handle
+  (** Crash recovery: deactivate the dead handle, register a replacement
+      on the same tid, adopt the orphaned limbo and sweep it once.  Only
+      call after the owner domain has died (see {!Harris_list.Make.recover}). *)
+
   val restarts : t -> int
   val unreclaimed : t -> int
 

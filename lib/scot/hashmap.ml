@@ -34,6 +34,11 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let quiesce h = Array.iter L.quiesce h.hs
 
+  (* Crash recovery, per bucket: the bucket handles share one SMR tid
+     row, so the first [L.recover] quiesces the shared cells and the
+     rest only move their own bucket's limbo. *)
+  let recover (h : handle) = { h with hs = Array.map L.recover h.hs }
+
   let size t = Array.fold_left (fun acc b -> acc + L.size b) 0 t.buckets
   let restarts t = Array.fold_left (fun acc b -> acc + L.restarts b) 0 t.buckets
 

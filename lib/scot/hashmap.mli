@@ -26,6 +26,11 @@ module Make (S : Smr.Smr_intf.S) : sig
   val search : handle -> int -> bool
   val quiesce : handle -> unit
 
+  val recover : handle -> handle
+  (** Crash recovery: deactivate the dead handle, register a replacement
+      on the same tid, adopt the orphaned limbo and sweep it once.  Only
+      call after the owner domain has died (see {!Harris_list.Make.recover}). *)
+
   (** {2 Quiescent-only observers} *)
 
   val size : t -> int

@@ -415,6 +415,16 @@ module Make (S : Smr.Smr_intf.S) = struct
     r
 
   let quiesce h = S.flush h.s
+
+  (* Crash recovery: deactivate the dead handle, adopt its limbo into a
+     replacement registered on the same tid, sweep once. *)
+  let recover (h : handle) =
+    S.deactivate h.s;
+    let fresh = handle h.t ~tid:h.tid in
+    S.adopt ~victim:h.s ~into:fresh.s;
+    S.flush fresh.s;
+    fresh
+
   let restarts t = Memory.Tcounter.total t.restarts
   let unreclaimed t = S.unreclaimed t.smr
 

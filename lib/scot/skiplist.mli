@@ -36,6 +36,12 @@ module Make (S : Smr.Smr_intf.S) : sig
   (** Read-only optimistic traversal at every level. *)
 
   val quiesce : handle -> unit
+
+  val recover : handle -> handle
+  (** Crash recovery: deactivate the dead handle, register a replacement
+      on the same tid, adopt the orphaned limbo and sweep it once.  Only
+      call after the owner domain has died (see {!Harris_list.Make.recover}). *)
+
   val restarts : t -> int
   val unreclaimed : t -> int
   val pool_stats : t -> (string * int) list

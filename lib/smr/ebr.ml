@@ -20,6 +20,7 @@ type t = {
   epoch : int Atomic.t;
   reservations : int Memory.Padded.t; (* published epoch, [inactive] if idle *)
   in_limbo : Memory.Tcounter.t;
+  seats : Seats.t;
   config : Smr_intf.config;
 }
 
@@ -28,6 +29,7 @@ type th = {
   id : int;
   my_resv : int Atomic.t; (* this thread's reservation cell *)
   limbo : Limbo_local.t;
+  mutable deactivated : bool;
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -38,10 +40,12 @@ let create ?config ~threads ~slots:_ () =
     epoch = Atomic.make 1;
     reservations = Memory.Padded.create threads (fun _ -> inactive);
     in_limbo = Memory.Tcounter.create ~threads;
+    seats = Seats.create ~threads;
     config;
   }
 
 let register t ~tid =
+  Seats.claim t.seats ~tid;
   {
     global = t;
     id = tid;
@@ -49,6 +53,7 @@ let register t ~tid =
     limbo =
       Limbo_local.create ~capacity:t.config.limbo_threshold
         ~in_limbo:t.in_limbo ~tid;
+    deactivated = false;
   }
 
 let tid th = th.id
@@ -121,4 +126,29 @@ let flush th =
 
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
 
-let stats t = [ ("epoch", Atomic.get t.epoch); ("in_limbo", unreclaimed t) ]
+let stats t =
+  [
+    ("epoch", Atomic.get t.epoch);
+    ("in_limbo", unreclaimed t);
+    ("active_handles", Seats.total t.seats);
+  ]
+
+(* EBR is not robust — a *stalled* thread vetoes the advance — but it is
+   recoverable: once a dead handle's reservation is withdrawn the epoch
+   moves again and everything the victim pinned becomes sweepable. *)
+let recoverable = true
+
+let deactivate th =
+  if not th.deactivated then begin
+    th.deactivated <- true;
+    (* Withdrawing the reservation is the whole cure: the crashed
+       operation can no longer hold references, so dropping its epoch
+       vote is safe and un-vetoes [try_advance]. *)
+    Atomic.set th.my_resv inactive;
+    Seats.release th.global.seats ~tid:th.id
+  end
+
+let adopt ~victim ~into =
+  if not victim.deactivated then
+    invalid_arg "EBR.adopt: victim not deactivated";
+  Limbo_local.adopt ~victim:victim.limbo ~into:into.limbo

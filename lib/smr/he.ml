@@ -16,6 +16,7 @@ type t = {
   era : int Atomic.t;
   slots : int Memory.Padded.t array; (* published eras; [no_era] if empty *)
   in_limbo : Memory.Tcounter.t;
+  seats : Seats.t;
   config : Smr_intf.config;
 }
 
@@ -25,6 +26,7 @@ type th = {
   my_slots : int Atomic.t array; (* this thread's cells, un-wrapped once *)
   limbo : Limbo_local.t;
   scratch : int array; (* era snapshot, one pass at a time *)
+  mutable deactivated : bool;
 }
 
 let create ?config ~threads ~slots () =
@@ -36,10 +38,12 @@ let create ?config ~threads ~slots () =
     slots =
       Array.init threads (fun _ -> Memory.Padded.create slots (fun _ -> no_era));
     in_limbo = Memory.Tcounter.create ~threads;
+    seats = Seats.create ~threads;
     config;
   }
 
 let register t ~tid =
+  Seats.claim t.seats ~tid;
   let row = t.slots.(tid) in
   let slots = Memory.Padded.length row in
   {
@@ -50,6 +54,7 @@ let register t ~tid =
       Limbo_local.create ~capacity:t.config.limbo_threshold
         ~in_limbo:t.in_limbo ~tid;
     scratch = Array.make (Array.length t.slots * slots) no_era;
+    deactivated = false;
   }
 
 let tid th = th.id
@@ -146,4 +151,27 @@ let retire th (r : Smr_intf.reclaimable) =
 
 let flush th = reclaim_pass th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
-let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]
+
+let stats t =
+  [
+    ("era", Atomic.get t.era);
+    ("in_limbo", unreclaimed t);
+    ("active_handles", Seats.total t.seats);
+  ]
+
+let recoverable = true
+
+let deactivate th =
+  if not th.deactivated then begin
+    th.deactivated <- true;
+    (* Clearing the published eras is exactly [end_op]: the dead
+       operation can no longer dereference, so its reservations stop
+       intersecting retired lifetimes. *)
+    Array.iter (fun c -> Atomic.set c no_era) th.my_slots;
+    Seats.release th.global.seats ~tid:th.id
+  end
+
+let adopt ~victim ~into =
+  if not victim.deactivated then
+    invalid_arg "HE.adopt: victim not deactivated";
+  Limbo_local.adopt ~victim:victim.limbo ~into:into.limbo

@@ -29,6 +29,7 @@ struct
   type t = {
     slots : Memory.Hdr.t Memory.Padded.t array; (* [tid].(slot) *)
     in_limbo : Memory.Tcounter.t;
+    seats : Seats.t;
     config : Smr_intf.config;
   }
 
@@ -38,6 +39,7 @@ struct
     my_slots : Memory.Hdr.t Atomic.t array;
     limbo : Limbo_local.t;
     scratch : Memory.Hdr.t array; (* snapshot, one pass at a time *)
+    mutable deactivated : bool;
   }
 
   let create ?config ~threads ~slots () =
@@ -49,10 +51,12 @@ struct
         Array.init threads (fun _ ->
             Memory.Padded.create slots (fun _ -> no_hazard));
       in_limbo = Memory.Tcounter.create ~threads;
+      seats = Seats.create ~threads;
       config;
     }
 
   let register t ~tid =
+    Seats.claim t.seats ~tid;
     let row = t.slots.(tid) in
     let slots = Memory.Padded.length row in
     {
@@ -63,6 +67,7 @@ struct
         Limbo_local.create ~capacity:t.config.limbo_threshold
           ~in_limbo:t.in_limbo ~tid;
       scratch = Array.make (Array.length t.slots * slots) no_hazard;
+      deactivated = false;
     }
 
   let tid th = th.id
@@ -180,5 +185,26 @@ struct
 
   let flush th = reclaim_pass th
   let unreclaimed t = Memory.Tcounter.total t.in_limbo
-  let stats t = [ ("in_limbo", unreclaimed t) ]
+
+  let stats t =
+    [
+      ("in_limbo", unreclaimed t);
+      ("active_handles", Seats.total t.seats);
+    ]
+
+  let recoverable = true
+
+  let deactivate th =
+    if not th.deactivated then begin
+      th.deactivated <- true;
+      (* Clearing the hazard slots is [end_op]: the dead operation can no
+         longer dereference, so its published pointers stop protecting. *)
+      Array.iter (fun c -> Atomic.set c no_hazard) th.my_slots;
+      Seats.release th.global.seats ~tid:th.id
+    end
+
+  let adopt ~victim ~into =
+    if not victim.deactivated then
+      invalid_arg (P.name ^ ".adopt: victim not deactivated");
+    Limbo_local.adopt ~victim:victim.limbo ~into:into.limbo
 end

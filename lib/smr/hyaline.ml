@@ -37,6 +37,7 @@ type t = {
   eras : int Memory.Padded.t; (* reservation era; [inactive_era] if idle *)
   heads : cell Memory.Padded.t; (* per-thread dispatch lists *)
   in_limbo : Memory.Tcounter.t;
+  seats : Seats.t;
   config : Smr_intf.config;
 }
 
@@ -47,6 +48,7 @@ type th = {
   my_head : cell Atomic.t;
   pending : Limbo_local.t;
   mutable pending_min_birth : int;
+  mutable deactivated : bool;
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -58,10 +60,12 @@ let create ?config ~threads ~slots:_ () =
     eras = Memory.Padded.create threads (fun _ -> inactive_era);
     heads = Memory.Padded.create threads (fun _ -> Inactive);
     in_limbo = Memory.Tcounter.create ~threads;
+    seats = Seats.create ~threads;
     config;
   }
 
 let register t ~tid =
+  Seats.claim t.seats ~tid;
   {
     global = t;
     id = tid;
@@ -71,6 +75,7 @@ let register t ~tid =
       Limbo_local.create ~capacity:t.config.batch_size ~in_limbo:t.in_limbo
         ~tid;
     pending_min_birth = max_int;
+    deactivated = false;
   }
 
 let tid th = th.id
@@ -204,4 +209,36 @@ let retire th (r : Smr_intf.reclaimable) =
 
 let flush th = dispatch th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
-let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]
+
+let stats t =
+  [
+    ("era", Atomic.get t.era);
+    ("in_limbo", unreclaimed t);
+    ("active_handles", Seats.total t.seats);
+  ]
+
+let recoverable = true
+
+(* Withdrawing the reservation and draining the dispatch list is exactly
+   [end_op] — including the Inactive CAS that makes future dispatchers
+   skip this thread, so the padded head cell is reusable by the next
+   registration of the tid (it used to stay mid-list forever, tripping
+   [start_op]'s ownership CAS on the replacement handle).  The drain
+   releases the victim's batch references with the victim's id: its
+   domain is dead, so its pool rows have no other user. *)
+let deactivate th =
+  if not th.deactivated then begin
+    th.deactivated <- true;
+    end_op th;
+    Seats.release th.global.seats ~tid:th.id
+  end
+
+let adopt ~victim ~into =
+  if not victim.deactivated then
+    invalid_arg "HLN.adopt: victim not deactivated";
+  if Limbo_local.length victim.pending > 0 then begin
+    into.pending_min_birth <-
+      min into.pending_min_birth victim.pending_min_birth;
+    victim.pending_min_birth <- max_int;
+    Limbo_local.adopt ~victim:victim.pending ~into:into.pending
+  end

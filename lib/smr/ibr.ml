@@ -37,6 +37,7 @@ type t = {
   lowers : int Memory.Padded.t; (* reservation lower bounds *)
   uppers : int Memory.Padded.t; (* reservation upper bounds *)
   in_limbo : Memory.Tcounter.t;
+  seats : Seats.t;
   config : Smr_intf.config;
 }
 
@@ -48,6 +49,7 @@ type th = {
   limbo : Limbo_local.t;
   scratch_lo : int array; (* snapshot of active intervals, one pass at *)
   scratch_hi : int array; (* a time; length = threads *)
+  mutable deactivated : bool;
 }
 
 let create ?config ~threads ~slots:_ () =
@@ -59,10 +61,12 @@ let create ?config ~threads ~slots:_ () =
     lowers = Memory.Padded.create threads (fun _ -> inactive);
     uppers = Memory.Padded.create threads (fun _ -> no_upper);
     in_limbo = Memory.Tcounter.create ~threads;
+    seats = Seats.create ~threads;
     config;
   }
 
 let register t ~tid =
+  Seats.claim t.seats ~tid;
   let threads = Memory.Padded.length t.lowers in
   {
     global = t;
@@ -74,6 +78,7 @@ let register t ~tid =
         ~in_limbo:t.in_limbo ~tid;
     scratch_lo = Array.make threads 0;
     scratch_hi = Array.make threads 0;
+    deactivated = false;
   }
 
 let tid th = th.id
@@ -195,4 +200,27 @@ let retire th (r : Smr_intf.reclaimable) =
 
 let flush th = reclaim_pass th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
-let stats t = [ ("era", Atomic.get t.era); ("in_limbo", unreclaimed t) ]
+
+let stats t =
+  [
+    ("era", Atomic.get t.era);
+    ("in_limbo", unreclaimed t);
+    ("active_handles", Seats.total t.seats);
+  ]
+
+let recoverable = true
+
+let deactivate th =
+  if not th.deactivated then begin
+    th.deactivated <- true;
+    (* Same store order as [end_op]: lower first, so a concurrent scanner
+       never pairs the stale lower with the reset upper. *)
+    Atomic.set th.my_lower inactive;
+    Atomic.set th.my_upper no_upper;
+    Seats.release th.global.seats ~tid:th.id
+  end
+
+let adopt ~victim ~into =
+  if not victim.deactivated then
+    invalid_arg "IBR.adopt: victim not deactivated";
+  Limbo_local.adopt ~victim:victim.limbo ~into:into.limbo

@@ -51,3 +51,17 @@ let sweep t ~protected_ = Memory.Limbo.sweep t.buf ~keep:protected_ ~drop:t.drop
    NOT touched: the nodes stay unreclaimed until whoever drops the last
    batch reference frees them. *)
 let take t = Memory.Limbo.take_array t.buf
+
+(* Crash recovery: move a dead thread's whole limbo (and its share of the
+   shared gauge) into a survivor's buffer.  Cold path — [take_array]
+   allocates one array.  Both sides must belong to the same scheme
+   instance (same gauge); the victim's owner must be dead and [into]'s
+   owner must not be pushing/sweeping concurrently. *)
+let adopt ~victim ~into =
+  let n = Memory.Limbo.length victim.buf in
+  if n > 0 then begin
+    let nodes = Memory.Limbo.take_array victim.buf in
+    Array.iter (fun r -> Memory.Limbo.push into.buf r) nodes;
+    Memory.Tcounter.add victim.in_limbo ~tid:victim.tid (-n);
+    Memory.Tcounter.add into.in_limbo ~tid:into.tid n
+  end

@@ -29,3 +29,10 @@ val sweep : t -> protected_:(Smr_intf.reclaimable -> bool) -> unit
 (** Detach the whole buffer as a fresh array (Hyaline batch dispatch);
     the gauge is left untouched — the nodes are still unreclaimed. *)
 val take : t -> Smr_intf.reclaimable array
+
+(** [adopt ~victim ~into] moves every node of [victim]'s buffer into
+    [into]'s and transfers the corresponding gauge counts between the
+    two tids' cells.  Both must share one scheme instance; [victim]'s
+    owner must be dead and [into]'s owner quiescent (crash-recovery
+    cold path — allocates). *)
+val adopt : victim:t -> into:t -> unit

@@ -5,13 +5,20 @@
 let name = "NR"
 let robust = false
 
-type t = { leaked : Memory.Tcounter.t }
-type th = { global : t; id : int }
+type t = {
+  leaked : Memory.Tcounter.t;
+  seats : Seats.t;
+}
+
+type th = { global : t; id : int; mutable deactivated : bool }
 
 let create ?config:_ ~threads ~slots:_ () =
-  { leaked = Memory.Tcounter.create ~threads }
+  { leaked = Memory.Tcounter.create ~threads; seats = Seats.create ~threads }
 
-let register t ~tid = { global = t; id = tid }
+let register t ~tid =
+  Seats.claim t.seats ~tid;
+  { global = t; id = tid; deactivated = false }
+
 let tid th = th.id
 let start_op th = Probe.hit th.id Probe.Start_op
 let end_op _ = ()
@@ -42,4 +49,27 @@ let retire th (r : Smr_intf.reclaimable) =
 
 let flush _ = ()
 let unreclaimed t = Memory.Tcounter.total t.leaked
-let stats t = [ ("leaked", Memory.Tcounter.total t.leaked) ]
+
+let stats t =
+  [
+    ("leaked", Memory.Tcounter.total t.leaked);
+    ("active_handles", Seats.total t.seats);
+  ]
+
+(* NR publishes nothing, so a crashed handle pins nothing extra — but the
+   leak also cannot be recovered: everything the victim retired is gone
+   for good, same as everything the survivors retire. *)
+let recoverable = false
+
+let deactivate th =
+  if not th.deactivated then begin
+    th.deactivated <- true;
+    Seats.release th.global.seats ~tid:th.id
+  end
+
+let adopt ~victim ~into:_ =
+  if not victim.deactivated then
+    invalid_arg "NR.adopt: victim not deactivated";
+  !Smr_intf.adopt_warning
+    "NR.adopt: NR never reclaims, so adoption cannot bound memory (the \
+     victim's leaked nodes stay leaked)"

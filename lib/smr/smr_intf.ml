@@ -55,6 +55,14 @@ let make_config ?limbo_threshold ?epoch_freq ?batch_size ~threads () =
     batch_size = Option.value batch_size ~default:d.batch_size;
   }
 
+(* Called (instead of failing or silently succeeding) when [adopt] runs on a
+   scheme that cannot turn the adoption into bounded memory — NR leaks by
+   design, so adopting an NR victim changes nothing.  Mirrors the
+   capability pattern of the harness fault control: callers that want to
+   assert or log differently replace the hook. *)
+let adopt_warning : (string -> unit) ref =
+  ref (fun msg -> Printf.eprintf "smr: warning: %s\n%!" msg)
+
 module type S = sig
   val name : string
 
@@ -113,6 +121,39 @@ module type S = sig
   (** Number of retired-but-not-yet-reclaimed objects (Figures 10-12). *)
   val unreclaimed : t -> int
 
-  (** Scheme-specific counters for reports. *)
+  (** Scheme-specific counters for reports.  Every scheme reports
+      ["active_handles"]: registered-minus-deactivated handles (seats). *)
   val stats : t -> (string * int) list
+
+  (** {2 Handle lifecycle / crash recovery}
+
+      A domain that dies between [start_op] and [end_op] leaves its
+      reservations published (pinning memory forever under HP/HE/IBR,
+      vetoing the epoch under EBR) and its limbo buffer orphaned.  The
+      supervisor protocol is: once the owner domain is provably dead,
+      [deactivate] the handle, [register] a replacement on the same tid,
+      [adopt] the orphaned limbo into the replacement, and [flush] it. *)
+
+  (** Whether [deactivate]+[adopt] restore a bounded unreclaimed gauge
+      after a crash.  [false] only for NR: leaked nodes stay leaked, so
+      its [adopt] fires {!adopt_warning} instead of silently succeeding. *)
+  val recoverable : bool
+
+  (** [deactivate th] unpublishes every reservation/era slot of a dead
+      handle, marks its per-domain cells quiesced (Hyaline drains and
+      releases the handle's batch references) and gives back its
+      registration seat so the tid can be re-registered.  Idempotent.
+      Must only be called once the owning domain has stopped running —
+      from the owner itself or from a supervisor after the domain died;
+      the handle must not be used for operations afterwards. *)
+  val deactivate : th -> unit
+
+  (** [adopt ~victim ~into] transfers the victim's limbo buffer (and its
+      share of the unreclaimed gauge) into [into]'s limbo so the orphans
+      are swept by [into]'s reclamation passes.  The victim must already
+      be deactivated ([Invalid_argument] otherwise); [into]'s owner must
+      not be running concurrently — adopt into a freshly registered
+      replacement handle before its worker starts, or into a quiesced
+      survivor. *)
+  val adopt : victim:th -> into:th -> unit
 end

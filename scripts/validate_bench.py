@@ -122,6 +122,44 @@ FUZZ_RUN_KEYS = {
     "trace": list,
 }
 
+# `scotbench recover` emits runs with "kind": "recovery" (supervised
+# crash-and-adopt validation; "peak_bound"/"post_bound" are null for
+# non-robust schemes, "settle_s" is -1 when the gauge never returned
+# under the post-adoption bound).
+RECOVERY_RUN_KEYS = {
+    "kind": str,
+    "structure": str,
+    "scheme": str,
+    "robust": bool,
+    "recoverable": bool,
+    "threads": int,
+    "crashed": int,
+    "range": int,
+    "duration": (int, float),
+    "ops": int,
+    "throughput": (int, float),
+    "recoveries": int,
+    "events": list,
+    "max_unreclaimed": int,
+    "post_max_unreclaimed": int,
+    "post_quiesced": int,
+    "recovery_s": (int, float),
+    "settle_s": (int, float),
+    "adopt_warnings": int,
+    "ok": bool,
+    "verdict": str,
+    "mem_series": list,
+    "trace": list,
+}
+
+RECOVERY_EVENT_KEYS = {
+    "t": (int, float),
+    "tid": int,
+    "reason": str,
+    "action": str,
+    "restarts": int,
+}
+
 
 def fail(path, msg):
     sys.exit(f"{path}: INVALID: {msg}")
@@ -190,6 +228,51 @@ def validate(path):
                          f"{where}.mem_series[{j}] timestamps not ordered")
                 last_t = sample["t"]
             continue
+        if run.get("kind") == "recovery":
+            require(path, run, RECOVERY_RUN_KEYS, where)
+            if not 0 < run["crashed"] < run["threads"]:
+                fail(path, f"{where} crashed must be in (0, threads)")
+            for bound_key in ("peak_bound", "post_bound"):
+                bound = run.get(bound_key)
+                if run["robust"]:
+                    if not isinstance(bound, int):
+                        fail(path,
+                             f"{where} robust run needs an int {bound_key}")
+                elif bound is not None:
+                    fail(path,
+                         f"{where} non-robust run must have {bound_key} null")
+            if run["ok"]:
+                if run["recoveries"] < run["crashed"]:
+                    fail(path, f"{where} ok but recoveries < crashed")
+                if run["robust"]:
+                    if run["max_unreclaimed"] > run["peak_bound"]:
+                        fail(path,
+                             f"{where} ok but max_unreclaimed > peak_bound")
+                    if run["post_max_unreclaimed"] > run["post_bound"]:
+                        fail(path, f"{where} ok but post-adoption gauge "
+                                   f"over post_bound")
+            if run["recovery_s"] < 0:
+                fail(path, f"{where}.recovery_s negative")
+            for j, ev in enumerate(run["events"]):
+                require(path, ev, RECOVERY_EVENT_KEYS,
+                        f"{where}.events[{j}]")
+                if ev["action"] not in ("respawn", "abandon",
+                                        "recover-at-stop"):
+                    fail(path, f"{where}.events[{j}].action = "
+                               f"{ev['action']!r}")
+                if ev["reason"] not in ("crash", "heartbeat-timeout"):
+                    fail(path, f"{where}.events[{j}].reason = "
+                               f"{ev['reason']!r}")
+            last_t = -1.0
+            for j, sample in enumerate(run["mem_series"]):
+                if "t" not in sample or "unreclaimed" not in sample:
+                    fail(path,
+                         f"{where}.mem_series[{j}] missing t/unreclaimed")
+                if sample["t"] < last_t:
+                    fail(path,
+                         f"{where}.mem_series[{j}] timestamps not ordered")
+                last_t = sample["t"]
+            continue
         if run.get("kind") == "fuzz":
             require(path, run, FUZZ_RUN_KEYS, where)
             uaf_seed = run.get("uaf_seed")
@@ -232,6 +315,9 @@ def run_key(run):
     if run.get("kind") == "chaos":
         return ("chaos", run["structure"], run["scheme"], run["threads"],
                 run["stalled"], run["point"], run["range"])
+    if run.get("kind") == "recovery":
+        return ("recovery", run["structure"], run["scheme"],
+                run["threads"], run["crashed"], run["range"])
     if run.get("kind") == "fuzz":
         return ("fuzz", run["structure"], run["scheme"])
     mix = run["mix"]

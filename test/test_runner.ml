@@ -132,6 +132,7 @@ let mk_result tp =
     scheme_stats = [];
     faults = 0;
     final_size = 0;
+    recoveries = [];
   }
 
 let median_throughput tps =
