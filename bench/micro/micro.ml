@@ -391,17 +391,26 @@ let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
     ]
   in
   let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR" ] in
-  if assert_zero && List.mem S.name zero_alloc_schemes then begin
-    let per_op = s_words /. float_of_int search_batch in
-    if per_op > 0.01 then begin
-      Printf.eprintf
-        "op-allocs: %s HList search allocates %.3f minor words/op (expected \
-         0.00)\n\
-         %!"
-        S.name per_op;
-      exit 1
-    end
-  end;
+  if assert_zero && List.mem S.name zero_alloc_schemes then
+    (* All three fast paths must stay allocation-free — the branded
+       bracket ([with_op*] + [protect]/[Guard.deref]) must compile away
+       entirely, on the update paths as well as the read path. *)
+    List.iter
+      (fun (op, words, n) ->
+        let per_op = words /. float_of_int n in
+        if per_op > 0.01 then begin
+          Printf.eprintf
+            "op-allocs: %s HList %s allocates %.3f minor words/op (expected \
+             0.00)\n\
+             %!"
+            S.name op per_op;
+          exit 1
+        end)
+      [
+        ("search", s_words, search_batch);
+        ("insert", !i_words, wr_batch);
+        ("delete", !d_words, wr_batch);
+      ];
   runs
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")

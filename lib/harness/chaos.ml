@@ -299,7 +299,12 @@ let rule_to_string r =
    The stall/buffer components are doubled and the total gets a small
    constant floor — schedules are adversarial but the point of the
    assertion is "bounded, does not grow with ops", not a tight
-   constant. *)
+   constant.  The floor only has to absorb sub-node rounding (a retire
+   landing exactly on a trigger boundary on every thread at once): since
+   [end_op] unpublishes every reservation between operations, nothing a
+   thread protected in a *finished* operation can pin memory, so a
+   one-buffer-era margin of 16 suffices where a flat +64 used to paper
+   over the accounting. *)
 let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
     ~threads ~slots ~range ?(adopted = 0) ~stalled () =
   if not S.robust then None
@@ -311,4 +316,4 @@ let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
       if hp then buffer_one else buffer_one + (2 * config.epoch_freq)
     in
     let per_stall = if hp then slots else range + (2 * config.epoch_freq) in
-    Some ((2 * ((n * per_thread) + (k * per_stall))) + (adopted * buffer_one) + 64)
+    Some ((2 * ((n * per_thread) + (k * per_stall))) + (adopted * buffer_one) + 16)

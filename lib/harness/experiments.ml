@@ -577,6 +577,7 @@ type recover_run = {
   rc_settle_s : float; (* first post-recovery sample under the post
                           bound; -1 when it never settled *)
   rc_warnings : int; (* adopt warnings fired (NR fires one per adopt) *)
+  rc_warning_msgs : string list; (* the captured messages, in firing order *)
   rc_ok : bool;
   rc_verdict : string;
   rc_mem_series : Metrics.mem_sample list;
@@ -614,12 +615,22 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
   let peak_bound = ref None and post_bound = ref None in
   let trace = ref [] in
   let captured = ref None in
-  let warnings = ref 0 in
-  let prev_warn = !Smr.Smr_intf.adopt_warning in
-  Smr.Smr_intf.adopt_warning := (fun _ -> incr warnings);
+  (* Capture adoption warnings instead of letting them hit stderr: the
+     hook is an [Atomic.t] (the supervisor fires it from another domain),
+     swapped in with [exchange] and restored afterwards.  Messages are
+     collected so callers can route them through {!Report}. *)
+  let warn_msgs = Atomic.make [] in
+  let record_warning msg =
+    let rec push () =
+      let cur = Atomic.get warn_msgs in
+      if not (Atomic.compare_and_set warn_msgs cur (msg :: cur)) then push ()
+    in
+    push ()
+  in
+  let prev_warn = Atomic.exchange Smr.Smr_intf.adopt_warning record_warning in
   let r =
     Fun.protect
-      ~finally:(fun () -> Smr.Smr_intf.adopt_warning := prev_warn)
+      ~finally:(fun () -> Atomic.set Smr.Smr_intf.adopt_warning prev_warn)
     @@ fun () ->
     Runner.run ~config ~check:false ~measure_latency:false
       ~sample_every:0.002 ~supervise:Supervisor.default
@@ -683,6 +694,8 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
         | None -> -1.0)
   in
   let first_third, last_third = third_means post in
+  let warning_msgs = List.rev (Atomic.get warn_msgs) in
+  let warnings = List.length warning_msgs in
   let ok, verdict =
     if n_rec < crashed then (false, "MISSING RECOVERIES")
     else if S.recoverable && S.robust then
@@ -698,7 +711,7 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
       if last_third > (1.5 *. first_third) +. 64.0 then
         (false, "STILL GROWING")
       else (true, "recovered, growth stopped")
-    else if !warnings < crashed then (false, "NO ADOPT WARNING")
+    else if warnings < crashed then (false, "NO ADOPT WARNING")
     else (true, "supervised (leaks by design)")
   in
   {
@@ -721,7 +734,8 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
     rc_post_quiesced = post_quiesced;
     rc_recovery_s = recovery_s;
     rc_settle_s = settle_s;
-    rc_warnings = !warnings;
+    rc_warnings = warnings;
+    rc_warning_msgs = warning_msgs;
     rc_ok = ok;
     rc_verdict = verdict;
     rc_mem_series = r.mem_series;
@@ -772,6 +786,16 @@ let recover_matrix ?(structure = "HList") ?(threads_list = [ 2; 4 ])
       all_schemes
   in
   Report.table ~header:recover_header (List.map recover_row runs);
+  (* Adoption warnings were captured during the runs (the hook is swapped
+     for the duration); surface them as report notes under the table. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun msg ->
+          Report.note
+            (Printf.sprintf "%s x%d: %s" c.rc_scheme c.rc_threads msg))
+        c.rc_warning_msgs)
+    runs;
   runs
 
 let recover_run_json (c : recover_run) =

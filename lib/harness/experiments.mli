@@ -157,6 +157,9 @@ type recover_run = {
       (** first post-recovery sample under [rc_post_bound]; [-1.] when it
           never settled *)
   rc_warnings : int;  (** {!Smr.Smr_intf.adopt_warning} firings (NR) *)
+  rc_warning_msgs : string list;
+      (** the captured warning messages, in firing order; routed through
+          {!Report.note} by {!recover_matrix} instead of stderr *)
   rc_ok : bool;
   rc_verdict : string;
   rc_mem_series : Metrics.mem_sample list;

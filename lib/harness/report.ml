@@ -46,6 +46,13 @@ let section ?(out = stdout) title =
   output_string out (Printf.sprintf "\n=== %s ===\n" (normalise_title title));
   flush out
 
+(* One-line annotation under a table — used e.g. for adoption warnings
+   collected during a recovery run, so diagnostics land in the report
+   stream instead of interleaving with it on stderr. *)
+let note ?(out = stdout) msg =
+  output_string out (Printf.sprintf "  note: %s\n" (normalise_title msg));
+  flush out
+
 (* Human-friendly formatting of large numbers (ops/s etc.). *)
 let human f =
   if f >= 1e9 then Printf.sprintf "%.2fG" (f /. 1e9)

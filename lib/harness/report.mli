@@ -9,6 +9,12 @@ val section : ?out:out_channel -> string -> unit
     (including newlines from wrapped format strings) are collapsed to
     single spaces. *)
 
+val note : ?out:out_channel -> string -> unit
+(** Prints a one-line ["note: ..."] annotation (whitespace collapsed like
+    {!section}) — for diagnostics that belong in the report stream, e.g.
+    {!Smr.Smr_intf.adopt_warning} messages collected during a recovery
+    run. *)
+
 (** Human formatting of large magnitudes: [1.5e9 -> "1.50G"],
     [74992. -> "75.0k"]. *)
 val human : float -> string

@@ -23,9 +23,16 @@
    the scheme's staged reader (built once per handle), link values are the
    nodes' canonical prebuilt records, retire hands over the node's prebuilt
    [rc], and the traversal state that an attempt returns lives in
-   handle-owned scratch fields instead of a consed [pos] record. *)
+   handle-owned scratch fields instead of a consed [pos] record.
+
+   Every protected load goes through the branded bracket ([S.with_op*] +
+   [S.protect] + [Guard.deref]): the operation bodies are top-level [opN]
+   records (so the bracket conses nothing) and the traversal loops thread
+   the bracket token explicitly — a dereference outside the bracket does
+   not typecheck. *)
 
 module N = List_node
+module G = Smr.Smr_intf.Guard
 
 let hp_next = 0
 let hp_curr = 1
@@ -90,10 +97,18 @@ module Make (S : Smr.Smr_intf.S) = struct
   let node_of (l : N.link) =
     match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
 
+  (* Guarded load: protect the field's target and deref under the live
+     token.  The traversal consumes link values immediately; the brand is
+     what stops the *protection* from being assumed past [end_op]. *)
+  let protect_link h tok ~slot field =
+    G.deref (S.protect h.rdr tok ~slot field) tok
+
   (* Retire the unlinked chain [from, until) — the paper's Do_Retire.  The
      chain is private to us after the successful unlink CAS. *)
   let rec retire_chain h (n : N.t) ~until =
     if n != until then begin
+      (* raw-load: the chain is unreachable and privately owned after the
+         unlink CAS, so no protection is needed to walk it. *)
       let next = Atomic.get n.N.next in
       S.retire h.s n.N.rc;
       retire_chain h (node_of next) ~until
@@ -103,31 +118,34 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   (* Do_Find.  Results land in [h.prev]/[h.expected]/[h.pos_curr]/
      [h.pos_next]; the body is a top-level recursion over explicit
-     arguments so a steady-state attempt allocates nothing. *)
-  let rec do_find h key ~srch ~on_step =
-    try find_attempt h key ~srch ~on_step
+     arguments (including the bracket token) so a steady-state attempt
+     allocates nothing. *)
+  let rec do_find h tok key ~srch ~on_step =
+    try find_attempt h tok key ~srch ~on_step
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-      do_find h key ~srch ~on_step
+      do_find h tok key ~srch ~on_step
 
-  and find_attempt h key ~srch ~on_step =
-    let first = S.read_field h.rdr ~slot:hp_curr h.t.head in
+  and find_attempt h tok key ~srch ~on_step =
+    let first = protect_link h tok ~slot:hp_curr h.t.head in
     h.prev <- h.t.head;
     h.expected <- first;
     let first = node_of first in
-    step h key ~srch ~on_step first
-      (S.read_field h.rdr ~slot:hp_next (N.next_field first))
+    step h tok key ~srch ~on_step first
+      (protect_link h tok ~slot:hp_next (N.next_field first))
 
   (* Dangerous-zone validation: the last safe node must still hold the
      exact link record we read from it.  On failure, §3.2.1 recovery
      re-reads the link: if the last safe node is itself now deleted we
      must restart from the head; otherwise traversal continues at the
      link's new target. *)
-  and validate h =
+  and validate h tok =
+    (* raw-load: validation witness — the physical record is only compared,
+       never dereferenced. *)
     if Atomic.get h.prev == h.expected then None
     else if not h.t.recovery then raise Restart
     else begin
-      let l = S.read_field h.rdr ~slot:hp_curr h.prev in
+      let l = protect_link h tok ~slot:hp_curr h.prev in
       if l.N.marked then raise Restart;
       h.expected <- l;
       Some (node_of l)
@@ -141,13 +159,13 @@ module Make (S : Smr.Smr_intf.S) = struct
      (marked) successor link whose target is protected in Hp0 but not yet
      validated.  We validate the last safe link *before* dereferencing
      the protected target (Theorem 2's ordering), then advance. *)
-  and step h key ~srch ~on_step (curr : N.t) (next : N.link) =
+  and step h tok key ~srch ~on_step (curr : N.t) (next : N.link) =
     on_step ();
     if next.N.marked then begin
       (* [curr] is logically deleted: protect the first unsafe node and
          enter the dangerous zone. *)
       S.dup h.s ~src:hp_curr ~dst:hp_unsafe;
-      phase2 h key ~srch ~on_step ~zstart:curr next
+      phase2 h tok key ~srch ~on_step ~zstart:curr next
     end
     else if N.key curr >= key then begin
       h.pos_curr <- curr;
@@ -159,24 +177,24 @@ module Make (S : Smr.Smr_intf.S) = struct
       S.dup h.s ~src:hp_curr ~dst:hp_prev;
       let curr' = node_of next in
       S.dup h.s ~src:hp_next ~dst:hp_curr;
-      step h key ~srch ~on_step curr'
-        (S.read_field h.rdr ~slot:hp_next (N.next_field curr'))
+      step h tok key ~srch ~on_step curr'
+        (protect_link h tok ~slot:hp_next (N.next_field curr'))
     end
 
-  and phase2 h key ~srch ~on_step ~zstart (next : N.link) =
+  and phase2 h tok key ~srch ~on_step ~zstart (next : N.link) =
     on_step ();
-    match validate h with
+    match validate h tok with
     | Some recovered ->
-        step h key ~srch ~on_step recovered
-          (S.read_field h.rdr ~slot:hp_next (N.next_field recovered))
+        step h tok key ~srch ~on_step recovered
+          (protect_link h tok ~slot:hp_next (N.next_field recovered))
     | None ->
         let curr' = node_of next in
         S.dup h.s ~src:hp_next ~dst:hp_curr;
-        let next' = S.read_field h.rdr ~slot:hp_next (N.next_field curr') in
-        if next'.N.marked then phase2 h key ~srch ~on_step ~zstart next'
+        let next' = protect_link h tok ~slot:hp_next (N.next_field curr') in
+        if next'.N.marked then phase2 h tok key ~srch ~on_step ~zstart next'
         else if srch then
           (* Search skips the chain without unlinking (read-only). *)
-          step h key ~srch ~on_step curr' next'
+          step h tok key ~srch ~on_step curr' next'
         else begin
           (* Unlink the whole chain [zstart, curr') with one CAS. *)
           let desired = curr'.N.in_link in
@@ -184,54 +202,67 @@ module Make (S : Smr.Smr_intf.S) = struct
             raise Restart;
           retire_chain h zstart ~until:curr';
           h.expected <- desired;
-          step h key ~srch ~on_step curr' next'
+          step h tok key ~srch ~on_step curr' next'
         end
 
   let check_key key =
     if key >= max_int then invalid_arg "Harris_list: key must be < max_int"
 
+  (* Operation bodies are top-level [opN] constants: the handle/key/hook
+     travel as explicit arguments, so entering the bracket conses
+     nothing. *)
+  let search_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          do_find h tok key ~srch:true ~on_step:no_step;
+          N.key h.pos_curr = key);
+    }
+
   let search h key =
     check_key key;
-    S.start_op h.s;
-    do_find h key ~srch:true ~on_step:no_step;
-    let found = N.key h.pos_curr = key in
-    S.end_op h.s;
-    found
+    S.with_op2 h.s search_body h key
 
   (* Search with a per-step hook; the hook may raise to abandon the
      traversal (the hazard slots are released by [end_op]).  Used by the
-     wait-free extension's Slow_Search (Figure 7). *)
+     wait-free extension's Slow_Search (Figure 7).  The body catches and
+     re-raises outside the bracket so [end_op] still runs — the hook's
+     raise is a cooperative abandon, not a crash. *)
+  let search_hooked_body =
+    {
+      Smr.Smr_intf.op3 =
+        (fun tok h key on_step ->
+          match do_find h tok key ~srch:true ~on_step with
+          | () -> Ok (N.key h.pos_curr = key)
+          | exception e -> Error e);
+    }
+
   let search_hooked h key ~on_step =
     check_key key;
-    S.start_op h.s;
-    let result =
-      match do_find h key ~srch:true ~on_step with
-      | () -> Ok (N.key h.pos_curr = key)
-      | exception e -> Error e
-    in
-    S.end_op h.s;
-    match result with Ok r -> r | Error e -> raise e
+    match S.with_op3 h.s search_hooked_body h key on_step with
+    | Ok r -> r
+    | Error e -> raise e
 
   (* Bounded-restart search: [None] after more than [max_restarts] restarts
      — the fast path of the wait-free extension (§3.4). *)
+  let rec bounded_attempt h tok key budget =
+    match find_attempt h tok key ~srch:true ~on_step:no_step with
+    | () -> Some (N.key h.pos_curr = key)
+    | exception Restart ->
+        Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+        if budget = 0 then None else bounded_attempt h tok key (budget - 1)
+
+  let search_bounded_body =
+    { Smr.Smr_intf.op3 = (fun tok h key budget -> bounded_attempt h tok key budget) }
+
   let search_bounded h key ~max_restarts =
     check_key key;
-    S.start_op h.s;
-    let rec attempt budget =
-      match find_attempt h key ~srch:true ~on_step:no_step with
-      | () -> Some (N.key h.pos_curr = key)
-      | exception Restart ->
-          Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-          if budget = 0 then None else attempt (budget - 1)
-    in
-    let result = attempt max_restarts in
-    S.end_op h.s;
-    result
+    S.with_op3 h.s search_bounded_body h key max_restarts
 
   (* Retry loops live at top level (closures capturing [h]/[key]/[node]
      would cons once per operation). *)
-  let rec insert_loop h key node =
-    do_find h key ~srch:false ~on_step:no_step;
+  let rec insert_loop h tok key node =
+    do_find h tok key ~srch:false ~on_step:no_step;
     if N.key h.pos_curr = key then begin
       N.dealloc h.t.pool ~tid:h.tid node;
       false
@@ -239,21 +270,27 @@ module Make (S : Smr.Smr_intf.S) = struct
     else begin
       Atomic.set node.N.next h.pos_curr.N.in_link;
       if Atomic.compare_and_set h.prev h.expected node.N.in_link then true
-      else insert_loop h key node
+      else insert_loop h tok key node
     end
+
+  let insert_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          (* Allocate once and reuse across retries, as in Figure 3. *)
+          let node =
+            N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link
+          in
+          S.on_alloc h.s node.N.hdr;
+          insert_loop h tok key node);
+    }
 
   let insert h key =
     check_key key;
-    S.start_op h.s;
-    (* Allocate once and reuse across retries, as in Figure 3. *)
-    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
-    S.on_alloc h.s node.N.hdr;
-    let r = insert_loop h key node in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s insert_body h key
 
-  let rec delete_loop h key =
-    do_find h key ~srch:false ~on_step:no_step;
+  let rec delete_loop h tok key =
+    do_find h tok key ~srch:false ~on_step:no_step;
     let curr = h.pos_curr in
     if N.key curr <> key then false
     else begin
@@ -263,7 +300,7 @@ module Make (S : Smr.Smr_intf.S) = struct
         || not
              (Atomic.compare_and_set (N.next_field curr) next
                 (N.marked_copy next))
-      then delete_loop h key
+      then delete_loop h tok key
       else begin
         (* Logically deleted; one unlink attempt (Figure 3, L22),
            otherwise a later traversal cleans the chain. *)
@@ -273,12 +310,87 @@ module Make (S : Smr.Smr_intf.S) = struct
       end
     end
 
+  let delete_body =
+    { Smr.Smr_intf.op2 = (fun tok h key -> delete_loop h tok key) }
+
   let delete h key =
     check_key key;
-    S.start_op h.s;
-    let r = delete_loop h key in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s delete_body h key
+
+  (* Range membership scan ([range_mem]): every unmarked key in [lo, hi],
+     ascending.  This is the guards' composition proof: the scan keeps the
+     usual four slots protected AND passes the successor's guard as a
+     first-class value from hop to hop — several simultaneously live
+     guards under one bracket token, none of which can outlive it.
+
+     Semantics under concurrency: keys strictly increase along the
+     physical list, so emission is monotone; a Restart re-traverses from
+     the head with the already-emitted prefix as a watermark (emit only
+     keys greater than the last emitted one), which keeps the result
+     sorted and duplicate-free.  Keys present for the whole scan are
+     included; keys inserted or deleted concurrently may or may not be. *)
+  let rec scan h tok ~lo ~hi acc =
+    match scan_attempt h tok ~lo ~hi acc with
+    | r -> r
+    | exception Restart ->
+        Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
+        scan h tok ~lo ~hi acc
+
+  and scan_attempt h tok ~lo ~hi acc =
+    let first_g = S.protect h.rdr tok ~slot:hp_curr h.t.head in
+    let first = G.deref first_g tok in
+    h.prev <- h.t.head;
+    h.expected <- first;
+    scan_step h tok ~lo ~hi acc (node_of first)
+
+  and scan_step h tok ~lo ~hi acc (curr : N.t) =
+    let next_g = S.protect h.rdr tok ~slot:hp_next (N.next_field curr) in
+    scan_emit h tok ~lo ~hi acc curr next_g
+
+  (* [next_g] is the guard for [curr]'s successor link, still branded: it
+     is only dereferenced here, under the same token that issued it. *)
+  and scan_emit h tok ~lo ~hi acc curr next_g =
+    let next = G.deref next_g tok in
+    if next.N.marked then begin
+      (* [curr] is logically deleted — enter the dangerous zone exactly
+         like [step], but read-only. *)
+      S.dup h.s ~src:hp_curr ~dst:hp_unsafe;
+      scan_zone h tok ~lo ~hi acc next
+    end
+    else
+      let k = N.key curr in
+      if k = max_int || k > hi then List.rev acc
+      else
+        let acc =
+          if k >= lo && (match acc with [] -> true | last :: _ -> k > last)
+          then k :: acc
+          else acc
+        in
+        begin
+          h.prev <- N.next_field curr;
+          h.expected <- next;
+          S.dup h.s ~src:hp_curr ~dst:hp_prev;
+          let curr' = node_of next in
+          S.dup h.s ~src:hp_next ~dst:hp_curr;
+          scan_step h tok ~lo ~hi acc curr'
+        end
+
+  and scan_zone h tok ~lo ~hi acc (next : N.link) =
+    match validate h tok with
+    | Some recovered -> scan_step h tok ~lo ~hi acc recovered
+    | None ->
+        let curr' = node_of next in
+        S.dup h.s ~src:hp_next ~dst:hp_curr;
+        let next_g' = S.protect h.rdr tok ~slot:hp_next (N.next_field curr') in
+        let next' = G.deref next_g' tok in
+        if next'.N.marked then scan_zone h tok ~lo ~hi acc next'
+        else scan_emit h tok ~lo ~hi acc curr' next_g'
+
+  let range_body =
+    { Smr.Smr_intf.op3 = (fun tok h lo hi -> scan h tok ~lo ~hi []) }
+
+  let range_mem h ~lo ~hi =
+    if lo > hi then [] else S.with_op3 h.s range_body h lo hi
 
   (* Force the scheme's reclamation machinery; for shutdown and tests. *)
   let quiesce h = S.flush h.s
@@ -304,7 +416,9 @@ module Make (S : Smr.Smr_intf.S) = struct
       ("freed", N.Pool.freed t.pool);
     ]
 
-  (* Quiescent-only observers for tests. *)
+  (* Quiescent-only observers for tests.  raw-load: no operation is in
+     flight, so nothing can be retired concurrently and unprotected link
+     loads are safe. *)
 
   let to_list t =
     let rec go acc (l : N.link) =
@@ -313,11 +427,11 @@ module Make (S : Smr.Smr_intf.S) = struct
       | Some n ->
           if n.key = max_int then List.rev acc
           else
-            let next = Atomic.get n.next in
+            let next = (* raw-load: quiescent *) Atomic.get n.next in
             let acc = if next.marked then acc else n.key :: acc in
             go acc next
     in
-    go [] (Atomic.get t.head)
+    go [] ((* raw-load: quiescent *) Atomic.get t.head)
 
   let size t = List.length (to_list t)
 
@@ -332,7 +446,8 @@ module Make (S : Smr.Smr_intf.S) = struct
             failwith
               (Printf.sprintf "Harris_list: key order violated (%d after %d)"
                  n.key last);
-          if n.key <> max_int then go n.key (Atomic.get n.next)
+          if n.key <> max_int then
+            go n.key ((* raw-load: quiescent *) Atomic.get n.next)
     in
-    go min_int (Atomic.get t.head)
+    go min_int ((* raw-load: quiescent *) Atomic.get t.head)
 end

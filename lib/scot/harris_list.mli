@@ -68,6 +68,15 @@ module Make (S : Smr.Smr_intf.S) : sig
   (** Like {!search} but gives up with [None] after more than
       [max_restarts] traversal restarts — the wait-free fast path (§3.4). *)
 
+  val range_mem : handle -> lo:int -> hi:int -> int list
+  (** [range_mem h ~lo ~hi] — every key in [\[lo, hi\]] that is a member,
+      in ascending order, duplicate-free.  Lock-free.  Linearizable only
+      per key: keys present for the whole scan are included and keys
+      absent throughout are not; a key inserted or deleted concurrently
+      may or may not appear.  Exercises guard composition: the scan holds
+      several simultaneously protected nodes whose branded guards are
+      passed between traversal steps under one operation token. *)
+
   val quiesce : handle -> unit
   (** Force a reclamation pass on this thread's retired nodes. *)
 

@@ -6,9 +6,17 @@
    [Memory.Fault.Use_after_free] (the simulated SEGFAULT).
 
    Under EBR/NR the very same code is safe, which is exactly the paper's
-   Table 1 row for Harris' list.  Do not use outside tests and demos. *)
+   Table 1 row for Harris' list.  Do not use outside tests and demos.
+
+   With the branded-guard API this bug no longer typechecks through the
+   front door: a guard can only be dereferenced under the operation token
+   that issued it.  This module keeps the bug alive on purpose by going
+   through [Smr.Smr_intf.Unsafe.leak_guard] — the greppable escape hatch
+   that mints a fresh unscoped token and strips the brand.  It is the only
+   module allowed to do so (enforced by scripts/lint_raw_loads.sh). *)
 
 module N = List_node
+module G = Smr.Smr_intf.Guard
 
 let hp_next = 0
 let hp_curr = 1
@@ -43,7 +51,12 @@ module Make (S : Smr.Smr_intf.S) = struct
     let s = S.register t.smr ~tid in
     { t; s; tid; rdr = S.reader s N.desc }
 
-  let protect_link h ~slot field = S.read_field h.rdr ~slot field
+  (* The Figure-2 protect: publishes the reservation like the safe list,
+     but the guard is immediately leaked out of any bracket scope — the
+     protection evidence is forged, which is precisely the incompatibility
+     the SCOT validation exists to fix. *)
+  let protect_link h ~slot field =
+    Smr.Smr_intf.Unsafe.leak_guard (S.protect h.rdr (G.mint ()) ~slot field)
 
   (* In the unsafe variant a dangling traversal can observe a recycled
      node that was re-initialised concurrently; in C this is a wild

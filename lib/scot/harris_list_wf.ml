@@ -75,6 +75,12 @@ module Make (S : Smr.Smr_intf.S) = struct
         let tag = Wf_help.request_help h.t.wf ~tid:h.tid ~key in
         slow_search h ~key ~tag ~helpee:h.tid
 
+  (* Range scans take the lock-free path directly: the wait-free helping
+     protocol covers single-key searches (Figure 7); a scan has no helper
+     analogue and the underlying traversal is already restart-bounded in
+     practice. *)
+  let range_mem h ~lo ~hi = L.range_mem h.hl ~lo ~hi
+
   let quiesce h = L.quiesce h.hl
 
   (* Crash recovery: the inner list handle carries all the SMR state.  A

@@ -37,6 +37,10 @@ module Make (S : Smr.Smr_intf.S) : sig
   val search : handle -> int -> bool
   (** Wait-free (Theorem 7): bounded fast path, then the helped slow path. *)
 
+  val range_mem : handle -> lo:int -> hi:int -> int list
+  (** Lock-free (not wait-free: the helping protocol has no scan
+      analogue); see {!Harris_list.Make.range_mem}. *)
+
   val quiesce : handle -> unit
 
   val recover : handle -> handle

@@ -12,9 +12,12 @@
 
    Like [Harris_list], the operation fast paths are allocation-free: staged
    protected loads, canonical link records, prebuilt retire records, and
-   handle-owned traversal scratch. *)
+   handle-owned traversal scratch.  Protected loads go through the branded
+   bracket ([S.with_op*] + [S.protect]); see [Harris_list] for the
+   discipline. *)
 
 module N = List_node
+module G = Smr.Smr_intf.Guard
 
 let hp_next = 0
 let hp_curr = 1
@@ -72,20 +75,26 @@ module Make (S : Smr.Smr_intf.S) = struct
   let node_of (l : N.link) =
     match l.ln with Some n -> n | None -> assert false (* tail is a barrier *)
 
-  let rec do_find h key =
-    try find_attempt h key
+  (* Protected load through the branded bracket: the guard is dereferenced
+     immediately under [tok], which the type system ties to the enclosing
+     [with_op*] bracket. *)
+  let protect_link h tok ~slot field =
+    G.deref (S.protect h.rdr tok ~slot field) tok
+
+  let rec do_find h tok key =
+    try find_attempt h tok key
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-      do_find h key
+      do_find h tok key
 
-  and find_attempt h key =
-    let first = S.read_field h.rdr ~slot:hp_curr h.t.head in
+  and find_attempt h tok key =
+    let first = protect_link h tok ~slot:hp_curr h.t.head in
     h.prev <- h.t.head;
     h.expected <- first;
-    step h key (node_of first)
+    step h tok key (node_of first)
 
-  and step h key (curr : N.t) =
-    let next = S.read_field h.rdr ~slot:hp_next (N.next_field curr) in
+  and step h tok key (curr : N.t) =
+    let next = protect_link h tok ~slot:hp_next (N.next_field curr) in
     if next.N.marked then begin
       (* Eager unlink of the single marked node; restart on failure. *)
       let desired = N.unmarked_copy next in
@@ -95,7 +104,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       h.expected <- desired;
       let curr' = node_of next in
       S.dup h.s ~src:hp_next ~dst:hp_curr;
-      step h key curr'
+      step h tok key curr'
     end
     else if N.key curr >= key then begin
       h.pos_curr <- curr;
@@ -107,25 +116,30 @@ module Make (S : Smr.Smr_intf.S) = struct
       S.dup h.s ~src:hp_curr ~dst:hp_prev;
       let curr' = node_of next in
       S.dup h.s ~src:hp_next ~dst:hp_curr;
-      step h key curr'
+      step h tok key curr'
     end
 
   let check_key key =
     if key >= max_int then
       invalid_arg "Harris_michael_list: key must be < max_int"
 
+  (* Operation bodies are top-level [opN] constants (see [Harris_list]). *)
+  let search_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          do_find h tok key;
+          N.key h.pos_curr = key);
+    }
+
   let search h key =
     check_key key;
-    S.start_op h.s;
-    do_find h key;
-    let found = N.key h.pos_curr = key in
-    S.end_op h.s;
-    found
+    S.with_op2 h.s search_body h key
 
   (* Retry loops live at top level (closures capturing [h]/[key]/[node]
      would cons once per operation). *)
-  let rec insert_loop h key node =
-    do_find h key;
+  let rec insert_loop h tok key node =
+    do_find h tok key;
     if N.key h.pos_curr = key then begin
       N.dealloc h.t.pool ~tid:h.tid node;
       false
@@ -133,20 +147,26 @@ module Make (S : Smr.Smr_intf.S) = struct
     else begin
       Atomic.set node.N.next h.pos_curr.N.in_link;
       if Atomic.compare_and_set h.prev h.expected node.N.in_link then true
-      else insert_loop h key node
+      else insert_loop h tok key node
     end
+
+  let insert_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          let node =
+            N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link
+          in
+          S.on_alloc h.s node.N.hdr;
+          insert_loop h tok key node);
+    }
 
   let insert h key =
     check_key key;
-    S.start_op h.s;
-    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
-    S.on_alloc h.s node.N.hdr;
-    let r = insert_loop h key node in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s insert_body h key
 
-  let rec delete_loop h key =
-    do_find h key;
+  let rec delete_loop h tok key =
+    do_find h tok key;
     let curr = h.pos_curr in
     if N.key curr <> key then false
     else begin
@@ -156,23 +176,23 @@ module Make (S : Smr.Smr_intf.S) = struct
         || not
              (Atomic.compare_and_set (N.next_field curr) next
                 (N.marked_copy next))
-      then delete_loop h key
+      then delete_loop h tok key
       else begin
         if Atomic.compare_and_set h.prev h.expected next then
           S.retire h.s curr.N.rc
         else
           (* Delegate the unlink to a fresh traversal, as in [20]. *)
-          do_find h key;
+          do_find h tok key;
         true
       end
     end
 
+  let delete_body =
+    { Smr.Smr_intf.op2 = (fun tok h key -> delete_loop h tok key) }
+
   let delete h key =
     check_key key;
-    S.start_op h.s;
-    let r = delete_loop h key in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s delete_body h key
 
   let quiesce h = S.flush h.s
 
@@ -195,6 +215,8 @@ module Make (S : Smr.Smr_intf.S) = struct
       ("freed", N.Pool.freed t.pool);
     ]
 
+  (* Quiescent-only observers: unprotected loads are safe with no
+     operation in flight. *)
   let to_list t =
     let rec go acc (l : N.link) =
       match l.ln with
@@ -202,11 +224,11 @@ module Make (S : Smr.Smr_intf.S) = struct
       | Some n ->
           if n.key = max_int then List.rev acc
           else
-            let next = Atomic.get n.next in
+            let next = (* raw-load: quiescent *) Atomic.get n.next in
             let acc = if next.marked then acc else n.key :: acc in
             go acc next
     in
-    go [] (Atomic.get t.head)
+    go [] ((* raw-load: quiescent *) Atomic.get t.head)
 
   let size t = List.length (to_list t)
 
@@ -220,7 +242,8 @@ module Make (S : Smr.Smr_intf.S) = struct
               (Printf.sprintf
                  "Harris_michael_list: key order violated (%d after %d)" n.key
                  last);
-          if n.key <> max_int then go n.key (Atomic.get n.next)
+          if n.key <> max_int then
+            go n.key ((* raw-load: quiescent *) Atomic.get n.next)
     in
-    go min_int (Atomic.get t.head)
+    go min_int ((* raw-load: quiescent *) Atomic.get t.head)
 end

@@ -4,7 +4,9 @@
    All buckets share one SMR instance (one set of hazard slots per thread
    suffices because a thread runs one bucket operation at a time), while
    each bucket list owns its node pool.  Since the buckets are Harris lists
-   with SCOT, the whole map is compatible with HP/HE/IBR/Hyaline-1S. *)
+   with SCOT, the whole map is compatible with HP/HE/IBR/Hyaline-1S — and
+   every protected load goes through the bucket list's branded bracket, so
+   the map inherits the typed-guard discipline transitively. *)
 
 let slots_needed = Harris_list.slots_needed
 

@@ -29,6 +29,8 @@
    consed on the update paths (tag/flag/promote) — they are the CAS
    descriptors of the algorithm, not traversal state. *)
 
+module G = Smr.Smr_intf.Guard
+
 let hp_child = 0
 let hp_leaf = 1
 let hp_parent = 2
@@ -190,10 +192,12 @@ module Make (S : Smr.Smr_intf.S) = struct
       rdr = S.reader s edge_desc;
       sk_ancestor = t.root;
       sk_successor = t.sroot;
+      (* raw-load: sentinel edges at handle construction — the sentinels
+         are never deleted and the values are overwritten by every seek. *)
       sk_anc_edge = Atomic.get (child_field t.root L);
       sk_parent = t.sroot;
       sk_leaf = t.sroot;
-      sk_par_edge = Atomic.get (child_field t.sroot L);
+      sk_par_edge = (* raw-load: sentinel *) Atomic.get (child_field t.sroot L);
     }
 
   let alloc_leaf h key =
@@ -227,44 +231,52 @@ module Make (S : Smr.Smr_intf.S) = struct
       (match n with
       | Leaf _ -> ()
       | Internal { left; right; _ } ->
+          (* raw-load: the branch is unreachable and privately owned after
+             the ancestor CAS; tagged edges never change. *)
           retire_branch h (Atomic.get left).dst ~spare;
-          retire_branch h (Atomic.get right).dst ~spare);
+          retire_branch h ((* raw-load: pruned *) Atomic.get right).dst ~spare);
       S.retire h.s (rc_of n)
     end
 
   (* SCOT validation: inside the tagged zone the ancestor must still hold
      the exact edge record we saw; otherwise part of the zone may already
-     have been pruned and reclaimed. *)
+     have been pruned and reclaimed.
+     raw-load: validation witness — compared physically, never
+     dereferenced. *)
   let seek_validate h key =
     let d = dir_for ~key h.sk_ancestor in
     if Atomic.get (child_field h.sk_ancestor d) != h.sk_anc_edge then
       raise Restart
 
-  let rec seek h key =
-    try seek_attempt h key
+  (* Protected edge load through the branded bracket (see [Harris_list]). *)
+  let protect_edge h tok ~slot field =
+    G.deref (S.protect h.rdr tok ~slot field) tok
+
+  let rec seek h tok key =
+    try seek_attempt h tok key
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-      seek h key
+      seek h tok key
 
-  and seek_attempt h key =
+  and seek_attempt h tok key =
     let t = h.t in
     h.sk_ancestor <- t.root;
     h.sk_successor <- t.sroot;
-    let ae = S.read_field h.rdr ~slot:hp_successor (child_field t.root L) in
+    let ae = protect_edge h tok ~slot:hp_successor (child_field t.root L) in
     h.sk_anc_edge <- ae;
     h.sk_parent <- t.sroot;
     if ae.tag then raise Restart;
-    let pe = S.read_field h.rdr ~slot:hp_leaf (child_field t.sroot L) in
+    let pe = protect_edge h tok ~slot:hp_leaf (child_field t.sroot L) in
     h.sk_par_edge <- pe;
     h.sk_leaf <- pe.dst;
-    seek_loop h key
+    seek_loop h tok key
 
-  and seek_loop h key =
+  and seek_loop h tok key =
     match h.sk_leaf with
     | Leaf _ -> ()
     | Internal _ as il ->
         let d = dir_for ~key il in
-        let cur_edge = S.read_field h.rdr ~slot:hp_child (child_field il d) in
+        let cur_edge = protect_edge h tok ~slot:hp_child (child_field il d) in
         if not h.sk_par_edge.tag then begin
           (* The edge into [il] is untagged: advance ancestor/successor. *)
           h.sk_ancestor <- h.sk_parent;
@@ -286,10 +298,11 @@ module Make (S : Smr.Smr_intf.S) = struct
         h.sk_leaf <- cur_edge.dst;
         S.dup h.s ~src:hp_child ~dst:hp_leaf;
         h.sk_par_edge <- cur_edge;
-        seek_loop h key
+        seek_loop h tok key
 
   (* Freeze an edge by setting its TAG bit (flag preserved); returns the
-     frozen record.  Tagged edges never change again. *)
+     frozen record.  Tagged edges never change again.
+     raw-load: CAS expectation on a node the seek still protects. *)
   let rec tag_edge field =
     let e = Atomic.get field in
     if e.tag then e
@@ -305,7 +318,8 @@ module Make (S : Smr.Smr_intf.S) = struct
     let child_field_d = child_field h.sk_parent d in
     let sibling_field = child_field h.sk_parent (opposite d) in
     (* If the edge on the key side is not flagged, the flagged edge is the
-       sibling one and the key side is what survives ([24]'s switch). *)
+       sibling one and the key side is what survives ([24]'s switch).
+       raw-load: flag inspection on the protected parent's own edge. *)
     let promote_field =
       if (Atomic.get child_field_d).flag then sibling_field else child_field_d
     in
@@ -325,94 +339,123 @@ module Make (S : Smr.Smr_intf.S) = struct
   let check_key key =
     if key >= inf1 then invalid_arg "Nm_tree: key must be < max_int - 1"
 
+  (* Operation bodies under the branded bracket.  The update bodies keep
+     inner recursive closures (they capture the token and fresh nodes) —
+     the tree's update path conses edge records anyway, so the closure is
+     irrelevant; the zero-allocation guarantee covers the list searches. *)
+  let search_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          seek h tok key;
+          key_of h.sk_leaf = key);
+    }
+
   let search h key =
     check_key key;
-    S.start_op h.s;
-    seek h key;
-    let found = key_of h.sk_leaf = key in
-    S.end_op h.s;
-    found
+    S.with_op2 h.s search_body h key
+
+  let insert_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          let new_leaf = alloc_leaf h key in
+          let rec loop () =
+            seek h tok key;
+            if key_of h.sk_leaf = key then begin
+              dealloc_leaf h new_leaf;
+              false
+            end
+            else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
+              (* The leaf edge is being deleted: help prune, then retry. *)
+              ignore (cleanup h key);
+              loop ()
+            end
+            else begin
+              let leaf = h.sk_leaf in
+              let leaf_key = key_of leaf in
+              let left, right =
+                if key < leaf_key then (new_leaf, leaf) else (leaf, new_leaf)
+              in
+              let new_internal =
+                alloc_internal h (max key leaf_key) ~left ~right
+              in
+              let d = dir_for ~key h.sk_parent in
+              if
+                Atomic.compare_and_set (child_field h.sk_parent d)
+                  h.sk_par_edge (edge new_internal)
+              then true
+              else begin
+                (* Unpublish the internal node and retry; help if our CAS
+                   lost to a deletion of this very leaf. *)
+                Memory.Hdr.mark_retired (hdr_of new_internal);
+                Pool.free h.t.internal_pool ~tid:h.tid new_internal;
+                let e =
+                  (* raw-load: CAS-failure diagnosis on the protected
+                     parent's own edge. *)
+                  Atomic.get (child_field h.sk_parent d)
+                in
+                if e.dst == leaf && (e.flag || e.tag) then
+                  ignore (cleanup h key);
+                loop ()
+              end
+            end
+          in
+          loop ());
+    }
 
   let insert h key =
     check_key key;
-    S.start_op h.s;
-    let new_leaf = alloc_leaf h key in
-    let rec loop () =
-      seek h key;
-      if key_of h.sk_leaf = key then begin
-        dealloc_leaf h new_leaf;
-        false
-      end
-      else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
-        (* The leaf edge is being deleted: help prune, then retry. *)
-        ignore (cleanup h key);
-        loop ()
-      end
-      else begin
-        let leaf = h.sk_leaf in
-        let leaf_key = key_of leaf in
-        let left, right =
-          if key < leaf_key then (new_leaf, leaf) else (leaf, new_leaf)
-        in
-        let new_internal = alloc_internal h (max key leaf_key) ~left ~right in
-        let d = dir_for ~key h.sk_parent in
-        if
-          Atomic.compare_and_set (child_field h.sk_parent d) h.sk_par_edge
-            (edge new_internal)
-        then true
-        else begin
-          (* Unpublish the internal node and retry; help if our CAS lost to
-             a deletion of this very leaf. *)
-          Memory.Hdr.mark_retired (hdr_of new_internal);
-          Pool.free h.t.internal_pool ~tid:h.tid new_internal;
-          let e = Atomic.get (child_field h.sk_parent d) in
-          if e.dst == leaf && (e.flag || e.tag) then ignore (cleanup h key);
-          loop ()
-        end
-      end
-    in
-    let r = loop () in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s insert_body h key
+
+  let delete_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          (* Injection mode: flag the leaf edge to own the deletion;
+             cleanup mode: keep pruning until the leaf is physically gone
+             (possibly removed for us by a concurrent chain prune). *)
+          let rec injection () =
+            seek h tok key;
+            if key_of h.sk_leaf <> key then false
+            else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
+              if h.sk_par_edge.dst == h.sk_leaf then ignore (cleanup h key);
+              injection ()
+            end
+            else begin
+              let leaf = h.sk_leaf in
+              let d = dir_for ~key h.sk_parent in
+              let flagged = { dst = leaf; flag = true; tag = false } in
+              if
+                Atomic.compare_and_set (child_field h.sk_parent d)
+                  h.sk_par_edge flagged
+              then begin
+                if cleanup h key then true else cleanup_mode leaf
+              end
+              else begin
+                let e =
+                  (* raw-load: CAS-failure diagnosis on the protected
+                     parent's own edge. *)
+                  Atomic.get (child_field h.sk_parent d)
+                in
+                if e.dst == leaf && (e.flag || e.tag) then
+                  ignore (cleanup h key);
+                injection ()
+              end
+            end
+          and cleanup_mode target =
+            seek h tok key;
+            if h.sk_leaf != target then true
+              (* pruned by a concurrent operation *)
+            else if cleanup h key then true
+            else cleanup_mode target
+          in
+          injection ());
+    }
 
   let delete h key =
     check_key key;
-    S.start_op h.s;
-    (* Injection mode: flag the leaf edge to own the deletion; cleanup mode:
-       keep pruning until the leaf is physically gone (possibly removed for
-       us by a concurrent chain prune). *)
-    let rec injection () =
-      seek h key;
-      if key_of h.sk_leaf <> key then false
-      else if h.sk_par_edge.flag || h.sk_par_edge.tag then begin
-        if h.sk_par_edge.dst == h.sk_leaf then ignore (cleanup h key);
-        injection ()
-      end
-      else begin
-        let leaf = h.sk_leaf in
-        let d = dir_for ~key h.sk_parent in
-        let flagged = { dst = leaf; flag = true; tag = false } in
-        if
-          Atomic.compare_and_set (child_field h.sk_parent d) h.sk_par_edge
-            flagged
-        then begin
-          if cleanup h key then true else cleanup_mode leaf
-        end
-        else begin
-          let e = Atomic.get (child_field h.sk_parent d) in
-          if e.dst == leaf && (e.flag || e.tag) then ignore (cleanup h key);
-          injection ()
-        end
-      end
-    and cleanup_mode target =
-      seek h key;
-      if h.sk_leaf != target then true (* pruned by a concurrent operation *)
-      else if cleanup h key then true
-      else cleanup_mode target
-    in
-    let r = injection () in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s delete_body h key
 
   let quiesce h = S.flush h.s
 
@@ -436,13 +479,15 @@ module Make (S : Smr.Smr_intf.S) = struct
       ("internal_freed", Pool.freed t.internal_pool);
     ]
 
-  (* Quiescent-only observers for tests. *)
+  (* Quiescent-only observers for tests: unprotected loads are safe with
+     no operation in flight. *)
 
   let to_list t =
     let rec go acc n =
       match n with
       | Leaf { key; _ } -> if key >= inf1 then acc else key :: acc
       | Internal { left; right; _ } ->
+          (* raw-load: quiescent *)
           go (go acc (Atomic.get right).dst) (Atomic.get left).dst
     in
     List.sort compare (go [] t.root)
@@ -461,8 +506,9 @@ module Make (S : Smr.Smr_intf.S) = struct
             failwith
               (Printf.sprintf "Nm_tree: leaf key %d outside [%d, %d]" key lo hi)
       | Internal { key; left; right; _ } ->
+          (* raw-load: quiescent *)
           go (Atomic.get left).dst lo (key - 1);
-          go (Atomic.get right).dst (max lo key) hi
+          go ((* raw-load: quiescent *) Atomic.get right).dst (max lo key) hi
     in
     go t.root min_int max_int
 end

@@ -36,6 +36,8 @@
    retire record per node, and per-level traversal results stored in
    handle-owned arrays instead of a consed array-of-records. *)
 
+module G = Smr.Smr_intf.Guard
+
 let max_height = 12
 
 let hp_next = 0
@@ -224,11 +226,15 @@ module Make (S : Smr.Smr_intf.S) = struct
     h.lf_expected <- next;
     S.dup h.s ~src:hp_curr ~dst:(hp_pred level)
 
-  let rec lf_step h ~level ~eager ~cleanup key (curr : node option) =
+  (* Protected load through the branded bracket (see [Harris_list]). *)
+  let protect_link h tok ~slot field =
+    G.deref (S.protect h.rdr tok ~slot field) tok
+
+  let rec lf_step h tok ~level ~eager ~cleanup key (curr : node option) =
     match curr with
     | None -> lf_finish h ~level None
     | Some c ->
-        let next = S.read_field h.rdr ~slot:hp_next (next_field c level) in
+        let next = protect_link h tok ~slot:hp_next (next_field c level) in
         if next.marked then
           if eager then begin
             (* Unlink the single marked node from its unmarked pred. *)
@@ -237,31 +243,33 @@ module Make (S : Smr.Smr_intf.S) = struct
             then raise Restart;
             h.lf_expected <- desired;
             S.dup h.s ~src:hp_next ~dst:hp_curr;
-            lf_step h ~level ~eager ~cleanup key next.ln
+            lf_step h tok ~level ~eager ~cleanup key next.ln
           end
           else begin
             (* Enter the dangerous zone: protect the first unsafe node. *)
             S.dup h.s ~src:hp_curr ~dst:hp_unsafe;
-            lf_zone h ~level ~eager ~cleanup key next
+            lf_zone h tok ~level ~eager ~cleanup key next
           end
         else if key_of c >= key then lf_finish h ~level curr
         else begin
           lf_advance h ~level c next;
           S.dup h.s ~src:hp_next ~dst:hp_curr;
-          lf_step h ~level ~eager ~cleanup key next.ln
+          lf_step h tok ~level ~eager ~cleanup key next.ln
         end
 
-  and lf_zone h ~level ~eager ~cleanup key (next : link) =
+  and lf_zone h tok ~level ~eager ~cleanup key (next : link) =
     (* [next] points at a protected-but-unvalidated target; validate the
-       last safe link before dereferencing it (Theorem 2's ordering). *)
+       last safe link before dereferencing it (Theorem 2's ordering).
+       raw-load: validation witness — compared physically, never
+       dereferenced. *)
     if Atomic.get h.lf_prev != h.lf_expected then raise Restart;
     match next.ln with
     | None -> lf_exit_zone h ~level ~cleanup None
     | Some c' ->
         S.dup h.s ~src:hp_next ~dst:hp_curr;
-        let next' = S.read_field h.rdr ~slot:hp_next (next_field c' level) in
-        if next'.marked then lf_zone h ~level ~eager ~cleanup key next'
-        else lf_exit_zone_continue h ~level ~eager ~cleanup key c' next'
+        let next' = protect_link h tok ~slot:hp_next (next_field c' level) in
+        if next'.marked then lf_zone h tok ~level ~eager ~cleanup key next'
+        else lf_exit_zone_continue h tok ~level ~eager ~cleanup key c' next'
 
   and lf_exit_zone h ~level ~cleanup curr =
     if cleanup then begin
@@ -272,7 +280,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     end;
     lf_finish h ~level curr
 
-  and lf_exit_zone_continue h ~level ~eager ~cleanup key c' next' =
+  and lf_exit_zone_continue h tok ~level ~eager ~cleanup key c' next' =
     if cleanup then begin
       let desired = c'.in_link in
       if not (Atomic.compare_and_set h.lf_prev h.lf_expected desired) then
@@ -283,25 +291,25 @@ module Make (S : Smr.Smr_intf.S) = struct
     else begin
       lf_advance h ~level c' next';
       S.dup h.s ~src:hp_next ~dst:hp_curr;
-      lf_step h ~level ~eager ~cleanup key next'.ln
+      lf_step h tok ~level ~eager ~cleanup key next'.ln
     end
 
-  let level_find h ~level ~eager ~cleanup key ~(start : link Atomic.t)
+  let level_find h tok ~level ~eager ~cleanup key ~(start : link Atomic.t)
       ~(start_node : node option) =
     h.lf_prev <- start;
     h.lf_pred <- start_node;
-    let e = S.read_field h.rdr ~slot:hp_curr start in
+    let e = protect_link h tok ~slot:hp_curr start in
     if e.marked then raise Restart;
     h.lf_expected <- e;
-    lf_step h ~level ~eager ~cleanup key e.ln
+    lf_step h tok ~level ~eager ~cleanup key e.ln
 
-  let rec find h ~eager key =
-    try find_attempt h ~eager key
+  let rec find h tok ~eager key =
+    try find_attempt h tok ~eager key
     with Restart ->
       Memory.Tcounter.incr h.t.restarts ~tid:h.tid;
-      find h ~eager key
+      find h tok ~eager key
 
-  and find_attempt h ~eager key =
+  and find_attempt h tok ~eager key =
     let rec down l (start_node : node option) =
       if l >= 0 then begin
         let start =
@@ -309,7 +317,7 @@ module Make (S : Smr.Smr_intf.S) = struct
           | None -> h.t.head.(l)
           | Some n -> next_field n l
         in
-        level_find h ~level:l ~eager:(eager && l > 0)
+        level_find h tok ~level:l ~eager:(eager && l > 0)
           ~cleanup:(eager && l = 0) key ~start ~start_node;
         down (l - 1) h.level_pred.(l)
       end
@@ -322,131 +330,162 @@ module Make (S : Smr.Smr_intf.S) = struct
   let found_key h key =
     match h.level_curr.(0) with Some c -> key_of c = key | None -> false
 
+  let search_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          find h tok ~eager:(not h.t.optimistic) key;
+          found_key h key);
+    }
+
   let search h key =
     check_key key;
-    S.start_op h.s;
-    find h ~eager:(not h.t.optimistic) key;
-    let r = found_key h key in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s search_body h key
 
   (* Protect our own freshly published node: self-allocated nodes are not
      covered by any read-side reservation, yet the inserter keeps touching
      the node while linking upper levels.  The node's canonical link is
      staged through a handle-owned cell so the staged reader can protect
      and validate it like any other field. *)
-  let protect_own h (node : node) =
+  let protect_own h tok (node : node) =
     Atomic.set h.own_cell node.in_link;
-    ignore (S.read_field h.rdr ~slot:hp_own h.own_cell)
+    ignore (S.protect h.rdr tok ~slot:hp_own h.own_cell)
+
+  (* Unlike the lists, the insert/delete bodies keep inner recursive
+     closures (they capture the token and the freshly allocated node) —
+     the skip list's update path allocates the tower anyway, so the
+     closure cons is irrelevant; only the lists' fast paths carry the
+     zero-allocation guarantee. *)
+  let insert_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          let height = random_height h in
+          let node = Pool.alloc h.t.pool ~tid:h.tid h.t.mk in
+          node.key <- key;
+          node.height <- height;
+          Atomic.set node.state st_linking;
+          Array.iter (fun a -> Atomic.set a null_link) node.next;
+          S.on_alloc h.s node.hdr;
+          (* Link level [l]; gives up as soon as the node is marked.
+             raw-load: [node] is our own, kept protected by [hp_own]. *)
+          let rec link_upper l =
+            if l < height then begin
+              find h tok ~eager:true key;
+              let cur = (* raw-load: own node *) Atomic.get node.next.(l) in
+              if
+                cur.marked
+                || ((* raw-load: own node *) Atomic.get node.next.(0)).marked
+              then ()
+              else if
+                Atomic.compare_and_set node.next.(l) cur
+                  (link_of_opt h.level_curr.(l))
+                && Atomic.compare_and_set h.level_prev.(l)
+                     h.level_expected.(l) node.in_link
+              then link_upper (l + 1)
+              else link_upper l
+            end
+          in
+          let rec attempt () =
+            find h tok ~eager:true key;
+            if found_key h key then begin
+              Memory.Hdr.mark_retired node.hdr;
+              Pool.free h.t.pool ~tid:h.tid node;
+              false
+            end
+            else begin
+              for l = 0 to height - 1 do
+                Atomic.set node.next.(l) (link_of_opt h.level_curr.(l))
+              done;
+              protect_own h tok node;
+              if
+                Atomic.compare_and_set h.level_prev.(0) h.level_expected.(0)
+                  node.in_link
+              then begin
+                link_upper 1;
+                (* Ownership handoff: if a deleter already delegated, we
+                   are the unique retirer and must unlink our own
+                   half-linked tower. *)
+                if
+                  not (Atomic.compare_and_set node.state st_linking st_linked)
+                then begin
+                  find h tok ~eager:true key;
+                  S.retire h.s node.rc
+                end;
+                true
+              end
+              else attempt ()
+            end
+          in
+          attempt ());
+    }
 
   let insert h key =
     check_key key;
-    S.start_op h.s;
-    let height = random_height h in
-    let node = Pool.alloc h.t.pool ~tid:h.tid h.t.mk in
-    node.key <- key;
-    node.height <- height;
-    Atomic.set node.state st_linking;
-    Array.iter (fun a -> Atomic.set a null_link) node.next;
-    S.on_alloc h.s node.hdr;
-    (* Link level [l]; gives up as soon as the node is marked. *)
-    let rec link_upper l =
-      if l < height then begin
-        find h ~eager:true key;
-        let cur = Atomic.get node.next.(l) in
-        if cur.marked || (Atomic.get node.next.(0)).marked then ()
-        else if
-          Atomic.compare_and_set node.next.(l) cur
-            (link_of_opt h.level_curr.(l))
-          && Atomic.compare_and_set h.level_prev.(l) h.level_expected.(l)
-               node.in_link
-        then link_upper (l + 1)
-        else link_upper l
-      end
-    in
-    let rec attempt () =
-      find h ~eager:true key;
-      if found_key h key then begin
-        Memory.Hdr.mark_retired node.hdr;
-        Pool.free h.t.pool ~tid:h.tid node;
-        false
-      end
-      else begin
-        for l = 0 to height - 1 do
-          Atomic.set node.next.(l) (link_of_opt h.level_curr.(l))
-        done;
-        protect_own h node;
-        if
-          Atomic.compare_and_set h.level_prev.(0) h.level_expected.(0)
-            node.in_link
-        then begin
-          link_upper 1;
-          (* Ownership handoff: if a deleter already delegated, we are the
-             unique retirer and must unlink our own half-linked tower. *)
-          if not (Atomic.compare_and_set node.state st_linking st_linked)
-          then begin
-            find h ~eager:true key;
-            S.retire h.s node.rc
-          end;
-          true
-        end
-        else attempt ()
-      end
-    in
-    let r = attempt () in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s insert_body h key
+
+  let delete_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h key ->
+          let rec attempt () =
+            find h tok ~eager:true key;
+            match h.level_curr.(0) with
+            | Some c when key_of c = key ->
+                (* Mark from the top level down.  raw-load: [c] is held by
+                   the traversal's hazard slots; the loads feed CASes on
+                   the protected node's own links. *)
+                let hgt = height_of c in
+                for l = hgt - 1 downto 1 do
+                  let rec mark () =
+                    let cur =
+                      (* raw-load: protected node *) Atomic.get (next_field c l)
+                    in
+                    if not cur.marked then
+                      if
+                        not
+                          (Atomic.compare_and_set (next_field c l) cur
+                             (marked_copy cur))
+                      then mark ()
+                  in
+                  mark ()
+                done;
+                let rec mark0 () =
+                  let cur =
+                    (* raw-load: protected node *) Atomic.get (next_field c 0)
+                  in
+                  if cur.marked then false
+                  else if
+                    Atomic.compare_and_set (next_field c 0) cur
+                      (marked_copy cur)
+                  then true
+                  else mark0 ()
+                in
+                if mark0 () then begin
+                  (* We own the deletion.  Resolve the ownership handoff
+                     FIRST: if the inserter is still linking, delegate —
+                     its final traversal (which runs after its last link
+                     CAS) will unlink and retire.  Otherwise the inserter
+                     has installed its last link, so our own eager
+                     traversal is guaranteed to see every level and we
+                     retire after it. *)
+                  if Atomic.compare_and_set c.state st_linking st_delegated
+                  then true
+                  else begin
+                    find h tok ~eager:true key;
+                    S.retire h.s c.rc;
+                    true
+                  end
+                end
+                else attempt ()
+            | _ -> false
+          in
+          attempt ());
+    }
 
   let delete h key =
     check_key key;
-    S.start_op h.s;
-    let rec attempt () =
-      find h ~eager:true key;
-      match h.level_curr.(0) with
-      | Some c when key_of c = key ->
-          (* Mark from the top level down. *)
-          let hgt = height_of c in
-          for l = hgt - 1 downto 1 do
-            let rec mark () =
-              let cur = Atomic.get (next_field c l) in
-              if not cur.marked then
-                if
-                  not
-                    (Atomic.compare_and_set (next_field c l) cur
-                       (marked_copy cur))
-                then mark ()
-            in
-            mark ()
-          done;
-          let rec mark0 () =
-            let cur = Atomic.get (next_field c 0) in
-            if cur.marked then false
-            else if
-              Atomic.compare_and_set (next_field c 0) cur (marked_copy cur)
-            then true
-            else mark0 ()
-          in
-          if mark0 () then begin
-            (* We own the deletion.  Resolve the ownership handoff FIRST:
-               if the inserter is still linking, delegate — its final
-               traversal (which runs after its last link CAS) will unlink
-               and retire.  Otherwise the inserter has installed its last
-               link, so our own eager traversal is guaranteed to see every
-               level and we retire after it. *)
-            if Atomic.compare_and_set c.state st_linking st_delegated then
-              true
-            else begin
-              find h ~eager:true key;
-              S.retire h.s c.rc;
-              true
-            end
-          end
-          else attempt ()
-      | _ -> false
-    in
-    let r = attempt () in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s delete_body h key
 
   let quiesce h = S.flush h.s
 
@@ -469,18 +508,19 @@ module Make (S : Smr.Smr_intf.S) = struct
       ("freed", Pool.freed t.pool);
     ]
 
-  (* Quiescent-only observers. *)
+  (* Quiescent-only observers: unprotected loads are safe with no
+     operation in flight. *)
 
   let to_list t =
     let rec go acc (l : link) =
       match l.ln with
       | None -> List.rev acc
       | Some n ->
-          let next = Atomic.get n.next.(0) in
+          let next = (* raw-load: quiescent *) Atomic.get n.next.(0) in
           let acc = if next.marked then acc else n.key :: acc in
           go acc next
     in
-    go [] (Atomic.get t.head.(0))
+    go [] ((* raw-load: quiescent *) Atomic.get t.head.(0))
 
   let size t = List.length (to_list t)
 
@@ -494,9 +534,9 @@ module Make (S : Smr.Smr_intf.S) = struct
             failwith
               (Printf.sprintf "Skiplist: key order violated (%d after %d)"
                  n.key last);
-          go n.key (Atomic.get n.next.(0))
+          go n.key ((* raw-load: quiescent *) Atomic.get n.next.(0))
     in
-    go min_int (Atomic.get t.head.(0));
+    go min_int ((* raw-load: quiescent *) Atomic.get t.head.(0));
     (* Each upper level must be sorted as well, and (at quiescence) an
        unmarked upper link may only belong to a node still live at level
        0. *)
@@ -510,8 +550,8 @@ module Make (S : Smr.Smr_intf.S) = struct
                 (Printf.sprintf
                    "Skiplist: level %d order violated (%d after %d)" l n.key
                    last);
-            walk n.key (Atomic.get n.next.(l))
+            walk n.key ((* raw-load: quiescent *) Atomic.get n.next.(l))
       in
-      walk min_int (Atomic.get t.head.(l))
+      walk min_int ((* raw-load: quiescent *) Atomic.get t.head.(l))
     done
 end

@@ -78,6 +78,16 @@ let reader th _ = th
 let read_field (th : _ reader) ~slot:_ field =
   Probe.hit th.id Probe.Read;
   Atomic.get field
+
+include Smr_intf.Bracket (struct
+  type nonrec th = th
+  type nonrec 'v reader = 'v reader
+
+  let start_op = start_op
+  let end_op = end_op
+  let read_field = read_field
+end)
+
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()

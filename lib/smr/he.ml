@@ -99,6 +99,15 @@ let read_field (th : _ reader) ~slot field =
   let cell = th.my_slots.(slot) in
   stable_era_loop field th.global.era cell (Atomic.get cell)
 
+include Smr_intf.Bracket (struct
+  type nonrec th = th
+  type nonrec 'v reader = 'v reader
+
+  let start_op = start_op
+  let end_op = end_op
+  let read_field = read_field
+end)
+
 let dup th ~src ~dst = Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
 let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)

@@ -119,6 +119,15 @@ struct
     Probe.hit r.r_th.id Probe.Read;
     read_field_loop r.r_th.my_slots.(slot) r.r_desc field (Atomic.get field)
 
+  include Smr_intf.Bracket (struct
+    type nonrec th = th
+    type nonrec 'v reader = 'v reader
+
+    let start_op = start_op
+    let end_op = end_op
+    let read_field = read_field
+  end)
+
   (* The paper's [dup] (Figure 1): copy an existing reservation so the node
      stays protected across a traversal-role change. *)
   let dup th ~src ~dst =

@@ -154,6 +154,15 @@ let read_field r ~slot:_ field =
   Probe.hit r.r_th.id Probe.Read;
   read_field_loop r.r_th r.r_desc field
 
+include Smr_intf.Bracket (struct
+  type nonrec th = th
+  type nonrec 'v reader = 'v reader
+
+  let start_op = start_op
+  let end_op = end_op
+  let read_field = read_field
+end)
+
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc th hdr = Memory.Hdr.set_birth hdr (Atomic.get th.global.era)

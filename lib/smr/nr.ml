@@ -36,6 +36,16 @@ let reader th _ = th
 let read_field (th : _ reader) ~slot:_ field =
   Probe.hit th.id Probe.Read;
   Atomic.get field
+
+include Smr_intf.Bracket (struct
+  type nonrec th = th
+  type nonrec 'v reader = 'v reader
+
+  let start_op = start_op
+  let end_op = end_op
+  let read_field = read_field
+end)
+
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -70,6 +80,6 @@ let deactivate th =
 let adopt ~victim ~into:_ =
   if not victim.deactivated then
     invalid_arg "NR.adopt: victim not deactivated";
-  !Smr_intf.adopt_warning
+  (Atomic.get Smr_intf.adopt_warning)
     "NR.adopt: NR never reclaims, so adoption cannot bound memory (the \
      victim's leaked nodes stay leaked)"

@@ -46,22 +46,130 @@ let default_config ~threads =
 
 (* Forward-compatible constructor: call sites name only the knobs they care
    about, so growing [config] (e.g. with chaos-related fields) does not
-   break every record literal in tests and benchmarks. *)
+   break every record literal in tests and benchmarks.
+
+   Every knob must be strictly positive: [epoch_freq = 0] divides by zero
+   in the era schemes' retire path (and negative values never advance the
+   era), [limbo_threshold = 0] spins a reclaim pass on every retire, and
+   [batch_size = 0] dispatches empty Hyaline batches.  Rejecting them here
+   turns a silent performance/correctness trap into an immediate
+   [Invalid_argument] naming the field. *)
+let positive_field name v =
+  if v <= 0 then
+    invalid_arg
+      (Printf.sprintf "Smr_intf.make_config: %s must be positive (got %d)"
+         name v);
+  v
+
 let make_config ?limbo_threshold ?epoch_freq ?batch_size ~threads () =
-  let d = default_config ~threads in
+  let d = default_config ~threads:(positive_field "threads" threads) in
   {
-    limbo_threshold = Option.value limbo_threshold ~default:d.limbo_threshold;
-    epoch_freq = Option.value epoch_freq ~default:d.epoch_freq;
-    batch_size = Option.value batch_size ~default:d.batch_size;
+    limbo_threshold =
+      positive_field "limbo_threshold"
+        (Option.value limbo_threshold ~default:d.limbo_threshold);
+    epoch_freq =
+      positive_field "epoch_freq"
+        (Option.value epoch_freq ~default:d.epoch_freq);
+    batch_size =
+      positive_field "batch_size"
+        (Option.value batch_size ~default:d.batch_size);
   }
 
 (* Called (instead of failing or silently succeeding) when [adopt] runs on a
    scheme that cannot turn the adoption into bounded memory — NR leaks by
    design, so adopting an NR victim changes nothing.  Mirrors the
    capability pattern of the harness fault control: callers that want to
-   assert or log differently replace the hook. *)
-let adopt_warning : (string -> unit) ref =
-  ref (fun msg -> Printf.eprintf "smr: warning: %s\n%!" msg)
+   assert or log differently replace the hook.  An [Atomic.t] (not a plain
+   [ref]): concurrent suites swap the hook around supervised runs, and a
+   plain ref would make that swap a data race under OCaml 5's memory
+   model. *)
+let adopt_warning : (string -> unit) Atomic.t =
+  Atomic.make (fun msg -> Printf.eprintf "smr: warning: %s\n%!" msg)
+
+(* {2 Typed guards: protection evidence at the type level}
+
+   The paper's Figure-2 bug is a dereference of a node whose protection has
+   lapsed.  The legacy [read]/[read_field] primitives below return plain
+   ['v] values, so nothing stops a caller from keeping one past [end_op]
+   and dereferencing freed memory — the poisoned-header check then catches
+   it at *run time*, in tests only.  Guards move that check to the type
+   system:
+
+   - [with_op] brackets an operation and mints an ['op Guard.token] whose
+     brand ['op] is universally quantified in the body (the rank-2 field of
+     {!op0}..{!op3}), so the token — and everything branded with it —
+     cannot escape the bracket: returning a guard, stashing it in an outer
+     [ref], or capturing the token in an outer closure is a type error
+     ("type variable 'op escapes its scope").
+   - [protect] (the paper's primitive of the same name, Figure 1) is
+     [read_field] returning a [('v, 'op) Guard.t] branded with the live
+     token instead of a bare ['v].
+   - [Guard.deref] is the only way back to the value, and it demands the
+     matching live token — a guard that outlives its [end_op] has no token
+     left that can unlock it, which is exactly the Figure-2 bug class made
+     unrepresentable.
+
+   The representation compiles away: a token is [unit] and a guard is the
+   value itself (no wrapper block), so the branded fast paths allocate
+   exactly as much as the legacy ones — nothing.
+
+   Honest boundary: [deref] returns the raw value, and raw values are
+   ordinary OCaml data — code can still copy a *value* out of the bracket.
+   What the brand makes impossible is treating such a value as still
+   *protected*: every protected hop must go through a live token.  (An
+   existentially-typed closure can launder a deref thunk past the bracket;
+   the lint and review, not the types, cover that corner.) *)
+module Guard : sig
+  type ('v, 'op) t
+  (** A protected load result, branded with the operation that owns the
+      protection.  Unboxed: erases to ['v] at run time. *)
+
+  type 'op token
+  (** Evidence of a live [start_op]/[end_op] bracket.  Unboxed: erases to
+      [unit] at run time. *)
+
+  val deref : ('v, 'op) t -> 'op token -> 'v
+  (** The only dereference.  Requires the token of the bracket that issued
+      the guard; any other bracket's token has a different brand. *)
+
+  val embed : 'op token -> 'v -> ('v, 'op) t
+  (** Implementor-side (scheme code): brand a freshly protected load.
+      Branding a value that is {e not} protected forfeits the static
+      guarantee — the lint keeps this constructor out of [lib/scot]. *)
+
+  val mint : unit -> 'op token
+  (** Implementor-side ({!Bracket} only): forge the bracket token.  Calling
+      it anywhere else creates an unbranded skeleton key; the lint keeps it
+      out of [lib/scot]. *)
+end = struct
+  type ('v, 'op) t = 'v
+  type 'op token = unit
+
+  let deref g () = g
+  let embed () v = v
+  let mint () = ()
+end
+
+(* Operation bodies for the branded bracket, indexed by arity.  The rank-2
+   quantification of ['op] lives in the record field; passing the handle,
+   key, etc. as explicit arguments (instead of capturing them) lets every
+   body be a single top-level constant, so a [with_op*] call allocates
+   nothing — required for the 0.00 words/op fast paths. *)
+type 'r op0 = { op0 : 'op. 'op Guard.token -> 'r }
+type ('a, 'r) op1 = { op1 : 'op. 'op Guard.token -> 'a -> 'r }
+type ('a, 'b, 'r) op2 = { op2 : 'op. 'op Guard.token -> 'a -> 'b -> 'r }
+
+type ('a, 'b, 'c, 'r) op3 = {
+  op3 : 'op. 'op Guard.token -> 'a -> 'b -> 'c -> 'r;
+}
+
+(* Deliberate escape hatch for the Figure-2 reproduction
+   ([Harris_list_unsafe]) and nothing else: it turns a guard back into a
+   bare value without consulting the token, i.e. it re-opens exactly the
+   hole the brand closes.  The lint confines it to the unsafe list. *)
+module Unsafe = struct
+  let leak_guard : ('v, 'op) Guard.t -> 'v = fun g -> Guard.deref g (Guard.mint ())
+end
 
 module type S = sig
   val name : string
@@ -93,11 +201,43 @@ module type S = sig
   (** Staged variant of [read].  [reader th desc] is built once per handle
       (and link type); [read_field r ~slot field] then performs the protected
       load of an atomic field directly — same protection guarantee as [read],
-      but the steady state allocates nothing and calls no closures. *)
+      but the steady state allocates nothing and calls no closures.
+
+      Deprecated as a structure-facing primitive: it returns a bare ['v]
+      that nothing ties to the protection's lifetime.  New code uses the
+      branded bracket below ([with_op*] + [protect] + [Guard.deref]); the
+      legacy entry points remain for the SMR-level tests and the agreement
+      law (guarded and legacy loads observe the same physical record). *)
   type 'v reader
 
   val reader : th -> 'v desc -> 'v reader
   val read_field : 'v reader -> slot:int -> 'v Atomic.t -> 'v
+
+  (** {2 Branded operation bracket}
+
+      [with_op th body] runs [start_op th; body.op0 token; end_op th] with a
+      freshly minted token whose brand is universally quantified in [body] —
+      guards issued against the token cannot leave the bracket (see
+      {!Guard}).  The arity variants pass the operation's arguments
+      explicitly so bodies can be top-level constants (no per-op closure).
+
+      The bracket deliberately does {e not} catch exceptions: an operation
+      that dies mid-traversal (e.g. {!Memory.Fault.Use_after_free}, or the
+      chaos engine's [Crashed]) must leave its reservations published — the
+      poisoned-handle state the crash-recovery protocol starts from.
+      Bodies that want cleanup-on-raise catch, return the exception, and
+      re-raise outside (see [Harris_list.search_hooked]). *)
+
+  val protect :
+    'v reader -> 'op Guard.token -> slot:int -> 'v Atomic.t -> ('v, 'op) Guard.t
+  (** [read_field] returning branded evidence: the paper's [protect]
+      (Figure 1), with the guarantee that the result is only
+      dereferenceable while the issuing bracket is live. *)
+
+  val with_op : th -> 'r op0 -> 'r
+  val with_op1 : th -> ('a, 'r) op1 -> 'a -> 'r
+  val with_op2 : th -> ('a, 'b, 'r) op2 -> 'a -> 'b -> 'r
+  val with_op3 : th -> ('a, 'b, 'c, 'r) op3 -> 'a -> 'b -> 'c -> 'r
 
   (** [dup th ~src ~dst] copies the protection in slot [src] to slot [dst]
       (the paper's [dup], Figure 1).  No-op for schemes without per-slot
@@ -156,4 +296,46 @@ module type S = sig
       replacement handle before its worker starts, or into a quiesced
       survivor. *)
   val adopt : victim:th -> into:th -> unit
+end
+
+(* Shared implementation of the branded bracket: every scheme [include]s
+   this over its own [start_op]/[end_op]/[read_field].  [Guard.mint]/
+   [Guard.embed] erase to [unit]/identity, so the bracket adds no
+   allocation over calling the three primitives by hand. *)
+module Bracket (B : sig
+  type th
+  type 'v reader
+
+  val start_op : th -> unit
+  val end_op : th -> unit
+  val read_field : 'v reader -> slot:int -> 'v Atomic.t -> 'v
+end) =
+struct
+  let protect r tok ~slot field = Guard.embed tok (B.read_field r ~slot field)
+
+  (* No try/finally: a body that raises must skip [end_op] (see the
+     interface comment on the bracket's crash semantics). *)
+  let with_op th (body : _ op0) =
+    B.start_op th;
+    let r = body.op0 (Guard.mint ()) in
+    B.end_op th;
+    r
+
+  let with_op1 th (body : _ op1) a =
+    B.start_op th;
+    let r = body.op1 (Guard.mint ()) a in
+    B.end_op th;
+    r
+
+  let with_op2 th (body : _ op2) a b =
+    B.start_op th;
+    let r = body.op2 (Guard.mint ()) a b in
+    B.end_op th;
+    r
+
+  let with_op3 th (body : _ op3) a b c =
+    B.start_op th;
+    let r = body.op3 (Guard.mint ()) a b c in
+    B.end_op th;
+    r
 end

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Guard-discipline lint for the data-structure layer (lib/scot).
+#
+# The branded-guard API (Smr_intf.Guard) makes the Figure-2 bug class a
+# type error, but only for loads that go through protect/deref.  A raw
+# [Atomic.get] bypasses the brand entirely, so every remaining raw load
+# must say why it is safe.  Three rules:
+#
+#   A. No legacy staged-reader calls ([read_field], [S.read]) — the
+#      structures were migrated to with_op/protect/Guard.deref; the shims
+#      remain only for external users.
+#   B. Every [Atomic.get] carries a "raw-load: <reason>" marker on the
+#      same line or within the 4 preceding lines (multi-line comment
+#      annotations).  Accepted reasons are documented in DESIGN.md:
+#      quiescent observer, validation witness (compared physically, never
+#      dereferenced), own/protected node, pruned-and-private chain,
+#      sentinel, CAS-failure diagnosis.
+#   C. The escape hatches ([Unsafe.leak_guard], [Guard.mint],
+#      [Guard.embed]) appear only in harris_list_unsafe.ml, the
+#      deliberately broken baseline that reproduces the Figure-2 bug.
+#
+# Exempt files:
+#   - harris_list_unsafe.ml: the whole point of the file is to keep the
+#     unsound access pattern; it is quarantined by rule C instead.
+#   - wf_help.ml: operates on permanent per-thread announcement records
+#     that are never reclaimed, so no load in it can be a use-after-free.
+#
+# Runs from the repository root (the dune rule chdirs there); exits
+# non-zero listing every violation.
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+WINDOW=4
+
+for f in lib/scot/*.ml; do
+  base=$(basename "$f")
+
+  # Rule A: legacy staged-reader calls.
+  if hits=$(grep -nE '\bread_field\b|\b[A-Za-z_]+\.read\b' "$f"); then
+    echo "lint_raw_loads: $base uses the legacy staged-reader API:" >&2
+    echo "$hits" >&2
+    fail=1
+  fi
+
+  # Rule C: brand escape hatches are quarantined in the unsafe baseline.
+  if [ "$base" != harris_list_unsafe.ml ]; then
+    if hits=$(grep -nE '\bleak_guard\b|\b(Guard|G)\.(mint|embed)\b' "$f"); then
+      echo "lint_raw_loads: $base reaches for a guard escape hatch" >&2
+      echo "  (only harris_list_unsafe.ml may):" >&2
+      echo "$hits" >&2
+      fail=1
+    fi
+  fi
+
+  # Rule B: raw loads must be annotated.
+  case "$base" in
+  harris_list_unsafe.ml | wf_help.ml) continue ;;
+  esac
+  if ! out=$(awk -v W="$WINDOW" '
+    {
+      hist[NR % (W + 1)] = $0
+      if ($0 ~ /Atomic\.get/) {
+        ok = 0
+        for (i = 0; i <= W; i++)
+          if (hist[(NR - i) % (W + 1)] ~ /raw-load/) ok = 1
+        if (!ok) {
+          printf "%s:%d: Atomic.get without a raw-load annotation\n", \
+            FILENAME, NR
+          bad = 1
+        }
+      }
+    }
+    END { exit bad }' "$f"); then
+    echo "lint_raw_loads: unannotated raw loads:" >&2
+    echo "$out" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_raw_loads: lib/scot raw-load discipline holds"
+fi
+exit "$fail"

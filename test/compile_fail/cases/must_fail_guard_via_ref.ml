@@ -1,0 +1,23 @@
+(* MUST NOT typecheck: smuggling a guard out through a mutable cell and
+   dereferencing it in a LATER operation — the classic use-after-end_op.
+   The cell's type would have to fix the brand ['op] of the first bracket,
+   which is rigid and scoped to that bracket. *)
+
+module F (S : Smr.Smr_intf.S) = struct
+  let cell = ref None
+
+  let bad (th : S.th) (rdr : int S.reader) (field : int Atomic.t) =
+    S.with_op th
+      {
+        Smr.Smr_intf.op0 =
+          (fun tok -> cell := Some (S.protect rdr tok ~slot:0 field));
+      };
+    S.with_op th
+      {
+        Smr.Smr_intf.op0 =
+          (fun tok ->
+            match !cell with
+            | Some g -> Smr.Smr_intf.Guard.deref g tok
+            | None -> 0);
+      }
+end

@@ -1,0 +1,7 @@
+(* MUST NOT typecheck: returning the token itself out of the bracket and
+   using it to deref a freshly protected guard after [end_op]. *)
+
+module F (S : Smr.Smr_intf.S) = struct
+  let bad (th : S.th) =
+    S.with_op th { Smr.Smr_intf.op0 = (fun tok -> tok) }
+end

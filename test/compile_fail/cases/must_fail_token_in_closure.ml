@@ -1,0 +1,12 @@
+(* MUST NOT typecheck: capturing the operation token in a closure whose
+   type names the brand, and stashing it for use after the bracket.  The
+   brand ['op] is rigid inside the body, so no type mentioning it can
+   escape — not even under an arrow. *)
+
+module F (S : Smr.Smr_intf.S) = struct
+  let stash = ref None
+
+  let bad (th : S.th) =
+    S.with_op th
+      { Smr.Smr_intf.op0 = (fun tok -> stash := Some (fun () -> tok)) }
+end

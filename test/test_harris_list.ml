@@ -72,6 +72,74 @@ let test_key_bounds () =
   check "search negative" true (L.search h (-5));
   check "ordering with negatives" true (L.to_list t = [ min_int; -5 ])
 
+(* range_mem at quiescence agrees with filtering to_list, for every
+   scheme (the scan exercises guard composition: multiple live guards
+   under one bracket token). *)
+let test_range_mem (module S : Smr.Smr_intf.S) () =
+  let module LS = Scot.Harris_list.Make (S) in
+  let smr = S.create ~threads:1 ~slots:Scot.Harris_list.slots_needed () in
+  let t = LS.create ~smr ~threads:1 () in
+  let h = LS.handle t ~tid:0 in
+  List.iter (fun k -> ignore (LS.insert h k)) [ 2; 3; 5; 7; 11; 13; -4 ];
+  ignore (LS.delete h 5);
+  let expect lo hi = List.filter (fun k -> k >= lo && k <= hi) (LS.to_list t) in
+  List.iter
+    (fun (lo, hi) ->
+      check
+        (Printf.sprintf "%s range [%d, %d] = filtered to_list" S.name lo hi)
+        true
+        (LS.range_mem h ~lo ~hi = expect lo hi))
+    [
+      (0, 20);
+      (3, 7);
+      (min_int, max_int);
+      (6, 6);
+      (7, 7);
+      (8, 2);
+      (-10, 0);
+      (14, 1000);
+    ]
+
+(* Scans stay well-formed under concurrent churn: sorted, duplicate-free,
+   inside the requested window, and keys untouched for the whole scan are
+   always present. *)
+let test_range_mem_concurrent () =
+  let threads = 3 in
+  let t, hs = mk ~threads () in
+  let h0 = hs.(0) in
+  for k = 100 to 119 do
+    ignore (L.insert h0 k)
+  done;
+  let stop = Atomic.make false in
+  let churn tid =
+    Domain.spawn (fun () ->
+        let h = hs.(tid) in
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          ignore (L.insert h (!i mod 50));
+          ignore (L.delete h (!i mod 50));
+          incr i
+        done)
+  in
+  let d1 = churn 1 and d2 = churn 2 in
+  let rec sorted_dedup = function
+    | a :: (b :: _ as tl) -> a < b && sorted_dedup tl
+    | _ -> true
+  in
+  let stable = List.init 20 (fun i -> 100 + i) in
+  let ok = ref true in
+  for _ = 1 to 500 do
+    let r = L.range_mem h0 ~lo:0 ~hi:200 in
+    if not (sorted_dedup r) then ok := false;
+    if List.filter (fun k -> k >= 100) r <> stable then ok := false;
+    if List.exists (fun k -> k < 0 || k > 200) r then ok := false
+  done;
+  Atomic.set stop true;
+  Domain.join d1;
+  Domain.join d2;
+  L.check_invariants t;
+  check "scans sorted, windowed, stable keys present" true !ok
+
 (* The recovery optimisation must not change semantics, only restart
    behaviour: run the same concurrent workload with and without it. *)
 let test_recovery_equivalence () =
@@ -97,4 +165,17 @@ let () =
             Alcotest.test_case "recovery on/off equivalence" `Quick
               test_recovery_equivalence;
           ] );
+        ( "range-mem",
+          List.map
+            (fun s ->
+              Alcotest.test_case
+                (Printf.sprintf "quiescent agreement (%s)"
+                   (let module S = (val s : Smr.Smr_intf.S) in
+                   S.name))
+                `Quick (test_range_mem s))
+            Smr.Registry.all
+          @ [
+              Alcotest.test_case "well-formed under churn" `Quick
+                test_range_mem_concurrent;
+            ] );
       ])

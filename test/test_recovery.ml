@@ -140,10 +140,12 @@ let test_nr_adopt_warns () =
   let survivor = NR.register t ~tid:1 in
   NR.deactivate victim;
   let warned = ref [] in
-  let prev = !Smr.Smr_intf.adopt_warning in
-  Smr.Smr_intf.adopt_warning := (fun msg -> warned := msg :: !warned);
+  let prev =
+    Atomic.exchange Smr.Smr_intf.adopt_warning (fun msg ->
+        warned := msg :: !warned)
+  in
   Fun.protect
-    ~finally:(fun () -> Smr.Smr_intf.adopt_warning := prev)
+    ~finally:(fun () -> Atomic.set Smr.Smr_intf.adopt_warning prev)
     (fun () -> NR.adopt ~victim ~into:survivor);
   check_int "exactly one warning" 1 (List.length !warned);
   check "warning names NR" true

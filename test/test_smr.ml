@@ -357,6 +357,125 @@ let test_reader_law (module S : Smr.Smr_intf.S) =
   in
   QCheck_alcotest.to_alcotest qtest
 
+(* Guarded-read law: the branded bracket path ([with_op] + [protect] +
+   [Guard.deref]) observes exactly the physical record the legacy
+   [read_field] observes, for any value installed in the field.  Each
+   update runs in its own balanced bracket (Hyaline rejects nesting). *)
+let test_guarded_read_law (module S : Smr.Smr_intf.S) =
+  let module N = Scot.List_node in
+  let module G = Smr.Smr_intf.Guard in
+  let qtest =
+    QCheck.Test.make ~count:100
+      ~name:(Printf.sprintf "guarded read = legacy read (%s)" S.name)
+      QCheck.(list (pair (int_bound 15) bool))
+      (fun updates ->
+        let t = S.create ~threads:1 ~slots:2 () in
+        let th = S.register t ~tid:0 in
+        let rdr = S.reader th N.desc in
+        let nodes =
+          Array.init 16 (fun k ->
+              let n = N.fresh ~key:k ~next:N.null_link in
+              S.on_alloc th n.N.hdr;
+              n)
+        in
+        let field = Atomic.make N.null_link in
+        List.for_all
+          (fun (i, marked) ->
+            let l =
+              if i = 0 then if marked then N.marked_null else N.null_link
+              else if marked then nodes.(i).N.in_link_marked
+              else nodes.(i).N.in_link
+            in
+            Atomic.set field l;
+            let via_legacy =
+              S.start_op th;
+              let v = S.read_field rdr ~slot:0 field in
+              S.end_op th;
+              v
+            in
+            let via_guard =
+              S.with_op th
+                {
+                  Smr.Smr_intf.op0 =
+                    (fun tok ->
+                      G.deref (S.protect rdr tok ~slot:0 field) tok);
+                }
+            in
+            via_legacy == l && via_guard == l)
+          updates)
+  in
+  QCheck_alcotest.to_alcotest qtest
+
+(* The bracket really unpublishes: nothing protected during a *finished*
+   operation may survive a reclamation pass.  (This is what licenses the
+   tightened flat slack in {!Harness.Chaos.mem_bound}.) *)
+let test_end_op_unpublishes (module S : Smr.Smr_intf.S) () =
+  if S.name = "NR" then ()
+  else begin
+    let module N = Scot.List_node in
+    let t = S.create ~config:config_small ~threads:2 ~slots:2 () in
+    let reader = S.register t ~tid:0 in
+    let writer = S.register t ~tid:1 in
+    S.start_op writer;
+    let node = N.fresh ~key:1 ~next:N.null_link in
+    S.on_alloc writer node.N.hdr;
+    S.end_op writer;
+    let field = Atomic.make node.N.in_link in
+    let rdr = S.reader reader N.desc in
+    let seen =
+      S.with_op reader
+        {
+          Smr.Smr_intf.op0 =
+            (fun tok ->
+              Smr.Smr_intf.Guard.deref (S.protect rdr tok ~slot:0 field) tok);
+        }
+    in
+    check "guarded read saw the node" true (seen == node.N.in_link);
+    (* The reader is now between operations: its bracket protection must
+       be gone, so the writer's first pass reclaims the node. *)
+    Atomic.set field N.null_link;
+    S.start_op writer;
+    S.retire writer (reclaimable node.N.hdr);
+    for _ = 1 to 32 do
+      let hdr = Memory.Hdr.create () in
+      S.on_alloc writer hdr;
+      S.retire writer (reclaimable hdr)
+    done;
+    S.end_op writer;
+    S.flush writer;
+    check "no protection outlives end_op" true
+      (Memory.Hdr.is_reclaimed node.N.hdr)
+  end
+
+(* make_config must reject non-positive calibration values with an error
+   naming the offending field (a zero [epoch_freq] used to surface as a
+   [Division_by_zero] deep inside retire). *)
+let test_make_config_validation () =
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let expect_invalid field f =
+    match f () with
+    | (_ : Smr.Smr_intf.config) ->
+        Alcotest.failf "make_config accepted non-positive %s" field
+    | exception Invalid_argument msg ->
+        check (Printf.sprintf "error names %s" field) true (contains msg field)
+  in
+  expect_invalid "threads" (fun () -> Smr.Smr_intf.make_config ~threads:0 ());
+  expect_invalid "limbo_threshold" (fun () ->
+      Smr.Smr_intf.make_config ~limbo_threshold:0 ~threads:1 ());
+  expect_invalid "epoch_freq" (fun () ->
+      Smr.Smr_intf.make_config ~epoch_freq:(-4) ~threads:1 ());
+  expect_invalid "batch_size" (fun () ->
+      Smr.Smr_intf.make_config ~batch_size:(-1) ~threads:1 ());
+  let c =
+    Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:1 ~batch_size:1
+      ~threads:1 ()
+  in
+  check_int "minimal config accepted" 1 c.Smr.Smr_intf.limbo_threshold
+
 (* Registry sanity. *)
 let test_registry () =
   check_int "seven schemes" 7 (List.length Smr.Registry.all);
@@ -393,5 +512,14 @@ let () =
       ("eras", per_scheme "era stamping" test_era_stamping);
       ("op-allocs", per_scheme "zero-alloc HList ops" test_zero_alloc_ops);
       ("reader-law", List.map test_reader_law Smr.Registry.all);
+      ("guard-law", List.map test_guarded_read_law Smr.Registry.all);
+      ( "end-op-unpublishes",
+        per_scheme "protection dies with the bracket" test_end_op_unpublishes
+      );
+      ( "config",
+        [
+          Alcotest.test_case "make_config validation" `Quick
+            test_make_config_validation;
+        ] );
       ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
     ]
