@@ -21,12 +21,16 @@
    - op-allocs     single-domain allocation audit of the operation fast
                    paths: GC minor words per HList search / insert /
                    delete after warm-up.  Asserts 0.00 words per search
-                   for EBR, HP, HE and IBR (disable with --no-assert).
+                   for EBR, HP, HE, IBR and HYB (disable with --no-assert).
+   - tune          (via --tune, replaces the suite above) static
+                   reclamation thresholds vs the adaptive controller on a
+                   phase-shifting workload with a straggling reader; runs
+                   carry "kind": "tune".
 
    Flags:
      --json PATH      write a schema-v1 BENCH artifact (runs carry
                       "kind": "micro"; see scripts/validate_bench.py)
-     --schemes LIST   comma-separated (default EBR,IBR,HE,HLN,HP)
+     --schemes LIST   comma-separated (default EBR,IBR,HE,HLN,HP,HYB)
      --structures L   comma-separated, for ops (default HList,HMList,SkipList)
      --threads LIST   comma-separated domain counts (default 1,4)
      --duration SECS  per timed run (default 0.5)
@@ -390,7 +394,7 @@ let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
       mk_run "delete" wr_batch !d_words !d_el;
     ]
   in
-  let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR" ] in
+  let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR"; "HYB" ] in
   if assert_zero && List.mem S.name zero_alloc_schemes then
     (* All three fast paths must stay allocation-free — the branded
        bracket ([with_op*] + [protect]/[Guard.deref]) must compile away
@@ -413,6 +417,185 @@ let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
       ];
   runs
 
+(* Self-tuning threshold benchmark ("kind": "tune" in the BENCH artifact).
+
+   One IBR run per reclamation mode on a phase-shifting workload
+   (churn / read / drain cycling) with one extra participant stalled
+   mid-traversal for the first 60% of the run, then resumed.  While the
+   reader is stalled its reservation pins every retire, so any static
+   threshold the pinned set outgrows degenerates to a full limbo scan per
+   retire — the adaptive controller doubles out of that regime, which is
+   exactly the behaviour this benchmark scores: adaptive throughput vs the
+   best static whose peak unreclaimed gauge stayed within 1.1x of the
+   adaptive run's (the "equal memory ceiling" comparison; larger statics
+   buy throughput with memory, so they only count when the peaks are
+   comparable). *)
+
+type tune_run = {
+  tn_scheme : string;
+  tn_structure : string;
+  tn_threads : int; (* workers + the stalled participant *)
+  tn_mode : string; (* "static" | "adaptive" *)
+  tn_threshold : int; (* static value, or the adaptive starting point *)
+  tn_tuned : int; (* final controller threshold (= tn_threshold for static) *)
+  tn_ops : int;
+  tn_duration : float;
+  tn_throughput : float;
+  tn_max_unreclaimed : int;
+  tn_sweeps : int; (* reclamation passes over the run (all handles) *)
+  tn_scanned : int; (* limbo entries visited by those passes *)
+  mutable tn_speedup : float option; (* adaptive: vs best qualifying static *)
+}
+
+let tune_run_json r =
+  Json.Obj
+    ([
+       ("kind", Json.String "tune");
+       ("scheme", Json.String r.tn_scheme);
+       ("structure", Json.String r.tn_structure);
+       ("threads", Json.Int r.tn_threads);
+       ("mode", Json.String r.tn_mode);
+       ("threshold", Json.Int r.tn_threshold);
+       ("tuned_threshold", Json.Int r.tn_tuned);
+       ("ops", Json.Int r.tn_ops);
+       ("duration", Json.Float r.tn_duration);
+       ("throughput", Json.Float r.tn_throughput);
+       ("max_unreclaimed", Json.Int r.tn_max_unreclaimed);
+       ("sweeps", Json.Int r.tn_sweeps);
+       ("scanned", Json.Int r.tn_scanned);
+     ]
+    @
+    match r.tn_speedup with
+    | Some s -> [ ("speedup", Json.Float s) ]
+    | None -> [])
+
+let tune_one ~(scheme : Smr.Registry.scheme) ~structure ~threads ~duration
+    ~phases ~range ~mode ~config ~threshold =
+  let (module S : Smr.Smr_intf.S) = scheme in
+  let builder = Harness.Instance.find_builder_exn structure in
+  let workers = threads - 1 in
+  let releaser = ref None in
+  let r =
+    Harness.Runner.run ~config ~workers ~phases ~check:false
+      ~measure_latency:false
+      ~prepare:(fun inst ->
+        let tid = workers in
+        inst.Harness.Instance.fault.stall ~tid ~point:"read";
+        (* Resume the straggler at 60% of the run so the drain phases at
+           the tail reclaim the backlog under every mode. *)
+        releaser :=
+          Some
+            (Domain.spawn (fun () ->
+                 Unix.sleepf (duration *. 0.6);
+                 inst.Harness.Instance.fault.resume ~tid)))
+      ~finish:(fun inst ->
+        (match !releaser with Some d -> Domain.join d | None -> ());
+        inst.Harness.Instance.fault.shutdown ())
+      ~builder ~scheme ~threads ~range ~duration ()
+  in
+  let stat k =
+    Option.value ~default:0
+      (List.assoc_opt k r.Harness.Runner.scheme_stats)
+  in
+  let tuned =
+    match
+      List.assoc_opt "tuned_threshold" r.Harness.Runner.scheme_stats
+    with
+    | Some v -> v
+    | None -> threshold
+  in
+  {
+    tn_scheme = S.name;
+    tn_structure = structure;
+    tn_threads = threads;
+    tn_mode = mode;
+    tn_threshold = threshold;
+    tn_tuned = tuned;
+    tn_ops = r.ops;
+    tn_duration = r.duration;
+    tn_throughput = r.throughput;
+    tn_max_unreclaimed = r.max_unreclaimed;
+    tn_sweeps = stat "sweep_passes";
+    tn_scanned = stat "sweep_scanned";
+    tn_speedup = None;
+  }
+
+let tune_bench ~duration ~range ~statics ~oracles ~bounds () =
+  let scheme = Smr.Registry.find_exn "IBR" in
+  let structure = "SkipList" in
+  let threads = 3 in
+  let phases =
+    Harness.Workload.phases_of_string "churn:0.2,read:0.1,drain:0.1"
+  in
+  let mk_config adaptive threshold =
+    Smr.Smr_intf.make_config ~limbo_threshold:threshold ~epoch_freq:16
+      ~batch_size:8 ~adaptive ~threads ()
+  in
+  let static_of mode t =
+    tune_one ~scheme ~structure ~threads ~duration ~phases ~range ~mode
+      ~config:(mk_config `Off t) ~threshold:t
+  in
+  let static_runs = List.map (static_of "static") statics in
+  (* Oracle statics already know this workload's pinned-set size — a
+     choice only hindsight (or a profiling run) provides.  They are in
+     the artifact for transparency but outside the speedup comparison:
+     the claim under test is "self-tuning vs a threshold picked at
+     config time", not "vs the best threshold in hindsight". *)
+  let oracle_runs = List.map (static_of "oracle") oracles in
+  let lo, hi = bounds in
+  let adaptive =
+    tune_one ~scheme ~structure ~threads ~duration ~phases ~range
+      ~mode:"adaptive"
+      ~config:
+        (mk_config (`On { Smr.Smr_intf.min_threshold = lo; max_threshold = hi }) lo)
+      ~threshold:lo
+  in
+  (* "Equal memory ceiling": statics whose gauge peak stayed within 1.1x of
+     the adaptive run's compete on throughput; the rest bought their speed
+     with memory.  (Slow statics retire less, so their peaks come in at or
+     below the adaptive peak naturally.) *)
+  let ceiling =
+    int_of_float (1.1 *. float_of_int adaptive.tn_max_unreclaimed)
+  in
+  let qualifying =
+    List.filter (fun r -> r.tn_max_unreclaimed <= ceiling) static_runs
+  in
+  let best_static =
+    match
+      List.sort (fun a b -> compare b.tn_throughput a.tn_throughput)
+        (if qualifying <> [] then qualifying else static_runs)
+    with
+    | best :: _ -> best
+    | [] -> invalid_arg "tune_bench: empty statics list"
+  in
+  adaptive.tn_speedup <-
+    Some (adaptive.tn_throughput /. best_static.tn_throughput);
+  let runs = static_runs @ oracle_runs @ [ adaptive ] in
+  Harness.Report.section
+    "Self-tuning reclamation threshold (phase-shifting workload, one \
+     straggler for the first 60%)";
+  Harness.Report.table
+    ~header:
+      [ "mode"; "threshold"; "tuned"; "ops"; "ops/s"; "max_unreclaimed";
+        "sweeps"; "scanned"; "speedup" ]
+    (List.map
+       (fun r ->
+         [
+           r.tn_mode;
+           string_of_int r.tn_threshold;
+           string_of_int r.tn_tuned;
+           string_of_int r.tn_ops;
+           Harness.Report.human r.tn_throughput;
+           string_of_int r.tn_max_unreclaimed;
+           string_of_int r.tn_sweeps;
+           Harness.Report.human (float_of_int r.tn_scanned);
+           (match r.tn_speedup with
+           | Some s -> Printf.sprintf "%.2fx vs best static <= ceiling" s
+           | None -> "-");
+         ])
+       runs);
+  runs
+
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
 let () =
@@ -420,12 +603,13 @@ let () =
   let duration = ref 0.5 in
   let hold = ref 0.002 in
   let repeats = ref 1 in
-  let schemes = ref "EBR,IBR,HE,HLN,HP" in
+  let schemes = ref "EBR,IBR,HE,HLN,HP,HYB" in
   let structures = ref "HList,HMList,SkipList" in
   let threads = ref "1,4" in
   let smoke = ref false in
   let no_assert = ref false in
   let latency = ref false in
+  let tune = ref false in
   Arg.parse
     [
       ( "--json",
@@ -446,6 +630,10 @@ let () =
         Arg.Set latency,
         " run ops with per-op latency timing on (bench \"ops-timed\"), to\n\
         \          measure the cost of the timed loop itself" );
+      ( "--tune",
+        Arg.Set tune,
+        " run only the self-tuning threshold benchmark (static sweep vs \
+         adaptive; --smoke shrinks it to CI size)" );
       ("--smoke", Arg.Set smoke, " CI preset: quick run");
     ]
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
@@ -453,9 +641,31 @@ let () =
   if !smoke then begin
     duration := 0.1;
     threads := "1,2";
-    schemes := "EBR,IBR";
+    schemes := "EBR,IBR,HYB";
     structures := "HList";
     repeats := 1
+  end;
+  if !tune then begin
+    (* The tune bench is its own suite: run it and stop.  The full sweep
+       needs a few seconds per mode for the controller to show separation;
+       smoke just exercises the machinery and the artifact schema. *)
+    let duration = if !smoke then 0.4 else max !duration 2.0 in
+    (* The static grid brackets the configuration defaults (32 and 128):
+       thresholds someone would plausibly ship without profiling this
+       workload.  The oracle pair sits at and above the stalled pinned-set
+       knee the controller has to discover. *)
+    let statics = if !smoke then [ 16; 256 ] else [ 16; 64; 256; 1024 ] in
+    let oracles = if !smoke then [] else [ 4096; 8192 ] in
+    let range = if !smoke then 512 else 8192 in
+    let bounds = (16, 65_536) in
+    let runs = tune_bench ~duration ~range ~statics ~oracles ~bounds () in
+    (match !json_path with
+    | None -> ()
+    | Some path ->
+        Harness.Report.write_bench_doc ~path ~name:"tune"
+          (List.map tune_run_json runs);
+        Printf.printf "wrote %s (%d runs)\n%!" path (List.length runs));
+    exit 0
   end;
   let schemes =
     List.map (fun n -> Smr.Registry.find_exn n) (split_commas !schemes)

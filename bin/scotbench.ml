@@ -232,11 +232,34 @@ let chaos_cmd =
             "Injection point the stalled domain parks at (start_op, read, \
              retire, reclaim).")
   in
+  let scheme =
+    Arg.(
+      value & opt string "all"
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:
+            "Restrict the matrix to one SMR scheme (default: all).  \
+             Selecting the hybrid (hybrid or HYB) additionally runs the \
+             clean-run throughput-floor check against EBR.")
+  in
   cmd_of "chaos"
     "Fault-injection validation: memory bounds under stalls, plus fuzzing"
     Term.(
-      const (fun cfg json smoke do_fuzz structure point range ->
+      const (fun cfg json smoke do_fuzz structure point scheme_name range ->
           preflight_json json;
+          let scheme_name =
+            if String.lowercase_ascii scheme_name = "hybrid" then "HYB"
+            else scheme_name
+          in
+          let schemes =
+            if String.lowercase_ascii scheme_name = "all" then None
+            else
+              match Smr.Registry.find scheme_name with
+              | Some s -> Some [ s ]
+              | None ->
+                  Printf.eprintf "scotbench chaos: unknown scheme %s\n"
+                    scheme_name;
+                  Stdlib.exit 1
+          in
           let threads_list =
             if smoke then [ 2 ]
             else if
@@ -250,10 +273,25 @@ let chaos_cmd =
           in
           let runs =
             Harness.Experiments.chaos_matrix ~structure ~threads_list ~point
-              ~range ~duration ()
+              ~range ~duration ?schemes ()
           in
           let failed =
             List.filter (fun r -> not r.Harness.Experiments.c_ok) runs
+          in
+          (* The hybrid's second acceptance criterion: no stall, HYB within
+             10% of EBR throughput. *)
+          let floor =
+            if scheme_name = "HYB" then
+              Some
+                (Harness.Experiments.hybrid_floor ~structure
+                   ~threads:(List.fold_left max 2 threads_list)
+                   ~range ~duration ())
+            else None
+          in
+          let floor_bad =
+            match floor with
+            | Some f -> not f.Harness.Experiments.fl_ok
+            | None -> false
           in
           let fuzzes =
             if do_fuzz || smoke then (
@@ -291,21 +329,31 @@ let chaos_cmd =
           (match json with
           | None -> ()
           | Some path ->
+              let floor_json =
+                match floor with
+                | Some f -> [ Harness.Experiments.floor_run_json f ]
+                | None -> []
+              in
               Harness.Report.write_bench_doc
                 ~meta:(Harness.Experiments.cfg_meta cfg)
                 ~path ~name:"chaos"
                 (List.map Harness.Experiments.chaos_run_json runs
+                @ floor_json
                 @ List.map Harness.Experiments.fuzz_result_json fuzzes);
               Printf.printf "wrote %s (%d runs)\n%!" path
-                (List.length runs + List.length fuzzes));
-          if failed <> [] || fuzz_bad then (
+                (List.length runs + List.length floor_json
+                + List.length fuzzes));
+          if failed <> [] || fuzz_bad || floor_bad then (
             if failed <> [] then
               Printf.eprintf "scotbench chaos: %d verdict(s) failed\n"
                 (List.length failed);
             if fuzz_bad then
               Printf.eprintf "scotbench chaos: fuzzer expectation failed\n";
+            if floor_bad then
+              Printf.eprintf
+                "scotbench chaos: hybrid clean-run throughput below 0.9x EBR\n";
             Stdlib.exit 1))
-      $ cfg_term $ json_arg $ smoke $ fuzz_flag $ structure $ point
+      $ cfg_term $ json_arg $ smoke $ fuzz_flag $ structure $ point $ scheme
       $ range_arg ~default:256)
 
 let recover_cmd =
@@ -397,17 +445,47 @@ let run_cmd =
       & info [ "mix" ] ~docv:"R/I/D"
           ~doc:"Percent reads/inserts/deletes, e.g. 90/5/5.")
   in
+  let skew =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "skew" ] ~docv:"DIST"
+          ~doc:
+            "Key distribution: uniform, zipf:THETA (0 < theta < 1, e.g. \
+             zipf:0.99), or hot:A/B (A% of ops on B% of keys, e.g. \
+             hot:90/10).")
+  in
+  let phases =
+    Arg.(
+      value & opt string ""
+      & info [ "phases" ] ~docv:"SPEC"
+          ~doc:
+            "Time-varying mix schedule, cycling: NAME:SECONDS \
+             comma-separated, where NAME is read, mixed, churn, drain or an \
+             R/I/D triple — e.g. read:2,churn:1,drain:0.5.")
+  in
   (* Thread counts come from the shared [-t N,N,...] list: one run per
      entry (the old separate [-t] int flag collided with it and crashed
      cmdliner as soon as the subcommand was invoked). *)
   bench_cmd "run" "One custom benchmark run per requested thread count"
     Term.(
-      const (fun structure scheme range (r, i, d) cfg ->
+      const (fun structure scheme range (r, i, d) skew phases cfg ->
+          let parse what f x =
+            try f x
+            with Invalid_argument msg ->
+              Printf.eprintf "scotbench run: bad --%s: %s\n" what msg;
+              Stdlib.exit 1
+          in
+          let skew = parse "skew" Harness.Workload.skew_of_string skew in
+          let phases =
+            if phases = "" then []
+            else parse "phases" Harness.Workload.phases_of_string phases
+          in
           let results =
             List.map
               (fun threads ->
                 Harness.Runner.run
                   ~mix:(Harness.Workload.mix ~read:r ~insert:i ~delete:d)
+                  ~skew ~phases
                   ~builder:(Harness.Instance.find_builder_exn structure)
                   ~scheme:(Smr.Registry.find_exn scheme)
                   ~threads ~range
@@ -419,7 +497,7 @@ let run_cmd =
           results)
       $ structure $ scheme
       $ range_arg ~default:10_000
-      $ mix)
+      $ mix $ skew $ phases)
 
 let () =
   let info =

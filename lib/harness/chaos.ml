@@ -311,9 +311,25 @@ let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
   else
     let n = threads and k = stalled in
     let hp = S.name = "HP" || S.name = "HPopt" in
-    let buffer_one = max config.limbo_threshold config.batch_size in
+    (* With the adaptive controller on, a buffer may legitimately fill to
+       the widened ceiling before its pass fires. *)
+    let buffer_one =
+      let static = max config.limbo_threshold config.batch_size in
+      match config.adaptive with
+      | `Off -> static
+      | `On b -> max static b.Smr.Smr_intf.max_threshold
+    in
     let per_thread =
       if hp then buffer_one else buffer_one + (2 * config.epoch_freq)
     in
     let per_stall = if hp then slots else range + (2 * config.epoch_freq) in
+    (* HYB's clean-mode sweep uses the single-bound (min active lower)
+       predicate, which pins every retire since the straggler began until
+       the lag crosses [stale_eras] and the pass escalates to the full
+       interval sweep: one extra window of [stale_eras] era bumps' worth
+       of retires per stalled reservation. *)
+    let per_stall =
+      if S.name = "HYB" then per_stall + (config.stale_eras * config.epoch_freq)
+      else per_stall
+    in
     Some ((2 * ((n * per_thread) + (k * per_stall))) + (adopted * buffer_one) + 16)

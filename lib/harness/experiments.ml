@@ -503,7 +503,8 @@ let chaos_row (c : chaos_run) =
    stalled participant, mid-traversal stall.  Robust schemes bounded,
    EBR/NR growing. *)
 let chaos_matrix ?(structure = "HList") ?(threads_list = [ 2; 4 ])
-    ?(stalled = 1) ?(point = "read") ?(range = 256) ?(duration = 1.0) () =
+    ?(stalled = 1) ?(point = "read") ?(range = 256) ?(duration = 1.0)
+    ?(schemes = all_schemes) () =
   Report.section
     (Printf.sprintf
        "Chaos: unreclaimed-memory validation with %d thread(s) stalled at \
@@ -517,7 +518,7 @@ let chaos_matrix ?(structure = "HList") ?(threads_list = [ 2; 4 ])
             chaos ~structure ~threads ~stalled ~point ~range ~duration
               ~scheme:(module S : Smr.Smr_intf.S) ())
           threads_list)
-      all_schemes
+      schemes
   in
   Report.table ~header:chaos_header (List.map chaos_row runs);
   runs
@@ -551,6 +552,75 @@ let chaos_run_json (c : chaos_run) =
                  [ ("t", Json.Float s.t); ("unreclaimed", Json.Int s.unreclaimed) ])
              c.c_mem_series) );
       ("trace", Json.List (List.map (fun e -> Json.String e) c.c_trace));
+    ]
+
+(* Hybrid's acceptance floor: with no fault injected, the stall-aware
+   scheme must not give back the cheap path's win — clean-run throughput
+   stays within 10% of EBR on the same workload. *)
+
+type floor_run = {
+  fl_structure : string;
+  fl_threads : int;
+  fl_range : int;
+  fl_duration : float;
+  fl_hyb_throughput : float;
+  fl_ebr_throughput : float;
+  fl_ratio : float;
+  fl_ok : bool;
+}
+
+let hybrid_floor ?(structure = "HList") ?(threads = 4) ?(range = 256)
+    ?(duration = 1.0) () =
+  Report.section
+    "Hybrid floor: clean-run throughput vs EBR (no stall, HYB >= 0.9x)";
+  let builder = Instance.find_builder_exn structure in
+  let one name =
+    Runner.run ~check:false ~measure_latency:false ~builder
+      ~scheme:(Smr.Registry.find_exn name) ~threads ~range ~duration ()
+  in
+  let hyb = one "HYB" in
+  let ebr = one "EBR" in
+  let ratio =
+    if ebr.Runner.throughput > 0.0 then
+      hyb.Runner.throughput /. ebr.Runner.throughput
+    else infinity
+  in
+  let run =
+    {
+      fl_structure = structure;
+      fl_threads = threads;
+      fl_range = range;
+      fl_duration = duration;
+      fl_hyb_throughput = hyb.Runner.throughput;
+      fl_ebr_throughput = ebr.Runner.throughput;
+      fl_ratio = ratio;
+      fl_ok = ratio >= 0.9;
+    }
+  in
+  Report.table
+    ~header:[ "scheme"; "threads"; "throughput"; "ratio"; "verdict" ]
+    [
+      [ "EBR"; string_of_int threads;
+        Printf.sprintf "%.0f" run.fl_ebr_throughput; "1.00"; "-" ];
+      [ "HYB"; string_of_int threads;
+        Printf.sprintf "%.0f" run.fl_hyb_throughput;
+        Printf.sprintf "%.2f" run.fl_ratio;
+        (if run.fl_ok then "ok" else "BELOW FLOOR") ];
+    ];
+  run
+
+let floor_run_json (f : floor_run) =
+  Json.Obj
+    [
+      ("kind", Json.String "floor");
+      ("structure", Json.String f.fl_structure);
+      ("threads", Json.Int f.fl_threads);
+      ("range", Json.Int f.fl_range);
+      ("duration", Json.Float f.fl_duration);
+      ("hyb_throughput", Json.Float f.fl_hyb_throughput);
+      ("ebr_throughput", Json.Float f.fl_ebr_throughput);
+      ("ratio", Json.Float f.fl_ratio);
+      ("ok", Json.Bool f.fl_ok);
     ]
 
 (* {2 Recovery: crash k domains mid-traversal, supervise, validate} *)

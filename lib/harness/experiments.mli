@@ -118,6 +118,7 @@ val chaos_matrix :
   ?point:string ->
   ?range:int ->
   ?duration:float ->
+  ?schemes:Smr.Registry.scheme list ->
   unit ->
   chaos_run list
 
@@ -126,6 +127,34 @@ val chaos_row : chaos_run -> string list
 
 val chaos_run_json : chaos_run -> Json.t
 (** ["kind": "chaos"] run entry for {!Report.write_bench_doc}. *)
+
+(** {2 Hybrid clean-run throughput floor} *)
+
+type floor_run = {
+  fl_structure : string;
+  fl_threads : int;
+  fl_range : int;
+  fl_duration : float;
+  fl_hyb_throughput : float;
+  fl_ebr_throughput : float;
+  fl_ratio : float;  (** HYB / EBR *)
+  fl_ok : bool;  (** ratio >= 0.9 *)
+}
+
+(** Clean (no-fault) HYB and EBR runs on the same workload; the hybrid's
+    acceptance criterion is staying within 10% of EBR's throughput when no
+    straggler forces the escalated sweep.  Prints the two-row table and
+    returns the verdict. *)
+val hybrid_floor :
+  ?structure:string ->
+  ?threads:int ->
+  ?range:int ->
+  ?duration:float ->
+  unit ->
+  floor_run
+
+val floor_run_json : floor_run -> Json.t
+(** ["kind": "floor"] run entry for {!Report.write_bench_doc}. *)
 
 (** {2 Recovery: supervised crash-and-adopt validation} *)
 

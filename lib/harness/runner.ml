@@ -40,7 +40,8 @@ type result = {
 
 let default_sample_every = 0.01
 
-let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
+let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
+    ?(phases = []) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
     ?(measure_latency = true) ?recorders ?workers ?supervise ?prepare ?finish
     ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
@@ -60,6 +61,40 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     (Workload.prefill_keys ~range ~seed);
   let go = Atomic.make false in
   let stop = Atomic.make false in
+  (* Phase machinery: workers read the current mix from [phase_mixes]
+     through one atomic index per op; the coordinator advances the index
+     from its sampling loop (so phase resolution is [sample_every]).
+     With no [phases] the index stays 0 and the single entry is [mix] —
+     the static behaviour. *)
+  let phase_mixes =
+    match phases with
+    | [] -> [| mix |]
+    | ps -> Array.of_list (List.map (fun (p : Workload.phase) -> p.p_mix) ps)
+  in
+  let phase_ends =
+    match phases with
+    | [] -> [| infinity |]
+    | ps ->
+        let acc = ref 0.0 in
+        Array.of_list
+          (List.map
+             (fun (p : Workload.phase) ->
+               acc := !acc +. p.p_for;
+               !acc)
+             ps)
+  in
+  let phase_total = phase_ends.(Array.length phase_ends - 1) in
+  let phase_idx = Atomic.make 0 in
+  let set_phase now =
+    let n = Array.length phase_mixes in
+    if n > 1 then begin
+      (* The sequence cycles for the whole run. *)
+      let t = Float.rem now phase_total in
+      let rec find i = if i = n - 1 || t < phase_ends.(i) then i else find (i + 1) in
+      let i = find 0 in
+      if Atomic.get phase_idx <> i then Atomic.set phase_idx i
+    end
+  in
   let ops_done = Array.make threads 0 in
   let faults = Array.make threads 0 in
   let sup = Option.map (fun cfg -> Supervisor.create cfg ~workers) supervise in
@@ -80,6 +115,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
      dispatch is an inline match, not a closure call). *)
   let worker tid () =
     let rng = Workload.Rng.create ~seed:(seed + (31 * (tid + 1))) in
+    let sampler = Workload.sampler skew ~range in
     let recorder = recorders.(tid) in
     (* Supervised workers bump their padded heartbeat cell once per op;
        unsupervised ones bump a worker-local dummy so both loops stay a
@@ -96,8 +132,11 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     (try
        if measure_latency then
          while not (Atomic.get stop) do
-           let key = Workload.Rng.int rng range in
-           let op = Workload.op_for rng mix in
+           let key = Workload.draw sampler rng in
+           let op =
+             Workload.op_for rng
+               (Array.unsafe_get phase_mixes (Atomic.get phase_idx))
+           in
            let t0 = Unix.gettimeofday () in
            let hit =
              match op with
@@ -118,8 +157,11 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
          done
        else
          while not (Atomic.get stop) do
-           let key = Workload.Rng.int rng range in
-           (match Workload.op_for rng mix with
+           let key = Workload.draw sampler rng in
+           (match
+              Workload.op_for rng
+                (Array.unsafe_get phase_mixes (Atomic.get phase_idx))
+            with
            | Workload.Search ->
                Metrics.count recorder Metrics.Search ~hit:(inst.search ~tid key)
            | Workload.Insert ->
@@ -176,6 +218,7 @@ let run ?(mix = Workload.read_write_50) ?(seed = 0xC0FFEE) ?config
     let now = Unix.gettimeofday () in
     if now -. t0 < duration then begin
       ignore (Unix.select [] [] [] sample_every);
+      set_phase (Unix.gettimeofday () -. t0);
       samples :=
         {
           Metrics.t = Unix.gettimeofday () -. t0;

@@ -35,7 +35,12 @@ type result = {
 val default_sample_every : float
 
 (** [run ~builder ~scheme ~threads ~range ~duration ()] executes one
-    benchmark.  [mix] defaults to the paper's 50r/25i/25d; [config] is the
+    benchmark.  [mix] defaults to the paper's 50r/25i/25d; [skew]
+    (default {!Workload.Uniform}) selects the key distribution;
+    [phases] (default none) cycles through a time-varying mix sequence —
+    each worker reads the coordinator-published phase index once per op,
+    so [mix] becomes the label of record while the active mix follows
+    the schedule (resolution [sample_every]); [config] is the
     SMR calibration; [check] (default true) verifies structure invariants
     after a fault-free run; [sample_every] is the memory-gauge period;
     [measure_latency] (default true) times every operation for the latency
@@ -63,6 +68,8 @@ val default_sample_every : float
     unaffected. *)
 val run :
   ?mix:Workload.mix ->
+  ?skew:Workload.skew ->
+  ?phases:Workload.phase list ->
   ?seed:int ->
   ?config:Smr.Smr_intf.config ->
   ?sample_every:float ->

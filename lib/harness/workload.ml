@@ -71,6 +71,211 @@ let op_for rng mix =
   else if r < mix.read_pct + mix.insert_pct then Insert
   else Delete
 
+(* --- key-distribution skew --- *)
+
+type skew =
+  | Uniform
+  | Zipf of float (* theta in (0,1): YCSB-style zipfian rank weights *)
+  | Hot of { hot_pct : int; keys_pct : int }
+      (* [hot_pct]% of draws land on [keys_pct]% of the keys *)
+
+let skew_to_string = function
+  | Uniform -> "uniform"
+  | Zipf theta -> Printf.sprintf "zipf:%g" theta
+  | Hot { hot_pct; keys_pct } -> Printf.sprintf "hot:%d/%d" hot_pct keys_pct
+
+let skew_of_string s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Workload.skew_of_string: %S (want \"uniform\", \"zipf:<theta>\" \
+          with 0 < theta < 1, or \"hot:<op%%>/<key%%>\")"
+         s)
+  in
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" | "" -> Uniform
+  | str -> (
+      match String.index_opt str ':' with
+      | None -> fail ()
+      | Some i -> (
+          let kind = String.sub str 0 i in
+          let arg = String.sub str (i + 1) (String.length str - i - 1) in
+          match kind with
+          | "zipf" -> (
+              match float_of_string_opt arg with
+              | Some theta when theta > 0.0 && theta < 1.0 -> Zipf theta
+              | _ -> fail ())
+          | "hot" -> (
+              match String.split_on_char '/' arg with
+              | [ a; b ] -> (
+                  match (int_of_string_opt a, int_of_string_opt b) with
+                  | Some hot_pct, Some keys_pct
+                    when hot_pct >= 0 && hot_pct <= 100 && keys_pct > 0
+                         && keys_pct <= 100 ->
+                      Hot { hot_pct; keys_pct }
+                  | _ -> fail ())
+              | _ -> fail ())
+          | _ -> fail ()))
+
+(* Deterministic key permutation: ranks (hot first) are scattered over the
+   key space so a skewed draw does not concentrate on one end of an
+   ordered structure — rank popularity is the experiment, short
+   traversals are not.  Fixed seed: the mapping is part of the workload
+   definition, not of any thread's stream. *)
+let rank_perm range =
+  let perm = Array.init range (fun i -> i) in
+  let rng = Rng.create ~seed:0x5eed in
+  for i = range - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+(* Precomputed sampler state: all the float work that depends only on
+   (skew, range) happens here, once per worker, so [draw] is a handful of
+   unboxed float ops — allocation-free like [Rng.int]. *)
+type sampler = {
+  skew : skew;
+  s_range : int;
+  perm : int array; (* rank -> key; [||] for Uniform *)
+  zetan : float; (* sum_{i=1..n} 1/i^theta *)
+  eta : float;
+  alpha : float; (* 1/(1-theta) *)
+  rank1_bound : float; (* 1 + 0.5^theta *)
+  hot_n : int; (* number of hot keys *)
+  hot_pct : int;
+}
+
+let sampler skew ~range =
+  if range <= 0 then invalid_arg "Workload.sampler: range must be positive";
+  match skew with
+  | Uniform ->
+      {
+        skew;
+        s_range = range;
+        perm = [||];
+        zetan = 0.0;
+        eta = 0.0;
+        alpha = 0.0;
+        rank1_bound = 0.0;
+        hot_n = 0;
+        hot_pct = 0;
+      }
+  | Zipf theta ->
+      (* Gray et al. / YCSB quick zipfian generator: O(range) zeta
+         precomputation, O(1) per draw. *)
+      let n = float_of_int range in
+      let zetan = ref 0.0 in
+      for i = 1 to range do
+        zetan := !zetan +. (1.0 /. (float_of_int i ** theta))
+      done;
+      let zetan = !zetan in
+      let zeta2 = 1.0 +. (0.5 ** theta) in
+      let eta =
+        (1.0 -. ((2.0 /. n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
+      in
+      {
+        skew;
+        s_range = range;
+        perm = rank_perm range;
+        zetan;
+        eta;
+        alpha = 1.0 /. (1.0 -. theta);
+        rank1_bound = zeta2;
+        hot_n = 0;
+        hot_pct = 0;
+      }
+  | Hot { hot_pct; keys_pct } ->
+      let hot_n = max 1 (range * keys_pct / 100) in
+      {
+        skew;
+        s_range = range;
+        perm = rank_perm range;
+        zetan = 0.0;
+        eta = 0.0;
+        alpha = 0.0;
+        rank1_bound = 0.0;
+        hot_n = min hot_n range;
+        hot_pct;
+      }
+
+let max_int_f = float_of_int max_int
+
+let draw s rng =
+  match s.skew with
+  | Uniform -> Rng.int rng s.s_range
+  | Zipf _ ->
+      let u = float_of_int (Rng.next rng) /. max_int_f in
+      let uz = u *. s.zetan in
+      let rank =
+        if uz < 1.0 then 0
+        else if uz < s.rank1_bound then 1
+        else
+          int_of_float
+            (float_of_int s.s_range
+            *. (((s.eta *. u) -. s.eta +. 1.0) ** s.alpha))
+      in
+      let rank = if rank >= s.s_range then s.s_range - 1 else rank in
+      Array.unsafe_get s.perm rank
+  | Hot _ ->
+      if s.hot_n >= s.s_range || Rng.int rng 100 < s.hot_pct then
+        Array.unsafe_get s.perm (Rng.int rng s.hot_n)
+      else
+        Array.unsafe_get s.perm
+          (s.hot_n + Rng.int rng (s.s_range - s.hot_n))
+
+(* --- time-varying phase sequences --- *)
+
+type phase = { p_mix : mix; p_for : float }
+
+let drain_mix = { read_pct = 10; insert_pct = 0; delete_pct = 90 }
+
+let mix_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "read" -> Some read_dominated
+  | "mixed" -> Some read_write_50
+  | "churn" -> Some write_only
+  | "drain" -> Some drain_mix
+  | str -> (
+      (* Raw "R/I/D" percentage triple, e.g. "50/25/25". *)
+      match String.split_on_char '/' str with
+      | [ r; i; d ] -> (
+          match
+            (int_of_string_opt r, int_of_string_opt i, int_of_string_opt d)
+          with
+          | Some r, Some i, Some d when r >= 0 && i >= 0 && d >= 0
+                                        && r + i + d = 100 ->
+              Some { read_pct = r; insert_pct = i; delete_pct = d }
+          | _ -> None)
+      | _ -> None)
+
+(* "read:0.5,churn:1,drain:0.5" — mix name (or R/I/D triple) and seconds
+   per phase.  The sequence cycles for the whole run duration. *)
+let phases_of_string s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Workload.phases_of_string: %S (want \
+          \"<mix>:<seconds>,...\" where <mix> is read|mixed|churn|drain or \
+          an R/I/D triple like 50/25/25)"
+         s)
+  in
+  let parse_one item =
+    match String.rindex_opt item ':' with
+    | None -> fail ()
+    | Some i -> (
+        let name = String.sub item 0 i in
+        let dur = String.sub item (i + 1) (String.length item - i - 1) in
+        match (mix_of_name name, float_of_string_opt dur) with
+        | Some p_mix, Some p_for when p_for > 0.0 -> { p_mix; p_for }
+        | _ -> fail ())
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [] | [ "" ] -> fail ()
+  | items -> List.map parse_one items
+
 (* Deterministic shuffled enumeration of [0, range): used to prefill 50% of
    the key range with unique keys without degenerating the tree shape. *)
 let prefill_keys ~range ~seed =

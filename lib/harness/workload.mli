@@ -34,6 +34,47 @@ type op = Search | Insert | Delete
 
 val op_for : Rng.t -> mix -> op
 
+(** {2 Key-distribution skew} *)
+
+type skew =
+  | Uniform
+  | Zipf of float
+      (** YCSB-style zipfian over key ranks, theta in (0,1); popular ranks
+          are scattered over the key space by a fixed permutation. *)
+  | Hot of { hot_pct : int; keys_pct : int }
+      (** [hot_pct]% of the draws hit [keys_pct]% of the keys. *)
+
+val skew_to_string : skew -> string
+
+(** Parses ["uniform"], ["zipf:<theta>"] or ["hot:<op%>/<key%>"]; raises
+    [Invalid_argument] otherwise. *)
+val skew_of_string : string -> skew
+
+type sampler
+
+(** [sampler skew ~range] precomputes the per-worker draw state (zeta
+    sums, rank permutation) — O(range), once per worker. *)
+val sampler : skew -> range:int -> sampler
+
+(** Draw one key in [0, range).  Allocation-free, like {!Rng.int} (which
+    it is exactly, for {!Uniform}). *)
+val draw : sampler -> Rng.t -> int
+
+(** {2 Time-varying phase sequences} *)
+
+type phase = { p_mix : mix; p_for : float (** seconds *) }
+
+val drain_mix : mix
+(** 10% read / 0% insert / 90% delete — empties the structure, spiking
+    the retire rate. *)
+
+(** Parses ["<mix>:<seconds>,..."] where [<mix>] is one of
+    [read] (90/5/5), [mixed] (50/25/25), [churn] (0/50/50),
+    [drain] (10/0/90) or an explicit [R/I/D] triple like [50/25/25].
+    The sequence cycles for the whole run.  Raises [Invalid_argument] on
+    malformed input. *)
+val phases_of_string : string -> phase list
+
 (** [prefill_keys ~range ~seed] is a deterministic shuffled array of
     [range/2] unique keys in [0, range) — the paper's "prefill with unique
     keys using 50% of the key range". *)

@@ -22,6 +22,7 @@ type t = {
   in_limbo : Memory.Tcounter.t;
   seats : Seats.t;
   config : Smr_intf.config;
+  tuners : Tuner.t option array; (* per-tid controllers, for [stats] *)
 }
 
 type th = {
@@ -42,17 +43,21 @@ let create ?config ~threads ~slots:_ () =
     in_limbo = Memory.Tcounter.create ~threads;
     seats = Seats.create ~threads;
     config;
+    tuners = Array.make threads None;
   }
 
 let register t ~tid =
   Seats.claim t.seats ~tid;
+  let limbo =
+    Limbo_local.create ~config:t.config ~start:t.config.limbo_threshold
+      ~in_limbo:t.in_limbo ~tid
+  in
+  t.tuners.(tid) <- Some (Limbo_local.tuner limbo);
   {
     global = t;
     id = tid;
     my_resv = Memory.Padded.cell t.reservations tid;
-    limbo =
-      Limbo_local.create ~capacity:t.config.limbo_threshold
-        ~in_limbo:t.in_limbo ~tid;
+    limbo;
     deactivated = false;
   }
 
@@ -127,7 +132,7 @@ let retire th (r : Smr_intf.reclaimable) =
   Memory.Hdr.set_retire_era r.hdr (Atomic.get t.epoch);
   Limbo_local.push th.limbo r;
   if Limbo_local.retires th.limbo mod t.config.epoch_freq = 0 then try_advance t;
-  if Limbo_local.length th.limbo >= t.config.limbo_threshold then
+  if Limbo_local.length th.limbo >= Limbo_local.threshold th.limbo then
     reclaim_pass th
 
 let flush th =
@@ -142,6 +147,7 @@ let stats t =
     ("in_limbo", unreclaimed t);
     ("active_handles", Seats.total t.seats);
   ]
+  @ Tuner.stats_of_array t.tuners
 
 (* EBR is not robust — a *stalled* thread vetoes the advance — but it is
    recoverable: once a dead handle's reservation is withdrawn the epoch

@@ -31,6 +31,7 @@ struct
     in_limbo : Memory.Tcounter.t;
     seats : Seats.t;
     config : Smr_intf.config;
+    tuners : Tuner.t option array; (* per-tid controllers, for [stats] *)
   }
 
   type th = {
@@ -53,19 +54,23 @@ struct
       in_limbo = Memory.Tcounter.create ~threads;
       seats = Seats.create ~threads;
       config;
+      tuners = Array.make threads None;
     }
 
   let register t ~tid =
     Seats.claim t.seats ~tid;
     let row = t.slots.(tid) in
     let slots = Memory.Padded.length row in
+    let limbo =
+      Limbo_local.create ~config:t.config ~start:t.config.limbo_threshold
+        ~in_limbo:t.in_limbo ~tid
+    in
+    t.tuners.(tid) <- Some (Limbo_local.tuner limbo);
     {
       global = t;
       id = tid;
       my_slots = Array.init slots (fun i -> Memory.Padded.cell row i);
-      limbo =
-        Limbo_local.create ~capacity:t.config.limbo_threshold
-          ~in_limbo:t.in_limbo ~tid;
+      limbo;
       scratch = Array.make (Array.length t.slots * slots) no_hazard;
       deactivated = false;
     }
@@ -189,7 +194,7 @@ struct
     Probe.hit th.id Probe.Retire;
     Memory.Hdr.mark_retired r.hdr;
     Limbo_local.push th.limbo r;
-    if Limbo_local.length th.limbo >= th.global.config.limbo_threshold then
+    if Limbo_local.length th.limbo >= Limbo_local.threshold th.limbo then
       reclaim_pass th
 
   let flush th = reclaim_pass th
@@ -200,6 +205,7 @@ struct
       ("in_limbo", unreclaimed t);
       ("active_handles", Seats.total t.seats);
     ]
+    @ Tuner.stats_of_array t.tuners
 
   let recoverable = true
 

@@ -39,6 +39,7 @@ type t = {
   in_limbo : Memory.Tcounter.t;
   seats : Seats.t;
   config : Smr_intf.config;
+  tuners : Tuner.t option array; (* per-tid controllers, for [stats] *)
 }
 
 type th = {
@@ -62,18 +63,25 @@ let create ?config ~threads ~slots:_ () =
     in_limbo = Memory.Tcounter.create ~threads;
     seats = Seats.create ~threads;
     config;
+    tuners = Array.make threads None;
   }
 
 let register t ~tid =
   Seats.claim t.seats ~tid;
+  (* The tuned trigger here is the *batch size*, not the limbo threshold:
+     dispatch is Hyaline's pass, so that is the knob the controller
+     moves. *)
+  let pending =
+    Limbo_local.create ~config:t.config ~start:t.config.batch_size
+      ~in_limbo:t.in_limbo ~tid
+  in
+  t.tuners.(tid) <- Some (Limbo_local.tuner pending);
   {
     global = t;
     id = tid;
     my_era = Memory.Padded.cell t.eras tid;
     my_head = Memory.Padded.cell t.heads tid;
-    pending =
-      Limbo_local.create ~capacity:t.config.batch_size ~in_limbo:t.in_limbo
-        ~tid;
+    pending;
     pending_min_birth = max_int;
     deactivated = false;
   }
@@ -214,7 +222,8 @@ let retire th (r : Smr_intf.reclaimable) =
   th.pending_min_birth <- min th.pending_min_birth (Memory.Hdr.birth r.hdr);
   if Limbo_local.retires th.pending mod t.config.epoch_freq = 0 then
     Atomic.incr t.era;
-  if Limbo_local.length th.pending >= t.config.batch_size then dispatch th
+  if Limbo_local.length th.pending >= Limbo_local.threshold th.pending then
+    dispatch th
 
 let flush th = dispatch th
 let unreclaimed t = Memory.Tcounter.total t.in_limbo
@@ -225,6 +234,7 @@ let stats t =
     ("in_limbo", unreclaimed t);
     ("active_handles", Seats.total t.seats);
   ]
+  @ Tuner.stats_of_array t.tuners
 
 let recoverable = true
 

@@ -39,6 +39,7 @@ type t = {
   in_limbo : Memory.Tcounter.t;
   seats : Seats.t;
   config : Smr_intf.config;
+  tuners : Tuner.t option array; (* per-tid controllers, for [stats] *)
 }
 
 type th = {
@@ -63,19 +64,23 @@ let create ?config ~threads ~slots:_ () =
     in_limbo = Memory.Tcounter.create ~threads;
     seats = Seats.create ~threads;
     config;
+    tuners = Array.make threads None;
   }
 
 let register t ~tid =
   Seats.claim t.seats ~tid;
   let threads = Memory.Padded.length t.lowers in
+  let limbo =
+    Limbo_local.create ~config:t.config ~start:t.config.limbo_threshold
+      ~in_limbo:t.in_limbo ~tid
+  in
+  t.tuners.(tid) <- Some (Limbo_local.tuner limbo);
   {
     global = t;
     id = tid;
     my_lower = Memory.Padded.cell t.lowers tid;
     my_upper = Memory.Padded.cell t.uppers tid;
-    limbo =
-      Limbo_local.create ~capacity:t.config.limbo_threshold
-        ~in_limbo:t.in_limbo ~tid;
+    limbo;
     scratch_lo = Array.make threads 0;
     scratch_hi = Array.make threads 0;
     deactivated = false;
@@ -204,7 +209,7 @@ let retire th (r : Smr_intf.reclaimable) =
   Limbo_local.push th.limbo r;
   if Limbo_local.retires th.limbo mod t.config.epoch_freq = 0 then
     Atomic.incr t.era;
-  if Limbo_local.length th.limbo >= t.config.limbo_threshold then
+  if Limbo_local.length th.limbo >= Limbo_local.threshold th.limbo then
     reclaim_pass th
 
 let flush th = reclaim_pass th
@@ -216,6 +221,7 @@ let stats t =
     ("in_limbo", unreclaimed t);
     ("active_handles", Seats.total t.seats);
   ]
+  @ Tuner.stats_of_array t.tuners
 
 let recoverable = true
 

@@ -11,6 +11,7 @@ let all : scheme list =
     (module He);
     (module Ibr);
     (module Hyaline);
+    (module Hybrid);
   ]
 
 let robust_schemes =

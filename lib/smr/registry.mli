@@ -3,8 +3,9 @@
 type scheme = (module Smr_intf.S)
 
 val all : scheme list
-(** All seven schemes in the paper's order: NR, EBR, HP, HPopt, HE, IBR,
-    HLN (Hyaline-1S). *)
+(** All eight schemes: the paper's seven in its order — NR, EBR, HP,
+    HPopt, HE, IBR, HLN (Hyaline-1S) — plus the composed stall-aware
+    hybrid, HYB. *)
 
 val robust_schemes : scheme list
 

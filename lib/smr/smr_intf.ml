@@ -31,18 +31,42 @@ type 'v desc = {
   hdr : 'v -> Memory.Hdr.t;
 }
 
+(* Clamp bounds for the adaptive threshold controller (Tuner).  The
+   controller may move the effective limbo threshold (Hyaline: batch
+   size) anywhere in [min_threshold, max_threshold]; [max_threshold] is
+   the hard memory-side cap, the control law only picks a point inside. *)
+type bounds = { min_threshold : int; max_threshold : int }
+
+type adaptive = [ `Off | `On of bounds ]
+
 type config = {
   limbo_threshold : int;
       (* R: a reclamation pass is attempted every R retire calls (128 in the
-         paper's calibration). *)
+         paper's calibration).  With [adaptive = `On] this is only the
+         starting point; the per-handle Tuner moves the effective value. *)
   epoch_freq : int;
       (* global epoch/era increment every this many retires (12 x threads in
          the paper's calibration). *)
   batch_size : int; (* Hyaline-1S dispatch batch size. *)
+  adaptive : adaptive;
+      (* `Off: thresholds are static, exactly the pre-tuner behaviour.
+         `On bounds: each handle runs a feedback controller that widens
+         the threshold on empty sweeps and tightens it on gauge growth,
+         clamped to [bounds]. *)
+  stale_eras : int;
+      (* Hybrid only: how many eras a reservation may lag the global era
+         before reclamation escalates from the cheap single-bound sweep
+         to the full IBR interval sweep. *)
 }
 
 let default_config ~threads =
-  { limbo_threshold = 128; epoch_freq = 12 * threads; batch_size = 32 }
+  {
+    limbo_threshold = 128;
+    epoch_freq = 12 * threads;
+    batch_size = 32;
+    adaptive = `Off;
+    stale_eras = 8;
+  }
 
 (* Forward-compatible constructor: call sites name only the knobs they care
    about, so growing [config] (e.g. with chaos-related fields) does not
@@ -61,18 +85,54 @@ let positive_field name v =
          name v);
   v
 
-let make_config ?limbo_threshold ?epoch_freq ?batch_size ~threads () =
+let make_config ?limbo_threshold ?epoch_freq ?batch_size ?adaptive ?stale_eras
+    ~threads () =
   let d = default_config ~threads:(positive_field "threads" threads) in
+  let limbo_threshold =
+    positive_field "limbo_threshold"
+      (Option.value limbo_threshold ~default:d.limbo_threshold)
+  in
+  let batch_size =
+    positive_field "batch_size" (Option.value batch_size ~default:d.batch_size)
+  in
+  (* A threshold below the batch size silently under-fills Hyaline-style
+     batches: the pass fires before a batch is ever full, so dispatch
+     degenerates to near-singleton batches.  Reject it loudly. *)
+  if limbo_threshold < batch_size then
+    invalid_arg
+      (Printf.sprintf
+         "Smr_intf.make_config: limbo_threshold (%d) must be >= batch_size \
+          (%d)"
+         limbo_threshold batch_size);
+  let adaptive =
+    match Option.value adaptive ~default:d.adaptive with
+    | `Off -> `Off
+    | `On b ->
+        ignore (positive_field "adaptive min_threshold" b.min_threshold);
+        if b.max_threshold < b.min_threshold then
+          invalid_arg
+            (Printf.sprintf
+               "Smr_intf.make_config: adaptive max_threshold (%d) must be >= \
+                min_threshold (%d)"
+               b.max_threshold b.min_threshold);
+        if b.min_threshold < batch_size then
+          invalid_arg
+            (Printf.sprintf
+               "Smr_intf.make_config: adaptive min_threshold (%d) must be >= \
+                batch_size (%d)"
+               b.min_threshold batch_size);
+        `On b
+  in
   {
-    limbo_threshold =
-      positive_field "limbo_threshold"
-        (Option.value limbo_threshold ~default:d.limbo_threshold);
+    limbo_threshold;
     epoch_freq =
       positive_field "epoch_freq"
         (Option.value epoch_freq ~default:d.epoch_freq);
-    batch_size =
-      positive_field "batch_size"
-        (Option.value batch_size ~default:d.batch_size);
+    batch_size;
+    adaptive;
+    stale_eras =
+      positive_field "stale_eras"
+        (Option.value stale_eras ~default:d.stale_eras);
   }
 
 (* Called (instead of failing or silently succeeding) when [adopt] runs on a

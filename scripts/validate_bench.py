@@ -114,6 +114,41 @@ CHAOS_RUN_KEYS = {
 
 CHAOS_POINTS = ("start_op", "read", "retire", "reclaim")
 
+# bench/micro --tune emits runs with "kind": "tune" (static reclamation
+# thresholds vs the adaptive controller on a phase-shifting workload);
+# only the adaptive run carries "speedup".
+TUNE_RUN_KEYS = {
+    "kind": str,
+    "scheme": str,
+    "structure": str,
+    "threads": int,
+    "mode": str,
+    "threshold": int,
+    "tuned_threshold": int,
+    "ops": int,
+    "duration": (int, float),
+    "throughput": (int, float),
+    "max_unreclaimed": int,
+    "sweeps": int,
+    "scanned": int,
+}
+
+TUNE_MODES = ("static", "oracle", "adaptive")
+
+# `scotbench chaos --scheme hybrid` additionally emits one "kind":
+# "floor" run: the hybrid's clean-run throughput against EBR.
+FLOOR_RUN_KEYS = {
+    "kind": str,
+    "structure": str,
+    "threads": int,
+    "range": int,
+    "duration": (int, float),
+    "hyb_throughput": (int, float),
+    "ebr_throughput": (int, float),
+    "ratio": (int, float),
+    "ok": bool,
+}
+
 FUZZ_RUN_KEYS = {
     "kind": str,
     "structure": str,
@@ -273,6 +308,27 @@ def validate(path):
                          f"{where}.mem_series[{j}] timestamps not ordered")
                 last_t = sample["t"]
             continue
+        if run.get("kind") == "tune":
+            require(path, run, TUNE_RUN_KEYS, where)
+            if run["mode"] not in TUNE_MODES:
+                fail(path, f"{where}.mode = {run['mode']!r}")
+            if run["threshold"] < 1 or run["tuned_threshold"] < 1:
+                fail(path, f"{where} thresholds must be positive")
+            if run["mode"] in ("static", "oracle") and \
+                    run["tuned_threshold"] != run["threshold"]:
+                fail(path, f"{where} static run but tuned != threshold")
+            speedup = run.get("speedup")
+            if run["mode"] == "adaptive":
+                if not isinstance(speedup, (int, float)) or speedup <= 0:
+                    fail(path, f"{where} adaptive run needs a speedup")
+            elif speedup is not None:
+                fail(path, f"{where} non-adaptive run must not carry speedup")
+            continue
+        if run.get("kind") == "floor":
+            require(path, run, FLOOR_RUN_KEYS, where)
+            if run["hyb_throughput"] < 0 or run["ebr_throughput"] < 0:
+                fail(path, f"{where} negative throughput")
+            continue
         if run.get("kind") == "fuzz":
             require(path, run, FUZZ_RUN_KEYS, where)
             uaf_seed = run.get("uaf_seed")
@@ -318,6 +374,11 @@ def run_key(run):
     if run.get("kind") == "recovery":
         return ("recovery", run["structure"], run["scheme"],
                 run["threads"], run["crashed"], run["range"])
+    if run.get("kind") == "tune":
+        return ("tune", run["structure"], run["scheme"], run["threads"],
+                run["mode"], run["threshold"])
+    if run.get("kind") == "floor":
+        return ("floor", run["structure"], run["threads"], run["range"])
     if run.get("kind") == "fuzz":
         return ("fuzz", run["structure"], run["scheme"])
     mix = run["mix"]

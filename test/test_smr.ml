@@ -203,7 +203,9 @@ let test_era_stamping (module S : Smr.Smr_intf.S) () =
   done;
   S.retire th (reclaimable h);
   let uses_eras =
-    match S.name with "HE" | "IBR" | "HLN" | "EBR" -> true | _ -> false
+    match S.name with
+    | "HE" | "IBR" | "HLN" | "EBR" | "HYB" -> true
+    | _ -> false
   in
   if uses_eras then
     check "retire era >= birth era" true
@@ -241,17 +243,30 @@ let config_huge =
   Smr.Smr_intf.make_config ~limbo_threshold:1_000_000 ~epoch_freq:max_int
     ~batch_size:1_000_000 ~threads:1 ()
 
+(* Same calibration with the tuner compiled in and active: bounds high
+   enough that no pass fires mid-measurement, but the controller (atomic
+   threshold read on every retire, observe on every sweep) is live. *)
+let config_huge_adaptive =
+  Smr.Smr_intf.make_config ~limbo_threshold:1_000_000 ~epoch_freq:max_int
+    ~batch_size:1_000_000
+    ~adaptive:
+      (`On
+        {
+          Smr.Smr_intf.min_threshold = 1_000_000;
+          max_threshold = 4_000_000;
+        })
+    ~threads:1 ()
+
 (* The HList operation fast paths must allocate zero minor words once the
    node pool is warm: staged protected loads, canonical link records,
    prebuilt retire records and handle-owned traversal scratch leave nothing
-   to cons.  Asserted for EBR/HP/HPopt/HE/IBR; NR's insert legitimately
+   to cons.  Asserted for EBR/HP/HPopt/HE/IBR/HYB; NR's insert legitimately
    allocates (it never reclaims, so the freelist stays empty) and
    Hyaline-1S pays a by-design per-op cons for its batch reference. *)
-let test_zero_alloc_ops (module S : Smr.Smr_intf.S) () =
+let test_zero_alloc_ops_with ~config (module S : Smr.Smr_intf.S) () =
   let module L = Scot.Harris_list.Make (S) in
   let smr =
-    S.create ~config:config_huge ~threads:1
-      ~slots:Scot.Harris_list.slots_needed ()
+    S.create ~config ~threads:1 ~slots:Scot.Harris_list.slots_needed ()
   in
   let t = L.create ~smr ~threads:1 () in
   let h = L.handle t ~tid:0 in
@@ -279,7 +294,7 @@ let test_zero_alloc_ops (module S : Smr.Smr_intf.S) () =
   in
   let assertable =
     match S.name with
-    | "EBR" | "HP" | "HPopt" | "HE" | "IBR" -> true
+    | "EBR" | "HP" | "HPopt" | "HE" | "IBR" | "HYB" -> true
     | _ -> false
   in
   (* Full searches across hits, misses and the whole key range. *)
@@ -311,6 +326,11 @@ let test_zero_alloc_ops (module S : Smr.Smr_intf.S) () =
       true
       (wr_words <= 0.01)
   end
+
+let test_zero_alloc_ops = test_zero_alloc_ops_with ~config:config_huge
+
+let test_zero_alloc_ops_adaptive =
+  test_zero_alloc_ops_with ~config:config_huge_adaptive
 
 (* Staged-reader law: for any link value installed in a field, [read_field]
    through the prebuilt descriptor observes exactly the physical record the
@@ -470,21 +490,96 @@ let test_make_config_validation () =
       Smr.Smr_intf.make_config ~epoch_freq:(-4) ~threads:1 ());
   expect_invalid "batch_size" (fun () ->
       Smr.Smr_intf.make_config ~batch_size:(-1) ~threads:1 ());
+  expect_invalid "stale_eras" (fun () ->
+      Smr.Smr_intf.make_config ~stale_eras:0 ~threads:1 ());
+  (* A threshold below the batch size silently under-fills Hyaline
+     batches; the rejection must name both fields. *)
+  (match
+     Smr.Smr_intf.make_config ~limbo_threshold:4 ~batch_size:8 ~threads:1 ()
+   with
+  | (_ : Smr.Smr_intf.config) ->
+      Alcotest.fail "make_config accepted limbo_threshold < batch_size"
+  | exception Invalid_argument msg ->
+      check "error names limbo_threshold" true (contains msg "limbo_threshold");
+      check "error names batch_size" true (contains msg "batch_size"));
+  expect_invalid "min_threshold" (fun () ->
+      Smr.Smr_intf.make_config
+        ~adaptive:
+          (`On { Smr.Smr_intf.min_threshold = 0; max_threshold = 128 })
+        ~threads:1 ());
+  expect_invalid "max_threshold" (fun () ->
+      Smr.Smr_intf.make_config
+        ~adaptive:
+          (`On { Smr.Smr_intf.min_threshold = 256; max_threshold = 128 })
+        ~batch_size:16 ~threads:1 ());
+  (* Adaptive bounds must respect the batch-size floor too, or the
+     controller could tighten Hyaline below a dispatchable batch. *)
+  expect_invalid "batch_size" (fun () ->
+      Smr.Smr_intf.make_config
+        ~adaptive:
+          (`On { Smr.Smr_intf.min_threshold = 8; max_threshold = 128 })
+        ~batch_size:16 ~threads:1 ());
   let c =
     Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:1 ~batch_size:1
       ~threads:1 ()
   in
   check_int "minimal config accepted" 1 c.Smr.Smr_intf.limbo_threshold
 
+(* Tuner bounds law: whatever sweep/dispatch outcomes the controller
+   observes, the effective threshold never leaves [min, max]. *)
+let test_tuner_bounds =
+  let qtest =
+    QCheck.Test.make ~count:200 ~name:"tuner threshold stays within bounds"
+      QCheck.(
+        triple (int_range 1 64) (int_range 0 64)
+          (small_list
+             (triple (int_bound 4096) (int_bound 4096) (int_bound 8192))))
+      (fun (min_b, extra, trace) ->
+        let max_b = min_b + extra in
+        let config =
+          Smr.Smr_intf.make_config
+            ~adaptive:
+              (`On
+                { Smr.Smr_intf.min_threshold = min_b; max_threshold = max_b })
+            ~batch_size:min_b ~threads:1 ()
+        in
+        let tu = Smr.Tuner.create ~config ~start:min_b in
+        List.for_all
+          (fun (scanned, freed, gauge) ->
+            (* Interleave sweep and dispatch observations; reclaimed can
+               never exceed scanned in a real sweep, so clamp it. *)
+            Smr.Tuner.observe tu ~scanned ~reclaimed:(min freed scanned)
+              ~gauge;
+            let a = Smr.Tuner.threshold tu in
+            Smr.Tuner.observe_dispatch tu ~gauge:(gauge / 2);
+            let b = Smr.Tuner.threshold tu in
+            min_b <= a && a <= max_b && min_b <= b && b <= max_b)
+          trace)
+  in
+  QCheck_alcotest.to_alcotest qtest
+
+(* With adaptive off, the threshold is pinned to the start value no
+   matter what the controller observes — today's static behaviour. *)
+let test_tuner_static_off () =
+  let config = Smr.Smr_intf.make_config ~threads:1 () in
+  let tu = Smr.Tuner.create ~config ~start:128 in
+  for i = 1 to 50 do
+    Smr.Tuner.observe tu ~scanned:100 ~reclaimed:0 ~gauge:(i * 100)
+  done;
+  check_int "threshold unchanged with adaptive off" 128
+    (Smr.Tuner.threshold tu)
+
 (* Registry sanity. *)
 let test_registry () =
-  check_int "seven schemes" 7 (List.length Smr.Registry.all);
+  check_int "eight schemes" 8 (List.length Smr.Registry.all);
   check "find is case-insensitive" true
     (match Smr.Registry.find "hpopt" with Some _ -> true | None -> false);
+  check "hybrid is registered" true
+    (match Smr.Registry.find "hyb" with Some _ -> true | None -> false);
   (match Smr.Registry.find_exn "nope" with
   | _ -> Alcotest.fail "unknown scheme accepted"
   | exception Invalid_argument _ -> ());
-  check_int "five robust schemes" 5 (List.length Smr.Registry.robust_schemes)
+  check_int "six robust schemes" 6 (List.length Smr.Registry.robust_schemes)
 
 let per_scheme name f =
   List.map
@@ -511,6 +606,9 @@ let () =
         ] );
       ("eras", per_scheme "era stamping" test_era_stamping);
       ("op-allocs", per_scheme "zero-alloc HList ops" test_zero_alloc_ops);
+      ( "op-allocs-adaptive",
+        per_scheme "zero-alloc HList ops with tuner on"
+          test_zero_alloc_ops_adaptive );
       ("reader-law", List.map test_reader_law Smr.Registry.all);
       ("guard-law", List.map test_guarded_read_law Smr.Registry.all);
       ( "end-op-unpublishes",
@@ -520,6 +618,12 @@ let () =
         [
           Alcotest.test_case "make_config validation" `Quick
             test_make_config_validation;
+        ] );
+      ( "tuner",
+        [
+          test_tuner_bounds;
+          Alcotest.test_case "static when adaptive off" `Quick
+            test_tuner_static_off;
         ] );
       ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
     ]
