@@ -61,37 +61,21 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
     (Workload.prefill_keys ~range ~seed);
   let go = Atomic.make false in
   let stop = Atomic.make false in
-  (* Phase machinery: workers read the current mix from [phase_mixes]
+  (* Phase machinery: workers read the current mix from the schedule
      through one atomic index per op; the coordinator advances the index
      from its sampling loop (so phase resolution is [sample_every]).
      With no [phases] the index stays 0 and the single entry is [mix] —
      the static behaviour. *)
-  let phase_mixes =
-    match phases with
-    | [] -> [| mix |]
-    | ps -> Array.of_list (List.map (fun (p : Workload.phase) -> p.p_mix) ps)
+  let sched = Workload.schedule ~fallback:mix phases in
+  (* Hoisted mix array: the worker hot loop indexes it unsafely rather
+     than calling across the module boundary per op. *)
+  let mixes =
+    Array.init (Workload.phase_count sched) (Workload.phase_mix sched)
   in
-  let phase_ends =
-    match phases with
-    | [] -> [| infinity |]
-    | ps ->
-        let acc = ref 0.0 in
-        Array.of_list
-          (List.map
-             (fun (p : Workload.phase) ->
-               acc := !acc +. p.p_for;
-               !acc)
-             ps)
-  in
-  let phase_total = phase_ends.(Array.length phase_ends - 1) in
   let phase_idx = Atomic.make 0 in
   let set_phase now =
-    let n = Array.length phase_mixes in
-    if n > 1 then begin
-      (* The sequence cycles for the whole run. *)
-      let t = Float.rem now phase_total in
-      let rec find i = if i = n - 1 || t < phase_ends.(i) then i else find (i + 1) in
-      let i = find 0 in
+    if Workload.phase_count sched > 1 then begin
+      let i = Workload.phase_index sched now in
       if Atomic.get phase_idx <> i then Atomic.set phase_idx i
     end
   in
@@ -135,7 +119,7 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
            let key = Workload.draw sampler rng in
            let op =
              Workload.op_for rng
-               (Array.unsafe_get phase_mixes (Atomic.get phase_idx))
+               (Array.unsafe_get mixes (Atomic.get phase_idx))
            in
            let t0 = Unix.gettimeofday () in
            let hit =
@@ -160,7 +144,7 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
            let key = Workload.draw sampler rng in
            (match
               Workload.op_for rng
-                (Array.unsafe_get phase_mixes (Atomic.get phase_idx))
+                (Array.unsafe_get mixes (Atomic.get phase_idx))
             with
            | Workload.Search ->
                Metrics.count recorder Metrics.Search ~hit:(inst.search ~tid key)

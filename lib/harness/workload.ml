@@ -276,6 +276,49 @@ let phases_of_string s =
   | [] | [ "" ] -> fail ()
   | items -> List.map parse_one items
 
+(* Compiled form of a phase list, shared by Runner and Serve: workers
+   read the current mix through one atomic index that the coordinator
+   advances from its sampling loop via [phase_index]. *)
+type schedule = { s_mixes : mix array; s_ends : float array; s_total : float }
+
+let schedule ~fallback = function
+  | [] -> { s_mixes = [| fallback |]; s_ends = [| infinity |]; s_total = infinity }
+  | ps ->
+      List.iter
+        (fun p ->
+          if p.p_for <= 0.0 then
+            invalid_arg "Workload.schedule: phase duration must be positive")
+        ps;
+      let acc = ref 0.0 in
+      let ends =
+        Array.of_list
+          (List.map
+             (fun p ->
+               acc := !acc +. p.p_for;
+               !acc)
+             ps)
+      in
+      {
+        s_mixes = Array.of_list (List.map (fun p -> p.p_mix) ps);
+        s_ends = ends;
+        s_total = !acc;
+      }
+
+let phase_count s = Array.length s.s_mixes
+
+let phase_index s now =
+  let n = Array.length s.s_mixes in
+  if n = 1 then 0
+  else begin
+    (* The sequence cycles for the whole run. *)
+    let t = Float.rem now s.s_total in
+    let rec find i = if i = n - 1 || t < s.s_ends.(i) then i else find (i + 1) in
+    find 0
+  end
+
+let phase_mix s i = s.s_mixes.(i)
+let mix_at s now = s.s_mixes.(phase_index s now)
+
 (* Deterministic shuffled enumeration of [0, range): used to prefill 50% of
    the key range with unique keys without degenerating the tree shape. *)
 let prefill_keys ~range ~seed =

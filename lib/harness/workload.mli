@@ -75,6 +75,27 @@ val drain_mix : mix
     malformed input. *)
 val phases_of_string : string -> phase list
 
+type schedule
+(** A phase list compiled for cheap elapsed-time lookup.  Runner and
+    Serve advance one atomic phase index from their coordinator's
+    sampling loop; workers read the current mix through it per op. *)
+
+(** [schedule ~fallback phases] — the empty list compiles to a single
+    never-ending [fallback] phase (the static behaviour).  Raises
+    [Invalid_argument] on a non-positive phase duration. *)
+val schedule : fallback:mix -> phase list -> schedule
+
+val phase_count : schedule -> int
+
+(** [phase_index s now] is the phase active [now] seconds into the run.
+    The sequence cycles: a schedule of total length T restarts at T. *)
+val phase_index : schedule -> float -> int
+
+val phase_mix : schedule -> int -> mix
+
+val mix_at : schedule -> float -> mix
+(** [mix_at s now] = [phase_mix s (phase_index s now)]. *)
+
 (** [prefill_keys ~range ~seed] is a deterministic shuffled array of
     [range/2] unique keys in [0, range) — the paper's "prefill with unique
     keys using 50% of the key range". *)

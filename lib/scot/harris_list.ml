@@ -392,6 +392,11 @@ module Make (S : Smr.Smr_intf.S) = struct
   let range_mem h ~lo ~hi =
     if lo > hi then [] else S.with_op3 h.s range_body h lo hi
 
+  (* Batch composition entry point (see the interface comment): enter one
+     bracket on this handle's registration and hand its token to a body
+     that dispatches to the exported op bodies above. *)
+  let with_op2 h body a b = S.with_op2 h.s body a b
+
   (* Force the scheme's reclamation machinery; for shutdown and tests. *)
   let quiesce h = S.flush h.s
 

@@ -77,6 +77,33 @@ module Make (S : Smr.Smr_intf.S) : sig
       several simultaneously protected nodes whose branded guards are
       passed between traversal steps under one operation token. *)
 
+  (** {2 Single-bracket batch composition}
+
+      The operation bodies are top-level rank-2 records ({!Smr.Smr_intf.op2}):
+      universally quantified in the bracket brand ['op], so they run under
+      {e any} live token — which is what lets a multi-operation wrapper
+      (the hash map's [apply_batch], the store tier's batch dispatch)
+      execute a whole group of operations under a single
+      [start_op]/[end_op], paying one reservation publish per group
+      instead of per op.  Rules: enter the bracket through {!with_op2} on
+      a handle of the same thread id and SMR instance as every handle the
+      body touches (bucket handles of one hash-map handle satisfy this by
+      construction — per-tid reservation cells are physically shared
+      across registrations), and run the bodies sequentially: element
+      [i+1] reuses the hazard slots of element [i], exactly as two
+      back-to-back brackets would.  Holding the bracket across the group
+      delays era/epoch release until the group ends — the deliberate
+      batching trade-off (memory held slightly longer for fewer publishes). *)
+
+  val with_op2 : handle -> ('a, 'b, 'r) Smr.Smr_intf.op2 -> 'a -> 'b -> 'r
+  (** Enter one branded bracket on this handle's registration. *)
+
+  val search_body : (handle, int, bool) Smr.Smr_intf.op2
+
+  val insert_body : (handle, int, bool) Smr.Smr_intf.op2
+
+  val delete_body : (handle, int, bool) Smr.Smr_intf.op2
+
   val quiesce : handle -> unit
   (** Force a reclamation pass on this thread's retired nodes. *)
 

@@ -14,7 +14,22 @@ module Make (S : Smr.Smr_intf.S) = struct
   module L = Harris_list.Make (S)
 
   type t = { buckets : L.t array; nbuckets : int }
-  type handle = { t : t; hs : L.handle array }
+
+  (* [apply_batch]'s same-key read-coalescing cache: single-owner
+     scratch, one direct-mapped slot row per handle, validated by a
+     per-dispatch stamp so it never survives a batch (other threads may
+     mutate between brackets).  [cm] holds the key's membership as of
+     its last intra-batch operation. *)
+  type handle = {
+    t : t;
+    hs : L.handle array;
+    ck : int array;  (* slot -> key *)
+    cm : bool array;  (* slot -> membership after the key's last op *)
+    cs : int array;  (* slot -> stamp that wrote the slot *)
+    mutable stamp : int;
+  }
+
+  let cache_slots = 128
 
   let create ?recovery ?recycle ?(buckets = 64) ~smr ~threads () =
     if buckets <= 0 then invalid_arg "Hashmap.create: buckets must be positive";
@@ -25,14 +40,90 @@ module Make (S : Smr.Smr_intf.S) = struct
     }
 
   let handle t ~tid =
-    { t; hs = Array.map (fun b -> L.handle b ~tid) t.buckets }
+    {
+      t;
+      hs = Array.map (fun b -> L.handle b ~tid) t.buckets;
+      ck = Array.make cache_slots 0;
+      cm = Array.make cache_slots false;
+      cs = Array.make cache_slots (-1);
+      stamp = 0;
+    }
 
   (* Fibonacci hashing spreads consecutive keys across buckets. *)
   let bucket_of t key = abs (key * 0x9E3779B97F4A7C5) mod t.nbuckets
 
+  (* Cache slot: high product bits, distinct from [bucket_of]'s low-bit
+     reduction so slot collisions do not track bucket collisions. *)
+  let slot_of key = (key * 0x9E3779B97F4A7C5) lsr 45 land (cache_slots - 1)
+
   let insert h key = L.insert h.hs.(bucket_of h.t key) key
   let delete h key = L.delete h.hs.(bucket_of h.t key) key
   let search h key = L.search h.hs.(bucket_of h.t key) key
+
+  (* Single-bracket batch dispatch: execute every request in the buffer
+     under ONE [start_op]/[end_op] — one reservation publish for the
+     whole group instead of one per op (the store tier's amortization).
+     Safe because the bucket handles share this tid's physical SMR cells
+     (reservations, hazard slots, Hyaline head), so a bracket entered
+     through any of them covers bodies run through the others; requests
+     execute sequentially, each reusing the hazard slots of the previous
+     one exactly as back-to-back brackets would. *)
+  let apply_batch_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h (b : Batch_op.buf) ->
+          (* Same-key coalescing: once an op in this batch has touched a
+             key, the key's membership at the next same-key op's
+             linearization point is known — every element of the group
+             may linearize anywhere inside this single bracket, so a
+             repeated op may linearize immediately after its
+             predecessor.  At that point a get just reports the cached
+             membership, a put on a present key is a failed no-op, and a
+             delete on an absent key is a failed no-op; none of the
+             three needs a traversal.  Only state-changing repeats (put
+             after absent, delete after present) execute physically. *)
+          h.stamp <- h.stamp + 1;
+          let stamp = h.stamp in
+          for i = 0 to b.Batch_op.n - 1 do
+            let key = b.Batch_op.keys.(i) in
+            let kind = b.Batch_op.kinds.(i) in
+            let s = slot_of key in
+            let known = h.cs.(s) = stamp && h.ck.(s) = key in
+            if
+              known
+              && (if kind = Batch_op.get then true
+                  else if kind = Batch_op.put then h.cm.(s)
+                  else not h.cm.(s))
+            then
+              b.Batch_op.results.(i) <-
+                (if kind = Batch_op.get then h.cm.(s) else false)
+            else begin
+              let lh = h.hs.(bucket_of h.t key) in
+              let r =
+                if kind = Batch_op.get then
+                  L.search_body.Smr.Smr_intf.op2 tok lh key
+                else if kind = Batch_op.put then
+                  L.insert_body.Smr.Smr_intf.op2 tok lh key
+                else L.delete_body.Smr.Smr_intf.op2 tok lh key
+              in
+              b.Batch_op.results.(i) <- r;
+              h.ck.(s) <- key;
+              h.cs.(s) <- stamp;
+              (* Membership after the op: get reports it, a put leaves
+                 the key present, a delete leaves it absent. *)
+              h.cm.(s) <- (if kind = Batch_op.get then r else kind = Batch_op.put)
+            end
+          done);
+    }
+
+  let apply_batch h (b : Batch_op.buf) =
+    (* Validate before entering: a raise inside the bracket deliberately
+       skips [end_op] (crash semantics), which a bad key must not trigger. *)
+    for i = 0 to b.Batch_op.n - 1 do
+      if b.Batch_op.keys.(i) >= max_int then
+        invalid_arg "Hashmap.apply_batch: key must be < max_int"
+    done;
+    if b.Batch_op.n > 0 then L.with_op2 h.hs.(0) apply_batch_body h b
 
   let quiesce h = Array.iter L.quiesce h.hs
 

@@ -24,6 +24,22 @@ module Make (S : Smr.Smr_intf.S) : sig
   val insert : handle -> int -> bool
   val delete : handle -> int -> bool
   val search : handle -> int -> bool
+
+  val apply_batch : handle -> Batch_op.buf -> unit
+  (** Execute every pending request in the buffer — routed to its bucket
+      by key hash — under a {e single} [start_op]/[end_op] bracket,
+      writing each result into [results].  One reservation publish per
+      group instead of per op; requests run sequentially in buffer
+      order, so intra-batch operations on the same key observe each
+      other.  Same-key repeats are coalesced: since every request in
+      the group may linearize anywhere inside the shared bracket, a
+      repeated op linearizes immediately after its predecessor on that
+      key — a get reuses the known membership, and a put (delete) on a
+      key known present (absent) is a failed no-op — skipping the
+      traversal.  Results are identical to running the batch
+      sequentially.  The buffer is left intact (caller calls
+      {!Batch_op.clear}). *)
+
   val quiesce : handle -> unit
 
   val recover : handle -> handle

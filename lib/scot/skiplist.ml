@@ -156,7 +156,16 @@ module Make (S : Smr.Smr_intf.S) = struct
     mutable lf_prev : link Atomic.t;
     mutable lf_expected : link;
     mutable lf_pred : node option;
+    (* [apply_batch]'s same-key coalescing cache (see Hashmap): slot
+       valid only while [cs] matches the current dispatch's stamp. *)
+    ck : int array;  (* slot -> key *)
+    cm : bool array;  (* slot -> membership after the key's last op *)
+    cs : int array;  (* slot -> stamp that wrote the slot *)
+    mutable stamp : int;
   }
+
+  let cache_slots = 128
+  let slot_of key = (key * 0x9E3779B97F4A7C5) lsr 45 land (cache_slots - 1)
 
   (* [optimistic:false] gives the Herlihy-Shavit-style baseline: searches
      run the eager-unlink traversal too (no read-only searches), which is
@@ -189,6 +198,10 @@ module Make (S : Smr.Smr_intf.S) = struct
       lf_prev = t.head.(0);
       lf_expected = null_link;
       lf_pred = None;
+      ck = Array.make cache_slots 0;
+      cm = Array.make cache_slots false;
+      cs = Array.make cache_slots (-1);
+      stamp = 0;
     }
 
   (* Geometric tower height (p = 1/2), capped at [max_height]; xorshift on
@@ -486,6 +499,58 @@ module Make (S : Smr.Smr_intf.S) = struct
   let delete h key =
     check_key key;
     S.with_op2 h.s delete_body h key
+
+  (* Single-bracket batch dispatch (see Hashmap.apply_batch): every
+     request in the buffer runs under one [start_op]/[end_op], each
+     reusing the traversal scratch and hazard slots of the previous one
+     exactly as back-to-back brackets would.  Same-key repeats coalesce
+     against the handle's membership cache exactly as in the hashmap:
+     a repeated op linearizes immediately after its predecessor, so a
+     get reports the cached membership and redundant put/delete
+     repeats are failed no-ops; only state-changing repeats run. *)
+  let apply_batch_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun tok h (b : Batch_op.buf) ->
+          h.stamp <- h.stamp + 1;
+          let stamp = h.stamp in
+          for i = 0 to b.Batch_op.n - 1 do
+            let key = b.Batch_op.keys.(i) in
+            let kind = b.Batch_op.kinds.(i) in
+            let s = slot_of key in
+            let known = h.cs.(s) = stamp && h.ck.(s) = key in
+            if
+              known
+              && (if kind = Batch_op.get then true
+                  else if kind = Batch_op.put then h.cm.(s)
+                  else not h.cm.(s))
+            then
+              b.Batch_op.results.(i) <-
+                (if kind = Batch_op.get then h.cm.(s) else false)
+            else begin
+              let r =
+                if kind = Batch_op.get then
+                  search_body.Smr.Smr_intf.op2 tok h key
+                else if kind = Batch_op.put then
+                  insert_body.Smr.Smr_intf.op2 tok h key
+                else delete_body.Smr.Smr_intf.op2 tok h key
+              in
+              b.Batch_op.results.(i) <- r;
+              h.ck.(s) <- key;
+              h.cs.(s) <- stamp;
+              h.cm.(s) <- (if kind = Batch_op.get then r else kind = Batch_op.put)
+            end
+          done);
+    }
+
+  let apply_batch h (b : Batch_op.buf) =
+    (* Validate before entering the bracket: a raise inside it skips
+       [end_op] by design. *)
+    for i = 0 to b.Batch_op.n - 1 do
+      if b.Batch_op.keys.(i) >= max_int then
+        invalid_arg "Skiplist.apply_batch: key must be < max_int"
+    done;
+    if b.Batch_op.n > 0 then S.with_op2 h.s apply_batch_body h b
 
   let quiesce h = S.flush h.s
 

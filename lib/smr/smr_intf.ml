@@ -123,17 +123,34 @@ let make_config ?limbo_threshold ?epoch_freq ?batch_size ?adaptive ?stale_eras
                b.min_threshold batch_size);
         `On b
   in
-  {
-    limbo_threshold;
-    epoch_freq =
-      positive_field "epoch_freq"
-        (Option.value epoch_freq ~default:d.epoch_freq);
-    batch_size;
-    adaptive;
-    stale_eras =
-      positive_field "stale_eras"
-        (Option.value stale_eras ~default:d.stale_eras);
-  }
+  let epoch_freq =
+    positive_field "epoch_freq" (Option.value epoch_freq ~default:d.epoch_freq)
+  in
+  let stale_eras_given = Option.is_some stale_eras in
+  let stale_eras =
+    positive_field "stale_eras" (Option.value stale_eras ~default:d.stale_eras)
+  in
+  (* The hybrid escalates to its interval sweep only once a reservation
+     lags the era by [stale_eras] — a staleness window of roughly
+     [stale_eras * epoch_freq] retires (see lib/smr/hybrid.ml).  Under an
+     adaptive config, [max_threshold] is the memory-side cap the tuner is
+     allowed to widen to; a staleness window beyond that cap means the
+     cheap clean-mode predicate can pin more nodes than the cap admits
+     before escalation can ever fire, silently forfeiting the robustness
+     the caller asked for.  Only an explicitly chosen [stale_eras] is
+     checked: the default window is calibration-compatible (measurement
+     configs park the era machinery with [epoch_freq = max_int]).
+     Compared by division — the product overflows for such configs. *)
+  (match adaptive with
+  | `On b when stale_eras_given && stale_eras > b.max_threshold / epoch_freq ->
+      invalid_arg
+        (Printf.sprintf
+           "Smr_intf.make_config: stale_eras (%d) x epoch_freq (%d) exceeds \
+            the adaptive max_threshold (%d): escalation could never fire \
+            below the memory cap"
+           stale_eras epoch_freq b.max_threshold)
+  | _ -> ());
+  { limbo_threshold; epoch_freq; batch_size; adaptive; stale_eras }
 
 (* Called (instead of failing or silently succeeding) when [adopt] runs on a
    scheme that cannot turn the adoption into bounded memory — NR leaks by

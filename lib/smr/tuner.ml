@@ -34,39 +34,59 @@ type t = {
   threshold : int Atomic.t; (* current effective threshold *)
   lo : int; (* clamp bounds; lo = hi = start when not adaptive *)
   hi : int;
+  epoch_freq : int Atomic.t; (* current effective era-advance period *)
+  ef_lo : int; (* clamp bounds; ef_lo = ef_hi = config value when static *)
+  ef_hi : int;
   adaptive : bool;
   mutable last_gauge : int;
   mutable sweeps : int;
   mutable low_hit : int; (* sweeps that freed < 1/4 of what they scanned *)
   mutable widens : int;
   mutable tightens : int;
+  mutable ef_widens : int;
+  mutable ef_tightens : int;
   mutable scanned : int; (* lifetime nodes examined by sweeps *)
   mutable reclaimed : int; (* lifetime nodes freed by sweeps *)
 }
 
 let clamp ~lo ~hi v = min hi (max lo v)
 
+(* [epoch_freq] has no configured bounds of its own: it moves within one
+   [x8] band around the configured value.  The band is asymmetric on
+   purpose at the extremes — [max 1] below (a zero period divides by
+   zero) and saturation above ([config_huge]-style calibrations use
+   [max_int], which [x8] would wrap). *)
+let ef_band ef = (max 1 (ef / 8), if ef > max_int / 8 then max_int else ef * 8)
+
 let create ~(config : Smr_intf.config) ~start =
-  let lo, hi, adaptive =
+  let ef = config.Smr_intf.epoch_freq in
+  let lo, hi, (ef_lo, ef_hi), adaptive =
     match config.Smr_intf.adaptive with
-    | `Off -> (start, start, false)
-    | `On b -> (b.Smr_intf.min_threshold, b.Smr_intf.max_threshold, true)
+    | `Off -> (start, start, (ef, ef), false)
+    | `On b ->
+        (b.Smr_intf.min_threshold, b.Smr_intf.max_threshold, ef_band ef, true)
   in
   {
     threshold = Atomic.make (clamp ~lo ~hi start);
     lo;
     hi;
+    epoch_freq = Atomic.make ef;
+    ef_lo;
+    ef_hi;
     adaptive;
     last_gauge = 0;
     sweeps = 0;
     low_hit = 0;
     widens = 0;
     tightens = 0;
+    ef_widens = 0;
+    ef_tightens = 0;
     scanned = 0;
     reclaimed = 0;
   }
 
 let threshold t = Atomic.get t.threshold
+let epoch_freq t = Atomic.get t.epoch_freq
 
 let widen t =
   let cur = Atomic.get t.threshold in
@@ -84,6 +104,30 @@ let tighten t =
     t.tightens <- t.tightens + 1
   end
 
+(* The era period moves in the opposite sense to the threshold: a low
+   hit-rate means retirees are still too young relative to the published
+   reservations, and a *shorter* period ages them faster (every era
+   advance moves the reclaimability horizon forward); a healthy,
+   non-growing steady state earns the period back ([x2]) so the global
+   era — a cross-domain store amortised over [epoch_freq] retires —
+   stays cheap.  [ef_widen] is saturation-safe: [cur * 2] may overflow
+   when the configured period is already near [max_int]. *)
+let ef_tighten t =
+  let cur = Atomic.get t.epoch_freq in
+  let next = max t.ef_lo (cur / 2) in
+  if next <> cur then begin
+    Atomic.set t.epoch_freq next;
+    t.ef_tightens <- t.ef_tightens + 1
+  end
+
+let ef_widen t =
+  let cur = Atomic.get t.epoch_freq in
+  let next = if cur > t.ef_hi / 2 then t.ef_hi else cur * 2 in
+  if next <> cur then begin
+    Atomic.set t.epoch_freq next;
+    t.ef_widens <- t.ef_widens + 1
+  end
+
 let observe t ~scanned ~reclaimed ~gauge =
   t.sweeps <- t.sweeps + 1;
   t.scanned <- t.scanned + scanned;
@@ -91,7 +135,12 @@ let observe t ~scanned ~reclaimed ~gauge =
   let low = scanned > 0 && reclaimed * 4 < scanned in
   if low then t.low_hit <- t.low_hit + 1;
   if t.adaptive then
-    if low then widen t else if gauge > t.last_gauge then tighten t;
+    if low then begin
+      widen t;
+      ef_tighten t
+    end
+    else if gauge > t.last_gauge then tighten t
+    else ef_widen t;
   t.last_gauge <- gauge
 
 (* Hyaline's dispatch has no hit-rate signal (the whole batch is handed
@@ -103,7 +152,15 @@ let observe t ~scanned ~reclaimed ~gauge =
    equilibrium instead of converging — acceptable for a batch size. *)
 let observe_dispatch t ~gauge =
   t.sweeps <- t.sweeps + 1;
-  if t.adaptive then if gauge > t.last_gauge then tighten t else widen t;
+  if t.adaptive then
+    if gauge > t.last_gauge then begin
+      tighten t;
+      ef_tighten t
+    end
+    else begin
+      widen t;
+      ef_widen t
+    end;
   t.last_gauge <- gauge
 
 (* Aggregate controller counters for [S.stats]: one row per scheme
@@ -116,10 +173,13 @@ let stats_of_array (ts : t option array) =
   if not any then []
   else begin
     let thr = ref 0
+    and ef = ref 0
     and sweeps = ref 0
     and low = ref 0
     and widens = ref 0
     and tightens = ref 0
+    and ef_widens = ref 0
+    and ef_tightens = ref 0
     and scanned = ref 0
     and reclaimed = ref 0 in
     Array.iter
@@ -127,20 +187,26 @@ let stats_of_array (ts : t option array) =
         | None -> ()
         | Some t ->
             thr := max !thr (threshold t);
+            ef := max !ef (epoch_freq t);
             sweeps := !sweeps + t.sweeps;
             low := !low + t.low_hit;
             widens := !widens + t.widens;
             tightens := !tightens + t.tightens;
+            ef_widens := !ef_widens + t.ef_widens;
+            ef_tightens := !ef_tightens + t.ef_tightens;
             scanned := !scanned + t.scanned;
             reclaimed := !reclaimed + t.reclaimed)
       ts;
     [
       ("tuned_threshold", !thr);
+      ("tuned_epoch_freq", !ef);
       ("sweep_passes", !sweeps);
       ("sweep_low_hit", !low);
       ("sweep_scanned", !scanned);
       ("sweep_reclaimed", !reclaimed);
       ("tuner_widens", !widens);
       ("tuner_tightens", !tightens);
+      ("tuner_ef_widens", !ef_widens);
+      ("tuner_ef_tightens", !ef_tightens);
     ]
   end

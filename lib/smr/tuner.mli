@@ -20,6 +20,15 @@ val create : config:Smr_intf.config -> start:int -> t
 (** Current effective threshold (one atomic load — retire-path cheap). *)
 val threshold : t -> int
 
+(** Current effective era-advance period, moved within a [x8] band around
+    [config.epoch_freq] by the same sweep feedback: a low hit-rate
+    tightens it (/2 — advance the era more often so retirees age out of
+    the protection window sooner), a healthy non-growing steady state
+    widens it back (x2 — fewer cross-domain era stores).  Equal to
+    [config.epoch_freq] forever when [adaptive = `Off].  One atomic
+    load. *)
+val epoch_freq : t -> int
+
 (** [observe t ~scanned ~reclaimed ~gauge] reports one sweep: how many
     limbo nodes it examined, how many it freed, and the shared
     unreclaimed gauge after the sweep.  Applies the control law and

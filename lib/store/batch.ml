@@ -1,0 +1,28 @@
+(* Per-client request buffers, one per destination shard.
+
+   Single-owner like the underlying {!Scot.Batch_op.buf}: a client
+   groups its deferred requests by destination shard here, and the store
+   front end dispatches each non-empty group under one SMR bracket.
+   No locking anywhere — a crashed client's pending buffers are simply
+   dropped when the supervisor respawns the worker with a fresh client. *)
+
+type t = { bufs : Scot.Batch_op.buf array; capacity : int }
+
+let create ~shards ~capacity =
+  if shards <= 0 then invalid_arg "Batch.create: shards must be positive";
+  {
+    bufs = Array.init shards (fun _ -> Scot.Batch_op.create ~capacity);
+    capacity;
+  }
+
+let shard_buf t s = t.bufs.(s)
+let capacity t = t.capacity
+let shards t = Array.length t.bufs
+
+let pending t =
+  Array.fold_left (fun acc b -> acc + Scot.Batch_op.length b) 0 t.bufs
+
+let iter_nonempty t f =
+  Array.iteri (fun s b -> if not (Scot.Batch_op.is_empty b) then f s b) t.bufs
+
+let clear t = Array.iter Scot.Batch_op.clear t.bufs

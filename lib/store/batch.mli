@@ -1,0 +1,24 @@
+(** Per-client request buffers grouped by destination shard.
+
+    Single-owner (one client thread); the store front end flushes each
+    non-empty shard group under a single SMR bracket via
+    {!Shard.t.apply_batch}. *)
+
+type t
+
+val create : shards:int -> capacity:int -> t
+(** One buffer per shard, each pre-sized to [capacity] (buffers can
+    still grow past it; the store flushes at [capacity]).  Raises
+    [Invalid_argument] when [shards <= 0] or [capacity <= 0]. *)
+
+val shard_buf : t -> int -> Scot.Batch_op.buf
+val capacity : t -> int
+val shards : t -> int
+
+val pending : t -> int
+(** Total queued requests across all shards. *)
+
+val iter_nonempty : t -> (int -> Scot.Batch_op.buf -> unit) -> unit
+(** [f shard buf] for each non-empty group, ascending shard order. *)
+
+val clear : t -> unit

@@ -1,0 +1,18 @@
+(* Key -> shard routing for the store tier.
+
+   Fibonacci hashing, like the hash map's bucket choice, but taking the
+   HIGH bits of the product where [Hashmap.bucket_of] takes the low bits
+   (mod): shard choice and in-shard bucket choice must stay uncorrelated,
+   or every key routed to one shard would land in a correlated subset of
+   its buckets whenever the shard and bucket counts share factors.  The
+   multiplier is 2^64/phi truncated to OCaml's 63-bit int; [lsr] makes
+   the mixed value non-negative before the reduction. *)
+
+type t = { shards : int }
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  { shards }
+
+let shards t = t.shards
+let shard_of t key = (key * 0x9E3779B97F4A7C5) lsr 17 mod t.shards

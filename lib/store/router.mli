@@ -1,0 +1,12 @@
+(** Key -> shard routing (fibonacci-hash mixing over the high bits, kept
+    deliberately uncorrelated with {!Scot.Hashmap}'s bucket choice). *)
+
+type t
+
+val create : shards:int -> t
+(** Raises [Invalid_argument] when [shards <= 0]. *)
+
+val shards : t -> int
+
+val shard_of : t -> int -> int
+(** Shard index in [0, shards) for a key; deterministic, allocation-free. *)

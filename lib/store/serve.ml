@@ -1,0 +1,441 @@
+(* The `scotbench serve` soak: a timed multi-domain service-tier run
+   over a sharded store, with the supervisor and chaos engine live.
+
+   Mirrors [Harness.Runner.run]'s protocol (prefill, release, sample
+   loop advancing phases and supervision, stop, final supervision pass
+   BEFORE engine shutdown, joins, quiesce, verdicts) but drives requests
+   through [Store] clients instead of a bare instance, in one of two
+   dispatch modes:
+
+   - [Per_op]: every request takes its own SMR bracket (the baseline);
+   - [Batched]: requests queue into per-shard groups and each group
+     executes under one bracket ([Store.enqueue_*] + auto-flush).
+
+   Running both modes over the same cfg measures the bracket-entry
+   amortisation at an equal configured memory ceiling (same scheme
+   config, hence same limbo thresholds, in both runs).
+
+   Crash soak: [sv_crash] top worker tids are armed to crash at a
+   protected-load probe mid-run; the supervisor joins the dead domain,
+   revives the tid, recovers its handle on EVERY shard (adopting the
+   orphaned limbos) and respawns a fresh worker with a fresh client —
+   the crashed client's queued requests are dropped by design.  The
+   verdict demands every armed crash was recovered (no abandonment),
+   the post-quiesce gauge stays under the summed per-shard robust bound,
+   and structural invariants hold. *)
+
+module B = Scot.Batch_op
+open Harness
+
+type mode = Batched | Per_op
+
+let mode_name = function Batched -> "batched" | Per_op -> "per-op"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "batched" -> Some Batched
+  | "per-op" | "per_op" | "perop" -> Some Per_op
+  | _ -> None
+
+type cfg = {
+  sv_backend : Shard.backend;
+  sv_scheme : Smr.Registry.scheme;
+  sv_shards : int;
+  sv_threads : int;
+  sv_range : int;
+  sv_duration : float;
+  sv_batch_capacity : int;
+  sv_buckets : int;
+  sv_config : Smr.Smr_intf.config option;
+  sv_mix : Workload.mix;
+  sv_skew : Workload.skew;
+  sv_phases : Workload.phase list;
+  sv_seed : int;
+  sv_ttl_pct : int;  (* % of puts carrying a TTL *)
+  sv_ttl_s : float;
+  sv_crash : int;  (* top worker tids armed to crash mid-run *)
+  sv_supervise : Supervisor.config;
+  sv_sample_every : float;
+}
+
+let default_cfg () =
+  {
+    sv_backend = Shard.Hashmap;
+    sv_scheme = Smr.Registry.find_exn "HLN";
+    sv_shards = 4;
+    sv_threads = 4;
+    sv_range = 16384;
+    sv_duration = 1.0;
+    sv_batch_capacity = 64;
+    sv_buckets = 256;
+    sv_config = None;
+    sv_mix = Workload.read_write_50;
+    sv_skew = Workload.Zipf 0.99;
+    sv_phases = [];
+    sv_seed = 0xC0FFEE;
+    sv_ttl_pct = 0;
+    sv_ttl_s = 0.05;
+    sv_crash = 0;
+    sv_supervise = Supervisor.default;
+    sv_sample_every = 0.01;
+  }
+
+type shard_row = {
+  sr_shard : int;
+  sr_ops : int;  (* completed requests against this shard *)
+  sr_hits : int;
+  sr_throughput : float;
+}
+
+type result = {
+  r_mode : mode;
+  r_ops : int;  (* requests issued inside the measurement window *)
+  r_duration : float;
+  r_throughput : float;
+  r_per_shard : shard_row list;
+  r_occupancy : (int * int) list;  (* flush size -> count *)
+  r_expired : int;
+  r_mem_series : Metrics.mem_sample list;
+  r_max_unreclaimed : int;
+  r_op_stats : Metrics.op_stats list;
+  r_crashes : int;  (* armed crash rules *)
+  r_recoveries : Metrics.recovery_event list;
+  r_post_quiesced : int;  (* gauge after recovery + full quiesce *)
+  r_bound : int option;  (* summed robust ceiling, None if not robust *)
+  r_final_size : int;
+  r_ok : bool;
+  r_verdict : string;
+}
+
+let run cfg mode =
+  let {
+    sv_backend;
+    sv_scheme;
+    sv_shards;
+    sv_threads;
+    sv_range;
+    sv_duration;
+    sv_batch_capacity;
+    sv_buckets;
+    sv_config;
+    sv_mix;
+    sv_skew;
+    sv_phases;
+    sv_seed;
+    sv_ttl_pct;
+    sv_ttl_s;
+    sv_crash;
+    sv_supervise;
+    sv_sample_every;
+  } =
+    cfg
+  in
+  if sv_crash < 0 || sv_crash >= sv_threads then
+    invalid_arg "Serve.run: crash count must be in [0, threads)";
+  if sv_ttl_pct < 0 || sv_ttl_pct > 100 then
+    invalid_arg "Serve.run: ttl_pct must be in [0, 100]";
+  let store =
+    Store.create ?config:sv_config ~buckets:sv_buckets
+      ~batch_capacity:sv_batch_capacity ~backend:sv_backend ~scheme:sv_scheme
+      ~shards:sv_shards ~threads:sv_threads ()
+  in
+  (* Prefill 50% of the key range directly through the shards, bypassing
+     the stats so per-shard counters measure served requests only. *)
+  Array.iter
+    (fun k ->
+      let s = Store.shard_of store k in
+      ignore ((Store.shard store s).Shard.insert ~tid:0 k))
+    (Workload.prefill_keys ~range:sv_range ~seed:sv_seed);
+  let go = Atomic.make false in
+  let stop = Atomic.make false in
+  (* Phase machinery, as in Runner: workers read the current mix through
+     one atomic index the coordinator advances from its sample loop. *)
+  let sched = Workload.schedule ~fallback:sv_mix sv_phases in
+  (* Hoisted mix array: the worker hot loop indexes it unsafely rather
+     than calling across the module boundary per request. *)
+  let mixes =
+    Array.init (Workload.phase_count sched) (Workload.phase_mix sched)
+  in
+  let phase_idx = Atomic.make 0 in
+  let set_phase now =
+    if Workload.phase_count sched > 1 then begin
+      let i = Workload.phase_index sched now in
+      if Atomic.get phase_idx <> i then Atomic.set phase_idx i
+    end
+  in
+  let sup = Supervisor.create sv_supervise ~workers:sv_threads in
+  let recorders =
+    Array.init sv_threads (fun _ -> Metrics.create_recorder ())
+  in
+  let ops_done = Array.make sv_threads 0 in
+  (* Chaos engine: eager when crashes are armed, lazy otherwise (the
+     watchdog may still demand it for a heartbeat kill). *)
+  let eng = ref None in
+  let engine () =
+    match !eng with
+    | Some e -> e
+    | None ->
+        let e = Chaos.create ~threads:sv_threads () in
+        Chaos.install e;
+        eng := Some e;
+        e
+  in
+  let victims = List.init sv_crash (fun i -> sv_threads - 1 - i) in
+  List.iteri
+    (fun i tid ->
+      (* Crash at a protected-load crossing mid-run; stagger countdowns
+         so multiple victims do not die in lock-step. *)
+      Chaos.arm (engine ()) ~tid ~point:Smr.Probe.Read
+        ~after:(200 * (i + 1))
+        Chaos.Crash)
+    victims;
+  let worker tid () =
+    let rng = Workload.Rng.create ~seed:(sv_seed + (31 * (tid + 1))) in
+    let sampler = Workload.sampler sv_skew ~range:sv_range in
+    let recorder = recorders.(tid) in
+    let beat = Supervisor.beat_cell sup ~tid in
+    let on_result ~kind ~key:_ ~hit =
+      let k =
+        if kind = B.get then Metrics.Search
+        else if kind = B.put then Metrics.Insert
+        else Metrics.Delete
+      in
+      Metrics.count recorder k ~hit
+    in
+    let client = Store.client ~on_result store ~tid in
+    let ttl () =
+      if sv_ttl_pct > 0 && Workload.Rng.int rng 100 < sv_ttl_pct then
+        Some sv_ttl_s
+      else None
+    in
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let count = ref 0 in
+    (try
+       (match mode with
+       | Per_op ->
+           while not (Atomic.get stop) do
+             let key = Workload.draw sampler rng in
+             (match
+                Workload.op_for rng
+                  (Array.unsafe_get mixes (Atomic.get phase_idx))
+              with
+             | Workload.Search -> ignore (Store.get client key)
+             | Workload.Insert -> ignore (Store.put ?ttl_s:(ttl ()) client key)
+             | Workload.Delete -> ignore (Store.delete client key));
+             Atomic.incr beat;
+             incr count
+           done
+       | Batched ->
+           while not (Atomic.get stop) do
+             let key = Workload.draw sampler rng in
+             (match
+                Workload.op_for rng
+                  (Array.unsafe_get mixes (Atomic.get phase_idx))
+              with
+             | Workload.Search -> Store.enqueue_get client key
+             | Workload.Insert -> Store.enqueue_put ?ttl_s:(ttl ()) client key
+             | Workload.Delete -> Store.enqueue_delete client key);
+             Atomic.incr beat;
+             incr count
+           done;
+           (* Drain the tail so queued requests complete (outside the
+              measurement window; teardown, not measured work). *)
+           Store.flush client)
+     with Chaos.Crashed ->
+       (* Died mid-request, no end_op: the supervisor joins us, recovers
+          the tid's handle on every shard and respawns.  Queued requests
+          in this client are dropped. *)
+       Supervisor.notify_crashed sup ~tid);
+    ops_done.(tid) <- ops_done.(tid) + !count
+  in
+  let domains =
+    Array.init sv_threads (fun tid -> Some (Domain.spawn (worker tid)))
+  in
+  let join_tid ~tid =
+    match domains.(tid) with
+    | Some d ->
+        Domain.join d;
+        domains.(tid) <- None
+    | None -> ()
+  in
+  let respawn ~tid = domains.(tid) <- Some (Domain.spawn (worker tid)) in
+  let samples = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let supervise_check ~final =
+    Supervisor.check sup
+      ~now:(Unix.gettimeofday () -. t0)
+      ~final ~engine
+      ~recover:(fun ~tid -> Store.recover store ~tid)
+      ~join:join_tid ~respawn
+  in
+  Atomic.set go true;
+  let rec sample_loop () =
+    let now = Unix.gettimeofday () in
+    if now -. t0 < sv_duration then begin
+      ignore (Unix.select [] [] [] sv_sample_every);
+      set_phase (Unix.gettimeofday () -. t0);
+      samples :=
+        {
+          Metrics.t = Unix.gettimeofday () -. t0;
+          unreclaimed = Store.unreclaimed store;
+        }
+        :: !samples;
+      supervise_check ~final:false;
+      sample_loop ()
+    end
+  in
+  sample_loop ();
+  Atomic.set stop true;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Final supervision pass BEFORE engine shutdown: a crash between the
+     last sample and the stop flag still gets its handles recovered, and
+     Chaos.revive must target the engine that poisoned the tid. *)
+  supervise_check ~final:true;
+  (match !eng with Some e -> Chaos.release_all e | None -> ());
+  Array.iter (function Some d -> Domain.join d | None -> ()) domains;
+  (match !eng with
+  | Some _ ->
+      Chaos.uninstall ();
+      eng := None
+  | None -> ());
+  (* Post-run reclamation flush: every tid's handles were either live or
+     recovered above, so the pass drains adopted limbos too. *)
+  for tid = 0 to sv_threads - 1 do
+    Store.quiesce store ~tid
+  done;
+  let stats = Store.stats store in
+  let mem_series = List.rev !samples in
+  let max_unr =
+    List.fold_left
+      (fun acc (s : Metrics.mem_sample) -> max acc s.unreclaimed)
+      0 mem_series
+  in
+  let ops = Array.fold_left ( + ) 0 ops_done in
+  let per_shard =
+    Array.to_list
+      (Array.mapi
+         (fun i (sops, shits) ->
+           {
+             sr_shard = i;
+             sr_ops = sops;
+             sr_hits = shits;
+             sr_throughput = float_of_int sops /. elapsed;
+           })
+         (Stats.per_shard stats))
+  in
+  let recoveries = Supervisor.events sup in
+  let post_quiesced = Store.unreclaimed store in
+  let bound =
+    if Store.robust store && Store.recoverable store then
+      Store.mem_bound store ~range:sv_range
+        ~adopted:(max sv_crash (List.length recoveries))
+        ~stalled:0 ()
+    else None
+  in
+  (* Verdicts. *)
+  let missing_recovery =
+    List.filter
+      (fun tid ->
+        not
+          (List.exists
+             (fun (e : Metrics.recovery_event) -> e.rv_tid = tid)
+             recoveries))
+      victims
+  in
+  let abandoned =
+    List.exists
+      (fun (e : Metrics.recovery_event) -> e.rv_action = "abandon")
+      recoveries
+  in
+  let over_bound =
+    match bound with Some b -> post_quiesced > b | None -> false
+  in
+  let invariants_ok =
+    try
+      Store.check_invariants store;
+      true
+    with _ -> false
+  in
+  let verdict =
+    if missing_recovery <> [] then
+      Printf.sprintf "missing-recovery:%s"
+        (String.concat "," (List.map string_of_int missing_recovery))
+    else if abandoned then "abandoned"
+    else if over_bound then
+      Printf.sprintf "gauge-over-bound:%d>%d" post_quiesced
+        (Option.value bound ~default:0)
+    else if not invariants_ok then "invariants-failed"
+    else "ok"
+  in
+  {
+    r_mode = mode;
+    r_ops = ops;
+    r_duration = elapsed;
+    r_throughput = float_of_int ops /. elapsed;
+    r_per_shard = per_shard;
+    r_occupancy = Stats.occupancy stats;
+    r_expired = Stats.expired_total stats;
+    r_mem_series = mem_series;
+    r_max_unreclaimed = max_unr;
+    r_op_stats = Metrics.merge recorders;
+    r_crashes = sv_crash;
+    r_recoveries = recoveries;
+    r_post_quiesced = post_quiesced;
+    r_bound = bound;
+    r_final_size = Store.size store;
+    r_ok = verdict = "ok";
+    r_verdict = verdict;
+  }
+
+(* {2 Artifact rows} *)
+
+let result_json ?speedup cfg (r : result) =
+  let open Json in
+  let shard_row s =
+    Obj
+      [
+        ("shard", Int s.sr_shard);
+        ("ops", Int s.sr_ops);
+        ("hits", Int s.sr_hits);
+        ("misses", Int (s.sr_ops - s.sr_hits));
+        ("throughput", Float s.sr_throughput);
+      ]
+  in
+  let occ (size, flushes) =
+    Obj [ ("size", Int size); ("flushes", Int flushes) ]
+  in
+  Obj
+    ([
+       ("kind", String "serve");
+       ("mode", String (mode_name r.r_mode));
+       ("backend", String (Shard.backend_name cfg.sv_backend));
+       ( "scheme",
+         let (module S : Smr.Smr_intf.S) = cfg.sv_scheme in
+         String S.name );
+       ("shards", Int cfg.sv_shards);
+       ("threads", Int cfg.sv_threads);
+       ("range", Int cfg.sv_range);
+       ("batch_capacity", Int cfg.sv_batch_capacity);
+       ("skew", String (Workload.skew_to_string cfg.sv_skew));
+       ("mix", Report.mix_json cfg.sv_mix);
+       ("duration", Float r.r_duration);
+       ("ops", Int r.r_ops);
+       ("throughput", Float r.r_throughput);
+       ("per_shard", List (List.map shard_row r.r_per_shard));
+       ("occupancy", List (List.map occ r.r_occupancy));
+       ("expired", Int r.r_expired);
+       ("max_unreclaimed", Int r.r_max_unreclaimed);
+       ("post_quiesced", Int r.r_post_quiesced);
+       ("bound", match r.r_bound with Some b -> Int b | None -> Null);
+       ("crashes", Int r.r_crashes);
+       ( "recoveries",
+         List (List.map Metrics.recovery_event_json r.r_recoveries) );
+       ("final_size", Int r.r_final_size);
+       ("mem_series", List (List.map Metrics.mem_sample_json r.r_mem_series));
+       ("op_stats", List (List.map Metrics.op_stats_json r.r_op_stats));
+       ("ok", Bool r.r_ok);
+       ("verdict", String r.r_verdict);
+     ]
+    @ match speedup with Some s -> [ ("speedup", Float s) ] | None -> [])

@@ -1,0 +1,86 @@
+(* Per-shard service counters.
+
+   Each (shard, tid) pair owns one cell in the padded arrays, so the hot
+   path is a plain uncontended [Atomic.incr] on a cache line no other
+   domain writes; the coordinator's sample loop and the final report read
+   across cells.  Flush-occupancy histograms and TTL-expiry counts are
+   owner-written plain arrays, merged only after workers have joined. *)
+
+type t = {
+  shards : int;
+  threads : int;
+  cap : int;  (* batch capacity: occupancy histogram upper bucket *)
+  ops : int Memory.Padded.t;  (* shards * threads cells *)
+  hits : int Memory.Padded.t;
+  occ : int array array;  (* occ.(tid).(size) = flushes of that size *)
+  expired : int array;  (* per tid *)
+}
+
+let create ~shards ~threads ~batch_capacity =
+  if shards <= 0 || threads <= 0 then
+    invalid_arg "Stats.create: shards and threads must be positive";
+  if batch_capacity <= 0 then
+    invalid_arg "Stats.create: batch_capacity must be positive";
+  {
+    shards;
+    threads;
+    cap = batch_capacity;
+    ops = Memory.Padded.create (shards * threads) (fun _ -> 0);
+    hits = Memory.Padded.create (shards * threads) (fun _ -> 0);
+    occ = Array.init threads (fun _ -> Array.make (batch_capacity + 1) 0);
+    expired = Array.make threads 0;
+  }
+
+let idx t ~shard ~tid = (shard * t.threads) + tid
+
+let record t ~shard ~tid ~hit =
+  let i = idx t ~shard ~tid in
+  Memory.Padded.incr t.ops i;
+  if hit then Memory.Padded.incr t.hits i
+
+(* One whole dispatched group at once: two fetch-and-adds instead of up
+   to [2 * ops] increments — the batched path amortises its accounting
+   the same way it amortises bracket entry. *)
+let record_bulk t ~shard ~tid ~ops ~hits =
+  let i = idx t ~shard ~tid in
+  ignore (Memory.Padded.fetch_and_add t.ops i ops);
+  if hits > 0 then ignore (Memory.Padded.fetch_and_add t.hits i hits)
+
+let record_flush t ~tid ~occupancy =
+  let o = t.occ.(tid) in
+  let b = if occupancy > t.cap then t.cap else occupancy in
+  o.(b) <- o.(b) + 1
+
+let record_expired t ~tid = t.expired.(tid) <- t.expired.(tid) + 1
+
+let shard_ops t ~shard =
+  let total = ref 0 in
+  for tid = 0 to t.threads - 1 do
+    total := !total + Memory.Padded.get t.ops (idx t ~shard ~tid)
+  done;
+  !total
+
+let per_shard t =
+  Array.init t.shards (fun shard ->
+      let ops = ref 0 and hits = ref 0 in
+      for tid = 0 to t.threads - 1 do
+        ops := !ops + Memory.Padded.get t.ops (idx t ~shard ~tid);
+        hits := !hits + Memory.Padded.get t.hits (idx t ~shard ~tid)
+      done;
+      (!ops, !hits))
+
+let total_ops t =
+  Array.fold_left (fun acc (ops, _) -> acc + ops) 0 (per_shard t)
+
+let occupancy t =
+  let merged = Array.make (t.cap + 1) 0 in
+  Array.iter
+    (fun o -> Array.iteri (fun s n -> merged.(s) <- merged.(s) + n) o)
+    t.occ;
+  let out = ref [] in
+  for s = t.cap downto 0 do
+    if merged.(s) > 0 then out := (s, merged.(s)) :: !out
+  done;
+  !out
+
+let expired_total t = Array.fold_left ( + ) 0 t.expired

@@ -1,0 +1,39 @@
+(** Per-shard hit/miss and batch-occupancy counters for the store tier.
+
+    Hot-path writes land on {!Memory.Padded} cells owned by one
+    (shard, tid) pair, so recording is an uncontended atomic increment;
+    cross-cell reads ({!shard_ops}, {!per_shard}) are meant for the
+    coordinator's sample loop and the final report.  Occupancy histograms
+    and expiry counts are owner-written and only merged after join. *)
+
+type t
+
+val create : shards:int -> threads:int -> batch_capacity:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val record : t -> shard:int -> tid:int -> hit:bool -> unit
+(** One completed request against [shard] by client [tid]. *)
+
+val record_bulk : t -> shard:int -> tid:int -> ops:int -> hits:int -> unit
+(** A whole dispatched group at once: equivalent to [ops] calls to
+    {!record} of which [hits] were hits, in two fetch-and-adds. *)
+
+val record_flush : t -> tid:int -> occupancy:int -> unit
+(** One batch dispatch of [occupancy] requests (clamped to capacity). *)
+
+val record_expired : t -> tid:int -> unit
+(** One TTL eviction issued by client [tid]. *)
+
+val shard_ops : t -> shard:int -> int
+(** Live total requests completed against a shard (sums per-tid cells). *)
+
+val per_shard : t -> (int * int) array
+(** Per shard: (ops, hits).  Misses are [ops - hits]. *)
+
+val total_ops : t -> int
+
+val occupancy : t -> (int * int) list
+(** Merged flush-size histogram as [(size, flushes)] pairs, ascending,
+    zero-count sizes omitted.  Call after workers joined. *)
+
+val expired_total : t -> int

@@ -1,0 +1,242 @@
+(* scotstore front end: a domain-sharded KV tier over the SCOT
+   structures.
+
+   Each client thread owns a [client] record: per-shard request buffers
+   (the batched path), a TTL book (deadline per key + a lazy expiry
+   queue), and its tid's pre-registered handle on every shard.  The
+   immediate path ([get]/[put]/[delete]) is the one-bracket-per-op
+   baseline; the deferred path ([enqueue_*]/[get_many]/[flush]) groups
+   requests by destination shard and dispatches each group under a
+   single SMR bracket — the amortisation this tier exists to measure.
+
+   TTL is best-effort and client-local: the client that wrote a
+   deadline is the one that later evicts it, through the ordinary
+   delete path (unlink then [retire]), so expired entries flow through
+   the same reclamation machinery as any other removal.  Sweeps run on
+   [flush] and every [sweep_period] immediate ops; a key re-put with a
+   later deadline leaves a stale queue entry behind, which the sweep
+   detects against the deadline book and skips. *)
+
+module B = Scot.Batch_op
+
+type t = {
+  shard_arr : Shard.t array;
+  router : Router.t;
+  threads : int;
+  batch_capacity : int;
+  stats : Stats.t;
+}
+
+type client = {
+  store : t;
+  tid : int;
+  batch : Batch.t;
+  deadlines : (int, float) Hashtbl.t;  (* current TTL deadline per key *)
+  expiry : (float * int) Queue.t;  (* insertion-ordered sweep candidates *)
+  mutable ops_since_sweep : int;
+  now : unit -> float;
+  on_result : (kind:int -> key:int -> hit:bool -> unit) option;
+}
+
+let sweep_period = 64
+
+let create ?config ?buckets ?(batch_capacity = 64) ~backend ~scheme ~shards
+    ~threads () =
+  if shards <= 0 then invalid_arg "Store.create: shards must be positive";
+  if threads <= 0 then invalid_arg "Store.create: threads must be positive";
+  if batch_capacity <= 0 then
+    invalid_arg "Store.create: batch_capacity must be positive";
+  {
+    shard_arr =
+      Array.init shards (fun _ ->
+          Shard.create ?config ?buckets ~backend ~scheme ~threads ());
+    router = Router.create ~shards;
+    threads;
+    batch_capacity;
+    stats = Stats.create ~shards ~threads ~batch_capacity;
+  }
+
+let client ?now ?on_result t ~tid =
+  if tid < 0 || tid >= t.threads then
+    invalid_arg
+      (Printf.sprintf "Store.client: tid %d out of range [0, %d)" tid
+         t.threads);
+  {
+    store = t;
+    tid;
+    batch = Batch.create ~shards:(Array.length t.shard_arr) ~capacity:t.batch_capacity;
+    deadlines = Hashtbl.create 64;
+    expiry = Queue.create ();
+    ops_since_sweep = 0;
+    now = (match now with Some f -> f | None -> Unix.gettimeofday);
+    on_result;
+  }
+
+let route c key = Router.shard_of c.store.router key
+
+let account c ~shard ~kind ~key ~hit =
+  Stats.record c.store.stats ~shard ~tid:c.tid ~hit;
+  match c.on_result with None -> () | Some f -> f ~kind ~key ~hit
+
+(* {2 TTL book-keeping} *)
+
+let note_ttl c key = function
+  | None -> Hashtbl.remove c.deadlines key
+  | Some ttl_s ->
+      if ttl_s <= 0. then invalid_arg "Store.put: ttl_s must be positive";
+      let dl = c.now () +. ttl_s in
+      Hashtbl.replace c.deadlines key dl;
+      Queue.push (dl, key) c.expiry
+
+let sweep_expired ?now c =
+  let now = match now with Some v -> v | None -> c.now () in
+  let rec go n =
+    match Queue.peek_opt c.expiry with
+    | Some (dl, key) when dl <= now -> (
+        ignore (Queue.pop c.expiry);
+        match Hashtbl.find_opt c.deadlines key with
+        | Some dl' when dl' <= now ->
+            Hashtbl.remove c.deadlines key;
+            let s = route c key in
+            ignore (c.store.shard_arr.(s).Shard.delete ~tid:c.tid key);
+            Stats.record_expired c.store.stats ~tid:c.tid;
+            go (n + 1)
+        | _ -> go n (* stale entry: a later re-put moved the deadline *))
+    | _ -> n
+  in
+  go 0
+
+let maybe_sweep c =
+  c.ops_since_sweep <- c.ops_since_sweep + 1;
+  if c.ops_since_sweep >= sweep_period then begin
+    c.ops_since_sweep <- 0;
+    if not (Queue.is_empty c.expiry) then ignore (sweep_expired c)
+  end
+
+(* {2 Immediate path: one bracket per operation} *)
+
+let get c key =
+  let s = route c key in
+  let hit = c.store.shard_arr.(s).Shard.search ~tid:c.tid key in
+  account c ~shard:s ~kind:B.get ~key ~hit;
+  maybe_sweep c;
+  hit
+
+let put ?ttl_s c key =
+  let s = route c key in
+  let hit = c.store.shard_arr.(s).Shard.insert ~tid:c.tid key in
+  note_ttl c key ttl_s;
+  account c ~shard:s ~kind:B.put ~key ~hit;
+  maybe_sweep c;
+  hit
+
+let delete c key =
+  let s = route c key in
+  let hit = c.store.shard_arr.(s).Shard.delete ~tid:c.tid key in
+  Hashtbl.remove c.deadlines key;
+  account c ~shard:s ~kind:B.del ~key ~hit;
+  maybe_sweep c;
+  hit
+
+(* {2 Deferred path: group by shard, one bracket per group} *)
+
+(* Deliver a dispatched group's results: bulk stats (two fetch-and-adds
+   for the whole group, amortised like the bracket) plus the per-request
+   callback when one is attached. *)
+let deliver c s buf n =
+  Stats.record_flush c.store.stats ~tid:c.tid ~occupancy:n;
+  let hits = ref 0 in
+  (match c.on_result with
+  | Some f ->
+      for i = 0 to n - 1 do
+        let hit = buf.B.results.(i) in
+        if hit then incr hits;
+        f ~kind:buf.B.kinds.(i) ~key:buf.B.keys.(i) ~hit
+      done
+  | None ->
+      for i = 0 to n - 1 do
+        if buf.B.results.(i) then incr hits
+      done);
+  Stats.record_bulk c.store.stats ~shard:s ~tid:c.tid ~ops:n ~hits:!hits
+
+let flush_shard c s =
+  let buf = Batch.shard_buf c.batch s in
+  let n = B.length buf in
+  if n > 0 then begin
+    c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
+    deliver c s buf n;
+    B.clear buf
+  end
+
+let enqueue c ~kind ?ttl_s key =
+  let s = route c key in
+  if kind = B.put then note_ttl c key ttl_s
+  else if kind = B.del then Hashtbl.remove c.deadlines key;
+  let buf = Batch.shard_buf c.batch s in
+  B.push buf ~kind ~key;
+  if B.length buf >= c.store.batch_capacity then flush_shard c s;
+  maybe_sweep c
+
+let enqueue_get c key = enqueue c ~kind:B.get key
+let enqueue_put ?ttl_s c key = enqueue c ~kind:B.put ?ttl_s key
+let enqueue_delete c key = enqueue c ~kind:B.del key
+
+let flush c =
+  Batch.iter_nonempty c.batch (fun s _ -> flush_shard c s);
+  if not (Queue.is_empty c.expiry) then ignore (sweep_expired c)
+
+let pending c = Batch.pending c.batch
+
+let get_many c keys =
+  flush c (* queued writes must be visible to these reads *);
+  let n = Array.length keys in
+  let pos = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let s = route c keys.(i) in
+    let buf = Batch.shard_buf c.batch s in
+    pos.(i) <- B.length buf;
+    B.push buf ~kind:B.get ~key:keys.(i)
+  done;
+  Batch.iter_nonempty c.batch (fun s buf ->
+      c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
+      deliver c s buf (B.length buf));
+  let out =
+    Array.init n (fun i ->
+        let s = route c keys.(i) in
+        (Batch.shard_buf c.batch s).B.results.(pos.(i)))
+  in
+  Batch.clear c.batch;
+  out
+
+(* {2 Store-wide observers and maintenance} *)
+
+let shards t = Array.length t.shard_arr
+let shard_of t key = Router.shard_of t.router key
+let threads t = t.threads
+let batch_capacity t = t.batch_capacity
+let stats t = t.stats
+let shard t i = t.shard_arr.(i)
+
+let size t =
+  Array.fold_left (fun acc sh -> acc + sh.Shard.size ()) 0 t.shard_arr
+
+let unreclaimed t =
+  Array.fold_left (fun acc sh -> acc + sh.Shard.unreclaimed ()) 0 t.shard_arr
+
+let quiesce t ~tid = Array.iter (fun sh -> sh.Shard.quiesce ~tid) t.shard_arr
+let teardown t = Array.iter (fun sh -> sh.Shard.teardown ()) t.shard_arr
+
+let check_invariants t =
+  Array.iter (fun sh -> sh.Shard.check_invariants ()) t.shard_arr
+
+let recover t ~tid = Array.iter (fun sh -> sh.Shard.recover ~tid) t.shard_arr
+let recoverable t = Array.for_all (fun sh -> sh.Shard.recoverable) t.shard_arr
+let robust t = Array.for_all (fun sh -> sh.Shard.robust) t.shard_arr
+
+let mem_bound t ~range ?adopted ~stalled () =
+  Array.fold_left
+    (fun acc sh ->
+      match (acc, Shard.mem_bound sh ~range ?adopted ~stalled ()) with
+      | Some a, Some b -> Some (a + b)
+      | _ -> None)
+    (Some 0) t.shard_arr

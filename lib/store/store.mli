@@ -1,0 +1,115 @@
+(** scotstore front end: domain-sharded KV tier with per-shard batch
+    dispatch.
+
+    A store is an array of {!Shard.t} (each with its own SMR instance)
+    behind a {!Router}.  Each client thread creates one {!client} and
+    uses either:
+
+    - the {e immediate} path ({!get} / {!put} / {!delete}): one SMR
+      bracket per operation — the baseline;
+    - the {e deferred} path ({!enqueue_get} / {!enqueue_put} /
+      {!enqueue_delete} / {!get_many} / {!flush}): requests are grouped
+      by destination shard and each group executes under a {e single}
+      [start_op]/[end_op] bracket, amortising bracket entry (reservation
+      publish, fences, Hyaline batch/era work) across the group.
+
+    Deferred requests complete at flush time (capacity reached, explicit
+    {!flush}, or {!get_many}); their results are delivered through the
+    client's [on_result] callback and the store {!Stats}.  Clients are
+    single-owner and NOT thread-safe; one per thread, [tid]s unique.
+
+    TTL ([?ttl_s] on puts) is best-effort and client-local: the writing
+    client evicts expired keys during its sweeps (on {!flush} and
+    periodically on immediate ops), through the ordinary delete path, so
+    expired entries are reclaimed via [retire] like any other removal.
+    A crashed client's pending deferred requests and TTL book are
+    dropped when it is respawned (documented trade-off: deferred writes
+    are not durable until flushed). *)
+
+type t
+
+type client
+
+val create :
+  ?config:Smr.Smr_intf.config ->
+  ?buckets:int ->
+  ?batch_capacity:int ->
+  backend:Shard.backend ->
+  scheme:Smr.Registry.scheme ->
+  shards:int ->
+  threads:int ->
+  unit ->
+  t
+(** [batch_capacity] (default 64) is the per-shard group size at which a
+    client's deferred requests auto-flush. *)
+
+val client :
+  ?now:(unit -> float) ->
+  ?on_result:(kind:int -> key:int -> hit:bool -> unit) ->
+  t ->
+  tid:int ->
+  client
+(** [now] (default [Unix.gettimeofday]) is the TTL clock — injectable
+    for tests.  [on_result] fires once per {e completed} request, on
+    both paths (immediately for {!get}/{!put}/{!delete}, at flush for
+    deferred requests); [kind] is a {!Scot.Batch_op} op code. *)
+
+(** {2 Immediate path — one bracket per op} *)
+
+val get : client -> int -> bool
+val put : ?ttl_s:float -> client -> int -> bool
+val delete : client -> int -> bool
+
+(** {2 Deferred path — one bracket per shard group} *)
+
+val enqueue_get : client -> int -> unit
+val enqueue_put : ?ttl_s:float -> client -> int -> unit
+val enqueue_delete : client -> int -> unit
+
+val flush : client -> unit
+(** Dispatch every non-empty shard group (one bracket each), then run a
+    TTL sweep. *)
+
+val pending : client -> int
+
+val get_many : client -> int array -> bool array
+(** Membership for each key, in input order.  Flushes pending deferred
+    writes first (so they are visible), then executes the gets grouped
+    by shard, one bracket per group. *)
+
+val sweep_expired : ?now:float -> client -> int
+(** Evict every expired key this client owns a deadline for; returns the
+    eviction count.  Runs automatically on {!flush} and every 64
+    operations (immediate or deferred); exposed for tests and idle
+    housekeeping. *)
+
+(** {2 Store-wide observers and maintenance} *)
+
+val shards : t -> int
+
+val shard_of : t -> int -> int
+(** Destination shard for a key (the router's choice). *)
+
+val threads : t -> int
+val batch_capacity : t -> int
+val stats : t -> Stats.t
+val shard : t -> int -> Shard.t
+val size : t -> int
+val unreclaimed : t -> int
+
+val quiesce : t -> tid:int -> unit
+(** Force a reclamation pass for [tid] on every shard. *)
+
+val teardown : t -> unit
+val check_invariants : t -> unit
+
+val recover : t -> tid:int -> unit
+(** Crash recovery for [tid] on every shard (see {!Shard.t.recover}).
+    The dead client's pending deferred requests are lost by design. *)
+
+val recoverable : t -> bool
+val robust : t -> bool
+
+val mem_bound : t -> range:int -> ?adopted:int -> stalled:int -> unit -> int option
+(** Sum of per-shard {!Shard.mem_bound} ceilings; [None] when the scheme
+    is not robust. *)

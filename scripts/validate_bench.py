@@ -195,6 +195,49 @@ RECOVERY_EVENT_KEYS = {
     "restarts": int,
 }
 
+# `scotbench serve` emits runs with "kind": "serve" (the sharded store
+# soak): per-shard throughput rows, the batch-occupancy histogram, TTL
+# eviction counts, and the supervised-crash verdict.  "bound" is null
+# for non-robust schemes; only the batched-mode run carries "speedup"
+# (batched throughput / per-op throughput at the same cfg).
+SERVE_RUN_KEYS = {
+    "kind": str,
+    "mode": str,
+    "backend": str,
+    "scheme": str,
+    "shards": int,
+    "threads": int,
+    "range": int,
+    "batch_capacity": int,
+    "skew": str,
+    "mix": dict,
+    "duration": (int, float),
+    "ops": int,
+    "throughput": (int, float),
+    "per_shard": list,
+    "occupancy": list,
+    "expired": int,
+    "max_unreclaimed": int,
+    "post_quiesced": int,
+    "crashes": int,
+    "recoveries": list,
+    "final_size": int,
+    "mem_series": list,
+    "op_stats": list,
+    "ok": bool,
+    "verdict": str,
+}
+
+SERVE_SHARD_KEYS = {
+    "shard": int,
+    "ops": int,
+    "hits": int,
+    "misses": int,
+    "throughput": (int, float),
+}
+
+SERVE_MODES = ("batched", "per-op")
+
 
 def fail(path, msg):
     sys.exit(f"{path}: INVALID: {msg}")
@@ -324,6 +367,58 @@ def validate(path):
             elif speedup is not None:
                 fail(path, f"{where} non-adaptive run must not carry speedup")
             continue
+        if run.get("kind") == "serve":
+            require(path, run, SERVE_RUN_KEYS, where)
+            if run["mode"] not in SERVE_MODES:
+                fail(path, f"{where}.mode = {run['mode']!r}")
+            if run["shards"] < 1 or run["batch_capacity"] < 1:
+                fail(path, f"{where} shards/batch_capacity must be positive")
+            if not 0 <= run["crashes"] < run["threads"]:
+                fail(path, f"{where}.crashes must be in [0, threads)")
+            if len(run["per_shard"]) != run["shards"]:
+                fail(path, f"{where}.per_shard must have one row per shard")
+            for j, row in enumerate(run["per_shard"]):
+                require(path, row, SERVE_SHARD_KEYS, f"{where}.per_shard[{j}]")
+                if row["shard"] != j:
+                    fail(path, f"{where}.per_shard[{j}] out of order")
+                if row["misses"] != row["ops"] - row["hits"]:
+                    fail(path, f"{where}.per_shard[{j}] ops != hits+misses")
+            if run["mode"] == "per-op":
+                if run["occupancy"]:
+                    fail(path, f"{where} per-op run with batch occupancy")
+            for j, cell in enumerate(run["occupancy"]):
+                if not isinstance(cell.get("size"), int) or \
+                        not isinstance(cell.get("flushes"), int):
+                    fail(path, f"{where}.occupancy[{j}] needs size/flushes")
+                if not 1 <= cell["size"] <= run["batch_capacity"]:
+                    fail(path, f"{where}.occupancy[{j}].size out of range")
+            bound = run.get("bound")
+            if bound is not None and not isinstance(bound, int):
+                fail(path, f"{where}.bound must be int or null")
+            if run["ok"]:
+                if run["verdict"] != "ok":
+                    fail(path, f"{where} ok but verdict {run['verdict']!r}")
+                if len(run["recoveries"]) < run["crashes"]:
+                    fail(path, f"{where} ok but recoveries < crashes")
+                if bound is not None and run["post_quiesced"] > bound:
+                    fail(path, f"{where} ok but post_quiesced > bound")
+            for j, ev in enumerate(run["recoveries"]):
+                require(path, ev, RECOVERY_EVENT_KEYS,
+                        f"{where}.recoveries[{j}]")
+            speedup = run.get("speedup")
+            if speedup is not None and \
+                    (not isinstance(speedup, (int, float)) or speedup <= 0):
+                fail(path, f"{where}.speedup must be positive")
+            last_t = -1.0
+            for j, sample in enumerate(run["mem_series"]):
+                if "t" not in sample or "unreclaimed" not in sample:
+                    fail(path,
+                         f"{where}.mem_series[{j}] missing t/unreclaimed")
+                if sample["t"] < last_t:
+                    fail(path,
+                         f"{where}.mem_series[{j}] timestamps not ordered")
+                last_t = sample["t"]
+            continue
         if run.get("kind") == "floor":
             require(path, run, FLOOR_RUN_KEYS, where)
             if run["hyb_throughput"] < 0 or run["ebr_throughput"] < 0:
@@ -381,6 +476,9 @@ def run_key(run):
         return ("floor", run["structure"], run["threads"], run["range"])
     if run.get("kind") == "fuzz":
         return ("fuzz", run["structure"], run["scheme"])
+    if run.get("kind") == "serve":
+        return ("serve", run["mode"], run["backend"], run["scheme"],
+                run["shards"], run["threads"], run["range"])
     mix = run["mix"]
     return ("workload", run["structure"], run["scheme"], run["threads"],
             run["range"], mix.get("read_pct"), mix.get("insert_pct"),

@@ -519,6 +519,32 @@ let test_make_config_validation () =
         ~adaptive:
           (`On { Smr.Smr_intf.min_threshold = 8; max_threshold = 128 })
         ~batch_size:16 ~threads:1 ());
+  (* An explicit staleness window wider than the adaptive memory cap means
+     the hybrid's escalation could never fire below the cap: with
+     [epoch_freq = 64], [stale_eras = 100] is a ~6400-retire window
+     against a 1024-node max_threshold.  Must be rejected naming
+     stale_eras. *)
+  expect_invalid "stale_eras" (fun () ->
+      Smr.Smr_intf.make_config ~epoch_freq:64 ~stale_eras:100
+        ~adaptive:
+          (`On { Smr.Smr_intf.min_threshold = 64; max_threshold = 1024 })
+        ~batch_size:32 ~threads:1 ());
+  (* The boundary case (window = cap exactly) and the defaulted
+     [stale_eras] (calibration configs use [epoch_freq = max_int]) must
+     both stay accepted. *)
+  let c =
+    Smr.Smr_intf.make_config ~epoch_freq:64 ~stale_eras:16
+      ~adaptive:(`On { Smr.Smr_intf.min_threshold = 64; max_threshold = 1024 })
+      ~batch_size:32 ~threads:1 ()
+  in
+  check_int "boundary staleness window accepted" 16 c.Smr.Smr_intf.stale_eras;
+  let c =
+    Smr.Smr_intf.make_config ~epoch_freq:max_int
+      ~adaptive:(`On { Smr.Smr_intf.min_threshold = 64; max_threshold = 1024 })
+      ~batch_size:32 ~threads:1 ()
+  in
+  check_int "defaulted stale_eras bypasses the window check" 8
+    c.Smr.Smr_intf.stale_eras;
   let c =
     Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:1 ~batch_size:1
       ~threads:1 ()
@@ -526,23 +552,26 @@ let test_make_config_validation () =
   check_int "minimal config accepted" 1 c.Smr.Smr_intf.limbo_threshold
 
 (* Tuner bounds law: whatever sweep/dispatch outcomes the controller
-   observes, the effective threshold never leaves [min, max]. *)
+   observes, the effective threshold never leaves [min, max] and the
+   effective epoch_freq never leaves its x8 band around the configured
+   period. *)
 let test_tuner_bounds =
   let qtest =
     QCheck.Test.make ~count:200 ~name:"tuner threshold stays within bounds"
       QCheck.(
-        triple (int_range 1 64) (int_range 0 64)
+        quad (int_range 1 64) (int_range 0 64) (int_range 1 256)
           (small_list
              (triple (int_bound 4096) (int_bound 4096) (int_bound 8192))))
-      (fun (min_b, extra, trace) ->
+      (fun (min_b, extra, ef, trace) ->
         let max_b = min_b + extra in
         let config =
-          Smr.Smr_intf.make_config
+          Smr.Smr_intf.make_config ~epoch_freq:ef
             ~adaptive:
               (`On
                 { Smr.Smr_intf.min_threshold = min_b; max_threshold = max_b })
             ~batch_size:min_b ~threads:1 ()
         in
+        let ef_lo = max 1 (ef / 8) and ef_hi = ef * 8 in
         let tu = Smr.Tuner.create ~config ~start:min_b in
         List.for_all
           (fun (scanned, freed, gauge) ->
@@ -551,15 +580,19 @@ let test_tuner_bounds =
             Smr.Tuner.observe tu ~scanned ~reclaimed:(min freed scanned)
               ~gauge;
             let a = Smr.Tuner.threshold tu in
+            let ea = Smr.Tuner.epoch_freq tu in
             Smr.Tuner.observe_dispatch tu ~gauge:(gauge / 2);
             let b = Smr.Tuner.threshold tu in
-            min_b <= a && a <= max_b && min_b <= b && b <= max_b)
+            let eb = Smr.Tuner.epoch_freq tu in
+            min_b <= a && a <= max_b && min_b <= b && b <= max_b
+            && ef_lo <= ea && ea <= ef_hi && ef_lo <= eb && eb <= ef_hi)
           trace)
   in
   QCheck_alcotest.to_alcotest qtest
 
-(* With adaptive off, the threshold is pinned to the start value no
-   matter what the controller observes — today's static behaviour. *)
+(* With adaptive off, the threshold and era period are pinned to their
+   start values no matter what the controller observes — today's static
+   behaviour, bit for bit. *)
 let test_tuner_static_off () =
   let config = Smr.Smr_intf.make_config ~threads:1 () in
   let tu = Smr.Tuner.create ~config ~start:128 in
@@ -567,7 +600,10 @@ let test_tuner_static_off () =
     Smr.Tuner.observe tu ~scanned:100 ~reclaimed:0 ~gauge:(i * 100)
   done;
   check_int "threshold unchanged with adaptive off" 128
-    (Smr.Tuner.threshold tu)
+    (Smr.Tuner.threshold tu);
+  check_int "epoch_freq unchanged with adaptive off"
+    config.Smr.Smr_intf.epoch_freq
+    (Smr.Tuner.epoch_freq tu)
 
 (* Registry sanity. *)
 let test_registry () =

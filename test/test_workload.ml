@@ -1,0 +1,208 @@
+(* Workload-generation tests: skewed key distributions (rank-frequency
+   against the analytic zipfian weights, hot-set mass), operation-mix
+   draws, and phase schedules (parsing and boundary switching). *)
+
+module W = Harness.Workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- key-distribution skew --- *)
+
+let range = 1024
+let draws = 300_000
+
+(* Empirical per-key counts over [draws] samples. *)
+let histogram skew =
+  let s = W.sampler skew ~range in
+  let rng = W.Rng.create ~seed:0xBEEF in
+  let counts = Array.make range 0 in
+  for _ = 1 to draws do
+    let k = W.draw s rng in
+    if k < 0 || k >= range then Alcotest.failf "draw out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let test_zipf_rank_frequency () =
+  let theta = 0.99 in
+  let counts = histogram (W.Zipf theta) in
+  (* Sort descending: rank popularity is permutation-invariant. *)
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  let zetan = ref 0.0 in
+  for r = 1 to range do
+    zetan := !zetan +. (1.0 /. (float_of_int r ** theta))
+  done;
+  let analytic r = 1.0 /. (float_of_int r ** theta) /. !zetan in
+  let close ~tol what expected actual =
+    let rel = Float.abs (actual -. expected) /. expected in
+    if rel > tol then
+      Alcotest.failf "%s: expected %.4f, got %.4f (rel err %.3f > %.3f)" what
+        expected actual rel tol
+  in
+  let freq r = float_of_int sorted.(r - 1) /. float_of_int draws in
+  (* The YCSB generator is exact for the first two ranks... *)
+  close ~tol:0.05 "rank-1 frequency" (analytic 1) (freq 1);
+  close ~tol:0.08 "rank-2 frequency" (analytic 2) (freq 2);
+  (* ...and approximates the rest; check the head mass coarsely. *)
+  let head n =
+    let acc = ref 0.0 in
+    for r = 1 to n do
+      acc := !acc +. freq r
+    done;
+    !acc
+  in
+  let analytic_head n =
+    let acc = ref 0.0 in
+    for r = 1 to n do
+      acc := !acc +. analytic r
+    done;
+    !acc
+  in
+  close ~tol:0.12 "top-10 mass" (analytic_head 10) (head 10);
+  close ~tol:0.12 "top-100 mass" (analytic_head 100) (head 100)
+
+let test_zipf_theta_orders_skew () =
+  (* Higher theta concentrates more mass on the top rank. *)
+  let top theta =
+    let counts = histogram (W.Zipf theta) in
+    Array.fold_left max 0 counts
+  in
+  check "theta 0.99 more skewed than 0.5" true (top 0.99 > top 0.5);
+  check "theta 0.5 more skewed than uniform" true
+    (top 0.5 > Array.fold_left max 0 (histogram W.Uniform) * 2)
+
+let test_uniform_flat () =
+  let counts = histogram W.Uniform in
+  let expected = float_of_int draws /. float_of_int range in
+  Array.iteri
+    (fun k c ->
+      let rel = Float.abs (float_of_int c -. expected) /. expected in
+      if rel > 0.5 then
+        Alcotest.failf "key %d: count %d vs expected %.1f" k c expected)
+    counts
+
+let test_hot_set_mass () =
+  let counts = histogram (W.Hot { hot_pct = 90; keys_pct = 10 }) in
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  let hot_n = range / 10 in
+  let hot_mass = ref 0 in
+  for i = 0 to hot_n - 1 do
+    hot_mass := !hot_mass + sorted.(i)
+  done;
+  let frac = float_of_int !hot_mass /. float_of_int draws in
+  check "hot 10%% of keys take ~90%% of draws" true
+    (frac > 0.88 && frac < 0.92)
+
+let test_skew_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        s s
+        (W.skew_to_string (W.skew_of_string s)))
+    [ "uniform"; "zipf:0.99"; "hot:90/10" ];
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "%S rejected" s) true
+        (try
+           ignore (W.skew_of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "zipf:1.5"; "zipf:0"; "hot:101/10"; "hot:90/0"; "nope" ]
+
+(* --- operation mixes --- *)
+
+let test_op_for_distribution () =
+  let mix = W.mix ~read:50 ~insert:25 ~delete:25 in
+  let rng = W.Rng.create ~seed:7 in
+  let n = 100_000 in
+  let r = ref 0 and i = ref 0 and d = ref 0 in
+  for _ = 1 to n do
+    match W.op_for rng mix with
+    | W.Search -> incr r
+    | W.Insert -> incr i
+    | W.Delete -> incr d
+  done;
+  let pct x = 100.0 *. float_of_int !x /. float_of_int n in
+  check "reads ~50%" true (Float.abs (pct r -. 50.0) < 1.5);
+  check "inserts ~25%" true (Float.abs (pct i -. 25.0) < 1.5);
+  check "deletes ~25%" true (Float.abs (pct d -. 25.0) < 1.5)
+
+(* --- phase schedules --- *)
+
+let test_phases_parse () =
+  let ps = W.phases_of_string "read:0.5,churn:1,40/30/30:0.25" in
+  check_int "three phases" 3 (List.length ps);
+  let p0 = List.nth ps 0 and p1 = List.nth ps 1 and p2 = List.nth ps 2 in
+  check_int "read phase is 90/5/5" 90 p0.W.p_mix.W.read_pct;
+  check "0.5s" true (p0.W.p_for = 0.5);
+  check_int "churn phase is 0/50/50" 50 p1.W.p_mix.W.insert_pct;
+  check_int "triple parsed" 40 p2.W.p_mix.W.read_pct;
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "%S rejected" s) true
+        (try
+           ignore (W.phases_of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "read"; "read:0"; "read:-1"; "bogus:1"; "50/25/26:1" ]
+
+let test_schedule_boundaries () =
+  (* mixed for 0.5s, then drain for 0.25s, cycling with period 0.75s:
+     the declared boundaries are at 0.5, 0.75, 1.25, 1.5, ... *)
+  let ps = W.phases_of_string "mixed:0.5,drain:0.25" in
+  let s = W.schedule ~fallback:W.read_write_50 ps in
+  check_int "two phases" 2 (W.phase_count s);
+  List.iter
+    (fun (now, want) ->
+      check_int (Printf.sprintf "phase at t=%.2f" now) want (W.phase_index s now))
+    [
+      (0.0, 0);
+      (0.49, 0);
+      (0.5, 1) (* switches exactly at the declared boundary *);
+      (0.74, 1);
+      (0.75, 0) (* cycles back *);
+      (1.1, 0);
+      (1.3, 1);
+    ];
+  check_int "mix_at follows the boundary" 0
+    (W.mix_at s 0.6).W.insert_pct (* drain is 10/0/90 *)
+
+let test_schedule_static_fallback () =
+  let s = W.schedule ~fallback:W.read_dominated [] in
+  check_int "single phase" 1 (W.phase_count s);
+  check_int "fallback mix at any time" 90 (W.mix_at s 123.4).W.read_pct;
+  check "bad duration rejected" true
+    (try
+       ignore
+         (W.schedule ~fallback:W.read_write_50
+            [ { W.p_mix = W.read_write_50; p_for = 0.0 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "skew",
+        [
+          Alcotest.test_case "zipf rank-frequency" `Quick
+            test_zipf_rank_frequency;
+          Alcotest.test_case "zipf theta orders skew" `Quick
+            test_zipf_theta_orders_skew;
+          Alcotest.test_case "uniform flat" `Quick test_uniform_flat;
+          Alcotest.test_case "hot-set mass" `Quick test_hot_set_mass;
+          Alcotest.test_case "skew string roundtrip" `Quick
+            test_skew_string_roundtrip;
+        ] );
+      ( "mix",
+        [ Alcotest.test_case "op_for distribution" `Quick test_op_for_distribution ] );
+      ( "phases",
+        [
+          Alcotest.test_case "parse" `Quick test_phases_parse;
+          Alcotest.test_case "boundary switching" `Quick test_schedule_boundaries;
+          Alcotest.test_case "static fallback" `Quick
+            test_schedule_static_fallback;
+        ] );
+    ]
