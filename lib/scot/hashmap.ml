@@ -15,21 +15,18 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   type t = { buckets : L.t array; nbuckets : int }
 
-  (* [apply_batch]'s same-key read-coalescing cache: single-owner
-     scratch, one direct-mapped slot row per handle, validated by a
-     per-dispatch stamp so it never survives a batch (other threads may
-     mutate between brackets).  [cm] holds the key's membership as of
-     its last intra-batch operation. *)
+  (* [apply_batch]'s same-key coalescing memo: the key and resulting
+     membership of the LATEST op of the current dispatch — single-owner
+     scratch, never valid across batches (other threads may mutate
+     between brackets).  One slot, not a table: only a contiguous
+     same-key run may coalesce (see [apply_batch_body]). *)
   type handle = {
     t : t;
     hs : L.handle array;
-    ck : int array;  (* slot -> key *)
-    cm : bool array;  (* slot -> membership after the key's last op *)
-    cs : int array;  (* slot -> stamp that wrote the slot *)
-    mutable stamp : int;
+    mutable last_key : int;  (* key of the latest op this dispatch *)
+    mutable last_mem : bool;  (* that key's membership after the op *)
+    mutable last_valid : bool;
   }
-
-  let cache_slots = 128
 
   let create ?recovery ?recycle ?(buckets = 64) ~smr ~threads () =
     if buckets <= 0 then invalid_arg "Hashmap.create: buckets must be positive";
@@ -43,18 +40,13 @@ module Make (S : Smr.Smr_intf.S) = struct
     {
       t;
       hs = Array.map (fun b -> L.handle b ~tid) t.buckets;
-      ck = Array.make cache_slots 0;
-      cm = Array.make cache_slots false;
-      cs = Array.make cache_slots (-1);
-      stamp = 0;
+      last_key = 0;
+      last_mem = false;
+      last_valid = false;
     }
 
   (* Fibonacci hashing spreads consecutive keys across buckets. *)
   let bucket_of t key = abs (key * 0x9E3779B97F4A7C5) mod t.nbuckets
-
-  (* Cache slot: high product bits, distinct from [bucket_of]'s low-bit
-     reduction so slot collisions do not track bucket collisions. *)
-  let slot_of key = (key * 0x9E3779B97F4A7C5) lsr 45 land (cache_slots - 1)
 
   let insert h key = L.insert h.hs.(bucket_of h.t key) key
   let delete h key = L.delete h.hs.(bucket_of h.t key) key
@@ -72,31 +64,37 @@ module Make (S : Smr.Smr_intf.S) = struct
     {
       Smr.Smr_intf.op2 =
         (fun tok h (b : Batch_op.buf) ->
-          (* Same-key coalescing: once an op in this batch has touched a
-             key, the key's membership at the next same-key op's
-             linearization point is known — every element of the group
-             may linearize anywhere inside this single bracket, so a
-             repeated op may linearize immediately after its
-             predecessor.  At that point a get just reports the cached
-             membership, a put on a present key is a failed no-op, and a
-             delete on an absent key is a failed no-op; none of the
-             three needs a traversal.  Only state-changing repeats (put
-             after absent, delete after present) execute physically. *)
-          h.stamp <- h.stamp + 1;
-          let stamp = h.stamp in
+          (* Same-key coalescing, CONTIGUOUS runs only: a repeat that
+             immediately follows its predecessor (no other physical op
+             from this batch in between) may linearize immediately
+             after it — nothing this thread did separates them, so the
+             pair can always be placed adjacently in a linearization
+             that keeps the batch in program order.  At that point a
+             get just reports the memoised membership, a put on a
+             present key is a failed no-op, and a delete on an absent
+             key is a failed no-op; none of the three needs a
+             traversal.  A physical op on a DIFFERENT key invalidates
+             the memo: its result can pin concurrent external
+             operations between the predecessor and a later same-key
+             repeat (e.g. a failed put proves an external put
+             linearized first, and real time may order an external
+             delete of the memoised key before that external put), so
+             answering the repeat from the memo would deliver results
+             no program-order linearization explains. *)
+          h.last_valid <- false;
           for i = 0 to b.Batch_op.n - 1 do
             let key = b.Batch_op.keys.(i) in
             let kind = b.Batch_op.kinds.(i) in
-            let s = slot_of key in
-            let known = h.cs.(s) = stamp && h.ck.(s) = key in
+            let known = h.last_valid && h.last_key = key in
             if
               known
               && (if kind = Batch_op.get then true
-                  else if kind = Batch_op.put then h.cm.(s)
-                  else not h.cm.(s))
+                  else if kind = Batch_op.put then h.last_mem
+                  else not h.last_mem)
             then
+              (* Coalesced: the memo is unchanged, the run continues. *)
               b.Batch_op.results.(i) <-
-                (if kind = Batch_op.get then h.cm.(s) else false)
+                (if kind = Batch_op.get then h.last_mem else false)
             else begin
               let lh = h.hs.(bucket_of h.t key) in
               let r =
@@ -107,13 +105,15 @@ module Make (S : Smr.Smr_intf.S) = struct
                 else L.delete_body.Smr.Smr_intf.op2 tok lh key
               in
               b.Batch_op.results.(i) <- r;
-              h.ck.(s) <- key;
-              h.cs.(s) <- stamp;
               (* Membership after the op: get reports it, a put leaves
                  the key present, a delete leaves it absent. *)
-              h.cm.(s) <- (if kind = Batch_op.get then r else kind = Batch_op.put)
+              h.last_key <- key;
+              h.last_mem <-
+                (if kind = Batch_op.get then r else kind = Batch_op.put);
+              h.last_valid <- true
             end
-          done);
+          done;
+          h.last_valid <- false);
     }
 
   let apply_batch h (b : Batch_op.buf) =

@@ -31,13 +31,16 @@ module Make (S : Smr.Smr_intf.S) : sig
       writing each result into [results].  One reservation publish per
       group instead of per op; requests run sequentially in buffer
       order, so intra-batch operations on the same key observe each
-      other.  Same-key repeats are coalesced: since every request in
-      the group may linearize anywhere inside the shared bracket, a
-      repeated op linearizes immediately after its predecessor on that
-      key — a get reuses the known membership, and a put (delete) on a
-      key known present (absent) is a failed no-op — skipping the
-      traversal.  Results are identical to running the batch
-      sequentially.  The buffer is left intact (caller calls
+      other.  {e Contiguous} same-key repeats are coalesced: a repeat
+      directly following its predecessor (no other physical op from
+      this batch in between) linearizes immediately after it — a get
+      reuses the known membership, and a put (delete) on a key known
+      present (absent) is a failed no-op — skipping the traversal.
+      An intervening op on a different key ends the run: its result can
+      order concurrent external operations between predecessor and
+      repeat, so the repeat must traverse again.  Delivered results are
+      always explained by a linearization that keeps the batch in
+      program order.  The buffer is left intact (caller calls
       {!Batch_op.clear}). *)
 
   val quiesce : handle -> unit

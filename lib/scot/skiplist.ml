@@ -156,16 +156,13 @@ module Make (S : Smr.Smr_intf.S) = struct
     mutable lf_prev : link Atomic.t;
     mutable lf_expected : link;
     mutable lf_pred : node option;
-    (* [apply_batch]'s same-key coalescing cache (see Hashmap): slot
-       valid only while [cs] matches the current dispatch's stamp. *)
-    ck : int array;  (* slot -> key *)
-    cm : bool array;  (* slot -> membership after the key's last op *)
-    cs : int array;  (* slot -> stamp that wrote the slot *)
-    mutable stamp : int;
+    (* [apply_batch]'s same-key coalescing memo (see Hashmap): key and
+       membership of the latest op of the current dispatch; only a
+       contiguous same-key run coalesces. *)
+    mutable last_key : int;
+    mutable last_mem : bool;
+    mutable last_valid : bool;
   }
-
-  let cache_slots = 128
-  let slot_of key = (key * 0x9E3779B97F4A7C5) lsr 45 land (cache_slots - 1)
 
   (* [optimistic:false] gives the Herlihy-Shavit-style baseline: searches
      run the eager-unlink traversal too (no read-only searches), which is
@@ -198,10 +195,9 @@ module Make (S : Smr.Smr_intf.S) = struct
       lf_prev = t.head.(0);
       lf_expected = null_link;
       lf_pred = None;
-      ck = Array.make cache_slots 0;
-      cm = Array.make cache_slots false;
-      cs = Array.make cache_slots (-1);
-      stamp = 0;
+      last_key = 0;
+      last_mem = false;
+      last_valid = false;
     }
 
   (* Geometric tower height (p = 1/2), capped at [max_height]; xorshift on
@@ -504,29 +500,29 @@ module Make (S : Smr.Smr_intf.S) = struct
      request in the buffer runs under one [start_op]/[end_op], each
      reusing the traversal scratch and hazard slots of the previous one
      exactly as back-to-back brackets would.  Same-key repeats coalesce
-     against the handle's membership cache exactly as in the hashmap:
-     a repeated op linearizes immediately after its predecessor, so a
-     get reports the cached membership and redundant put/delete
-     repeats are failed no-ops; only state-changing repeats run. *)
+     exactly as in the hashmap — CONTIGUOUS runs only: a repeat directly
+     following its predecessor may linearize immediately after it, so a
+     get reports the memoised membership and redundant put/delete
+     repeats are failed no-ops, while any physical op on a different
+     key invalidates the memo (its result can pin external operations
+     between predecessor and repeat; see the hashmap's comment). *)
   let apply_batch_body =
     {
       Smr.Smr_intf.op2 =
         (fun tok h (b : Batch_op.buf) ->
-          h.stamp <- h.stamp + 1;
-          let stamp = h.stamp in
+          h.last_valid <- false;
           for i = 0 to b.Batch_op.n - 1 do
             let key = b.Batch_op.keys.(i) in
             let kind = b.Batch_op.kinds.(i) in
-            let s = slot_of key in
-            let known = h.cs.(s) = stamp && h.ck.(s) = key in
+            let known = h.last_valid && h.last_key = key in
             if
               known
               && (if kind = Batch_op.get then true
-                  else if kind = Batch_op.put then h.cm.(s)
-                  else not h.cm.(s))
+                  else if kind = Batch_op.put then h.last_mem
+                  else not h.last_mem)
             then
               b.Batch_op.results.(i) <-
-                (if kind = Batch_op.get then h.cm.(s) else false)
+                (if kind = Batch_op.get then h.last_mem else false)
             else begin
               let r =
                 if kind = Batch_op.get then
@@ -536,11 +532,13 @@ module Make (S : Smr.Smr_intf.S) = struct
                 else delete_body.Smr.Smr_intf.op2 tok h key
               in
               b.Batch_op.results.(i) <- r;
-              h.ck.(s) <- key;
-              h.cs.(s) <- stamp;
-              h.cm.(s) <- (if kind = Batch_op.get then r else kind = Batch_op.put)
+              h.last_key <- key;
+              h.last_mem <-
+                (if kind = Batch_op.get then r else kind = Batch_op.put);
+              h.last_valid <- true
             end
-          done);
+          done;
+          h.last_valid <- false);
     }
 
   let apply_batch h (b : Batch_op.buf) =

@@ -39,7 +39,8 @@ module Make (S : Smr.Smr_intf.S) : sig
   (** Execute every pending request in the buffer under a {e single}
       [start_op]/[end_op] bracket, writing each result into [results] —
       one reservation publish per group instead of per op, with
-      same-key repeats coalesced (see {!Hashmap.Make.apply_batch}).
+      contiguous same-key repeats coalesced (see
+      {!Hashmap.Make.apply_batch}).
       Requests run sequentially in buffer order; the buffer is left
       intact (caller calls {!Batch_op.clear}). *)
 

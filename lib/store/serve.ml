@@ -89,7 +89,7 @@ type shard_row = {
 
 type result = {
   r_mode : mode;
-  r_ops : int;  (* requests issued inside the measurement window *)
+  r_ops : int;  (* requests completed inside the measurement window *)
   r_duration : float;
   r_throughput : float;
   r_per_shard : shard_row list;
@@ -194,13 +194,20 @@ let run cfg mode =
     let sampler = Workload.sampler sv_skew ~range:sv_range in
     let recorder = recorders.(tid) in
     let beat = Supervisor.beat_cell sup ~tid in
+    let count = ref 0 in
     let on_result ~kind ~key:_ ~hit =
       let k =
         if kind = B.get then Metrics.Search
         else if kind = B.put then Metrics.Insert
         else Metrics.Delete
       in
-      Metrics.count recorder k ~hit
+      Metrics.count recorder k ~hit;
+      (* Batched mode counts ops at DELIVERY, and only inside the
+         window: the post-stop drain completes the queued tail (up to
+         shards * batch_capacity requests), which counting at enqueue
+         time would credit to the window and inflate the batched/per-op
+         ratio; a crashed client's queue never executes at all. *)
+      if mode = Batched && not (Atomic.get stop) then incr count
     in
     let client = Store.client ~on_result store ~tid in
     let ttl () =
@@ -211,7 +218,6 @@ let run cfg mode =
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
-    let count = ref 0 in
     (try
        (match mode with
        | Per_op ->
@@ -228,6 +234,7 @@ let run cfg mode =
              incr count
            done
        | Batched ->
+           (* Ops counted in [on_result] at delivery, not here. *)
            while not (Atomic.get stop) do
              let key = Workload.draw sampler rng in
              (match
@@ -237,8 +244,7 @@ let run cfg mode =
              | Workload.Search -> Store.enqueue_get client key
              | Workload.Insert -> Store.enqueue_put ?ttl_s:(ttl ()) client key
              | Workload.Delete -> Store.enqueue_delete client key);
-             Atomic.incr beat;
-             incr count
+             Atomic.incr beat
            done;
            (* Drain the tail so queued requests complete (outside the
               measurement window; teardown, not measured work). *)

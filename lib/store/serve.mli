@@ -49,7 +49,10 @@ type shard_row = {
 
 type result = {
   r_mode : mode;
-  r_ops : int;  (** requests issued inside the measurement window *)
+  r_ops : int;
+      (** requests completed inside the measurement window ([Batched]
+          counts at delivery, so the post-stop drain of queued tails is
+          excluded — same denominator as [Per_op]) *)
   r_duration : float;
   r_throughput : float;
   r_per_shard : shard_row list;

@@ -13,9 +13,15 @@
    deadline is the one that later evicts it, through the ordinary
    delete path (unlink then [retire]), so expired entries flow through
    the same reclamation machinery as any other removal.  Sweeps run on
-   [flush] and every [sweep_period] immediate ops; a key re-put with a
-   later deadline leaves a stale queue entry behind, which the sweep
-   detects against the deadline book and skips. *)
+   [flush] and every [sweep_period] ops; a key re-put with a later
+   deadline leaves a stale queue entry behind, which the sweep detects
+   against the deadline book and skips.  A DEFERRED put's deadline is
+   recorded at dispatch (flush), not enqueue: noting it early would let
+   a sweep that fires between deadline and flush delete the key AND
+   consume its book entry, after which the flushed put would re-insert
+   the key with no deadline at all — a permanent leak.  Until the put
+   dispatches, its key carries no book entry, so the sweep also cannot
+   evict a key that has a pending re-put queued. *)
 
 module B = Scot.Batch_op
 
@@ -32,6 +38,7 @@ type client = {
   tid : int;
   batch : Batch.t;
   deadlines : (int, float) Hashtbl.t;  (* current TTL deadline per key *)
+  pending_ttls : (int, float) Hashtbl.t;  (* key -> ttl_s of a queued put *)
   expiry : (float * int) Queue.t;  (* insertion-ordered sweep candidates *)
   mutable ops_since_sweep : int;
   now : unit -> float;
@@ -66,6 +73,7 @@ let client ?now ?on_result t ~tid =
     tid;
     batch = Batch.create ~shards:(Array.length t.shard_arr) ~capacity:t.batch_capacity;
     deadlines = Hashtbl.create 64;
+    pending_ttls = Hashtbl.create 16;
     expiry = Queue.create ();
     ops_since_sweep = 0;
     now = (match now with Some f -> f | None -> Unix.gettimeofday);
@@ -164,14 +172,47 @@ let flush_shard c s =
   let n = B.length buf in
   if n > 0 then begin
     c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
+    (* The queued puts are live now: record their deadlines (the TTL
+       clock runs from dispatch — see the header on why enqueue-time
+       deadlines leak). *)
+    if Hashtbl.length c.pending_ttls > 0 then
+      for i = 0 to n - 1 do
+        if buf.B.kinds.(i) = B.put then begin
+          let key = buf.B.keys.(i) in
+          match Hashtbl.find_opt c.pending_ttls key with
+          | Some ttl_s ->
+              Hashtbl.remove c.pending_ttls key;
+              note_ttl c key (Some ttl_s)
+          | None -> ()
+        end
+      done;
     deliver c s buf n;
     B.clear buf
   end
 
+(* The table lookups are guarded by O(1) emptiness checks so a client
+   that never uses TTLs pays two field loads per queued write, not two
+   hash probes. *)
 let enqueue c ~kind ?ttl_s key =
   let s = route c key in
-  if kind = B.put then note_ttl c key ttl_s
-  else if kind = B.del then Hashtbl.remove c.deadlines key;
+  if kind = B.put then begin
+    (* Clear any current deadline either way — the queued put resets the
+       key's TTL state at dispatch — and stage the new TTL (validated
+       now so the raise happens at the call site, not inside a flush). *)
+    if Hashtbl.length c.deadlines > 0 then Hashtbl.remove c.deadlines key;
+    match ttl_s with
+    | Some t ->
+        if t <= 0. then invalid_arg "Store.put: ttl_s must be positive";
+        Hashtbl.replace c.pending_ttls key t
+    | None ->
+        if Hashtbl.length c.pending_ttls > 0 then
+          Hashtbl.remove c.pending_ttls key
+  end
+  else if kind = B.del then begin
+    if Hashtbl.length c.deadlines > 0 then Hashtbl.remove c.deadlines key;
+    if Hashtbl.length c.pending_ttls > 0 then
+      Hashtbl.remove c.pending_ttls key
+  end;
   let buf = Batch.shard_buf c.batch s in
   B.push buf ~kind ~key;
   if B.length buf >= c.store.batch_capacity then flush_shard c s;

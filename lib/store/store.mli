@@ -22,9 +22,13 @@
     client evicts expired keys during its sweeps (on {!flush} and
     periodically on immediate ops), through the ordinary delete path, so
     expired entries are reclaimed via [retire] like any other removal.
-    A crashed client's pending deferred requests and TTL book are
-    dropped when it is respawned (documented trade-off: deferred writes
-    are not durable until flushed). *)
+    A {e deferred} put's TTL clock starts at dispatch (flush), not at
+    enqueue — until then the key carries no deadline, so a sweep can
+    neither orphan the queued put (insert-after-expiry with no book
+    entry) nor evict a key that has a re-put pending.  A crashed
+    client's pending deferred requests and TTL book are dropped when it
+    is respawned (documented trade-off: deferred writes are not durable
+    until flushed). *)
 
 type t
 

@@ -163,6 +163,46 @@ let test_ttl_reput_moves_deadline () =
   check "gone" false (Store.get c 5);
   Store.teardown store
 
+(* Regression: a deferred put's deadline must run from DISPATCH.  The
+   old enqueue-time book-keeping let a sweep that fired after the
+   deadline but before the flush delete the key and consume its book
+   entry — the flush then re-inserted the key with no deadline at all,
+   so it never expired. *)
+let test_ttl_deferred_put_expires_from_dispatch () =
+  let t = ref 0.0 in
+  let store = mk_store () in
+  let c = Store.client ~now:(fun () -> !t) store ~tid:0 in
+  Store.enqueue_put ~ttl_s:1.0 c 5;
+  t := 2.0;
+  check_int "no eviction while the put is queued" 0 (Store.sweep_expired c);
+  Store.flush c (* dispatch at t=2: deadline becomes 3.0 *);
+  check "present after flush" true (Store.get c 5);
+  t := 2.5;
+  check_int "not yet expired" 0 (Store.sweep_expired c);
+  t := 4.0;
+  check_int "expires from the dispatch-time deadline" 1 (Store.sweep_expired c);
+  check "gone — no permanent leak" false (Store.get c 5);
+  Store.teardown store
+
+let test_ttl_pending_reput_shields_key_from_sweep () =
+  let t = ref 0.0 in
+  let store = mk_store () in
+  let c = Store.client ~now:(fun () -> !t) store ~tid:0 in
+  ignore (Store.put ~ttl_s:1.0 c 5);
+  t := 0.5;
+  Store.enqueue_put ~ttl_s:5.0 c 5 (* queued re-put clears the book *);
+  t := 2.0;
+  check_int "old deadline cannot evict a key with a pending re-put" 0
+    (Store.sweep_expired c);
+  check "still present" true (Store.get c 5);
+  Store.flush c (* dispatch at t=2: deadline becomes 7.0 *);
+  t := 6.0;
+  check_int "not yet expired" 0 (Store.sweep_expired c);
+  t := 8.0;
+  check_int "evicted at the re-put deadline" 1 (Store.sweep_expired c);
+  check "gone" false (Store.get c 5);
+  Store.teardown store
+
 let test_ttl_delete_clears_book () =
   let t = ref 0.0 in
   let store = mk_store () in
@@ -246,6 +286,10 @@ let () =
           Alcotest.test_case "eviction" `Quick test_ttl_eviction;
           Alcotest.test_case "re-put moves deadline" `Quick
             test_ttl_reput_moves_deadline;
+          Alcotest.test_case "deferred put expires from dispatch" `Quick
+            test_ttl_deferred_put_expires_from_dispatch;
+          Alcotest.test_case "pending re-put shields key from sweep" `Quick
+            test_ttl_pending_reput_shields_key_from_sweep;
           Alcotest.test_case "delete clears book" `Quick
             test_ttl_delete_clears_book;
         ] );
