@@ -20,8 +20,8 @@
                    latency timing off — the canonical throughput smoke.
    - op-allocs     single-domain allocation audit of the operation fast
                    paths: GC minor words per HList search / insert /
-                   delete after warm-up.  Asserts 0.00 words per search
-                   for EBR, HP, HE, IBR and HYB (disable with --no-assert).
+                   delete after warm-up.  Asserts 0.00 words per search for
+                   EBR, HP, HE, IBR, HYB and DBR (disable with --no-assert).
    - tune          (via --tune, replaces the suite above) static
                    reclamation thresholds vs the adaptive controller on a
                    phase-shifting workload with a straggling reader; runs
@@ -37,7 +37,7 @@
      --hold SECS      reader hold time for retire-stall (default 0.002)
      --repeats N      timed-run repeats, median reported (default 1)
      --no-assert      report op-allocs without the zero-allocation check
-     --smoke          CI preset: 0.1 s, threads 1,2, EBR+IBR, HList, 1 repeat
+     --smoke          CI preset: 0.1 s, threads 1,2, EBR+IBR+HYB+DBR, HList, 1 repeat
 *)
 
 module Json = Harness.Json
@@ -122,16 +122,30 @@ let retire_run (module S : Smr.Smr_intf.S) ~threads ~duration ~hold =
     S.flush th;
     counts.(tid) <- !n
   in
+  (* The slow reader goes through the branded bracket like any structure
+     code: protect the cell, then sit on the guard for [hold] seconds. *)
+  let cell_desc =
+    {
+      Smr.Smr_intf.is_null = (fun v -> v = None);
+      hdr = (function Some h -> h | None -> assert false);
+    }
+  in
+  let reader_body =
+    {
+      Smr.Smr_intf.op1 =
+        (fun tok rdr ->
+          ignore (S.protect rdr tok ~slot:0 cell);
+          let deadline = now () +. hold in
+          while now () < deadline && not (Atomic.get stop) do
+            ignore (Sys.opaque_identity 0)
+          done);
+    }
+  in
   let reader tid =
     let th = S.register t ~tid in
+    let rdr = S.reader th cell_desc in
     while not (Atomic.get stop) do
-      S.start_op th;
-      ignore (S.read th ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id);
-      let deadline = now () +. hold in
-      while now () < deadline && not (Atomic.get stop) do
-        ignore (Sys.opaque_identity 0)
-      done;
-      S.end_op th
+      S.with_op1 th reader_body rdr
     done
   in
   let doms =
@@ -394,7 +408,7 @@ let op_allocs_runs (module S : Smr.Smr_intf.S) ~assert_zero =
       mk_run "delete" wr_batch !d_words !d_el;
     ]
   in
-  let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR"; "HYB" ] in
+  let zero_alloc_schemes = [ "EBR"; "HP"; "HE"; "IBR"; "HYB"; "DBR" ] in
   if assert_zero && List.mem S.name zero_alloc_schemes then
     (* All three fast paths must stay allocation-free — the branded
        bracket ([with_op*] + [protect]/[Guard.deref]) must compile away
@@ -641,7 +655,7 @@ let () =
   if !smoke then begin
     duration := 0.1;
     threads := "1,2";
-    schemes := "EBR,IBR,HYB";
+    schemes := "EBR,IBR,HYB,DBR";
     structures := "HList";
     repeats := 1
   end;

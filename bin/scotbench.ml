@@ -238,8 +238,10 @@ let chaos_cmd =
       & info [ "scheme" ] ~docv:"NAME"
           ~doc:
             "Restrict the matrix to one SMR scheme (default: all).  \
-             Selecting the hybrid (hybrid or HYB) additionally runs the \
-             clean-run throughput-floor check against EBR.")
+             Selecting the hybrid (hybrid or HYB) or the neutralizing \
+             DEBRA+ scheme (debra or DBR) additionally runs the clean-run \
+             throughput-floor check against EBR; selecting DBR also runs \
+             the stall comparison panel (DBR vs EBR/IBR/HYB).")
   in
   cmd_of "chaos"
     "Fault-injection validation: memory bounds under stalls, plus fuzzing"
@@ -247,8 +249,10 @@ let chaos_cmd =
       const (fun cfg json smoke do_fuzz structure point scheme_name range ->
           preflight_json json;
           let scheme_name =
-            if String.lowercase_ascii scheme_name = "hybrid" then "HYB"
-            else scheme_name
+            match String.lowercase_ascii scheme_name with
+            | "hybrid" -> "HYB"
+            | "debra" -> "DBR"
+            | _ -> scheme_name
           in
           let schemes =
             if String.lowercase_ascii scheme_name = "all" then None
@@ -278,19 +282,48 @@ let chaos_cmd =
           let failed =
             List.filter (fun r -> not r.Harness.Experiments.c_ok) runs
           in
-          (* The hybrid's second acceptance criterion: no stall, HYB within
-             10% of EBR throughput. *)
+          (* Second acceptance criterion for the schemes that add stall
+             machinery (HYB's escalated sweep, DBR's neutralization
+             checkpoints): no stall, clean-run throughput within 10% of
+             EBR. *)
+          let needs_floor =
+            match schemes with
+            | Some [ s ] ->
+                scheme_name = "HYB"
+                || (Smr.Registry.capabilities s).Smr.Smr_intf.neutralizing
+            | _ -> false
+          in
           let floor =
-            if scheme_name = "HYB" then
-              Some
-                (Harness.Experiments.hybrid_floor ~structure
-                   ~threads:(List.fold_left max 2 threads_list)
-                   ~range ~duration ())
-            else None
+            match (needs_floor, schemes) with
+            | true, Some [ s ] ->
+                Some
+                  (Harness.Experiments.clean_floor ~structure
+                     ~threads:(List.fold_left max 2 threads_list)
+                     ~range ~duration ~scheme:s ())
+            | _ -> None
           in
           let floor_bad =
             match floor with
             | Some f -> not f.Harness.Experiments.fl_ok
+            | None -> false
+          in
+          (* The DBR headline artifact: the same stall, DBR next to the
+             era/interval schemes (bounded-via-neutralization vs growing
+             EBR vs bounded-via-tracking IBR/HYB). *)
+          let cmp_threads = List.fold_left max 2 threads_list in
+          let stall_cmp =
+            match schemes with
+            | Some [ s ]
+              when (Smr.Registry.capabilities s).Smr.Smr_intf.neutralizing ->
+                Some
+                  (Harness.Experiments.stall_comparison ~structure
+                     ~threads:cmp_threads ~point ~range ~duration ())
+            | _ -> None
+          in
+          let stall_cmp_bad =
+            match stall_cmp with
+            | Some cs ->
+                List.exists (fun c -> not c.Harness.Experiments.c_ok) cs
             | None -> false
           in
           let fuzzes =
@@ -334,16 +367,26 @@ let chaos_cmd =
                 | Some f -> [ Harness.Experiments.floor_run_json f ]
                 | None -> []
               in
+              let stall_cmp_json =
+                match stall_cmp with
+                | Some cs ->
+                    [
+                      Harness.Experiments.stall_cmp_json ~structure
+                        ~threads:cmp_threads ~stalled:1 ~point ~range
+                        ~duration cs;
+                    ]
+                | None -> []
+              in
               Harness.Report.write_bench_doc
                 ~meta:(Harness.Experiments.cfg_meta cfg)
                 ~path ~name:"chaos"
                 (List.map Harness.Experiments.chaos_run_json runs
-                @ floor_json
+                @ floor_json @ stall_cmp_json
                 @ List.map Harness.Experiments.fuzz_result_json fuzzes);
               Printf.printf "wrote %s (%d runs)\n%!" path
                 (List.length runs + List.length floor_json
-                + List.length fuzzes));
-          if failed <> [] || fuzz_bad || floor_bad then (
+                + List.length stall_cmp_json + List.length fuzzes));
+          if failed <> [] || fuzz_bad || floor_bad || stall_cmp_bad then (
             if failed <> [] then
               Printf.eprintf "scotbench chaos: %d verdict(s) failed\n"
                 (List.length failed);
@@ -351,7 +394,10 @@ let chaos_cmd =
               Printf.eprintf "scotbench chaos: fuzzer expectation failed\n";
             if floor_bad then
               Printf.eprintf
-                "scotbench chaos: hybrid clean-run throughput below 0.9x EBR\n";
+                "scotbench chaos: clean-run throughput below 0.9x EBR\n";
+            if stall_cmp_bad then
+              Printf.eprintf
+                "scotbench chaos: stall-comparison verdict(s) failed\n";
             Stdlib.exit 1))
       $ cfg_term $ json_arg $ smoke $ fuzz_flag $ structure $ point $ scheme
       $ range_arg ~default:256)
@@ -433,7 +479,8 @@ let serve_cmd =
     Arg.(
       value & opt string "HLN"
       & info [ "scheme" ] ~docv:"NAME"
-          ~doc:"SMR scheme for every shard (NR, EBR, HP, ..., HLN, HYB).")
+          ~doc:
+            "SMR scheme for every shard (NR, EBR, HP, ..., HLN, HYB, DBR).")
   in
   let shards =
     Arg.(

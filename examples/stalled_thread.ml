@@ -62,7 +62,8 @@ let () =
       done;
       let after = inst.Harness.Instance.unreclaimed () in
       Printf.printf "%-6s %-12s %s  %d\n%!" S.name
-        (if S.robust then "robust" else "NOT robust")
+        (if S.capabilities.Smr.Smr_intf.robust then "robust"
+         else "NOT robust")
         (String.concat "  " (List.map string_of_int counts))
         after)
     Smr.Registry.all;

@@ -53,6 +53,13 @@ type t = {
 }
 
 let create ~threads () =
+  (* The Probe park/crash registries are process-global; a previous
+     engine's poisoned tids must not leak into this one (a stale crashed
+     flag would let a neutralizing reclaimer unpin a live reader). *)
+  for tid = 0 to threads - 1 do
+    Smr.Probe.note_unparked tid;
+    Smr.Probe.clear_crashed tid
+  done;
   {
     cells =
       Array.init threads (fun _ ->
@@ -100,15 +107,30 @@ let park t c =
   c.release <- false;
   Condition.broadcast c.cond
 
-let unpark_check_crashed c =
+(* [Probe.note_crashed] is only ever published from the VICTIM's own
+   thread, at the moment it raises: a poisoned-but-still-running domain
+   may be mid-dereference, so the neutralizing reclaimer must not learn
+   about the crash (and unpin it) until the victim provably executes no
+   further protected load — i.e. once the raise is in flight. *)
+let unpark_check_crashed c ~tid =
+  Smr.Probe.note_unparked tid;
   c.parked <- false;
   Condition.broadcast c.cond;
   let crashed = c.crashed in
   Mutex.unlock c.mutex;
-  if crashed then raise Crashed
+  if crashed then begin
+    Smr.Probe.note_crashed tid;
+    raise Crashed
+  end
 
-(* Called with [c.mutex] held; returns with it released. *)
-let stall_here t c ~for_s =
+(* Called with [c.mutex] held; returns with it released.  The parked-domain
+   registry entry is published BEFORE parking: the domain performs no
+   protected load between [note_parked] and blocking, so a neutralizing
+   reclaimer that reads the entry may safely deliver — the laggard's next
+   checkpoint load runs only after it wakes, hence after the delivery CAS
+   (SC atomics). *)
+let stall_here t c ~tid ~point ~for_s =
+  Smr.Probe.note_parked tid point;
   park t c;
   (match for_s with
   | None -> while not c.release do Condition.wait c.cond c.mutex done
@@ -119,7 +141,7 @@ let stall_here t c ~for_s =
         Unix.sleepf 0.0002;
         Mutex.lock c.mutex
       done);
-  unpark_check_crashed c
+  unpark_check_crashed c ~tid
 
 let on_hit t tid point =
   if tid < Array.length t.cells then begin
@@ -127,6 +149,7 @@ let on_hit t tid point =
     Mutex.lock c.mutex;
     if c.crashed then begin
       Mutex.unlock c.mutex;
+      Smr.Probe.note_crashed tid;
       raise Crashed
     end;
     let i = Smr.Probe.point_index point in
@@ -147,8 +170,9 @@ let on_hit t tid point =
       | Crash ->
           c.crashed <- true;
           Mutex.unlock c.mutex;
+          Smr.Probe.note_crashed tid;
           raise Crashed
-      | Stall { for_s } -> stall_here t c ~for_s
+      | Stall { for_s } -> stall_here t c ~tid ~point ~for_s
     end
     else Mutex.unlock c.mutex
   end
@@ -201,6 +225,8 @@ let kill t ~tid =
 let revive t ~tid =
   let c = t.cells.(tid) in
   Mutex.lock c.mutex;
+  Smr.Probe.note_unparked tid;
+  Smr.Probe.clear_crashed tid;
   c.crashed <- false;
   c.parked <- false;
   c.release <- false;
@@ -307,7 +333,7 @@ let rule_to_string r =
    over the accounting. *)
 let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
     ~threads ~slots ~range ?(adopted = 0) ~stalled () =
-  if not S.robust then None
+  if not S.capabilities.Smr.Smr_intf.robust then None
   else
     let n = threads and k = stalled in
     let hp = S.name = "HP" || S.name = "HPopt" in
@@ -322,6 +348,18 @@ let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
     let per_thread =
       if hp then buffer_one else buffer_one + (2 * config.epoch_freq)
     in
+    (* A neutralizing scheme's announcement is epoch-wide, not
+       interval-narrow: a RUNNING reader pins every retire since its
+       announce epoch until it either finishes or falls
+       [neutralize_after] epochs behind, gets posted, and acknowledges
+       at its next checkpoint.  That window — [neutralize_after] era
+       bumps' worth of retires — is a per-running-reader transient, with
+       no fault injected at all. *)
+    let per_thread =
+      if S.capabilities.Smr.Smr_intf.neutralizing then
+        per_thread + (config.neutralize_after * config.epoch_freq)
+      else per_thread
+    in
     let per_stall = if hp then slots else range + (2 * config.epoch_freq) in
     (* HYB's clean-mode sweep uses the single-bound (min active lower)
        predicate, which pins every retire since the straggler began until
@@ -330,6 +368,16 @@ let mem_bound (module S : Smr.Smr_intf.S) ~(config : Smr.Smr_intf.config)
        of retires per stalled reservation. *)
     let per_stall =
       if S.name = "HYB" then per_stall + (config.stale_eras * config.epoch_freq)
+      else per_stall
+    in
+    (* A neutralizing scheme (DBR) pins nothing once the signal is
+       delivered, but delivery waits for the laggard to fall
+       [neutralize_after] epochs behind: one window of that many era
+       bumps' worth of retires per stalled reservation — the
+       neutralization latency. *)
+    let per_stall =
+      if S.capabilities.Smr.Smr_intf.neutralizing then
+        per_stall + (config.neutralize_after * config.epoch_freq)
       else per_stall
     in
     Some ((2 * ((n * per_thread) + (k * per_stall))) + (adopted * buffer_one) + 16)

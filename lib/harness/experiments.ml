@@ -352,7 +352,8 @@ let stall ?(threads = 4) ?(duration = 2.0) ?(range = 512) ?(point = "read") ()
         let after_resume = inst.Instance.unreclaimed () in
         [
           S.name;
-          (if S.robust then "robust" else "not robust");
+          (if S.capabilities.Smr.Smr_intf.robust then "robust"
+           else "not robust");
           string_of_int unr;
           string_of_int after_resume;
         ])
@@ -461,7 +462,7 @@ let chaos ?(structure = "HList") ?(threads = 4) ?(stalled = 1)
   {
     c_structure = r.structure;
     c_scheme = r.scheme;
-    c_robust = S.robust;
+    c_robust = S.capabilities.Smr.Smr_intf.robust;
     c_threads = threads;
     c_workers = workers;
     c_stalled = stalled;
@@ -554,44 +555,48 @@ let chaos_run_json (c : chaos_run) =
       ("trace", Json.List (List.map (fun e -> Json.String e) c.c_trace));
     ]
 
-(* Hybrid's acceptance floor: with no fault injected, the stall-aware
-   scheme must not give back the cheap path's win — clean-run throughput
-   stays within 10% of EBR on the same workload. *)
+(* Clean-run acceptance floor: with no fault injected, a scheme that adds
+   stall machinery (the stall-aware HYB, the neutralizing DBR) must not
+   give back the cheap path's win — clean-run throughput stays within 10%
+   of EBR on the same workload. *)
 
 type floor_run = {
   fl_structure : string;
+  fl_scheme : string;
   fl_threads : int;
   fl_range : int;
   fl_duration : float;
-  fl_hyb_throughput : float;
+  fl_throughput : float;
   fl_ebr_throughput : float;
   fl_ratio : float;
   fl_ok : bool;
 }
 
-let hybrid_floor ?(structure = "HList") ?(threads = 4) ?(range = 256)
-    ?(duration = 1.0) () =
+let clean_floor ?(structure = "HList") ?(threads = 4) ?(range = 256)
+    ?(duration = 1.0) ~scheme:(module S : Smr.Smr_intf.S) () =
   Report.section
-    "Hybrid floor: clean-run throughput vs EBR (no stall, HYB >= 0.9x)";
+    (Printf.sprintf
+       "Clean-run floor: throughput vs EBR (no stall, %s >= 0.9x)" S.name);
   let builder = Instance.find_builder_exn structure in
-  let one name =
-    Runner.run ~check:false ~measure_latency:false ~builder
-      ~scheme:(Smr.Registry.find_exn name) ~threads ~range ~duration ()
+  let one scheme =
+    Runner.run ~check:false ~measure_latency:false ~builder ~scheme ~threads
+      ~range ~duration ()
   in
-  let hyb = one "HYB" in
-  let ebr = one "EBR" in
+  let r = one (module S : Smr.Smr_intf.S) in
+  let ebr = one (Smr.Registry.find_exn "EBR") in
   let ratio =
     if ebr.Runner.throughput > 0.0 then
-      hyb.Runner.throughput /. ebr.Runner.throughput
+      r.Runner.throughput /. ebr.Runner.throughput
     else infinity
   in
   let run =
     {
       fl_structure = structure;
+      fl_scheme = S.name;
       fl_threads = threads;
       fl_range = range;
       fl_duration = duration;
-      fl_hyb_throughput = hyb.Runner.throughput;
+      fl_throughput = r.Runner.throughput;
       fl_ebr_throughput = ebr.Runner.throughput;
       fl_ratio = ratio;
       fl_ok = ratio >= 0.9;
@@ -602,25 +607,87 @@ let hybrid_floor ?(structure = "HList") ?(threads = 4) ?(range = 256)
     [
       [ "EBR"; string_of_int threads;
         Printf.sprintf "%.0f" run.fl_ebr_throughput; "1.00"; "-" ];
-      [ "HYB"; string_of_int threads;
-        Printf.sprintf "%.0f" run.fl_hyb_throughput;
+      [ S.name; string_of_int threads;
+        Printf.sprintf "%.0f" run.fl_throughput;
         Printf.sprintf "%.2f" run.fl_ratio;
         (if run.fl_ok then "ok" else "BELOW FLOOR") ];
     ];
   run
+
+let hybrid_floor ?structure ?threads ?range ?duration () =
+  clean_floor ?structure ?threads ?range ?duration
+    ~scheme:(Smr.Registry.find_exn "HYB") ()
 
 let floor_run_json (f : floor_run) =
   Json.Obj
     [
       ("kind", Json.String "floor");
       ("structure", Json.String f.fl_structure);
+      ("scheme", Json.String f.fl_scheme);
       ("threads", Json.Int f.fl_threads);
       ("range", Json.Int f.fl_range);
       ("duration", Json.Float f.fl_duration);
-      ("hyb_throughput", Json.Float f.fl_hyb_throughput);
+      ("throughput", Json.Float f.fl_throughput);
       ("ebr_throughput", Json.Float f.fl_ebr_throughput);
       ("ratio", Json.Float f.fl_ratio);
       ("ok", Json.Bool f.fl_ok);
+    ]
+
+(* {2 Stall comparison: neutralization vs era/interval tracking} *)
+
+(* The DBR headline artifact: the same one-stalled-reader chaos run for a
+   panel of schemes side by side.  DBR's neutralization delivers once the
+   laggard falls [neutralize_after] epochs behind, so its gauge flattens
+   where EBR's grows; IBR/HYB bound it too but keep paying per-era
+   tracking.  Returns the underlying chaos runs in panel order. *)
+let stall_comparison ?(structure = "HList") ?(threads = 4) ?(stalled = 1)
+    ?(point = "read") ?(range = 256) ?(duration = 1.0)
+    ?(schemes = [ "DBR"; "EBR"; "IBR"; "HYB" ]) () =
+  Report.section
+    (Printf.sprintf
+       "Stall comparison (%d stalled at '%s'): DBR neutralization vs \
+        era/interval schemes"
+       stalled point);
+  let runs =
+    List.map
+      (fun name ->
+        chaos ~structure ~threads ~stalled ~point ~range ~duration
+          ~scheme:(Smr.Registry.find_exn name) ())
+      schemes
+  in
+  Report.table ~header:chaos_header (List.map chaos_row runs);
+  runs
+
+let stall_cmp_json ~structure ~threads ~stalled ~point ~range ~duration
+    (runs : chaos_run list) =
+  Json.Obj
+    [
+      ("kind", Json.String "stall_cmp");
+      ("structure", Json.String structure);
+      ("threads", Json.Int threads);
+      ("stalled", Json.Int stalled);
+      ("point", Json.String point);
+      ("range", Json.Int range);
+      ("duration", Json.Float duration);
+      ( "runs",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("scheme", Json.String c.c_scheme);
+                   ("robust", Json.Bool c.c_robust);
+                   ( "bound",
+                     match c.c_bound with
+                     | Some b -> Json.Int b
+                     | None -> Json.Null );
+                   ("max_unreclaimed", Json.Int c.c_max_unreclaimed);
+                   ("first_third", Json.Float c.c_first_third);
+                   ("last_third", Json.Float c.c_last_third);
+                   ("throughput", Json.Float c.c_throughput);
+                   ("ok", Json.Bool c.c_ok);
+                 ])
+             runs) );
     ]
 
 (* {2 Recovery: crash k domains mid-traversal, supervise, validate} *)
@@ -668,7 +735,9 @@ type recover_run = {
      deactivated the epoch advances again, so growth must flatten over
      the post-recovery samples;
    - NR: adoption cannot bound memory — the run must still respawn every
-     victim and fire {!Smr.Smr_intf.adopt_warning} once per adoption. *)
+     victim, and the harness synthesizes one warning per adoption on a
+     scheme whose [capabilities.recoverable] is false (the supervisor,
+     not the scheme, owns surfacing the leak). *)
 let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
     ?(range = 256) ?(duration = 1.0) ?config
     ~scheme:(module S : Smr.Smr_intf.S) () =
@@ -685,23 +754,7 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
   let peak_bound = ref None and post_bound = ref None in
   let trace = ref [] in
   let captured = ref None in
-  (* Capture adoption warnings instead of letting them hit stderr: the
-     hook is an [Atomic.t] (the supervisor fires it from another domain),
-     swapped in with [exchange] and restored afterwards.  Messages are
-     collected so callers can route them through {!Report}. *)
-  let warn_msgs = Atomic.make [] in
-  let record_warning msg =
-    let rec push () =
-      let cur = Atomic.get warn_msgs in
-      if not (Atomic.compare_and_set warn_msgs cur (msg :: cur)) then push ()
-    in
-    push ()
-  in
-  let prev_warn = Atomic.exchange Smr.Smr_intf.adopt_warning record_warning in
   let r =
-    Fun.protect
-      ~finally:(fun () -> Atomic.set Smr.Smr_intf.adopt_warning prev_warn)
-    @@ fun () ->
     Runner.run ~config ~check:false ~measure_latency:false
       ~sample_every:0.002 ~supervise:Supervisor.default
       ~prepare:(fun inst ->
@@ -764,11 +817,26 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
         | None -> -1.0)
   in
   let first_third, last_third = third_means post in
-  let warning_msgs = List.rev (Atomic.get warn_msgs) in
+  let caps = S.capabilities in
+  (* Adoption on a non-recoverable scheme cannot restore a bounded gauge;
+     the supervisor (this harness) consults [capabilities.recoverable]
+     and surfaces the leak itself — one warning per adoption event,
+     where the scheme's adopt hook used to print. *)
+  let warning_msgs =
+    if caps.Smr.Smr_intf.recoverable then []
+    else
+      List.map
+        (fun (e : Metrics.recovery_event) ->
+          Printf.sprintf
+            "%s: adopted tid %d's limbo on a non-recoverable scheme — \
+             unreclaimed memory stays unbounded"
+            S.name e.rv_tid)
+        r.recoveries
+  in
   let warnings = List.length warning_msgs in
   let ok, verdict =
     if n_rec < crashed then (false, "MISSING RECOVERIES")
-    else if S.recoverable && S.robust then
+    else if caps.Smr.Smr_intf.recoverable && caps.Smr.Smr_intf.robust then
       match (!peak_bound, !post_bound) with
       | Some pk, Some pb ->
           if r.max_unreclaimed > pk then (false, "PEAK BOUND EXCEEDED")
@@ -776,7 +844,7 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
           else if post_quiesced > pb then (false, "DID NOT DRAIN")
           else (true, "recovered, bounded")
       | _ -> (false, "NO BOUND") (* unreachable: robust implies a bound *)
-    else if S.recoverable then
+    else if caps.Smr.Smr_intf.recoverable then
       (* EBR: no a-priori bound, but deactivation must stop the growth. *)
       if last_third > (1.5 *. first_third) +. 64.0 then
         (false, "STILL GROWING")
@@ -787,8 +855,8 @@ let recover ?(structure = "HList") ?(threads = 4) ?(crashed = 1)
   {
     rc_structure = r.structure;
     rc_scheme = r.scheme;
-    rc_robust = S.robust;
-    rc_recoverable = S.recoverable;
+    rc_robust = caps.Smr.Smr_intf.robust;
+    rc_recoverable = caps.Smr.Smr_intf.recoverable;
     rc_threads = threads;
     rc_crashed = crashed;
     rc_range = range;

@@ -128,23 +128,34 @@ val chaos_row : chaos_run -> string list
 val chaos_run_json : chaos_run -> Json.t
 (** ["kind": "chaos"] run entry for {!Report.write_bench_doc}. *)
 
-(** {2 Hybrid clean-run throughput floor} *)
+(** {2 Clean-run throughput floor} *)
 
 type floor_run = {
   fl_structure : string;
+  fl_scheme : string;  (** the scheme under test (HYB, DBR, ...) *)
   fl_threads : int;
   fl_range : int;
   fl_duration : float;
-  fl_hyb_throughput : float;
+  fl_throughput : float;
   fl_ebr_throughput : float;
-  fl_ratio : float;  (** HYB / EBR *)
+  fl_ratio : float;  (** scheme / EBR *)
   fl_ok : bool;  (** ratio >= 0.9 *)
 }
 
-(** Clean (no-fault) HYB and EBR runs on the same workload; the hybrid's
-    acceptance criterion is staying within 10% of EBR's throughput when no
-    straggler forces the escalated sweep.  Prints the two-row table and
-    returns the verdict. *)
+(** Clean (no-fault) runs of [scheme] and EBR on the same workload; the
+    acceptance criterion for a scheme that adds stall machinery (HYB's
+    escalated sweep, DBR's neutralization checkpoints) is staying within
+    10% of EBR's throughput when no straggler exercises it.  Prints the
+    two-row table and returns the verdict. *)
+val clean_floor :
+  ?structure:string ->
+  ?threads:int ->
+  ?range:int ->
+  ?duration:float ->
+  scheme:Smr.Registry.scheme ->
+  unit ->
+  floor_run
+
 val hybrid_floor :
   ?structure:string ->
   ?threads:int ->
@@ -152,9 +163,39 @@ val hybrid_floor :
   ?duration:float ->
   unit ->
   floor_run
+(** [clean_floor ~scheme:HYB]. *)
 
 val floor_run_json : floor_run -> Json.t
 (** ["kind": "floor"] run entry for {!Report.write_bench_doc}. *)
+
+(** {2 Stall comparison: neutralization vs era/interval tracking} *)
+
+(** The DBR headline artifact: the same one-stalled-reader chaos run for a
+    panel of schemes (default DBR, EBR, IBR, HYB) side by side — DBR's
+    gauge flattens once neutralization delivers, EBR's grows, IBR/HYB
+    bound it with per-era tracking.  Returns the chaos runs in panel
+    order. *)
+val stall_comparison :
+  ?structure:string ->
+  ?threads:int ->
+  ?stalled:int ->
+  ?point:string ->
+  ?range:int ->
+  ?duration:float ->
+  ?schemes:string list ->
+  unit ->
+  chaos_run list
+
+val stall_cmp_json :
+  structure:string ->
+  threads:int ->
+  stalled:int ->
+  point:string ->
+  range:int ->
+  duration:float ->
+  chaos_run list ->
+  Json.t
+(** ["kind": "stall_cmp"] entry for {!Report.write_bench_doc}. *)
 
 (** {2 Recovery: supervised crash-and-adopt validation} *)
 
@@ -162,7 +203,7 @@ type recover_run = {
   rc_structure : string;
   rc_scheme : string;
   rc_robust : bool;
-  rc_recoverable : bool;  (** {!Smr.Smr_intf.S.recoverable} *)
+  rc_recoverable : bool;  (** [capabilities.recoverable] *)
   rc_threads : int;
   rc_crashed : int;  (** workers crashed mid-traversal *)
   rc_range : int;
@@ -185,10 +226,12 @@ type recover_run = {
   rc_settle_s : float;
       (** first post-recovery sample under [rc_post_bound]; [-1.] when it
           never settled *)
-  rc_warnings : int;  (** {!Smr.Smr_intf.adopt_warning} firings (NR) *)
+  rc_warnings : int;
+      (** adoption warnings the harness synthesized — one per adoption on
+          a scheme whose [capabilities.recoverable] is false (NR) *)
   rc_warning_msgs : string list;
-      (** the captured warning messages, in firing order; routed through
-          {!Report.note} by {!recover_matrix} instead of stderr *)
+      (** the synthesized messages, in adoption order; routed through
+          {!Report.note} by {!recover_matrix} *)
   rc_ok : bool;
   rc_verdict : string;
   rc_mem_series : Metrics.mem_sample list;
@@ -199,8 +242,8 @@ type recover_run = {
     mid-traversal (protection published, no [end_op]) under a supervised
     runner and check the gauge against the recovery claims — robust
     schemes return under the adoption bound within one sweep, EBR stops
-    growing once the dead reservation is deactivated, NR respawns but
-    warns that adoption cannot bound its memory. *)
+    growing once the dead reservation is deactivated, NR respawns and the
+    harness warns that adoption cannot bound its memory. *)
 val recover :
   ?structure:string ->
   ?threads:int ->

@@ -47,9 +47,10 @@ type t = {
          and sweep once.  Only call after the owning domain has died (the
          supervisor's job); subsequent per-tid operations use the
          replacement handle. *)
-  recoverable : bool;
-      (* [S.recoverable]: whether [recover] restores a bounded gauge
-         (false for NR, whose adopt warns instead) *)
+  capabilities : Smr.Smr_intf.capabilities;
+      (* the scheme's capability record ([S.capabilities]): matrix
+         runners branch on [robust]/[recoverable]/[neutralizing]/
+         [adaptive] instead of matching scheme names *)
   fault : fault_control;
   max_key : int; (* exclusive upper bound on valid keys *)
 }
@@ -195,7 +196,7 @@ let make_hlist ?(recovery = true) (module S : Smr.Smr_intf.S) ~threads ?config
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }
@@ -222,7 +223,7 @@ let make_hlist_wf (module S : Smr.Smr_intf.S) ~threads ?config () =
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }
@@ -249,7 +250,7 @@ let make_hmlist (module S : Smr.Smr_intf.S) ~threads ?config () =
     size = (fun () -> L.size t);
     check_invariants = (fun () -> L.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }
@@ -276,7 +277,7 @@ let make_hlist_unsafe (module S : Smr.Smr_intf.S) ~threads ?config () =
     size = (fun () -> L.size t);
     check_invariants = (fun () -> ());
     recover = (fun ~tid -> handles.(tid) <- L.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }
@@ -303,7 +304,7 @@ let make_nmtree (module S : Smr.Smr_intf.S) ~threads ?config () =
     size = (fun () -> T.size t);
     check_invariants = (fun () -> T.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- T.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = Scot.Nm_tree.inf1;
   }
@@ -331,7 +332,7 @@ let make_skiplist ?(optimistic = true) (module S : Smr.Smr_intf.S) ~threads
     size = (fun () -> SL.size t);
     check_invariants = (fun () -> SL.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- SL.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }
@@ -358,7 +359,7 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ?config () =
     size = (fun () -> M.size t);
     check_invariants = (fun () -> M.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- M.recover handles.(tid));
-    recoverable = S.recoverable;
+    capabilities = S.capabilities;
     fault = no_fault;
     max_key = max_int;
   }

@@ -63,10 +63,13 @@ type t = {
           after {!Chaos.revive} so the sweep's probe crossings do not
           re-raise.  Subsequent per-tid operations use the replacement
           handle. *)
-  recoverable : bool;
-      (** {!Smr.Smr_intf.S.recoverable}: whether [recover] restores a
-          bounded unreclaimed gauge ([false] for NR, whose adopt fires
-          {!Smr.Smr_intf.adopt_warning}). *)
+  capabilities : Smr.Smr_intf.capabilities;
+      (** The scheme's capability record
+          ({!Smr.Smr_intf.S.capabilities}).  Matrix runners branch on
+          [robust]/[recoverable]/[neutralizing]/[adaptive] instead of
+          matching scheme names; e.g. [recoverable = false] (NR) means
+          [recover] cannot restore a bounded unreclaimed gauge and the
+          supervisor should surface the leak itself. *)
   fault : fault_control;
   max_key : int;
       (** exclusive upper bound on valid keys; [max_key - 1] is reserved

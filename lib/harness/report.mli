@@ -12,8 +12,8 @@ val section : ?out:out_channel -> string -> unit
 val note : ?out:out_channel -> string -> unit
 (** Prints a one-line ["note: ..."] annotation (whitespace collapsed like
     {!section}) — for diagnostics that belong in the report stream, e.g.
-    {!Smr.Smr_intf.adopt_warning} messages collected during a recovery
-    run. *)
+    the adoption warnings a recovery run synthesizes for schemes whose
+    [capabilities.recoverable] is false. *)
 
 (** Human formatting of large magnitudes: [1.5e9 -> "1.50G"],
     [74992. -> "75.0k"]. *)

@@ -234,6 +234,12 @@ module Make (S : Smr.Smr_intf.S) = struct
         (fun tok h key on_step ->
           match do_find h tok key ~srch:true ~on_step with
           | () -> Ok (N.key h.pos_curr = key)
+          | exception Smr.Smr_intf.Neutralized ->
+              (* Not an abandon: must reach the bracket's catch from inside
+                 the body so the operation restarts under a fresh bracket
+                 (wrapping it in [Error] would re-raise it outside, where
+                 nothing retries). *)
+              raise Smr.Smr_intf.Neutralized
           | exception e -> Error e);
     }
 
@@ -282,7 +288,17 @@ module Make (S : Smr.Smr_intf.S) = struct
             N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link
           in
           S.on_alloc h.s node.N.hdr;
-          insert_loop h tok key node);
+          (* Checkpoints only fire during [do_find], strictly before the
+             publish CAS, so on a neutralization the node is still private:
+             release it back to the pool before the bracket restarts the
+             body (which allocates afresh), or it would leak.  Once the CAS
+             succeeds the body performs no further protected loads and
+             returns immediately — no mask needed. *)
+          match insert_loop h tok key node with
+          | r -> r
+          | exception Smr.Smr_intf.Neutralized ->
+              N.dealloc h.t.pool ~tid:h.tid node;
+              raise Smr.Smr_intf.Neutralized);
     }
 
   let insert h key =

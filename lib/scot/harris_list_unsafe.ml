@@ -145,60 +145,84 @@ module Make (S : Smr.Smr_intf.S) = struct
     if key >= max_int then
       invalid_arg "Harris_list_unsafe: key must be < max_int"
 
+  (* The operations still enter the scheme bracket through [with_op2]: the
+     deliberate unsafety lives in the *traversal* (leaked guards, no SCOT
+     validation), not in the bracket discipline.  Under the neutralizing
+     scheme a checkpoint may raise [Neutralized] mid-traversal, and only
+     the bracket knows how to unwind and restart the operation — without
+     it the exception would escape the worker, which is a harness bug,
+     not the reclamation incompatibility this module exists to exhibit. *)
+  let search_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun _tok h key ->
+          let pos = do_find h key ~srch:true in
+          N.key pos.curr = key);
+    }
+
   let search h key =
     check_key key;
-    S.start_op h.s;
-    let pos = do_find h key ~srch:true in
-    let found = N.key pos.curr = key in
-    S.end_op h.s;
-    found
+    S.with_op2 h.s search_body h key
+
+  let rec insert_loop h key node =
+    let pos = do_find h key ~srch:false in
+    if N.key pos.curr = key then begin
+      N.dealloc h.t.pool ~tid:h.tid node;
+      false
+    end
+    else begin
+      Atomic.set node.N.next (N.link (Some pos.curr));
+      if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
+      then true
+      else insert_loop h key node
+    end
+
+  let insert_body =
+    {
+      Smr.Smr_intf.op2 =
+        (fun _tok h key ->
+          let node =
+            N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link
+          in
+          S.on_alloc h.s node.N.hdr;
+          (* A neutralization can only fire during [do_find], before the
+             publish CAS, so the node is still private: release it before
+             the bracket restarts the body (which allocates afresh). *)
+          match insert_loop h key node with
+          | r -> r
+          | exception Smr.Smr_intf.Neutralized ->
+              N.dealloc h.t.pool ~tid:h.tid node;
+              raise Smr.Smr_intf.Neutralized);
+    }
 
   let insert h key =
     check_key key;
-    S.start_op h.s;
-    let node = N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link in
-    S.on_alloc h.s node.N.hdr;
-    let rec loop () =
-      let pos = do_find h key ~srch:false in
-      if N.key pos.curr = key then begin
-        N.dealloc h.t.pool ~tid:h.tid node;
-        false
-      end
+    S.with_op2 h.s insert_body h key
+
+  let rec delete_loop h key =
+    let pos = do_find h key ~srch:false in
+    if N.key pos.curr <> key then false
+    else begin
+      let next = pos.next in
+      if
+        next.N.marked
+        || not
+             (Atomic.compare_and_set (N.next_field pos.curr) next
+                (N.marked_copy next))
+      then delete_loop h key
       else begin
-        Atomic.set node.N.next (N.link (Some pos.curr));
-        if Atomic.compare_and_set pos.prev pos.expected (N.link (Some node))
-        then true
-        else loop ()
+        if Atomic.compare_and_set pos.prev pos.expected next then
+          S.retire h.s (reclaimable h.t pos.curr);
+        true
       end
-    in
-    let r = loop () in
-    S.end_op h.s;
-    r
+    end
+
+  let delete_body =
+    { Smr.Smr_intf.op2 = (fun _tok h key -> delete_loop h key) }
 
   let delete h key =
     check_key key;
-    S.start_op h.s;
-    let rec loop () =
-      let pos = do_find h key ~srch:false in
-      if N.key pos.curr <> key then false
-      else begin
-        let next = pos.next in
-        if
-          next.N.marked
-          || not
-               (Atomic.compare_and_set (N.next_field pos.curr) next
-                  (N.marked_copy next))
-        then loop ()
-        else begin
-          if Atomic.compare_and_set pos.prev pos.expected next then
-            S.retire h.s (reclaimable h.t pos.curr);
-          true
-        end
-      end
-    in
-    let r = loop () in
-    S.end_op h.s;
-    r
+    S.with_op2 h.s delete_body h key
 
   let quiesce h = S.flush h.s
 

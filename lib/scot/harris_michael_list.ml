@@ -158,7 +158,14 @@ module Make (S : Smr.Smr_intf.S) = struct
             N.alloc h.t.pool ~tid:h.tid ~mk:h.t.mk ~key ~next:N.null_link
           in
           S.on_alloc h.s node.N.hdr;
-          insert_loop h tok key node);
+          (* On a neutralization the node is still private (checkpoints
+             fire only before the publish CAS): release it before the
+             bracket restarts the body, which allocates afresh. *)
+          match insert_loop h tok key node with
+          | r -> r
+          | exception Smr.Smr_intf.Neutralized ->
+              N.dealloc h.t.pool ~tid:h.tid node;
+              raise Smr.Smr_intf.Neutralized);
     }
 
   let insert h key =
@@ -180,9 +187,17 @@ module Make (S : Smr.Smr_intf.S) = struct
       else begin
         if Atomic.compare_and_set h.prev h.expected next then
           S.retire h.s curr.N.rc
-        else
-          (* Delegate the unlink to a fresh traversal, as in [20]. *)
+        else begin
+          (* Delegate the unlink to a fresh traversal, as in [20].  The
+             delete linearized at the mark CAS above, so the delegate's
+             protected loads run under [mask]: a neutralization must not
+             restart an operation that already took effect, and the
+             cleanup itself is optional (any later traversal unlinks the
+             node). *)
+          S.mask h.s;
           do_find h tok key;
+          S.unmask h.s
+        end;
         true
       end
     end

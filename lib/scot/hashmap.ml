@@ -26,6 +26,10 @@ module Make (S : Smr.Smr_intf.S) = struct
     mutable last_key : int;  (* key of the latest op this dispatch *)
     mutable last_mem : bool;  (* that key's membership after the op *)
     mutable last_valid : bool;
+    (* [apply_batch]'s resume cursor: index of the first request not yet
+       dispatched.  Survives a bracket restart after a neutralization so
+       already-linearized requests are not re-executed. *)
+    mutable batch_pos : int;
   }
 
   let create ?recovery ?recycle ?(buckets = 64) ~smr ~threads () =
@@ -43,6 +47,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       last_key = 0;
       last_mem = false;
       last_valid = false;
+      batch_pos = 0;
     }
 
   (* Fibonacci hashing spreads consecutive keys across buckets. *)
@@ -81,8 +86,13 @@ module Make (S : Smr.Smr_intf.S) = struct
              delete of the memoised key before that external put), so
              answering the repeat from the memo would deliver results
              no program-order linearization explains. *)
+          (* On a neutralization restart, resume at [h.batch_pos]:
+             requests before it already linearized and stored their
+             results.  The memo is dropped — the aborted attempt
+             linearized nothing, so coalescing correctness is intact. *)
           h.last_valid <- false;
-          for i = 0 to b.Batch_op.n - 1 do
+          let start = h.batch_pos in
+          for i = start to b.Batch_op.n - 1 do
             let key = b.Batch_op.keys.(i) in
             let kind = b.Batch_op.kinds.(i) in
             let known = h.last_valid && h.last_key = key in
@@ -111,7 +121,8 @@ module Make (S : Smr.Smr_intf.S) = struct
               h.last_mem <-
                 (if kind = Batch_op.get then r else kind = Batch_op.put);
               h.last_valid <- true
-            end
+            end;
+            h.batch_pos <- i + 1
           done;
           h.last_valid <- false);
     }
@@ -123,6 +134,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       if b.Batch_op.keys.(i) >= max_int then
         invalid_arg "Hashmap.apply_batch: key must be < max_int"
     done;
+    h.batch_pos <- 0;
     if b.Batch_op.n > 0 then L.with_op2 h.hs.(0) apply_batch_body h b
 
   let quiesce h = Array.iter L.quiesce h.hs

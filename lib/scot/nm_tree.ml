@@ -360,6 +360,11 @@ module Make (S : Smr.Smr_intf.S) = struct
       Smr.Smr_intf.op2 =
         (fun tok h key ->
           let new_leaf = alloc_leaf h key in
+          (* Checkpoints only fire inside [seek], strictly before the
+             publish CAS, so on a neutralization both fresh nodes are
+             still private ([loop] unpublishes the internal itself on CAS
+             failure): release the leaf before the bracket restarts the
+             body, which allocates afresh. *)
           let rec loop () =
             seek h tok key;
             if key_of h.sk_leaf = key then begin
@@ -401,7 +406,11 @@ module Make (S : Smr.Smr_intf.S) = struct
               end
             end
           in
-          loop ());
+          match loop () with
+          | r -> r
+          | exception Smr.Smr_intf.Neutralized ->
+              dealloc_leaf h new_leaf;
+              raise Smr.Smr_intf.Neutralized);
     }
 
   let insert h key =
@@ -430,7 +439,17 @@ module Make (S : Smr.Smr_intf.S) = struct
                 Atomic.compare_and_set (child_field h.sk_parent d)
                   h.sk_par_edge flagged
               then begin
-                if cleanup h key then true else cleanup_mode leaf
+                if cleanup h key then true
+                else begin
+                  (* The delete linearized at the flag CAS: the remaining
+                     pruning traversals ([seek] inside [cleanup_mode]) run
+                     under [mask] so a neutralization cannot restart an
+                     operation that already took effect. *)
+                  S.mask h.s;
+                  let r = cleanup_mode leaf in
+                  S.unmask h.s;
+                  r
+                end
               end
               else begin
                 let e =

@@ -162,6 +162,10 @@ module Make (S : Smr.Smr_intf.S) = struct
     mutable last_key : int;
     mutable last_mem : bool;
     mutable last_valid : bool;
+    (* [apply_batch]'s resume cursor: index of the first request not yet
+       dispatched.  Survives a bracket restart after a neutralization so
+       already-linearized requests are not re-executed. *)
+    mutable batch_pos : int;
   }
 
   (* [optimistic:false] gives the Herlihy-Shavit-style baseline: searches
@@ -198,6 +202,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       last_key = 0;
       last_mem = false;
       last_valid = false;
+      batch_pos = 0;
     }
 
   (* Geometric tower height (p = 1/2), capped at [max_height]; xorshift on
@@ -411,6 +416,11 @@ module Make (S : Smr.Smr_intf.S) = struct
                 Atomic.compare_and_set h.level_prev.(0) h.level_expected.(0)
                   node.in_link
               then begin
+                (* Linearized at the level-0 CAS: the remaining work
+                   (upper links, ownership handoff, possibly retiring our
+                   own delegated tower) performs protected loads but must
+                   not be restarted — run it under [mask]. *)
+                S.mask h.s;
                 link_upper 1;
                 (* Ownership handoff: if a deleter already delegated, we
                    are the unique retirer and must unlink our own
@@ -421,12 +431,21 @@ module Make (S : Smr.Smr_intf.S) = struct
                   find h tok ~eager:true key;
                   S.retire h.s node.rc
                 end;
+                S.unmask h.s;
                 true
               end
               else attempt ()
             end
           in
-          attempt ());
+          (* A neutralization can only fire before the level-0 publish CAS
+             (the post-publish phase is masked), so the node is still
+             private: release it before the bracket restarts the body. *)
+          match attempt () with
+          | r -> r
+          | exception Smr.Smr_intf.Neutralized ->
+              Memory.Hdr.mark_retired node.hdr;
+              Pool.free h.t.pool ~tid:h.tid node;
+              raise Smr.Smr_intf.Neutralized);
     }
 
   let insert h key =
@@ -481,8 +500,12 @@ module Make (S : Smr.Smr_intf.S) = struct
                   if Atomic.compare_and_set c.state st_linking st_delegated
                   then true
                   else begin
+                    (* Linearized at [mark0]; the cleanup traversal's
+                       protected loads must not trigger a restart. *)
+                    S.mask h.s;
                     find h tok ~eager:true key;
                     S.retire h.s c.rc;
+                    S.unmask h.s;
                     true
                   end
                 end
@@ -510,8 +533,13 @@ module Make (S : Smr.Smr_intf.S) = struct
     {
       Smr.Smr_intf.op2 =
         (fun tok h (b : Batch_op.buf) ->
+          (* On a neutralization restart, resume at [h.batch_pos]: requests
+             before it already linearized and stored their results.  The
+             coalescing memo is dropped (it is only a shortcut; the aborted
+             attempt linearized nothing, so correctness is unaffected). *)
           h.last_valid <- false;
-          for i = 0 to b.Batch_op.n - 1 do
+          let start = h.batch_pos in
+          for i = start to b.Batch_op.n - 1 do
             let key = b.Batch_op.keys.(i) in
             let kind = b.Batch_op.kinds.(i) in
             let known = h.last_valid && h.last_key = key in
@@ -536,7 +564,8 @@ module Make (S : Smr.Smr_intf.S) = struct
               h.last_mem <-
                 (if kind = Batch_op.get then r else kind = Batch_op.put);
               h.last_valid <- true
-            end
+            end;
+            h.batch_pos <- i + 1
           done;
           h.last_valid <- false);
     }
@@ -548,6 +577,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       if b.Batch_op.keys.(i) >= max_int then
         invalid_arg "Skiplist.apply_batch: key must be < max_int"
     done;
+    h.batch_pos <- 0;
     if b.Batch_op.n > 0 then S.with_op2 h.s apply_batch_body h b
 
   let quiesce h = S.flush h.s

@@ -1,0 +1,25 @@
+(** DBR: DEBRA+-style epoch reclamation with neutralization (Brown).
+
+    EBR's read side (one epoch announcement per operation, plain protected
+    loads) with an unconditionally advancing epoch: a reclaimer that finds
+    an announcement lagging by more than [config.neutralize_after] epochs
+    {e neutralizes} the laggard — the lagging operation aborts at its next
+    checkpoint with {!Smr_intf.Neutralized} and the bracket restarts it
+    from the root — so no stalled reader can pin memory for longer than
+    the neutralization latency.  The only scheme in the matrix that is
+    both EBR-fast and robust. *)
+
+include Smr_intf.S
+
+val neutralize : t -> tid:int -> bool
+(** [neutralize t ~tid] posts a neutralization into [tid]'s announcement
+    cell if it currently holds an active operation; returns whether this
+    call posted it.  The reclamation pass does this automatically for
+    laggards — the entry point exists so tests can drive the
+    abort/restart path deterministically. *)
+
+val neutralize_posted : t -> int
+(** Neutralizations posted by reclaimers (and {!neutralize}) so far. *)
+
+val neutralize_restarts : t -> int
+(** Neutralized operations that were unwound and restarted by brackets. *)

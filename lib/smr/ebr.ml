@@ -12,7 +12,17 @@
    the limbo list is the shared allocation-free [Limbo_local] buffer. *)
 
 let name = "EBR"
-let robust = false
+
+(* Not robust (a stalled thread vetoes the advance), but recoverable: once
+   a dead handle's reservation is withdrawn the epoch moves again and
+   everything the victim pinned becomes sweepable. *)
+let capabilities =
+  {
+    Smr_intf.robust = false;
+    recoverable = true;
+    neutralizing = false;
+    adaptive = true;
+  }
 
 let inactive = max_int
 
@@ -69,10 +79,6 @@ let start_op th =
 
 let end_op th = Atomic.set th.my_resv inactive
 
-let read th ~slot:_ ~load ~hdr_of:_ =
-  Probe.hit th.id Probe.Read;
-  load ()
-
 (* The epoch reservation published by [start_op] already covers every node
    reachable during the operation: the staged read is a plain load (plus
    the injection-point crossing, a never-taken branch when chaos is off). *)
@@ -91,8 +97,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
 
+let mask _ = ()
+let unmask _ = ()
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -149,11 +158,6 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
   @ Tuner.stats_of_array t.tuners
-
-(* EBR is not robust — a *stalled* thread vetoes the advance — but it is
-   recoverable: once a dead handle's reservation is withdrawn the epoch
-   moves again and everything the victim pinned becomes sweepable. *)
-let recoverable = true
 
 let deactivate th =
   if not th.deactivated then begin

@@ -9,7 +9,14 @@
    reused across passes instead of a freshly consed list. *)
 
 let name = "HE"
-let robust = true
+
+let capabilities =
+  {
+    Smr_intf.robust = true;
+    recoverable = true;
+    neutralizing = false;
+    adaptive = true;
+  }
 let no_era = 0
 
 type t = {
@@ -67,25 +74,11 @@ let start_op th = Probe.hit th.id Probe.Start_op
 let end_op th = Array.iter (fun c -> Atomic.set c no_era) th.my_slots
 
 (* Publish the global era for this slot; stable-era validation replaces HP's
-   pointer re-read and needs fewer barriers in the original setting. *)
-let read th ~slot ~load ~hdr_of:_ =
-  Probe.hit th.id Probe.Read;
-  let cell = th.my_slots.(slot) in
-  let rec loop prev =
-    let v = load () in
-    let e = Atomic.get th.global.era in
-    if e = prev then v
-    else begin
-      Atomic.set cell e;
-      loop e
-    end
-  in
-  loop (Atomic.get cell)
-
-(* Era validation needs no header access, so the staged reader is just the
-   handle ([desc] is unused); the loop is [read] with the load inlined.  The
-   loop lives at top level with explicit arguments — an inner [let rec]
-   would capture its environment and cons a closure on every call. *)
+   pointer re-read and needs fewer barriers in the original setting.  Era
+   validation needs no header access, so the staged reader is just the
+   handle ([desc] is unused).  The loop lives at top level with explicit
+   arguments — an inner [let rec] would capture its environment and cons a
+   closure on every call. *)
 type 'v reader = th
 
 let reader th _ = th
@@ -111,7 +104,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
+
+let mask _ = ()
+let unmask _ = ()
 
 let dup th ~src ~dst = Atomic.set th.my_slots.(dst) (Atomic.get th.my_slots.(src))
 let clear_slot th ~slot = Atomic.set th.my_slots.(slot) no_era
@@ -173,8 +170,6 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
   @ Tuner.stats_of_array t.tuners
-
-let recoverable = true
 
 let deactivate th =
   if not th.deactivated then begin

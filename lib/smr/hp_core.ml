@@ -24,7 +24,14 @@ module Make (P : sig
 end) =
 struct
   let name = P.name
-  let robust = true
+
+  let capabilities =
+    {
+      Smr_intf.robust = true;
+      recoverable = true;
+      neutralizing = false;
+      adaptive = true;
+    }
 
   type t = {
     slots : Memory.Hdr.t Memory.Padded.t array; (* [tid].(slot) *)
@@ -80,29 +87,12 @@ struct
 
   let end_op th = Array.iter (fun c -> Atomic.set c no_hazard) th.my_slots
 
-  (* The paper's [protect] (Figure 1): publish the reservation, then verify
-     the source pointer has not changed; loop otherwise. *)
-  let read th ~slot ~load ~hdr_of =
-    Probe.hit th.id Probe.Read;
-    let cell = th.my_slots.(slot) in
-    let rec loop v =
-      match hdr_of v with
-      | None ->
-          Atomic.set cell no_hazard;
-          v
-      | Some h -> (
-          Atomic.set cell h;
-          let v' = load () in
-          match hdr_of v' with
-          | Some h' when h' == h -> v'
-          | _ -> loop v')
-    in
-    loop (load ())
-
-  (* Staged reader: [read] with the load and header access resolved through
-     the prebuilt descriptor — publish is one unboxed store per hop.  The
-     loop is a top-level function over explicit arguments so a protected
-     load allocates nothing (an inner [let rec] would cons a closure). *)
+  (* The paper's protect (Figure 1): publish the reservation, then verify
+     the source pointer has not changed; loop otherwise.  The load and
+     header access resolve through the prebuilt descriptor — publish is
+     one unboxed store per hop.  The loop is a top-level function over
+     explicit arguments so a protected load allocates nothing (an inner
+     [let rec] would cons a closure). *)
   type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
 
   let reader th desc = { r_th = th; r_desc = desc }
@@ -131,7 +121,11 @@ struct
     let start_op = start_op
     let end_op = end_op
     let read_field = read_field
+    let on_neutralized _ = ()
   end)
+
+  let mask _ = ()
+  let unmask _ = ()
 
   (* The paper's [dup] (Figure 1): copy an existing reservation so the node
      stays protected across a traversal-role change. *)
@@ -206,8 +200,6 @@ struct
       ("active_handles", Seats.total t.seats);
     ]
     @ Tuner.stats_of_array t.tuners
-
-  let recoverable = true
 
   let deactivate th =
     if not th.deactivated then begin

@@ -20,7 +20,14 @@
    [Padded] — both are written on every operation. *)
 
 let name = "HLN"
-let robust = true
+
+let capabilities =
+  {
+    Smr_intf.robust = true;
+    recoverable = true;
+    neutralizing = false;
+    adaptive = true;
+  }
 let inactive_era = -1
 
 type batch = {
@@ -122,27 +129,10 @@ let end_op th =
   in
   drain (detach ())
 
-(* IBR-style birth-era validation against the single reservation era. *)
-let read th ~slot:_ ~load ~hdr_of =
-  Probe.hit th.id Probe.Read;
-  let t = th.global in
-  let resv = th.my_era in
-  let rec loop () =
-    let v = load () in
-    match hdr_of v with
-    | None -> v
-    | Some h ->
-        if Memory.Hdr.birth h <= Atomic.get resv then v
-        else begin
-          Atomic.set resv (Atomic.get t.era);
-          loop ()
-        end
-  in
-  loop ()
-
-(* Staged variant of the same validation with the load and header access
-   resolved through the prebuilt descriptor.  Top-level loop with explicit
-   arguments: an inner [let rec] would cons a closure per call. *)
+(* IBR-style birth-era validation against the single reservation era, with
+   the load and header access resolved through the prebuilt descriptor.
+   Top-level loop with explicit arguments: an inner [let rec] would cons a
+   closure per call. *)
 type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
 
 let reader th desc = { r_th = th; r_desc = desc }
@@ -167,7 +157,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
+
+let mask _ = ()
+let unmask _ = ()
 
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
@@ -235,8 +229,6 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
   @ Tuner.stats_of_array t.tuners
-
-let recoverable = true
 
 (* Withdrawing the reservation and draining the dispatch list is exactly
    [end_op] — including the Inactive CAS that makes future dispatchers

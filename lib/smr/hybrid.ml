@@ -41,7 +41,14 @@
    always-on and switching only the sweep predicate has no such window. *)
 
 let name = "HYB"
-let robust = true
+
+let capabilities =
+  {
+    Smr_intf.robust = true;
+    recoverable = true;
+    neutralizing = false;
+    adaptive = true;
+  }
 
 (* Sentinels for an idle thread: an "interval" that overlaps nothing. *)
 let inactive = max_int (* lower when idle *)
@@ -134,26 +141,6 @@ let activate th =
   Atomic.set th.my_upper e;
   Atomic.set th.my_lower e
 
-let read th ~slot:_ ~load ~hdr_of =
-  Probe.hit th.id Probe.Read;
-  let rec loop () =
-    let v = load () in
-    match hdr_of v with
-    | None -> v
-    | Some h ->
-        let b = Memory.Hdr.birth h in
-        if Atomic.get th.my_lower = inactive then begin
-          activate th;
-          loop ()
-        end
-        else if b <= Atomic.get th.my_upper then v
-        else begin
-          Atomic.set th.my_upper (Atomic.get th.global.era);
-          loop ()
-        end
-  in
-  loop ()
-
 type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
 
 let reader th desc = { r_th = th; r_desc = desc }
@@ -186,7 +173,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
+
+let mask _ = ()
+let unmask _ = ()
 
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
@@ -276,8 +267,6 @@ let stats t =
     ("escalated_now", Atomic.get t.escalated);
   ]
   @ Tuner.stats_of_array t.tuners
-
-let recoverable = true
 
 let deactivate th =
   if not th.deactivated then begin

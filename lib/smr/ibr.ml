@@ -26,7 +26,14 @@
    arrays (reused across passes) and sweeps the limbo buffer in place. *)
 
 let name = "IBR"
-let robust = true
+
+let capabilities =
+  {
+    Smr_intf.robust = true;
+    recoverable = true;
+    neutralizing = false;
+    adaptive = true;
+  }
 
 (* Sentinels for an idle thread: an "interval" that overlaps nothing. *)
 let inactive = max_int (* lower when idle *)
@@ -111,31 +118,10 @@ let activate th =
   Atomic.set th.my_lower e
 
 (* Birth-era validation: widen [upper] and re-load until the loaded node's
-   birth fits the reservation. *)
-let read th ~slot:_ ~load ~hdr_of =
-  Probe.hit th.id Probe.Read;
-  let rec loop () =
-    let v = load () in
-    match hdr_of v with
-    | None -> v
-    | Some h ->
-        let b = Memory.Hdr.birth h in
-        if Atomic.get th.my_lower = inactive then begin
-          activate th;
-          loop ()
-        end
-        else if b <= Atomic.get th.my_upper then v
-        else begin
-          Atomic.set th.my_upper (Atomic.get th.global.era);
-          loop ()
-        end
-  in
-  loop ()
-
-(* Staged reader: same validation loop with the load and header access
-   resolved through the prebuilt descriptor.  The loop is a top-level
-   function over explicit arguments — an inner [let rec] would capture the
-   environment and cons a closure on every protected load. *)
+   birth fits the reservation, with the load and header access resolved
+   through the prebuilt descriptor.  The loop is a top-level function over
+   explicit arguments — an inner [let rec] would capture the environment
+   and cons a closure on every protected load. *)
 type 'v reader = { r_th : th; r_desc : 'v Smr_intf.desc }
 
 let reader th desc = { r_th = th; r_desc = desc }
@@ -166,7 +152,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
+
+let mask _ = ()
+let unmask _ = ()
 
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
@@ -222,8 +212,6 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
   @ Tuner.stats_of_array t.tuners
-
-let recoverable = true
 
 let deactivate th =
   if not th.deactivated then begin

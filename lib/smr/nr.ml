@@ -3,7 +3,18 @@
    work, unbounded memory. *)
 
 let name = "NR"
-let robust = false
+
+(* NR publishes nothing, so a crashed handle pins nothing extra — but the
+   leak also cannot be recovered: everything the victim retired is gone
+   for good, same as everything the survivors retire.  Nothing to tune
+   either: NR never sweeps. *)
+let capabilities =
+  {
+    Smr_intf.robust = false;
+    recoverable = false;
+    neutralizing = false;
+    adaptive = false;
+  }
 
 type t = {
   leaked : Memory.Tcounter.t;
@@ -23,10 +34,6 @@ let tid th = th.id
 let start_op th = Probe.hit th.id Probe.Start_op
 let end_op _ = ()
 
-let read th ~slot:_ ~load ~hdr_of:_ =
-  Probe.hit th.id Probe.Read;
-  load ()
-
 (* No protection: the staged read is a plain atomic load (plus the
    injection-point crossing, a never-taken branch when chaos is off). *)
 type 'v reader = th
@@ -44,8 +51,11 @@ include Smr_intf.Bracket (struct
   let start_op = start_op
   let end_op = end_op
   let read_field = read_field
+  let on_neutralized _ = ()
 end)
 
+let mask _ = ()
+let unmask _ = ()
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -66,20 +76,16 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
 
-(* NR publishes nothing, so a crashed handle pins nothing extra — but the
-   leak also cannot be recovered: everything the victim retired is gone
-   for good, same as everything the survivors retire. *)
-let recoverable = false
-
 let deactivate th =
   if not th.deactivated then begin
     th.deactivated <- true;
     Seats.release th.global.seats ~tid:th.id
   end
 
+(* A no-op by design: NR never reclaims, so adoption cannot bound memory
+   (the victim's leaked nodes stay leaked).  Supervisors consult
+   [capabilities.recoverable] and surface the leak themselves instead of
+   the old process-global warning hook. *)
 let adopt ~victim ~into:_ =
   if not victim.deactivated then
-    invalid_arg "NR.adopt: victim not deactivated";
-  (Atomic.get Smr_intf.adopt_warning)
-    "NR.adopt: NR never reclaims, so adoption cannot bound memory (the \
-     victim's leaked nodes stay leaked)"
+    invalid_arg "NR.adopt: victim not deactivated"

@@ -54,3 +54,56 @@ let uninstall () =
   handler := nop
 
 let active () = !enabled
+
+(* {2 Parked-domain registry}
+
+   Where each domain the chaos engine put to sleep is parked, keyed by
+   tid.  The neutralizing scheme (DBR) reads it from reclamation passes: a
+   neutralization may be marked delivered only when its target is parked
+   at a point whose very next instruction on waking is the scheme's
+   checkpoint ([Start_op]/[Read]).  Written by the chaos engine around its
+   park/unpark transitions (never by the schemes), independent of whether
+   a handler is currently installed.  Fixed-size: tids are dense worker
+   indices everywhere in the harness. *)
+
+let max_tids = 256
+let parked_points = Array.init max_tids (fun _ -> Atomic.make (-1))
+
+let point_of_index = function
+  | 0 -> Start_op
+  | 1 -> Read
+  | 2 -> Retire
+  | _ -> Reclaim
+
+let note_parked tid point =
+  if tid >= 0 && tid < max_tids then
+    Atomic.set parked_points.(tid) (point_index point)
+
+let note_unparked tid =
+  if tid >= 0 && tid < max_tids then Atomic.set parked_points.(tid) (-1)
+
+let parked_at tid =
+  if tid < 0 || tid >= max_tids then None
+  else
+    match Atomic.get parked_points.(tid) with
+    | -1 -> None
+    | i -> Some (point_of_index i)
+
+(* Crashed (poisoned) domains: a crashed tid never executes scheme code
+   again — every later probe crossing re-raises on it and its handle is
+   replaced on recovery — so a posted neutralization can be marked
+   delivered immediately instead of waiting for a supervisor to
+   deactivate the orphan.  The chaos engine sets this when it poisons a
+   tid and MUST clear it before a replacement domain for the same tid
+   starts running (the respawn path), or a live reader could be unpinned
+   mid-operation. *)
+let crashed_tids = Array.init max_tids (fun _ -> Atomic.make false)
+
+let note_crashed tid =
+  if tid >= 0 && tid < max_tids then Atomic.set crashed_tids.(tid) true
+
+let clear_crashed tid =
+  if tid >= 0 && tid < max_tids then Atomic.set crashed_tids.(tid) false
+
+let is_crashed tid =
+  tid >= 0 && tid < max_tids && Atomic.get crashed_tids.(tid)

@@ -36,3 +36,37 @@ val install : handler -> unit
 
 val uninstall : unit -> unit
 val active : unit -> bool
+
+(** {2 Parked-domain registry}
+
+    Where each domain the chaos engine put to sleep is parked.  Written
+    by the chaos engine around its park/unpark transitions; read by the
+    neutralizing scheme's reclamation pass, which may mark a posted
+    neutralization delivered only when the target is parked at a
+    checkpoint point ([Start_op]/[Read]) — the first thing such a domain
+    executes on waking is the checkpoint itself.  Independent of the
+    handler installation above. *)
+
+val note_parked : int -> point -> unit
+(** [note_parked tid point]: [tid] is about to sleep inside the [point]
+    crossing.  Must be published before the domain actually blocks. *)
+
+val note_unparked : int -> unit
+(** [tid] is waking (resume, crash-on-wake, or release); clear the entry
+    before the domain re-enters scheme code. *)
+
+val parked_at : int -> point option
+(** Where [tid] is currently parked, if anywhere. *)
+
+val note_crashed : int -> unit
+(** [tid] is poisoned: it will never execute scheme code again (every
+    later probe crossing re-raises).  A neutralizing reclaimer may mark a
+    posted neutralization delivered to a crashed tid immediately — the
+    target provably cannot dereference anything. *)
+
+val clear_crashed : int -> unit
+(** MUST run before a replacement domain reuses [tid] (the respawn
+    path); a stale crashed flag would let a reclaimer unpin a live
+    reader mid-operation. *)
+
+val is_crashed : int -> bool

@@ -12,10 +12,16 @@ let all : scheme list =
     (module Ibr);
     (module Hyaline);
     (module Hybrid);
+    (module Debra);
   ]
 
+let capabilities (module S : Smr_intf.S) = S.capabilities
+
 let robust_schemes =
-  List.filter (fun (module S : Smr_intf.S) -> S.robust) all
+  List.filter (fun (module S : Smr_intf.S) -> S.capabilities.robust) all
+
+let neutralizing_schemes =
+  List.filter (fun (module S : Smr_intf.S) -> S.capabilities.neutralizing) all
 
 let names = List.map (fun (module S : Smr_intf.S) -> S.name) all
 

@@ -3,11 +3,18 @@
 type scheme = (module Smr_intf.S)
 
 val all : scheme list
-(** All eight schemes: the paper's seven in its order — NR, EBR, HP,
+(** All nine schemes: the paper's seven in its order — NR, EBR, HP,
     HPopt, HE, IBR, HLN (Hyaline-1S) — plus the composed stall-aware
-    hybrid, HYB. *)
+    hybrid HYB and the neutralizing DBR (DEBRA+). *)
+
+val capabilities : scheme -> Smr_intf.capabilities
+(** A scheme's capability record, without unpacking the module. *)
 
 val robust_schemes : scheme list
+(** The schemes with [capabilities.robust] — everything but NR and EBR. *)
+
+val neutralizing_schemes : scheme list
+(** The schemes with [capabilities.neutralizing] — currently only DBR. *)
 
 val names : string list
 

@@ -1,17 +1,27 @@
 (* Common interface implemented by every SMR scheme (NR, EBR, HP, HPopt, HE,
-   IBR, Hyaline-1S).
+   IBR, Hyaline-1S, HYB, DBR).
 
    The shape follows the tracker API of the benchmark the paper extends
    (Hazard Eras / IBR test harness): [start_op]/[end_op] bracket each
-   data-structure operation, [read] is the protected-load primitive (the
-   paper's [protect]), [dup] copies a protection between slots, and [retire]
-   hands over an unlinked node for deferred reclamation.
+   data-structure operation, [protect] is the protected-load primitive (the
+   paper's primitive of the same name), [dup] copies a protection between
+   slots, and [retire] hands over an unlinked node for deferred
+   reclamation.
 
-   [read] is polymorphic in the link value being loaded: HP validates by
+   The protected load is polymorphic in the link value: HP validates by
    re-loading the same field, era-based schemes validate the node's birth
    era, EBR/NR just load.  This lets a single data-structure implementation
    (a functor over [S]) serve all schemes — exactly the paper's point that
    SCOT adapts the data structure and keeps the SMR scheme intact. *)
+
+(* Raised by a neutralizing scheme (DBR) from inside a protected load or
+   [start_op] when a reclaimer has posted a neutralization into this
+   handle's announcement cell.  The {!Bracket} functor catches it — and
+   only it — and restarts the operation body from the root with a fresh
+   bracket; structure code never sees a half-finished traversal resume.
+   Structures with pre-publish private state catch it to release that
+   state and re-raise (see [Harris_list.insert_body]). *)
+exception Neutralized
 
 type reclaimable = {
   hdr : Memory.Hdr.t;
@@ -57,6 +67,11 @@ type config = {
       (* Hybrid only: how many eras a reservation may lag the global era
          before reclamation escalates from the cheap single-bound sweep
          to the full IBR interval sweep. *)
+  neutralize_after : int;
+      (* DBR only: how many epochs an announcement may lag the global
+         epoch before a reclaimer posts a neutralization into it.  Small
+         values restart laggards aggressively (tighter memory, more
+         wasted traversal work); large values approach plain EBR. *)
 }
 
 let default_config ~threads =
@@ -66,6 +81,7 @@ let default_config ~threads =
     batch_size = 32;
     adaptive = `Off;
     stale_eras = 8;
+    neutralize_after = 4;
   }
 
 (* Forward-compatible constructor: call sites name only the knobs they care
@@ -86,7 +102,7 @@ let positive_field name v =
   v
 
 let make_config ?limbo_threshold ?epoch_freq ?batch_size ?adaptive ?stale_eras
-    ~threads () =
+    ?neutralize_after ~threads () =
   let d = default_config ~threads:(positive_field "threads" threads) in
   let limbo_threshold =
     positive_field "limbo_threshold"
@@ -150,18 +166,44 @@ let make_config ?limbo_threshold ?epoch_freq ?batch_size ?adaptive ?stale_eras
             below the memory cap"
            stale_eras epoch_freq b.max_threshold)
   | _ -> ());
-  { limbo_threshold; epoch_freq; batch_size; adaptive; stale_eras }
+  let neutralize_after =
+    positive_field "neutralize_after"
+      (Option.value neutralize_after ~default:d.neutralize_after)
+  in
+  {
+    limbo_threshold;
+    epoch_freq;
+    batch_size;
+    adaptive;
+    stale_eras;
+    neutralize_after;
+  }
 
-(* Called (instead of failing or silently succeeding) when [adopt] runs on a
-   scheme that cannot turn the adoption into bounded memory — NR leaks by
-   design, so adopting an NR victim changes nothing.  Mirrors the
-   capability pattern of the harness fault control: callers that want to
-   assert or log differently replace the hook.  An [Atomic.t] (not a plain
-   [ref]): concurrent suites swap the hook around supervised runs, and a
-   plain ref would make that swap a data race under OCaml 5's memory
-   model. *)
-let adopt_warning : (string -> unit) Atomic.t =
-  Atomic.make (fun msg -> Printf.eprintf "smr: warning: %s\n%!" msg)
+(* {2 Scheme capabilities}
+
+   What a scheme can and cannot promise, as one first-class record instead
+   of the accreted optional surfaces it replaces (a [robust] flag here, a
+   [recoverable] flag there, the [adopt_warning] hook for the one scheme
+   where adoption is a no-op).  Matrix tests and benches select schemes by
+   capability; nothing in the harness string-matches on scheme names to
+   decide behaviour any more. *)
+type capabilities = {
+  robust : bool;
+      (* Bounded memory with stalled threads (property (A) of the ERA
+         theorem).  False only for NR and EBR. *)
+  recoverable : bool;
+      (* [deactivate]+[adopt] restore a bounded unreclaimed gauge after a
+         crash.  False only for NR: leaked nodes stay leaked, so its
+         [adopt] is a no-op and supervisors surface the leak themselves. *)
+  neutralizing : bool;
+      (* The scheme may abort a lagging operation from the outside: its
+         brackets can raise {!Neutralized} at a checkpoint and restart the
+         body.  True only for DBR. *)
+  adaptive : bool;
+      (* The scheme runs per-handle limbo thresholds through the {!Tuner}
+         feedback controller when [config.adaptive] is [`On].  False only
+         for NR (nothing to tune — it never sweeps). *)
+}
 
 (* {2 Typed guards: protection evidence at the type level}
 
@@ -251,9 +293,8 @@ end
 module type S = sig
   val name : string
 
-  (** Robust = bounded memory with stalled threads (property (A) of the ERA
-      theorem).  False only for NR and EBR. *)
-  val robust : bool
+  (** What this scheme promises; see {!capabilities}. *)
+  val capabilities : capabilities
 
   type t
   type th
@@ -268,27 +309,13 @@ module type S = sig
   val start_op : th -> unit
   val end_op : th -> unit
 
-  (** [read th ~slot ~load ~hdr_of] performs a protected load: repeatedly
-      evaluates [load] until the scheme can guarantee that the object
-      designated by the result (via [hdr_of]) is protected from reclamation.
-      [slot] indexes the per-thread hazard slot for pointer-based schemes. *)
-  val read :
-    th -> slot:int -> load:(unit -> 'v) -> hdr_of:('v -> Memory.Hdr.t option) -> 'v
-
-  (** Staged variant of [read].  [reader th desc] is built once per handle
-      (and link type); [read_field r ~slot field] then performs the protected
-      load of an atomic field directly — same protection guarantee as [read],
-      but the steady state allocates nothing and calls no closures.
-
-      Deprecated as a structure-facing primitive: it returns a bare ['v]
-      that nothing ties to the protection's lifetime.  New code uses the
-      branded bracket below ([with_op*] + [protect] + [Guard.deref]); the
-      legacy entry points remain for the SMR-level tests and the agreement
-      law (guarded and legacy loads observe the same physical record). *)
+  (** Per-handle staged state for the protected load.  [reader th desc] is
+      built once per handle (and link type): the scheme stages whatever
+      per-handle state it needs so the steady-state {!protect} is a direct
+      call with no closure capture and no allocation. *)
   type 'v reader
 
   val reader : th -> 'v desc -> 'v reader
-  val read_field : 'v reader -> slot:int -> 'v Atomic.t -> 'v
 
   (** {2 Branded operation bracket}
 
@@ -298,12 +325,23 @@ module type S = sig
       {!Guard}).  The arity variants pass the operation's arguments
       explicitly so bodies can be top-level constants (no per-op closure).
 
-      The bracket deliberately does {e not} catch exceptions: an operation
-      that dies mid-traversal (e.g. {!Memory.Fault.Use_after_free}, or the
-      chaos engine's [Crashed]) must leave its reservations published — the
-      poisoned-handle state the crash-recovery protocol starts from.
-      Bodies that want cleanup-on-raise catch, return the exception, and
-      re-raise outside (see [Harris_list.search_hooked]). *)
+      The bracket catches exactly one exception: {!Neutralized}, raised by
+      a neutralizing scheme's checkpoints when a reclaimer aborted this
+      lagging operation.  The bracket acknowledges the neutralization
+      (clearing the handle's reservations) and restarts the body from the
+      root under a fresh bracket — each retry mints a new token, so a guard
+      from an aborted attempt cannot be dereferenced in the next one.
+      Bodies must therefore be restartable up to their linearization point
+      and bracket any post-linearization protected loads in
+      [mask]/[unmask]; pre-publish private state is released by catching
+      {!Neutralized} and re-raising (see [Harris_list.insert_body]).
+
+      Everything else still deliberately escapes {e without} [end_op]: an
+      operation that dies mid-traversal (e.g. {!Memory.Fault.Use_after_free},
+      or the chaos engine's [Crashed]) must leave its reservations
+      published — the poisoned-handle state the crash-recovery protocol
+      starts from.  Bodies that want cleanup-on-raise catch, return the
+      exception, and re-raise outside (see [Harris_list.search_hooked]). *)
 
   val protect :
     'v reader -> 'op Guard.token -> slot:int -> 'v Atomic.t -> ('v, 'op) Guard.t
@@ -315,6 +353,20 @@ module type S = sig
   val with_op1 : th -> ('a, 'r) op1 -> 'a -> 'r
   val with_op2 : th -> ('a, 'b, 'r) op2 -> 'a -> 'b -> 'r
   val with_op3 : th -> ('a, 'b, 'c, 'r) op3 -> 'a -> 'b -> 'c -> 'r
+
+  (** [mask th] / [unmask th] bracket a non-restartable completion section:
+      work after an operation's linearization point that still performs
+      protected loads (e.g. a skiplist insert linking its upper levels
+      after the level-0 publish).  Between the two, a pending
+      neutralization is deferred — checkpoints pass and the laggard keeps
+      its epoch pinned — instead of aborting an operation that can no
+      longer be undone.  Plain mutable stores on the handle's own padded
+      cell: no allocation, no-ops for non-neutralizing schemes.  [end_op],
+      the bracket's restart path and [deactivate] all clear the mask, so a
+      crash inside a masked section cannot wedge the handle. *)
+  val mask : th -> unit
+
+  val unmask : th -> unit
 
   (** [dup th ~src ~dst] copies the protection in slot [src] to slot [dst]
       (the paper's [dup], Figure 1).  No-op for schemes without per-slot
@@ -351,11 +403,6 @@ module type S = sig
       [deactivate] the handle, [register] a replacement on the same tid,
       [adopt] the orphaned limbo into the replacement, and [flush] it. *)
 
-  (** Whether [deactivate]+[adopt] restore a bounded unreclaimed gauge
-      after a crash.  [false] only for NR: leaked nodes stay leaked, so
-      its [adopt] fires {!adopt_warning} instead of silently succeeding. *)
-  val recoverable : bool
-
   (** [deactivate th] unpublishes every reservation/era slot of a dead
       handle, marks its per-domain cells quiesced (Hyaline drains and
       releases the handle's batch references) and gives back its
@@ -376,9 +423,16 @@ module type S = sig
 end
 
 (* Shared implementation of the branded bracket: every scheme [include]s
-   this over its own [start_op]/[end_op]/[read_field].  [Guard.mint]/
-   [Guard.embed] erase to [unit]/identity, so the bracket adds no
-   allocation over calling the three primitives by hand. *)
+   this over its own [start_op]/[end_op]/[read_field]/[on_neutralized].
+   [Guard.mint]/[Guard.embed] erase to [unit]/identity, so the bracket adds
+   no allocation over calling the three primitives by hand.
+
+   Each [with_op*] is a restart loop: {!Neutralized} — and only it — is
+   caught (a match-exception case, not a try/finally), the scheme
+   acknowledges via [on_neutralized] (withdrawing the handle's pin), and
+   the body re-runs under a fresh bracket whose token carries a new brand,
+   so guards cannot cross attempts.  Any other exception still skips
+   [end_op] (crash semantics, see the interface comment). *)
 module Bracket (B : sig
   type th
   type 'v reader
@@ -386,33 +440,64 @@ module Bracket (B : sig
   val start_op : th -> unit
   val end_op : th -> unit
   val read_field : 'v reader -> slot:int -> 'v Atomic.t -> 'v
+
+  val on_neutralized : th -> unit
+  (* Acknowledge an observed neutralization: clear the handle's
+     reservations and mask so the restarted attempt begins clean.  [Fun.id]
+     of [end_op] for most schemes ([ignore] even — non-neutralizing
+     checkpoints never raise); DBR withdraws its announcement. *)
 end) =
 struct
   let protect r tok ~slot field = Guard.embed tok (B.read_field r ~slot field)
 
-  (* No try/finally: a body that raises must skip [end_op] (see the
-     interface comment on the bracket's crash semantics). *)
-  let with_op th (body : _ op0) =
-    B.start_op th;
-    let r = body.op0 (Guard.mint ()) in
-    B.end_op th;
-    r
+  (* [start_op] runs INSIDE the match-exception scope: its own checkpoint
+     can observe a neutralization posted between the announce store and
+     the check, and that raise must restart the bracket, not escape it. *)
+  let rec with_op th (body : _ op0) =
+    match
+      B.start_op th;
+      body.op0 (Guard.mint ())
+    with
+    | r ->
+        B.end_op th;
+        r
+    | exception Neutralized ->
+        B.on_neutralized th;
+        with_op th body
 
-  let with_op1 th (body : _ op1) a =
-    B.start_op th;
-    let r = body.op1 (Guard.mint ()) a in
-    B.end_op th;
-    r
+  let rec with_op1 th (body : _ op1) a =
+    match
+      B.start_op th;
+      body.op1 (Guard.mint ()) a
+    with
+    | r ->
+        B.end_op th;
+        r
+    | exception Neutralized ->
+        B.on_neutralized th;
+        with_op1 th body a
 
-  let with_op2 th (body : _ op2) a b =
-    B.start_op th;
-    let r = body.op2 (Guard.mint ()) a b in
-    B.end_op th;
-    r
+  let rec with_op2 th (body : _ op2) a b =
+    match
+      B.start_op th;
+      body.op2 (Guard.mint ()) a b
+    with
+    | r ->
+        B.end_op th;
+        r
+    | exception Neutralized ->
+        B.on_neutralized th;
+        with_op2 th body a b
 
-  let with_op3 th (body : _ op3) a b c =
-    B.start_op th;
-    let r = body.op3 (Guard.mint ()) a b c in
-    B.end_op th;
-    r
+  let rec with_op3 th (body : _ op3) a b c =
+    match
+      B.start_op th;
+      body.op3 (Guard.mint ()) a b c
+    with
+    | r ->
+        B.end_op th;
+        r
+    | exception Neutralized ->
+        B.on_neutralized th;
+        with_op3 th body a b c
 end

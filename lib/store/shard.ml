@@ -39,8 +39,7 @@ type t = {
   size : unit -> int;
   check_invariants : unit -> unit;
   recover : tid:int -> unit;
-  recoverable : bool;
-  robust : bool;
+  capabilities : Smr.Smr_intf.capabilities;
 }
 
 let make_hashmap (module S : Smr.Smr_intf.S) ~threads ~config ~buckets () =
@@ -67,8 +66,7 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ~config ~buckets () =
     size = (fun () -> M.size t);
     check_invariants = (fun () -> M.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- M.recover handles.(tid));
-    recoverable = S.recoverable;
-    robust = S.robust;
+    capabilities = S.capabilities;
   }
 
 let make_skiplist (module S : Smr.Smr_intf.S) ~threads ~config () =
@@ -95,8 +93,7 @@ let make_skiplist (module S : Smr.Smr_intf.S) ~threads ~config () =
     size = (fun () -> SL.size t);
     check_invariants = (fun () -> SL.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- SL.recover handles.(tid));
-    recoverable = S.recoverable;
-    robust = S.robust;
+    capabilities = S.capabilities;
   }
 
 let create ?config ?(buckets = 256) ~backend ~scheme ~threads () =

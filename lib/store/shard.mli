@@ -37,8 +37,9 @@ type t = {
   recover : tid:int -> unit;
       (** Replace [tid]'s dead handle, adopting its orphaned limbo.  Only
           after the owning domain died (the supervisor's job). *)
-  recoverable : bool;
-  robust : bool;
+  capabilities : Smr.Smr_intf.capabilities;
+      (** the scheme's capability record; the store tier aggregates
+          [robust]/[recoverable] over its shards *)
 }
 
 val create :

@@ -167,26 +167,33 @@ let deliver c s buf n =
       done);
   Stats.record_bulk c.store.stats ~shard:s ~tid:c.tid ~ops:n ~hits:!hits
 
+(* Dispatch one shard's buffered group under a single bracket and settle
+   its side effects (pending-TTL deadlines, stats, callbacks).  Does NOT
+   clear the buffer — [get_many] still needs the result slots; callers
+   clear once they are done with them. *)
+let dispatch_shard c s buf n =
+  c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
+  (* The queued puts are live now: record their deadlines (the TTL
+     clock runs from dispatch — see the header on why enqueue-time
+     deadlines leak). *)
+  if Hashtbl.length c.pending_ttls > 0 then
+    for i = 0 to n - 1 do
+      if buf.B.kinds.(i) = B.put then begin
+        let key = buf.B.keys.(i) in
+        match Hashtbl.find_opt c.pending_ttls key with
+        | Some ttl_s ->
+            Hashtbl.remove c.pending_ttls key;
+            note_ttl c key (Some ttl_s)
+        | None -> ()
+      end
+    done;
+  deliver c s buf n
+
 let flush_shard c s =
   let buf = Batch.shard_buf c.batch s in
   let n = B.length buf in
   if n > 0 then begin
-    c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
-    (* The queued puts are live now: record their deadlines (the TTL
-       clock runs from dispatch — see the header on why enqueue-time
-       deadlines leak). *)
-    if Hashtbl.length c.pending_ttls > 0 then
-      for i = 0 to n - 1 do
-        if buf.B.kinds.(i) = B.put then begin
-          let key = buf.B.keys.(i) in
-          match Hashtbl.find_opt c.pending_ttls key with
-          | Some ttl_s ->
-              Hashtbl.remove c.pending_ttls key;
-              note_ttl c key (Some ttl_s)
-          | None -> ()
-        end
-      done;
-    deliver c s buf n;
+    dispatch_shard c s buf n;
     B.clear buf
   end
 
@@ -228,8 +235,16 @@ let flush c =
 
 let pending c = Batch.pending c.batch
 
+(* The batched-read path: each get is pushed BEHIND its shard's queued
+   writes, so one [apply_batch] per non-empty shard dispatches writes
+   then reads under a single bracket.  Within a shard the group executes
+   in program order (the structures' [apply_batch] guarantee), so every
+   read observes this client's earlier queued writes — the visibility the
+   old pre-flush bought with an extra bracket per shard — and same-key
+   runs coalesce across the write/read boundary (a get directly after
+   its own queued put is answered from the coalescing memo, no
+   traversal). *)
 let get_many c keys =
-  flush c (* queued writes must be visible to these reads *);
   let n = Array.length keys in
   let pos = Array.make n 0 in
   for i = 0 to n - 1 do
@@ -238,15 +253,14 @@ let get_many c keys =
     pos.(i) <- B.length buf;
     B.push buf ~kind:B.get ~key:keys.(i)
   done;
-  Batch.iter_nonempty c.batch (fun s buf ->
-      c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
-      deliver c s buf (B.length buf));
+  Batch.iter_nonempty c.batch (fun s buf -> dispatch_shard c s buf (B.length buf));
   let out =
     Array.init n (fun i ->
         let s = route c keys.(i) in
         (Batch.shard_buf c.batch s).B.results.(pos.(i)))
   in
   Batch.clear c.batch;
+  if not (Queue.is_empty c.expiry) then ignore (sweep_expired c);
   out
 
 (* {2 Store-wide observers and maintenance} *)
@@ -271,8 +285,15 @@ let check_invariants t =
   Array.iter (fun sh -> sh.Shard.check_invariants ()) t.shard_arr
 
 let recover t ~tid = Array.iter (fun sh -> sh.Shard.recover ~tid) t.shard_arr
-let recoverable t = Array.for_all (fun sh -> sh.Shard.recoverable) t.shard_arr
-let robust t = Array.for_all (fun sh -> sh.Shard.robust) t.shard_arr
+let recoverable t =
+  Array.for_all
+    (fun sh -> sh.Shard.capabilities.Smr.Smr_intf.recoverable)
+    t.shard_arr
+
+let robust t =
+  Array.for_all
+    (fun sh -> sh.Shard.capabilities.Smr.Smr_intf.robust)
+    t.shard_arr
 
 let mem_bound t ~range ?adopted ~stalled () =
   Array.fold_left

@@ -77,9 +77,17 @@ val flush : client -> unit
 val pending : client -> int
 
 val get_many : client -> int array -> bool array
-(** Membership for each key, in input order.  Flushes pending deferred
-    writes first (so they are visible), then executes the gets grouped
-    by shard, one bracket per group. *)
+(** Membership for each key, in input order, via the batched-read path:
+    each get rides BEHIND its shard's queued deferred writes in the same
+    group, so every non-empty shard dispatches writes-then-reads under
+    ONE bracket (no separate pre-flush).  Within a shard the group
+    linearizes in program order — the structures' [apply_batch]
+    guarantee — so each get observes this client's earlier queued
+    writes, and a contiguous same-key run coalesces across the
+    write/read boundary (a get directly following its own queued put is
+    answered from the coalescing memo without a traversal; see
+    {!Scot.Hashmap.apply_batch}).  Ends with a TTL sweep like
+    {!flush}. *)
 
 val sweep_expired : ?now:float -> client -> int
 (** Evict every expired key this client owns a deadline for; returns the

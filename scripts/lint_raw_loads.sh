@@ -7,8 +7,9 @@
 # must say why it is safe.  Three rules:
 #
 #   A. No legacy staged-reader calls ([read_field], [S.read]) — the
-#      structures were migrated to with_op/protect/Guard.deref; the shims
-#      remain only for external users.
+#      unbranded shims were deleted from the scheme signature; every
+#      protected load goes through with_op/protect/Guard.deref.  The rule
+#      stays as a tripwire against reintroducing an unbranded entry point.
 #   B. Every [Atomic.get] carries a "raw-load: <reason>" marker on the
 #      same line or within the 4 preceding lines (multi-line comment
 #      annotations).  Accepted reasons are documented in DESIGN.md:

@@ -135,17 +135,44 @@ TUNE_RUN_KEYS = {
 
 TUNE_MODES = ("static", "oracle", "adaptive")
 
-# `scotbench chaos --scheme hybrid` additionally emits one "kind":
-# "floor" run: the hybrid's clean-run throughput against EBR.
+# `scotbench chaos --scheme hybrid` / `--scheme debra` additionally
+# emits one "kind": "floor" run: the selected scheme's clean-run
+# throughput against EBR (the >= 0.9x acceptance floor).
 FLOOR_RUN_KEYS = {
     "kind": str,
     "structure": str,
+    "scheme": str,
     "threads": int,
     "range": int,
     "duration": (int, float),
-    "hyb_throughput": (int, float),
+    "throughput": (int, float),
     "ebr_throughput": (int, float),
     "ratio": (int, float),
+    "ok": bool,
+}
+
+# `scotbench chaos --scheme debra` also emits one "kind": "stall_cmp"
+# run: the same one-stalled-reader chaos configuration for a panel of
+# schemes side by side (DBR neutralization vs era/interval tracking).
+# Per-scheme entries carry "bound": null for non-robust schemes.
+STALL_CMP_RUN_KEYS = {
+    "kind": str,
+    "structure": str,
+    "threads": int,
+    "stalled": int,
+    "point": str,
+    "range": int,
+    "duration": (int, float),
+    "runs": list,
+}
+
+STALL_CMP_ENTRY_KEYS = {
+    "scheme": str,
+    "robust": bool,
+    "max_unreclaimed": int,
+    "first_third": (int, float),
+    "last_third": (int, float),
+    "throughput": (int, float),
     "ok": bool,
 }
 
@@ -421,8 +448,27 @@ def validate(path):
             continue
         if run.get("kind") == "floor":
             require(path, run, FLOOR_RUN_KEYS, where)
-            if run["hyb_throughput"] < 0 or run["ebr_throughput"] < 0:
+            if run["throughput"] < 0 or run["ebr_throughput"] < 0:
                 fail(path, f"{where} negative throughput")
+            continue
+        if run.get("kind") == "stall_cmp":
+            require(path, run, STALL_CMP_RUN_KEYS, where)
+            if run["point"] not in CHAOS_POINTS:
+                fail(path, f"{where}.point = {run['point']!r}")
+            if not run["runs"]:
+                fail(path, f"{where}.runs must be non-empty")
+            for j, entry in enumerate(run["runs"]):
+                ewhere = f"{where}.runs[{j}]"
+                require(path, entry, STALL_CMP_ENTRY_KEYS, ewhere)
+                bound = entry.get("bound")
+                if entry["robust"]:
+                    if not isinstance(bound, int):
+                        fail(path, f"{ewhere} robust entry needs an int bound")
+                    if entry["ok"] and entry["max_unreclaimed"] > bound:
+                        fail(path, f"{ewhere} ok but max_unreclaimed > bound")
+                elif bound is not None:
+                    fail(path, f"{ewhere} non-robust entry must have "
+                               f"bound null")
             continue
         if run.get("kind") == "fuzz":
             require(path, run, FUZZ_RUN_KEYS, where)
@@ -473,7 +519,11 @@ def run_key(run):
         return ("tune", run["structure"], run["scheme"], run["threads"],
                 run["mode"], run["threshold"])
     if run.get("kind") == "floor":
-        return ("floor", run["structure"], run["threads"], run["range"])
+        return ("floor", run["structure"], run["scheme"], run["threads"],
+                run["range"])
+    if run.get("kind") == "stall_cmp":
+        return ("stall_cmp", run["structure"], run["threads"],
+                run["stalled"], run["point"], run["range"])
     if run.get("kind") == "fuzz":
         return ("fuzz", run["structure"], run["scheme"])
     if run.get("kind") == "serve":

@@ -1,0 +1,24 @@
+(* MUST NOT typecheck: caching a guard so a RESTARTED attempt of the same
+   operation can reuse it.  A neutralized bracket re-runs its body with a
+   fresh brand, so evidence from the aborted attempt must not survive into
+   the retry — the node it witnessed may have been reclaimed the moment
+   the announcement was withdrawn.  The cache's type would have to fix the
+   first attempt's rigid ['op], which cannot unify with the retry's. *)
+
+module F (S : Smr.Smr_intf.S) = struct
+  let bad (th : S.th) (rdr : int S.reader) (field : int Atomic.t) =
+    let saved = ref None in
+    S.with_op th
+      {
+        Smr.Smr_intf.op0 =
+          (fun tok ->
+            (* On a retry, try to reuse the aborted attempt's guard... *)
+            (match !saved with
+            | Some g -> ignore (Smr.Smr_intf.Guard.deref g tok)
+            | None -> ());
+            (* ...stashed here by the attempt that got neutralized. *)
+            let g = S.protect rdr tok ~slot:0 field in
+            saved := Some g;
+            Smr.Smr_intf.Guard.deref g tok);
+      }
+end

@@ -9,7 +9,9 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let robust_schemes =
-  List.filter (fun (module S : Smr.Smr_intf.S) -> S.robust) Smr.Registry.all
+  List.filter
+    (fun (module S : Smr.Smr_intf.S) -> S.capabilities.Smr.Smr_intf.robust)
+    Smr.Registry.all
 
 (* --- engine semantics, single-threaded via Smr.Probe.hit --- *)
 
@@ -154,10 +156,21 @@ let test_crash_pins_protection name () =
     inst.Harness.Instance.quiesce ~tid:0
   done;
   let residual = inst.Harness.Instance.unreclaimed () in
-  check
-    (Printf.sprintf "%s: dead reader still pins >=1 node (residual %d)" name
-       residual)
-    true (residual >= 1);
+  let caps = Smr.Registry.capabilities scheme in
+  if caps.Smr.Smr_intf.neutralizing then
+    (* DBR: the victim published its crash as it raised, so the reclaimer
+       marks the posted neutralization delivered and the dead reader's
+       announcement stops pinning — no supervisor needed. *)
+    check_int
+      (Printf.sprintf
+         "%s: neutralization unpins the dead reader (residual %d)" name
+         residual)
+      0 residual
+  else
+    check
+      (Printf.sprintf "%s: dead reader still pins >=1 node (residual %d)" name
+         residual)
+      true (residual >= 1);
   (* The survivor keeps operating safely over the poisoned structure. *)
   for k = 0 to range - 1 do
     ignore (inst.Harness.Instance.insert ~tid:0 k);
@@ -221,7 +234,7 @@ let () =
               (name ^ " honours dead reader's protection")
               `Slow
               (test_crash_pins_protection name))
-          [ "HP"; "HE"; "IBR" ] );
+          [ "HP"; "HE"; "IBR"; "DBR" ] );
       ( "fuzz",
         [
           QCheck_alcotest.to_alcotest fuzz_safe_never_faults;

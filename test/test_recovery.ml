@@ -34,11 +34,24 @@ let test_deactivate_unpublishes (module S : Smr.Smr_intf.S) () =
     let hdr = mk_hdr survivor in
     S.end_op survivor;
     let cell = Atomic.make (Some hdr) in
-    (* Victim protects the node mid-traversal, then "crashes": no
-       [end_op], its published protection leaks. *)
-    S.start_op victim;
-    ignore
-      (S.read victim ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id);
+    (* Victim protects the node mid-traversal, then "crashes": the raise
+       propagates out of the bracket WITHOUT running [end_op] (crash
+       semantics), so its published protection leaks. *)
+    let rdr =
+      S.reader victim
+        { Smr.Smr_intf.is_null = Option.is_none; hdr = Option.get }
+    in
+    (match
+       S.with_op victim
+         {
+           Smr.Smr_intf.op0 =
+             (fun tok ->
+               ignore (S.protect rdr tok ~slot:0 cell);
+               raise Exit);
+         }
+     with
+    | () -> Alcotest.fail "crash body returned"
+    | exception Exit -> ());
     (* Survivor unlinks, retires and aggressively reclaims: the orphaned
        protection must still be honoured (no premature free). *)
     Atomic.set cell None;
@@ -130,36 +143,43 @@ let test_seat_reuse (module S : Smr.Smr_intf.S) () =
   S.end_op h0';
   S.flush h0'
 
-(* NR cannot bound memory by adoption: the call must warn, not silently
-   "succeed". *)
-let test_nr_adopt_warns () =
+(* NR cannot bound memory by adoption.  The capability record is the
+   contract: [recoverable = false] tells supervisors to warn (the harness
+   synthesizes the message — see the [rc_warnings] check in the supervised
+   runs below); the scheme-level [adopt] itself is a silent no-op, not a
+   pretend-success that reclaims anything. *)
+let test_nr_adopt_noop () =
   let (module NR : Smr.Smr_intf.S) = Smr.Registry.find_exn "NR" in
-  check "NR is not recoverable" false NR.recoverable;
+  check "NR is not recoverable" false
+    NR.capabilities.Smr.Smr_intf.recoverable;
   let t = NR.create ~config:config_small ~threads:2 ~slots:2 () in
   let victim = NR.register t ~tid:0 in
   let survivor = NR.register t ~tid:1 in
+  let hdr = Memory.Hdr.create () in
+  NR.on_alloc victim hdr;
+  NR.retire victim (reclaimable hdr);
+  let before = NR.unreclaimed t in
   NR.deactivate victim;
-  let warned = ref [] in
-  let prev =
-    Atomic.exchange Smr.Smr_intf.adopt_warning (fun msg ->
-        warned := msg :: !warned)
-  in
-  Fun.protect
-    ~finally:(fun () -> Atomic.set Smr.Smr_intf.adopt_warning prev)
-    (fun () -> NR.adopt ~victim ~into:survivor);
-  check_int "exactly one warning" 1 (List.length !warned);
-  check "warning names NR" true
-    (match !warned with
-    | [ msg ] ->
-        String.length msg >= 2 && String.sub msg 0 2 = "NR"
-    | _ -> false)
+  NR.adopt ~victim ~into:survivor;
+  NR.flush survivor;
+  check "adopt reclaimed nothing" true (NR.unreclaimed t = before);
+  check "NR never frees the orphan" false (Memory.Hdr.is_reclaimed hdr)
 
-(* Every recoverable scheme reports recoverable = robustness-or-EBR. *)
+(* The capability matrix replaces the old recoverable/robust flags:
+   everything but NR is recoverable, everything but NR/EBR is robust, and
+   only DBR neutralizes. *)
 let test_recoverable_flags () =
   List.iter
     (fun (module S : Smr.Smr_intf.S) ->
+      let caps = S.capabilities in
       check (S.name ^ ": recoverable iff not NR") (S.name <> "NR")
-        S.recoverable)
+        caps.Smr.Smr_intf.recoverable;
+      check
+        (S.name ^ ": robust iff not NR/EBR")
+        (S.name <> "NR" && S.name <> "EBR")
+        caps.Smr.Smr_intf.robust;
+      check (S.name ^ ": neutralizing iff DBR") (S.name = "DBR")
+        caps.Smr.Smr_intf.neutralizing)
     Smr.Registry.all
 
 (* --- supervised end-to-end: crash a worker, adopt, respawn --- *)
@@ -182,7 +202,15 @@ let test_supervised_recovery (module S : Smr.Smr_intf.S) threads () =
   check (S.name ^ ": worker respawned") true
     (List.exists
        (fun (e : Harness.Metrics.recovery_event) -> e.rv_action = "respawn")
-       r.Harness.Experiments.rc_events)
+       r.Harness.Experiments.rc_events);
+  (* The harness, not the scheme, owns the adoption warning now: it
+     synthesizes one per recovery on a non-recoverable scheme. *)
+  if not S.capabilities.Smr.Smr_intf.recoverable then begin
+    check (S.name ^ ": non-recoverable adoption warned") true
+      (r.Harness.Experiments.rc_warnings > 0);
+    check (S.name ^ ": warning message synthesized") true
+      (r.Harness.Experiments.rc_warning_msgs <> [])
+  end
 
 (* --- QCheck: random crash schedules under supervision --- *)
 
@@ -198,7 +226,8 @@ let prop_supervised_random_crashes =
       let rng = Harness.Workload.Rng.create ~seed in
       let robust =
         List.filter
-          (fun (module S : Smr.Smr_intf.S) -> S.robust)
+          (fun (module S : Smr.Smr_intf.S) ->
+            S.capabilities.Smr.Smr_intf.robust)
           Smr.Registry.all
       in
       let (module S : Smr.Smr_intf.S) =
@@ -265,7 +294,8 @@ let () =
       ( "protocol",
         per_scheme "adopt requires deactivate" test_adopt_requires_deactivate
         @ [
-            Alcotest.test_case "NR adopt warns" `Quick test_nr_adopt_warns;
+            Alcotest.test_case "NR adopt is a silent no-op" `Quick
+              test_nr_adopt_noop;
             Alcotest.test_case "recoverable flags" `Quick
               test_recoverable_flags;
           ] );

@@ -13,6 +13,12 @@ let config_small =
   Smr.Smr_intf.make_config ~limbo_threshold:4 ~epoch_freq:4 ~batch_size:2
     ~threads:1 ()
 
+(* Descriptor for a bare [Memory.Hdr.t option] cell — the minimal shape the
+   branded bracket API reads through ([hdr] is only consulted on non-null
+   values). *)
+let hdr_desc =
+  { Smr.Smr_intf.is_null = Option.is_none; hdr = Option.get }
+
 (* Unprotected retires are eventually reclaimed (all schemes except NR). *)
 let test_reclaims_unprotected (module S : Smr.Smr_intf.S) () =
   let mk_hdr th =
@@ -58,25 +64,31 @@ let test_protection_blocks_reclaim (module S : Smr.Smr_intf.S) () =
     let hdr = mk_hdr writer in
     S.end_op writer;
     let cell = Atomic.make (Some hdr) in
-    (* Reader protects the node. *)
-    S.start_op reader;
-    let seen =
-      S.read reader ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id
-    in
-    check "reader saw the node" true
-      (match seen with Some h -> h == hdr | None -> false);
-    (* Writer unlinks, retires and aggressively reclaims. *)
-    Atomic.set cell None;
-    S.start_op writer;
-    S.retire writer (reclaimable hdr);
-    for _ = 1 to 32 do
-      let filler = mk_hdr writer in
-      S.retire writer (reclaimable filler)
-    done;
-    S.flush writer;
-    check "protected node not reclaimed" false (Memory.Hdr.is_reclaimed hdr);
-    (* Drop protection; now it must go. *)
-    S.end_op reader;
+    let rdr = S.reader reader hdr_desc in
+    (* Reader protects the node inside a branded bracket; the writer's
+       unlink/retire/reclaim storm runs while that bracket is live. *)
+    S.with_op reader
+      {
+        Smr.Smr_intf.op0 =
+          (fun tok ->
+            let g = S.protect rdr tok ~slot:0 cell in
+            check "reader saw the node" true
+              (match Smr.Smr_intf.Guard.deref g tok with
+              | Some h -> h == hdr
+              | None -> false);
+            (* Writer unlinks, retires and aggressively reclaims. *)
+            Atomic.set cell None;
+            S.start_op writer;
+            S.retire writer (reclaimable hdr);
+            for _ = 1 to 32 do
+              let filler = mk_hdr writer in
+              S.retire writer (reclaimable filler)
+            done;
+            S.flush writer;
+            check "protected node not reclaimed" false
+              (Memory.Hdr.is_reclaimed hdr));
+      };
+    (* Protection dropped with the bracket; now it must go. *)
     S.end_op writer;
     S.flush writer;
     check "reclaimed after protection dropped" true
@@ -102,23 +114,25 @@ let test_dup_preserves_protection (module S : Smr.Smr_intf.S) () =
     S.end_op writer;
     let cell = Atomic.make (Some hdr) in
     let decoy_cell = Atomic.make (Some decoy) in
-    S.start_op reader;
-    ignore (S.read reader ~slot:0 ~load:(fun () -> Atomic.get cell) ~hdr_of:Fun.id);
-    S.dup reader ~src:0 ~dst:1;
-    (* Slot 0 is re-used for something else. *)
-    ignore
-      (S.read reader ~slot:0
-         ~load:(fun () -> Atomic.get decoy_cell)
-         ~hdr_of:Fun.id);
-    Atomic.set cell None;
-    S.start_op writer;
-    S.retire writer (reclaimable hdr);
-    for _ = 1 to 32 do
-      S.retire writer (reclaimable (mk_hdr writer))
-    done;
-    S.flush writer;
-    check "dup kept the node protected" false (Memory.Hdr.is_reclaimed hdr);
-    S.end_op reader;
+    let rdr = S.reader reader hdr_desc in
+    S.with_op reader
+      {
+        Smr.Smr_intf.op0 =
+          (fun tok ->
+            ignore (S.protect rdr tok ~slot:0 cell);
+            S.dup reader ~src:0 ~dst:1;
+            (* Slot 0 is re-used for something else. *)
+            ignore (S.protect rdr tok ~slot:0 decoy_cell);
+            Atomic.set cell None;
+            S.start_op writer;
+            S.retire writer (reclaimable hdr);
+            for _ = 1 to 32 do
+              S.retire writer (reclaimable (mk_hdr writer))
+            done;
+            S.flush writer;
+            check "dup kept the node protected" false
+              (Memory.Hdr.is_reclaimed hdr));
+      };
     S.end_op writer;
     S.flush writer;
     check "reclaimed after end_op" true (Memory.Hdr.is_reclaimed hdr)
@@ -139,6 +153,12 @@ let test_stalled_thread_bound (module S : Smr.Smr_intf.S) () =
     let stalled = S.register t ~tid:0 in
     let worker = S.register t ~tid:1 in
     S.start_op stalled (* ... and never ends its operation *);
+    (* A neutralizing scheme is only robust against a stall the chaos
+       engine can vouch for: model the stalled thread as parked at a
+       checkpoint so posted neutralizations can be marked delivered. *)
+    let caps = S.capabilities in
+    if caps.Smr.Smr_intf.neutralizing then
+      Smr.Probe.note_parked 0 Smr.Probe.Read;
     for _ = 1 to total do
       S.start_op worker;
       let h = mk_hdr worker in
@@ -146,8 +166,9 @@ let test_stalled_thread_bound (module S : Smr.Smr_intf.S) () =
       S.end_op worker
     done;
     S.flush worker;
+    if caps.Smr.Smr_intf.neutralizing then Smr.Probe.note_unparked 0;
     let unr = S.unreclaimed t in
-    if S.robust then
+    if caps.Smr.Smr_intf.robust then
       check
         (Printf.sprintf "%s: bounded despite stall (got %d)" S.name unr)
         true
@@ -186,6 +207,84 @@ let test_hyaline_any_thread_reclamation () =
     (List.for_all Memory.Hdr.is_reclaimed hdrs);
   check_int "nothing left" 0 (H.unreclaimed t)
 
+(* DBR neutralization, driven deterministically: a reader parks its
+   announcement at an old epoch, the worker's storm advances the epoch far
+   enough that the reclaimer posts a neutralization, and the reader's next
+   checkpoint (inside [protect]) unwinds the attempt.  The bracket
+   restarts the body with a fresh brand; the re-announced epoch unpins the
+   storm even though the reader is still inside its (restarted) op. *)
+let test_debra_neutralization_restart () =
+  let module D = Smr.Debra in
+  let t = D.create ~config:config_small ~threads:2 ~slots:2 () in
+  let reader = D.register t ~tid:0 in
+  let worker = D.register t ~tid:1 in
+  let cell : Memory.Hdr.t option Atomic.t = Atomic.make None in
+  let rdr = D.reader reader hdr_desc in
+  let attempts = ref 0 in
+  D.with_op reader
+    {
+      Smr.Smr_intf.op0 =
+        (fun tok ->
+          incr attempts;
+          if !attempts = 1 then begin
+            (* The reader announced the pre-storm epoch; flood limbo so
+               the reclaimer finds it lagging and posts. *)
+            for _ = 1 to 256 do
+              D.start_op worker;
+              let h = Memory.Hdr.create () in
+              D.on_alloc worker h;
+              D.retire worker (reclaimable h);
+              D.end_op worker
+            done;
+            D.flush worker;
+            check "stalled announcement pins the storm" true
+              (D.unreclaimed t > 0);
+            check "reclaimer posted a neutralization" true
+              (D.neutralize_posted t > 0)
+          end
+          else begin
+            (* Restarted attempt: the fresh announcement no longer pins
+               the storm, so the worker can drain it — while this op is
+               still live. *)
+            D.flush worker;
+            check_int "fresh announcement unpins the storm" 0
+              (D.unreclaimed t)
+          end;
+          (* Attempt 1 aborts at this checkpoint; attempt 2 sails
+             through. *)
+          ignore (D.protect rdr tok ~slot:0 cell);
+          if !attempts = 1 then
+            Alcotest.fail "neutralization checkpoint did not fire");
+    };
+  check_int "two attempts" 2 !attempts;
+  check_int "exactly one bracket restart" 1 (D.neutralize_restarts t)
+
+(* [neutralize] only posts into a live operation, and the laggard's
+   [end_op] quashes an undelivered post (no stale abort leaks into the
+   next operation). *)
+let test_debra_neutralize_idle_noop () =
+  let module D = Smr.Debra in
+  let t = D.create ~config:config_small ~threads:2 ~slots:2 () in
+  let a = D.register t ~tid:0 in
+  check "no post into an idle thread" false (D.neutralize t ~tid:0);
+  (* Post into a live op, then end it without crossing a checkpoint: the
+     next op must run unneutralized. *)
+  D.start_op a;
+  check "posted into a live op" true (D.neutralize t ~tid:0);
+  D.end_op a;
+  let cell : Memory.Hdr.t option Atomic.t = Atomic.make None in
+  let rdr = D.reader a hdr_desc in
+  let ran = ref 0 in
+  D.with_op a
+    {
+      Smr.Smr_intf.op0 =
+        (fun tok ->
+          incr ran;
+          ignore (D.protect rdr tok ~slot:0 cell));
+    };
+  check_int "stale post did not abort the next op" 1 !ran;
+  check_int "no restart recorded" 0 (D.neutralize_restarts t)
+
 (* Eras: birth/retire stamps must bracket the node's lifetime. *)
 let test_era_stamping (module S : Smr.Smr_intf.S) () =
   let mk_hdr th =
@@ -204,7 +303,7 @@ let test_era_stamping (module S : Smr.Smr_intf.S) () =
   S.retire th (reclaimable h);
   let uses_eras =
     match S.name with
-    | "HE" | "IBR" | "HLN" | "EBR" | "HYB" -> true
+    | "HE" | "IBR" | "HLN" | "EBR" | "HYB" | "DBR" -> true
     | _ -> false
   in
   if uses_eras then
@@ -294,7 +393,7 @@ let test_zero_alloc_ops_with ~config (module S : Smr.Smr_intf.S) () =
   in
   let assertable =
     match S.name with
-    | "EBR" | "HP" | "HPopt" | "HE" | "IBR" | "HYB" -> true
+    | "EBR" | "HP" | "HPopt" | "HE" | "IBR" | "HYB" | "DBR" -> true
     | _ -> false
   in
   (* Full searches across hits, misses and the whole key range. *)
@@ -332,61 +431,17 @@ let test_zero_alloc_ops = test_zero_alloc_ops_with ~config:config_huge
 let test_zero_alloc_ops_adaptive =
   test_zero_alloc_ops_with ~config:config_huge_adaptive
 
-(* Staged-reader law: for any link value installed in a field, [read_field]
-   through the prebuilt descriptor observes exactly the physical record the
-   legacy closure-based [read] observes. *)
-let test_reader_law (module S : Smr.Smr_intf.S) =
-  let module N = Scot.List_node in
-  let qtest =
-    QCheck.Test.make ~count:100
-      ~name:(Printf.sprintf "staged reader = legacy read (%s)" S.name)
-      QCheck.(list (pair (int_bound 15) bool))
-      (fun updates ->
-        let t = S.create ~threads:1 ~slots:2 () in
-        let th = S.register t ~tid:0 in
-        let rdr = S.reader th N.desc in
-        let nodes =
-          Array.init 16 (fun k ->
-              let n = N.fresh ~key:k ~next:N.null_link in
-              S.on_alloc th n.N.hdr;
-              n)
-        in
-        let field = Atomic.make N.null_link in
-        S.start_op th;
-        let ok =
-          List.for_all
-            (fun (i, marked) ->
-              let l =
-                if i = 0 then if marked then N.marked_null else N.null_link
-                else if marked then nodes.(i).N.in_link_marked
-                else nodes.(i).N.in_link
-              in
-              Atomic.set field l;
-              let via_reader = S.read_field rdr ~slot:0 field in
-              let via_read =
-                S.read th ~slot:1
-                  ~load:(fun () -> Atomic.get field)
-                  ~hdr_of:(fun (l : N.link) ->
-                    match l.N.ln with None -> None | Some n -> Some n.N.hdr)
-              in
-              via_reader == l && via_read == l)
-            updates
-        in
-        S.end_op th;
-        ok)
-  in
-  QCheck_alcotest.to_alcotest qtest
-
 (* Guarded-read law: the branded bracket path ([with_op] + [protect] +
-   [Guard.deref]) observes exactly the physical record the legacy
-   [read_field] observes, for any value installed in the field.  Each
-   update runs in its own balanced bracket (Hyaline rejects nesting). *)
+   [Guard.deref]) observes exactly the physical record installed in the
+   field, for any link value (null, marked-null, marked/unmarked node).
+   Each update runs in its own balanced bracket (Hyaline rejects
+   nesting). *)
 let test_guarded_read_law (module S : Smr.Smr_intf.S) =
   let module N = Scot.List_node in
   let module G = Smr.Smr_intf.Guard in
   let qtest =
     QCheck.Test.make ~count:100
-      ~name:(Printf.sprintf "guarded read = legacy read (%s)" S.name)
+      ~name:(Printf.sprintf "guarded read observes installed link (%s)" S.name)
       QCheck.(list (pair (int_bound 15) bool))
       (fun updates ->
         let t = S.create ~threads:1 ~slots:2 () in
@@ -407,12 +462,6 @@ let test_guarded_read_law (module S : Smr.Smr_intf.S) =
               else nodes.(i).N.in_link
             in
             Atomic.set field l;
-            let via_legacy =
-              S.start_op th;
-              let v = S.read_field rdr ~slot:0 field in
-              S.end_op th;
-              v
-            in
             let via_guard =
               S.with_op th
                 {
@@ -421,7 +470,48 @@ let test_guarded_read_law (module S : Smr.Smr_intf.S) =
                       G.deref (S.protect rdr tok ~slot:0 field) tok);
                 }
             in
-            via_legacy == l && via_guard == l)
+            via_guard == l)
+          updates)
+  in
+  QCheck_alcotest.to_alcotest qtest
+
+(* Slot-independence law: within one bracket, protecting the same field
+   through two different slots yields the same physical record, and both
+   agree with a plain atomic load (single-threaded, so no interleaving). *)
+let test_reader_law (module S : Smr.Smr_intf.S) =
+  let module N = Scot.List_node in
+  let module G = Smr.Smr_intf.Guard in
+  let qtest =
+    QCheck.Test.make ~count:100
+      ~name:(Printf.sprintf "protect is slot-independent (%s)" S.name)
+      QCheck.(list (pair (int_bound 15) bool))
+      (fun updates ->
+        let t = S.create ~threads:1 ~slots:2 () in
+        let th = S.register t ~tid:0 in
+        let rdr = S.reader th N.desc in
+        let nodes =
+          Array.init 16 (fun k ->
+              let n = N.fresh ~key:k ~next:N.null_link in
+              S.on_alloc th n.N.hdr;
+              n)
+        in
+        let field = Atomic.make N.null_link in
+        List.for_all
+          (fun (i, marked) ->
+            let l =
+              if i = 0 then if marked then N.marked_null else N.null_link
+              else if marked then nodes.(i).N.in_link_marked
+              else nodes.(i).N.in_link
+            in
+            Atomic.set field l;
+            S.with_op th
+              {
+                Smr.Smr_intf.op0 =
+                  (fun tok ->
+                    let a = G.deref (S.protect rdr tok ~slot:0 field) tok in
+                    let b = G.deref (S.protect rdr tok ~slot:1 field) tok in
+                    a == l && b == l && Atomic.get field == l);
+              })
           updates)
   in
   QCheck_alcotest.to_alcotest qtest
@@ -492,6 +582,8 @@ let test_make_config_validation () =
       Smr.Smr_intf.make_config ~batch_size:(-1) ~threads:1 ());
   expect_invalid "stale_eras" (fun () ->
       Smr.Smr_intf.make_config ~stale_eras:0 ~threads:1 ());
+  expect_invalid "neutralize_after" (fun () ->
+      Smr.Smr_intf.make_config ~neutralize_after:0 ~threads:1 ());
   (* A threshold below the batch size silently under-fills Hyaline
      batches; the rejection must name both fields. *)
   (match
@@ -607,15 +699,35 @@ let test_tuner_static_off () =
 
 (* Registry sanity. *)
 let test_registry () =
-  check_int "eight schemes" 8 (List.length Smr.Registry.all);
+  check_int "nine schemes" 9 (List.length Smr.Registry.all);
   check "find is case-insensitive" true
     (match Smr.Registry.find "hpopt" with Some _ -> true | None -> false);
   check "hybrid is registered" true
     (match Smr.Registry.find "hyb" with Some _ -> true | None -> false);
+  check "debra is registered" true
+    (match Smr.Registry.find "dbr" with Some _ -> true | None -> false);
   (match Smr.Registry.find_exn "nope" with
   | _ -> Alcotest.fail "unknown scheme accepted"
   | exception Invalid_argument _ -> ());
-  check_int "six robust schemes" 6 (List.length Smr.Registry.robust_schemes)
+  check_int "seven robust schemes" 7
+    (List.length Smr.Registry.robust_schemes);
+  check "DBR is the one neutralizing scheme" true
+    (List.for_all
+       (fun (module S : Smr.Smr_intf.S) -> S.name = "DBR")
+       Smr.Registry.neutralizing_schemes
+    && List.length Smr.Registry.neutralizing_schemes = 1);
+  (* The capability matrix: NR claims nothing, EBR is recoverable but not
+     robust, DBR is the only neutralizer, everything but NR is adaptive. *)
+  List.iter
+    (fun (module S : Smr.Smr_intf.S) ->
+      let caps = Smr.Registry.capabilities (module S : Smr.Smr_intf.S) in
+      check
+        (Printf.sprintf "%s capabilities self-consistent" S.name)
+        true
+        (caps = S.capabilities
+        && (caps.Smr.Smr_intf.neutralizing <= caps.Smr.Smr_intf.robust)
+        && (caps.Smr.Smr_intf.robust <= caps.Smr.Smr_intf.recoverable)))
+    Smr.Registry.all
 
 let per_scheme name f =
   List.map
@@ -639,6 +751,10 @@ let () =
           Alcotest.test_case "hyaline any-thread reclamation" `Quick
             test_hyaline_any_thread_reclamation;
           Alcotest.test_case "ebr epoch veto" `Quick test_ebr_epoch_veto;
+          Alcotest.test_case "dbr neutralization restarts the bracket" `Quick
+            test_debra_neutralization_restart;
+          Alcotest.test_case "dbr neutralize of an idle thread is a no-op"
+            `Quick test_debra_neutralize_idle_noop;
         ] );
       ("eras", per_scheme "era stamping" test_era_stamping);
       ("op-allocs", per_scheme "zero-alloc HList ops" test_zero_alloc_ops);

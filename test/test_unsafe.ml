@@ -17,6 +17,9 @@ let aggressive =
   Smr.Smr_intf.make_config ~limbo_threshold:1 ~epoch_freq:2 ~batch_size:1
     ~threads:1 ()
 
+let hdr_desc =
+  { Smr.Smr_intf.is_null = Option.is_none; hdr = Option.get }
+
 (* --- deterministic replay (Figure 2) --- *)
 
 let test_fig2_deterministic_fault () =
@@ -35,34 +38,43 @@ let test_fig2_deterministic_fault () =
   let link2 = Atomic.make (Some n3) in
   let link3 = Atomic.make (Some n4) in
   ignore link3;
-  S.start_op reader;
+  let rdr = S.reader reader hdr_desc in
   S.start_op writer;
-  (* Thread 1 (reader) walks to N2 and protects it; N1 -> N2 is intact. *)
-  let seen_n2 =
-    S.read reader ~slot:0 ~load:(fun () -> Atomic.get link1) ~hdr_of:Fun.id
-  in
-  check "reader reached N2" true
-    (match seen_n2 with Some h -> h == n2 | None -> false);
-  (* Threads 2/3 (writer) logically delete N2 and N3, then unlink the whole
-     chain with one CAS on N1's link and retire both nodes. *)
-  Atomic.set link_head (Some n4);
-  S.retire writer { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
-  S.retire writer { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
-  S.flush writer;
-  check "N2 survives (reader holds a hazard)" false (Memory.Hdr.is_reclaimed n2);
-  check "N3 is reclaimed (nobody protects it)" true (Memory.Hdr.is_reclaimed n3);
-  (* Reader continues optimistically: protect N3 through N2's link — the
-     link never changed, so plain HP validation SUCCEEDS on freed memory. *)
-  let seen_n3 =
-    S.read reader ~slot:1 ~load:(fun () -> Atomic.get link2) ~hdr_of:Fun.id
-  in
-  check "protect erroneously succeeds" true
-    (match seen_n3 with Some h -> h == n3 | None -> false);
-  (* ... and the dereference is the simulated SEGFAULT of Figure 2. *)
-  (match Option.iter Memory.Hdr.check seen_n3 with
-  | () -> Alcotest.fail "expected Use_after_free on N3"
-  | exception Memory.Fault.Use_after_free _ -> ());
-  S.end_op reader;
+  (* The whole interleaving runs inside the reader's bracket: thread 1
+     (reader) walks to N2 and protects it while N1 -> N2 is intact. *)
+  S.with_op reader
+    {
+      Smr.Smr_intf.op0 =
+        (fun tok ->
+          let g2 = S.protect rdr tok ~slot:0 link1 in
+          let seen_n2 = Smr.Smr_intf.Guard.deref g2 tok in
+          check "reader reached N2" true
+            (match seen_n2 with Some h -> h == n2 | None -> false);
+          (* Threads 2/3 (writer) logically delete N2 and N3, then unlink
+             the whole chain with one CAS on N1's link and retire both. *)
+          Atomic.set link_head (Some n4);
+          S.retire writer
+            { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
+          S.retire writer
+            { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
+          S.flush writer;
+          check "N2 survives (reader holds a hazard)" false
+            (Memory.Hdr.is_reclaimed n2);
+          check "N3 is reclaimed (nobody protects it)" true
+            (Memory.Hdr.is_reclaimed n3);
+          (* Reader continues optimistically: protect N3 through N2's link
+             — the link never changed, so plain HP validation SUCCEEDS on
+             freed memory. *)
+          let seen_n3 =
+            Smr.Smr_intf.Guard.deref (S.protect rdr tok ~slot:1 link2) tok
+          in
+          check "protect erroneously succeeds" true
+            (match seen_n3 with Some h -> h == n3 | None -> false);
+          (* ... and the dereference is the simulated SEGFAULT of Fig 2. *)
+          match Option.iter Memory.Hdr.check seen_n3 with
+          | () -> Alcotest.fail "expected Use_after_free on N3"
+          | exception Memory.Fault.Use_after_free _ -> ());
+    };
   S.end_op writer
 
 let test_fig2_scot_validation_detects () =
@@ -74,25 +86,35 @@ let test_fig2_scot_validation_detects () =
   let n4 = Memory.Hdr.create () in
   let link_head = Atomic.make (Some n2) in
   let link2 = Atomic.make (Some n3) in
-  S.start_op reader;
+  let rdr = S.reader reader hdr_desc in
   S.start_op writer;
-  (* SCOT: entering the dangerous zone, remember the last safe link's value
-     (prev_next = N2) and protect the first unsafe node. *)
-  let prev_next =
-    S.read reader ~slot:3 ~load:(fun () -> Atomic.get link_head) ~hdr_of:Fun.id
-  in
-  (* Writer prunes the chain. *)
-  Atomic.set link_head (Some n4);
-  S.retire writer { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
-  S.retire writer { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
-  S.flush writer;
-  (* Reader protects N3 (succeeds, same as above)... *)
-  ignore (S.read reader ~slot:1 ~load:(fun () -> Atomic.get link2) ~hdr_of:Fun.id);
-  (* ...but the SCOT check — "does the last safe node still point to the
-     first unsafe node?" — fails, forcing a restart BEFORE any dereference. *)
-  check "SCOT validation detects the unlink" false
-    (Atomic.get link_head == prev_next);
-  S.end_op reader;
+  S.with_op reader
+    {
+      Smr.Smr_intf.op0 =
+        (fun tok ->
+          (* SCOT: entering the dangerous zone, remember the last safe
+             link's value (prev_next = N2) and protect the first unsafe
+             node. *)
+          let prev_next =
+            Smr.Smr_intf.Guard.deref
+              (S.protect rdr tok ~slot:3 link_head)
+              tok
+          in
+          (* Writer prunes the chain. *)
+          Atomic.set link_head (Some n4);
+          S.retire writer
+            { hdr = n2; free = (fun _ -> Memory.Hdr.mark_reclaimed n2) };
+          S.retire writer
+            { hdr = n3; free = (fun _ -> Memory.Hdr.mark_reclaimed n3) };
+          S.flush writer;
+          (* Reader protects N3 (succeeds, same as above)... *)
+          ignore (S.protect rdr tok ~slot:1 link2);
+          (* ...but the SCOT check — "does the last safe node still point
+             to the first unsafe node?" — fails, forcing a restart BEFORE
+             any dereference. *)
+          check "SCOT validation detects the unlink" false
+            (Atomic.get link_head == prev_next));
+    };
   S.end_op writer
 
 (* --- the real unsafe list under load --- *)
@@ -123,6 +145,15 @@ let test_unsafe_list_safe_under_nr () =
   let r = run_unsafe (Smr.Registry.find_exn "NR") ~seconds:0.5 in
   check "no faults under NR" true (r.faults = 0)
 
+(* Table 1's DBR row: with no adversarial stall there is nothing to
+   neutralize, and a live operation's announcement pins everything retired
+   during it (posted-but-unacknowledged cells still pin), so even the
+   UNSAFE list cannot fault — DBR buys robustness through restarts, not by
+   racing reclamation against running readers. *)
+let test_unsafe_list_safe_under_dbr () =
+  let r = run_unsafe (Smr.Registry.find_exn "DBR") ~seconds:1.0 in
+  check "no faults under DBR" true (r.faults = 0)
+
 let () =
   Alcotest.run "unsafe_traversals"
     [
@@ -140,5 +171,7 @@ let () =
           Alcotest.test_case "safe under EBR" `Slow
             test_unsafe_list_safe_under_ebr;
           Alcotest.test_case "safe under NR" `Slow test_unsafe_list_safe_under_nr;
+          Alcotest.test_case "safe under DBR" `Slow
+            test_unsafe_list_safe_under_dbr;
         ] );
     ]
