@@ -492,6 +492,16 @@ let serve_cmd =
       value & opt int 4
       & info [ "workers" ] ~docv:"N" ~doc:"Client worker domains.")
   in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Runnable cores (0 = all workers).  Fewer than --workers \
+             oversubscribes: the excess workers are parked mid-request \
+             and rotated back in at the sample cadence.  Requires \
+             --crash 0.")
+  in
   let batch =
     Arg.(
       value & opt int 64
@@ -559,8 +569,9 @@ let serve_cmd =
     "Service-tier soak: sharded KV store under a skewed request stream, \
      batched vs per-op SMR bracket dispatch, supervised crash recovery"
     Term.(
-      const (fun cfg json smoke backend scheme shards workers range batch
-                buckets skew mix phases crash ttl_pct ttl_s mode min_speedup ->
+      const (fun cfg json smoke backend scheme shards workers domains range
+                batch buckets skew mix phases crash ttl_pct ttl_s mode
+                min_speedup ->
           preflight_json json;
           let fail fmt =
             Printf.ksprintf
@@ -601,6 +612,10 @@ let serve_cmd =
           let workers = if smoke then 2 else workers in
           let range = if smoke then 1024 else range in
           let crash = if smoke then 1 else crash in
+          if domains > 0 && crash > 0 then
+            fail
+              "--domains oversubscription needs --crash 0 (the two \
+               adversaries share chaos cells)";
           let duration =
             if smoke then 0.4 else cfg.Harness.Experiments.duration
           in
@@ -621,6 +636,7 @@ let serve_cmd =
               sv_ttl_pct = ttl_pct;
               sv_ttl_s = ttl_s;
               sv_crash = crash;
+              sv_domains = (if domains > 0 then Some domains else None);
             }
           in
           let repeats = max 1 cfg.Harness.Experiments.repeats in
@@ -754,9 +770,242 @@ let serve_cmd =
             Stdlib.exit 1
           end)
       $ cfg_term $ json_arg $ smoke $ backend $ scheme $ shards $ workers
+      $ domains
       $ range_arg ~default:16384
       $ batch $ buckets $ skew $ mix $ phases $ crash $ ttl_pct $ ttl_s $ mode
       $ min_speedup)
+
+let pressure_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI-sized soak: 2 shards, 4 workers on 3 domains, short \
+             phases.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "hashmap"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:"Shard backend: hashmap or skiplist.")
+  in
+  let scheme =
+    Arg.(
+      value & opt string ""
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:
+            "Run a single scheme (enforcing if robust, monitor-only \
+             otherwise).  Default: the verdict panel — DBR, HYB, IBR \
+             enforcing plus EBR as the monitor-only negative control.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Store shards (one SMR instance each).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 6
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (store clients).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Runnable cores during the ramp: workers beyond this count are \
+             parked mid-read (oversubscription).")
+  in
+  let readers =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"N"
+          ~doc:"Dedicated reader tids scoring the read-liveness verdict.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Absolute per-shard pressure budget in nodes (0 = reference \
+             ceiling / --budget-div).")
+  in
+  let budget_div =
+    Arg.(
+      value & opt int 1
+      & info [ "budget-div" ] ~docv:"D"
+          ~doc:"Divisor deriving the default budget from the no-stall bound.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.05
+      & info [ "deadline" ] ~docv:"SEC" ~doc:"Per-request write deadline.")
+  in
+  let clean =
+    Arg.(
+      value & opt float 0.4
+      & info [ "clean" ] ~docv:"SEC" ~doc:"Clean (baseline) phase duration.")
+  in
+  let ramp =
+    Arg.(
+      value & opt float 0.8
+      & info [ "ramp" ] ~docv:"SEC" ~doc:"Ramp (stalled) phase duration.")
+  in
+  let drain =
+    Arg.(
+      value & opt float 0.6
+      & info [ "drain" ] ~docv:"SEC" ~doc:"Drain (recovery) phase duration.")
+  in
+  let ttl_pct =
+    Arg.(
+      value & opt int 25
+      & info [ "ttl-pct" ] ~docv:"P" ~doc:"Percent of puts carrying a TTL.")
+  in
+  let ttl_s =
+    Arg.(
+      value & opt float 0.05
+      & info [ "ttl" ] ~docv:"SEC" ~doc:"TTL attached to those puts.")
+  in
+  cmd_of "pressure"
+    "Overload soak: ramp a sharded store past its memory budget with \
+     parked readers, and demand graceful degradation (shed writes, live \
+     reads) and recovery from robust schemes — and demonstrable overflow \
+     from the non-robust negative control"
+    Term.(
+      const (fun cfg json smoke backend scheme shards workers domains readers
+                range budget budget_div deadline clean ramp drain ttl_pct
+                ttl_s ->
+          preflight_json json;
+          let fail fmt =
+            Printf.ksprintf
+              (fun msg ->
+                Printf.eprintf "scotbench pressure: %s\n" msg;
+                Stdlib.exit 1)
+              fmt
+          in
+          let backend =
+            match Scotstore.Shard.backend_of_string backend with
+            | Some b -> b
+            | None -> fail "unknown --backend %s (hashmap or skiplist)" backend
+          in
+          (* The verdict panel: robust schemes must degrade gracefully
+             and recover; EBR runs monitor-only because enforcement
+             would shed writes early and cap its own growth — the
+             negative control must be free to overflow. *)
+          let panel =
+            if scheme = "" then
+              [ ("DBR", true); ("HYB", true); ("IBR", true); ("EBR", false) ]
+            else
+              match Smr.Registry.find scheme with
+              | None -> fail "unknown --scheme %s" scheme
+              | Some (module S : Smr.Smr_intf.S) ->
+                  [ (S.name, S.capabilities.robust) ]
+          in
+          let shards = if smoke then 2 else shards in
+          let workers = if smoke then 4 else workers in
+          let domains = if smoke then 3 else domains in
+          let readers = if smoke then 1 else readers in
+          let range = if smoke then 512 else range in
+          let clean = if smoke then 0.2 else clean in
+          (* The smoke ramp must be long enough for the monitor-only
+             negative control to overflow the reference stall bound —
+             EBR's growth rate is the writers' admitted retire rate, and
+             the bound's dominant per-stall term is [range]. *)
+          let ramp = if smoke then 0.5 else ramp in
+          (* Descent is hysteretic and one level at a time, and on an
+             oversubscribed host the gauge carries OS-preemption noise:
+             give the machines room to walk Degraded_all -> Healthy. *)
+          let drain = if smoke then 0.5 else drain in
+          let run_one (name, enforce) =
+            let sm = Smr.Registry.find_exn name in
+            (* DBR needs a wider neutralization window here: the parked
+               extras sit at a read probe, so with the default
+               neutralize_after their announcements are delivered almost
+               immediately and the scheme never builds enough limbo to
+               exercise the state machine. *)
+            let config =
+              if name = "DBR" then
+                (* workers + 1: the store registers one extra client
+                   slot for the coordinator's synchronous sweeps. *)
+                Some
+                  (Smr.Smr_intf.make_config
+                     ~threads:(workers + 1)
+                     ~neutralize_after:64 ())
+              else None
+            in
+            let pc =
+              {
+                (Scotstore.Overload.default_cfg ()) with
+                Scotstore.Overload.pv_backend = backend;
+                pv_scheme = sm;
+                pv_shards = shards;
+                pv_workers = workers;
+                pv_domains = domains;
+                pv_readers = readers;
+                pv_range = range;
+                pv_clean_s = clean;
+                pv_ramp_s = ramp;
+                pv_drain_s = drain;
+                pv_config = config;
+                pv_budget = (if budget > 0 then Some budget else None);
+                pv_budget_div = budget_div;
+                pv_enforce = enforce;
+                pv_deadline_s = deadline;
+                pv_ttl_pct = ttl_pct;
+                pv_ttl_s = ttl_s;
+              }
+            in
+            (pc, Scotstore.Overload.run pc)
+          in
+          let results = List.map run_one panel in
+          List.iter
+            (fun ((pc : Scotstore.Overload.cfg), (r : Scotstore.Overload.result)) ->
+              let (module S : Smr.Smr_intf.S) = pc.pv_scheme in
+              Printf.printf
+                "pressure %-4s %-9s: parked=%d  max_unr=%d  stall_bound=%d  \
+                 budget=%d  shed=%d  retries=%d  read_live=%.2f  \
+                 max_level=%s  recovered=%b  verdict=%s\n%!"
+                S.name
+                (if r.r_enforce then "enforcing" else "monitor")
+                r.r_parked r.r_max_unreclaimed r.r_stall_bound r.r_budget
+                (r.r_shed_ttl + r.r_shed_all)
+                r.r_retries r.r_read_live_ratio
+                (Scotstore.Pressure.level_name r.r_max_level)
+                r.r_recovered r.r_verdict)
+            results;
+          (match json with
+          | None -> ()
+          | Some path ->
+              let rows =
+                List.map
+                  (fun (pc, r) -> Scotstore.Overload.result_json pc r)
+                  results
+              in
+              Harness.Report.write_bench_doc
+                ~meta:(Harness.Experiments.cfg_meta cfg)
+                ~path ~name:"pressure" rows;
+              Printf.printf "wrote %s (%d runs)\n%!" path (List.length rows));
+          let bad =
+            List.filter
+              (fun (_, (r : Scotstore.Overload.result)) -> not r.r_ok)
+              results
+          in
+          if bad <> [] then begin
+            List.iter
+              (fun ((pc : Scotstore.Overload.cfg),
+                    (r : Scotstore.Overload.result)) ->
+                let (module S : Smr.Smr_intf.S) = pc.pv_scheme in
+                Printf.eprintf "scotbench pressure: %s verdict failed: %s\n"
+                  S.name r.r_verdict)
+              bad;
+            Stdlib.exit 1
+          end)
+      $ cfg_term $ json_arg $ smoke $ backend $ scheme $ shards $ workers
+      $ domains $ readers
+      $ range_arg ~default:2048
+      $ budget $ budget_div $ deadline $ clean $ ramp $ drain $ ttl_pct
+      $ ttl_s)
 
 let fig_skiplist_cmd =
   bench_cmd "fig-skiplist" "SkipList SCOT vs Herlihy-Shavit searches (extension)"
@@ -807,12 +1056,21 @@ let run_cmd =
              comma-separated, where NAME is read, mixed, churn, drain or an \
              R/I/D triple — e.g. read:2,churn:1,drain:0.5.")
   in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Runnable cores (0 = all workers).  Fewer than the thread \
+             count oversubscribes: the excess workers are parked \
+             mid-operation and rotated back in at the sample cadence.")
+  in
   (* Thread counts come from the shared [-t N,N,...] list: one run per
      entry (the old separate [-t] int flag collided with it and crashed
      cmdliner as soon as the subcommand was invoked). *)
   bench_cmd "run" "One custom benchmark run per requested thread count"
     Term.(
-      const (fun structure scheme range (r, i, d) skew phases cfg ->
+      const (fun structure scheme range (r, i, d) skew phases domains cfg ->
           let parse what f x =
             try f x
             with Invalid_argument msg ->
@@ -830,6 +1088,7 @@ let run_cmd =
                 Harness.Runner.run
                   ~mix:(Harness.Workload.mix ~read:r ~insert:i ~delete:d)
                   ~skew ~phases
+                  ?domains:(if domains > 0 then Some domains else None)
                   ~builder:(Harness.Instance.find_builder_exn structure)
                   ~scheme:(Smr.Registry.find_exn scheme)
                   ~threads ~range
@@ -841,7 +1100,7 @@ let run_cmd =
           results)
       $ structure $ scheme
       $ range_arg ~default:10_000
-      $ mix $ skew $ phases)
+      $ mix $ skew $ phases $ domains)
 
 let () =
   let info =
@@ -855,7 +1114,7 @@ let () =
             fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; table1_cmd;
             table2_cmd; ablation_recovery_cmd; ablation_wf_cmd;
             fig_skiplist_cmd; mixes_cmd; stall_cmd; chaos_cmd; recover_cmd;
-            serve_cmd;
+            serve_cmd; pressure_cmd;
             all_cmd;
             run_cmd;
           ]))

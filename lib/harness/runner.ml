@@ -43,15 +43,22 @@ let default_sample_every = 0.01
 let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
     ?(phases = []) ?(seed = 0xC0FFEE) ?config
     ?(sample_every = default_sample_every) ?(check = true)
-    ?(measure_latency = true) ?recorders ?workers ?supervise ?prepare ?finish
-    ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme) ~threads
-    ~range ~duration () =
+    ?(measure_latency = true) ?recorders ?workers ?domains ?supervise ?prepare
+    ?finish ~(builder : Instance.builder) ~(scheme : Smr.Registry.scheme)
+    ~threads ~range ~duration () =
   (* [workers] < [threads] reserves the top tids for fault injection: they
      get SMR handles (registered by the builder) but no workload domain —
      the caller parks or crashes them via [Instance.fault] in [prepare]. *)
   let workers = match workers with Some w -> w | None -> threads in
   if workers < 1 || workers > threads then
     invalid_arg "Runner.run: workers must be in [1, threads]";
+  (* [domains] < [workers] oversubscribes: every worker gets an OS domain,
+     but only [domains] of them are runnable at once — the excess are
+     parked mid-operation by the chaos engine and rotated back in at the
+     sample cadence (see [Oversub]). *)
+  let runnable = match domains with Some d -> d | None -> workers in
+  if runnable < 1 || runnable > workers then
+    invalid_arg "Runner.run: domains must be in [1, workers]";
   let inst = builder.build scheme ~threads ?config () in
   if range >= inst.max_key then
     invalid_arg "Runner.run: key range exceeds the structure's key space";
@@ -172,6 +179,16 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
     ops_done.(tid) <- ops_done.(tid) + !count
   in
   (match prepare with Some f -> f inst | None -> ());
+  (* Arm the oversubscription rotation before any worker is released, so
+     the excess workers park at their very first probe crossing. *)
+  let oversub =
+    if runnable < workers then
+      Some
+        (Oversub.create
+           (inst.fault.engine ())
+           ~tids:(List.init workers Fun.id) ~runnable)
+    else None
+  in
   let domains =
     Array.init threads (fun tid ->
         if tid < workers then Some (Domain.spawn (worker tid)) else None)
@@ -210,6 +227,7 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
         }
         :: !samples;
       supervise_check ~final:false;
+      (match oversub with Some o -> Oversub.tick o | None -> ());
       sample_loop ()
     end
   in
@@ -223,16 +241,21 @@ let run ?(mix = Workload.read_write_50) ?(skew = Workload.Uniform)
      must run before [finish] can shut the chaos engine down, because
      reviving the tid targets the engine that poisoned it. *)
   supervise_check ~final:true;
+  (* Wind the rotation down before anything joins: disarm, then wake the
+     still-parked excess workers so they can observe the stop flag. *)
+  (match oversub with Some o -> Oversub.release o | None -> ());
   (* Fault-injecting callers release stalled tids, join their driver
      domains and uninstall the chaos engine here (typically
      [inst.fault.shutdown]) so the joins and quiesce below cannot hang on
      a parked domain or trip a poisoned tid. *)
   (match finish with Some f -> f inst | None -> ());
   Array.iter (function Some d -> Domain.join d | None -> ()) domains;
-  (* If the watchdog created the chaos engine itself (heartbeat kill with
-     no fault-injecting caller), no [finish] callback knows to uninstall
-     it; a second shutdown after one in [finish] is a no-op. *)
-  (match sup with Some _ -> inst.fault.shutdown () | None -> ());
+  (* If the watchdog (or the oversubscription rotation) created the chaos
+     engine itself, no [finish] callback knows to uninstall it; a second
+     shutdown after one in [finish] is a no-op. *)
+  (match (sup, oversub) with
+  | None, None -> ()
+  | _ -> inst.fault.shutdown ());
   let wall_total = Unix.gettimeofday () -. t0 in
   (* Post-run reclamation flush so pool stats are stable, then validate.
      A tid crashed by fault injection may refuse the pass; skip it. *)

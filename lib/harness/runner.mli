@@ -57,6 +57,14 @@ val default_sample_every : float
     (call [inst.fault.shutdown] there).  Workers killed by
     {!Chaos.Crashed} stop silently and the run continues.
 
+    Oversubscription: [domains] (default [workers]) caps how many workload
+    domains are runnable at once.  When [domains] < [workers] the excess
+    workers are parked {e mid-operation} (reservations published) by the
+    chaos engine and rotated back in at the sample cadence ({!Oversub}) —
+    deterministic preemption for [--workers] > available cores.  Parked
+    workers do not heartbeat, so combine with [supervise] only if
+    [heartbeat_timeout] comfortably exceeds the rotation period.
+
     Crash supervision: passing [supervise] arms a {!Supervisor} — workers
     heartbeat once per op, and the coordinator (inside its sample loop)
     detects crashed or wedged workers, recovers their SMR handles
@@ -77,6 +85,7 @@ val run :
   ?measure_latency:bool ->
   ?recorders:Metrics.recorder array ->
   ?workers:int ->
+  ?domains:int ->
   ?supervise:Supervisor.config ->
   ?prepare:(Instance.t -> unit) ->
   ?finish:(Instance.t -> unit) ->

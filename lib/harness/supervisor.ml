@@ -37,10 +37,39 @@
 type config = {
   heartbeat_timeout : float; (* seconds without a beat before presumed dead *)
   max_restarts : int; (* respawn budget per tid *)
-  backoff : float; (* seconds between recovery and respawn *)
+  backoff : float; (* base respawn delay; doubles per restart of the tid *)
+  backoff_cap : float; (* ceiling on the exponential delay *)
 }
 
-let default = { heartbeat_timeout = 1.0; max_restarts = 3; backoff = 0.0 }
+(* A crash-looping worker with no backoff respawns the instant its
+   recovery finishes — with a fast [check] cadence that is a hot spin
+   through the whole join/revive/recover/respawn cycle.  The exponential
+   ramp makes the second and third respawns of the same tid
+   progressively lazier; the FIRST respawn stays immediate so a single
+   isolated crash recovers with seed-era latency (the supervised
+   recovery tests time exactly that window). *)
+let default =
+  { heartbeat_timeout = 1.0; max_restarts = 3; backoff = 0.05; backoff_cap = 1.0 }
+
+(* Deadline for respawn number [restarts] (1-based).  The first respawn
+   of a tid is immediate — one crash is not yet a loop.  From the second
+   on: capped exponential, [backoff * 2^(r-2)] clamped to
+   [backoff_cap], then jittered into [[0.5, 1.0]] of itself by [u] (a
+   uniform draw in [[0, 1)]).  The jitter decorrelates respawn storms:
+   workers killed by the same fault burst would otherwise all hit their
+   deadlines on the same [check] pass forever.  Pure, so tests can pin
+   the exact sequence. *)
+let respawn_delay config ~restarts ~u =
+  let r = max 1 restarts in
+  if r = 1 then 0.0
+  else
+    (* Saturating 2^(r-2): [max_restarts] is small, but a caller's
+       config is not bounded — avoid float overflow past 2^60. *)
+    let raw =
+      if r - 2 >= 60 then config.backoff_cap
+      else min config.backoff_cap (config.backoff *. Float.of_int (1 lsl (r - 2)))
+    in
+    raw *. (0.5 +. (0.5 *. u))
 
 type state =
   | Running
@@ -50,6 +79,7 @@ type state =
 type t = {
   config : config;
   workers : int;
+  rng : Workload.Rng.t; (* jitter source; coordinator-only *)
   beats : int Memory.Padded.t; (* written by workers, one cell each *)
   crash_flags : bool Memory.Padded.t; (* set by a dying worker's handler *)
   (* Supervisor-private state, touched only from the coordinator: *)
@@ -61,11 +91,12 @@ type t = {
   mutable events : Metrics.recovery_event list; (* reverse order *)
 }
 
-let create config ~workers =
+let create ?(seed = 0x5EED) config ~workers =
   if workers < 1 then invalid_arg "Supervisor.create: workers must be >= 1";
   {
     config;
     workers;
+    rng = Workload.Rng.create ~seed;
     beats = Memory.Padded.create workers (fun _ -> 0);
     crash_flags = Memory.Padded.create workers (fun _ -> false);
     last_beat = Array.make workers 0;
@@ -95,7 +126,11 @@ let handle_dead t ~now ~final ~engine ~recover ~join ~tid =
   let action, next =
     if final then ("recover-at-stop", Abandoned)
     else if t.restarts.(tid) > t.config.max_restarts then ("abandon", Abandoned)
-    else ("respawn", Waiting (now +. t.config.backoff))
+    else begin
+      let u = Float.of_int (Workload.Rng.int t.rng 1_000_000) /. 1e6 in
+      let delay = respawn_delay t.config ~restarts:t.restarts.(tid) ~u in
+      ("respawn", Waiting (now +. delay))
+    end
   in
   t.state.(tid) <- next;
   t.events <-

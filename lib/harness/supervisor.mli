@@ -15,15 +15,33 @@ type config = {
           poisons it via {!Chaos.kill}.  Tids parked by a deliberate stall
           schedule are exempt. *)
   max_restarts : int;  (** Respawn budget per tid; exceeded -> abandoned. *)
-  backoff : float;  (** Seconds between a recovery and its respawn. *)
+  backoff : float;
+      (** Base seconds between a tid's recovery and its respawn, applied
+          from the tid's second restart on; doubles with every further
+          restart (see {!respawn_delay}). *)
+  backoff_cap : float;  (** Ceiling on the exponential respawn delay. *)
 }
 
 val default : config
-(** [{ heartbeat_timeout = 1.0; max_restarts = 3; backoff = 0.0 }] *)
+(** [{ heartbeat_timeout = 1.0; max_restarts = 3; backoff = 0.05;
+       backoff_cap = 1.0 }].  The base is nonzero on purpose: a
+    crash-looping worker with [backoff = 0.0] respawns the instant its
+    recovery finishes, hot-spinning the join/recover/respawn cycle. *)
+
+val respawn_delay : config -> restarts:int -> u:float -> float
+(** The delay scheduled before respawn number [restarts] (1-based) of a
+    tid.  The first respawn is immediate (one crash is not yet a loop,
+    and recovery latency should not pay for backoff); from the second
+    on: [backoff * 2^(restarts-2)] clamped to [backoff_cap], jittered
+    multiplicatively into [[0.5, 1.0]] of itself by the uniform draw
+    [u] in [[0, 1)].  Pure — exposed so tests can pin the exact deadline
+    sequence; {!check} draws [u] from a seeded per-supervisor RNG. *)
 
 type t
 
-val create : config -> workers:int -> t
+val create : ?seed:int -> config -> workers:int -> t
+(** [seed] (default [0x5EED]) seeds the respawn-jitter RNG, making a
+    supervised run's respawn deadlines reproducible. *)
 
 val beat_cell : t -> tid:int -> int Atomic.t
 (** The tid's heartbeat cell (cache-line spaced).  Workers grab it once

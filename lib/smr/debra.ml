@@ -77,7 +77,7 @@ let delivered = min_int (* neutralization delivered; pins nothing *)
 type t = {
   epoch : int Atomic.t;
   announces : int Memory.Padded.t; (* announcement cells, see protocol above *)
-  masks : int Memory.Padded.t; (* 1 = in a non-restartable section *)
+  masks : int Memory.Padded.t; (* nesting depth; > 0 = non-restartable *)
   in_limbo : Memory.Tcounter.t;
   seats : Seats.t;
   config : Smr_intf.config;
@@ -180,8 +180,20 @@ include Smr_intf.Bracket (struct
   let on_neutralized = on_neutralized
 end)
 
-let mask th = Atomic.set th.my_mask 1
-let unmask th = Atomic.set th.my_mask 0
+(* The mask cell is a nesting depth, not a flag: a completion section
+   that calls a helper with its own [mask]/[unmask] pair (e.g. a skiplist
+   level-link loop reusing a masked micro-insert) must stay masked until
+   the *outermost* [unmask].  Only the owner moves the cell between
+   non-zero values ([end_op]/[on_neutralized]/[deactivate] reset it to 0,
+   never increment), so the read-modify-write is single-writer safe; the
+   reclaimer only ever compares it against 0.  [unmask] clamps at 0 so a
+   stray extra call cannot park the cell at a negative depth and mask the
+   handle forever. *)
+let mask th = Atomic.set th.my_mask (Atomic.get th.my_mask + 1)
+
+let unmask th =
+  let d = Atomic.get th.my_mask in
+  if d > 0 then Atomic.set th.my_mask (d - 1)
 let dup _ ~src:_ ~dst:_ = ()
 let clear_slot _ ~slot:_ = ()
 let on_alloc _ _ = ()
@@ -287,6 +299,8 @@ let stats t =
     ("neutralize_restarts", Atomic.get t.restarts);
   ]
   @ Tuner.stats_of_array t.tuners
+
+let set_pressure t on = Tuner.set_pressure_array t.tuners on
 
 let deactivate th =
   if not th.deactivated then begin

@@ -230,6 +230,8 @@ let stats t =
   ]
   @ Tuner.stats_of_array t.tuners
 
+let set_pressure t on = Tuner.set_pressure_array t.tuners on
+
 (* Withdrawing the reservation and draining the dispatch list is exactly
    [end_op] — including the Inactive CAS that makes future dispatchers
    skip this thread, so the padded head cell is reusable by the next

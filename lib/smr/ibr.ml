@@ -213,6 +213,8 @@ let stats t =
   ]
   @ Tuner.stats_of_array t.tuners
 
+let set_pressure t on = Tuner.set_pressure_array t.tuners on
+
 let deactivate th =
   if not th.deactivated then begin
     th.deactivated <- true;

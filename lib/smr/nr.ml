@@ -76,6 +76,9 @@ let stats t =
     ("active_handles", Seats.total t.seats);
   ]
 
+(* Nothing to clamp: NR never sweeps. *)
+let set_pressure _ _ = ()
+
 let deactivate th =
   if not th.deactivated then begin
     th.deactivated <- true;

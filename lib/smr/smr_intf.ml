@@ -166,10 +166,31 @@ let make_config ?limbo_threshold ?epoch_freq ?batch_size ?adaptive ?stale_eras
             below the memory cap"
            stale_eras epoch_freq b.max_threshold)
   | _ -> ());
+  let neutralize_after_given = Option.is_some neutralize_after in
   let neutralize_after =
     positive_field "neutralize_after"
       (Option.value neutralize_after ~default:d.neutralize_after)
   in
+  (* Same window argument as [stale_eras] above, for the neutralizing
+     scheme: a reclaimer posts to an announcement only once it lags the
+     epoch by [neutralize_after] — a neutralization-latency window of
+     roughly [neutralize_after * epoch_freq] retires that the laggard may
+     pin before its restart can be requested.  Under an adaptive config a
+     window beyond [max_threshold] means the laggard can pin more than
+     the memory cap admits before DBR's one robustness lever ever fires.
+     Only an explicitly chosen value is checked, and by division, for the
+     same calibration/overflow reasons as [stale_eras]. *)
+  (match adaptive with
+  | `On b
+    when neutralize_after_given
+         && neutralize_after > b.max_threshold / epoch_freq ->
+      invalid_arg
+        (Printf.sprintf
+           "Smr_intf.make_config: neutralize_after (%d) x epoch_freq (%d) \
+            exceeds the adaptive max_threshold (%d): neutralization could \
+            never fire below the memory cap"
+           neutralize_after epoch_freq b.max_threshold)
+  | _ -> ());
   {
     limbo_threshold;
     epoch_freq;
@@ -393,6 +414,15 @@ module type S = sig
   (** Scheme-specific counters for reports.  Every scheme reports
       ["active_handles"]: registered-minus-deactivated handles (seats). *)
   val stats : t -> (string * int) list
+
+  (** [set_pressure t on] is the overload hook for a service tier above:
+      while set, every registered handle's {!Tuner} reports its most
+      aggressive clamp (minimum threshold, shortest era period), so
+      sweeps run as often as the configuration allows.  Callable from any
+      domain; a no-op for static configs and for schemes with nothing to
+      tune (NR).  Releasing the pressure resumes the controllers where
+      they left off. *)
+  val set_pressure : t -> bool -> unit
 
   (** {2 Handle lifecycle / crash recovery}
 

@@ -38,6 +38,8 @@ type t = {
   ef_lo : int; (* clamp bounds; ef_lo = ef_hi = config value when static *)
   ef_hi : int;
   adaptive : bool;
+  pressed : bool Atomic.t; (* overload clamp: set by a service tier above *)
+  presses : int Atomic.t; (* transitions into the pressed state *)
   mutable last_gauge : int;
   mutable sweeps : int;
   mutable low_hit : int; (* sweeps that freed < 1/4 of what they scanned *)
@@ -74,6 +76,8 @@ let create ~(config : Smr_intf.config) ~start =
     ef_lo;
     ef_hi;
     adaptive;
+    pressed = Atomic.make false;
+    presses = Atomic.make 0;
     last_gauge = 0;
     sweeps = 0;
     low_hit = 0;
@@ -85,8 +89,28 @@ let create ~(config : Smr_intf.config) ~start =
     reclaimed = 0;
   }
 
-let threshold t = Atomic.get t.threshold
-let epoch_freq t = Atomic.get t.epoch_freq
+(* While pressed, the effective knobs sit at their most aggressive
+   clamp: the minimum threshold (sweep on every short buffer fill) and
+   the shortest era period (age retirees out of the protection window as
+   fast as the config allows).  The stored controller state is left
+   untouched, so releasing the pressure resumes the feedback loop where
+   it was.  For static configs [lo = hi] and [ef_lo = ef_hi], so
+   pressure is a no-op there by construction. *)
+let threshold t = if Atomic.get t.pressed then t.lo else Atomic.get t.threshold
+
+let epoch_freq t =
+  if Atomic.get t.pressed then t.ef_lo else Atomic.get t.epoch_freq
+
+let set_pressure t on =
+  if on && not (Atomic.get t.pressed) then Atomic.incr t.presses;
+  Atomic.set t.pressed on
+
+let pressed t = Atomic.get t.pressed
+
+(* Fan a pressure change out to every registered handle's controller —
+   the per-scheme [S.set_pressure] implementation. *)
+let set_pressure_array ts on =
+  Array.iter (function None -> () | Some t -> set_pressure t on) ts
 
 let widen t =
   let cur = Atomic.get t.threshold in
@@ -181,7 +205,8 @@ let stats_of_array (ts : t option array) =
     and ef_widens = ref 0
     and ef_tightens = ref 0
     and scanned = ref 0
-    and reclaimed = ref 0 in
+    and reclaimed = ref 0
+    and presses = ref 0 in
     Array.iter
       (function
         | None -> ()
@@ -195,7 +220,8 @@ let stats_of_array (ts : t option array) =
             ef_widens := !ef_widens + t.ef_widens;
             ef_tightens := !ef_tightens + t.ef_tightens;
             scanned := !scanned + t.scanned;
-            reclaimed := !reclaimed + t.reclaimed)
+            reclaimed := !reclaimed + t.reclaimed;
+            presses := !presses + Atomic.get t.presses)
       ts;
     [
       ("tuned_threshold", !thr);
@@ -208,5 +234,6 @@ let stats_of_array (ts : t option array) =
       ("tuner_tightens", !tightens);
       ("tuner_ef_widens", !ef_widens);
       ("tuner_ef_tightens", !ef_tightens);
+      ("tuner_presses", !presses);
     ]
   end

@@ -39,6 +39,22 @@ val observe : t -> scanned:int -> reclaimed:int -> gauge:int -> unit
     batch size, otherwise it widens back.  Allocation-free. *)
 val observe_dispatch : t -> gauge:int -> unit
 
+(** [set_pressure t on] is the overload hook for a service tier above the
+    scheme: while set, {!threshold} reports the minimum bound and
+    {!epoch_freq} the shortest period — sweeps run as often as the
+    configuration allows — without disturbing the stored controller
+    state, which resumes where it left off when the pressure is
+    released.  A no-op for static ([`Off]) configs, whose bounds are
+    degenerate.  Safe to call from any domain. *)
+val set_pressure : t -> bool -> unit
+
+(** Whether the overload clamp is currently set. *)
+val pressed : t -> bool
+
+(** Apply {!set_pressure} to every registered controller of a scheme's
+    per-tid array (the shared [S.set_pressure] implementation). *)
+val set_pressure_array : t option array -> bool -> unit
+
 (** Aggregate the per-tid controllers of one scheme instance into stats
     rows (threshold max, counter sums); [[]] when every slot is [None]. *)
 val stats_of_array : t option array -> (string * int) list

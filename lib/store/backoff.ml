@@ -1,0 +1,73 @@
+(* Client-side bounded retry with jittered exponential backoff.
+
+   The store's typed admission results ([`Overload]) are retryable — the
+   shard may descend from a shedding level within a few sample periods —
+   but blind retries under overload are how clients synchronize into
+   retry storms.  The policy here is the standard remedy: delay doubles
+   per attempt, is capped, and is multiplicatively jittered into
+   [[0.5, 1.0]] of itself so callers that were rejected together do not
+   return together.  Every delay honours the request's remaining
+   deadline: the helper never sleeps past it, and reports
+   [`Deadline_exceeded] rather than sleeping zero and hammering the
+   shard for the rest of the budget.
+
+   [`Deadline_exceeded] from the operation itself is terminal — the
+   deadline does not reset between attempts; it is the whole request's
+   budget. *)
+
+type policy = {
+  base_s : float; (* first-retry delay *)
+  cap_s : float; (* delay ceiling *)
+  max_attempts : int; (* total tries, including the first *)
+}
+
+let default_policy = { base_s = 0.0005; cap_s = 0.02; max_attempts = 8 }
+
+let make_policy ?(base_s = default_policy.base_s)
+    ?(cap_s = default_policy.cap_s)
+    ?(max_attempts = default_policy.max_attempts) () =
+  if base_s <= 0.0 then invalid_arg "Backoff.make_policy: base_s must be > 0";
+  if cap_s < base_s then
+    invalid_arg "Backoff.make_policy: cap_s must be >= base_s";
+  if max_attempts < 1 then
+    invalid_arg "Backoff.make_policy: max_attempts must be >= 1";
+  { base_s; cap_s; max_attempts }
+
+(* Delay before retry number [attempt] (1-based: the delay after the
+   first failed try).  Pure, for deterministic tests; [u] is a uniform
+   draw in [[0, 1)]. *)
+let delay policy ~attempt ~u =
+  let a = max 1 attempt in
+  let raw =
+    if a - 1 >= 60 then policy.cap_s
+    else min policy.cap_s (policy.base_s *. Float.of_int (1 lsl (a - 1)))
+  in
+  raw *. (0.5 +. (0.5 *. u))
+
+type 'a outcome = [ `Done of 'a | `Overload | `Deadline_exceeded ]
+
+(* [run policy ~rng ~now ~sleep ~deadline f] drives [f] until it
+   succeeds, the attempt budget is spent, or the deadline passes.
+   [retries] counts the re-invocations of [f] (attempts - 1) so callers
+   can feed a stats counter. *)
+let run policy ~rng ~now ~sleep ~deadline ?(on_retry = fun ~attempt:_ -> ())
+    (f : unit -> 'a outcome) : 'a outcome =
+  let rec go attempt =
+    match f () with
+    | (`Done _ | `Deadline_exceeded) as r -> r
+    | `Overload when attempt >= policy.max_attempts -> `Overload
+    | `Overload ->
+        let u = Float.of_int (Harness.Workload.Rng.int rng 1_000_000) /. 1e6 in
+        let d = delay policy ~attempt ~u in
+        let remaining = deadline -. now () in
+        if remaining <= 0.0 then `Deadline_exceeded
+        else begin
+          sleep (Float.min d remaining);
+          if now () >= deadline then `Deadline_exceeded
+          else begin
+            on_retry ~attempt;
+            go (attempt + 1)
+          end
+        end
+  in
+  go 1

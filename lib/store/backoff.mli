@@ -1,0 +1,45 @@
+(** Client-side bounded retry with jittered exponential backoff for the
+    store's typed admission results.
+
+    [`Overload] is retryable (the shard may recover within a few sample
+    periods); [`Deadline_exceeded] is terminal — the deadline is the
+    whole request's budget and does not reset between attempts.  Delays
+    double per attempt, are capped, are jittered into [[0.5, 1.0]] of
+    themselves (decorrelating clients rejected together), and never
+    sleep past the remaining deadline. *)
+
+type policy = {
+  base_s : float;  (** first-retry delay *)
+  cap_s : float;  (** delay ceiling *)
+  max_attempts : int;  (** total tries, including the first *)
+}
+
+val default_policy : policy
+(** [{ base_s = 0.0005; cap_s = 0.02; max_attempts = 8 }] *)
+
+val make_policy :
+  ?base_s:float -> ?cap_s:float -> ?max_attempts:int -> unit -> policy
+(** Validated constructor ([Invalid_argument] on non-positive or
+    inverted fields). *)
+
+val delay : policy -> attempt:int -> u:float -> float
+(** Delay before retry number [attempt] (1-based), with uniform jitter
+    draw [u] in [[0, 1)]: [min cap_s (base_s * 2^(attempt-1)) *
+    (0.5 + 0.5 u)].  Pure — tests pin the exact sequence. *)
+
+type 'a outcome = [ `Done of 'a | `Overload | `Deadline_exceeded ]
+
+val run :
+  policy ->
+  rng:Harness.Workload.Rng.t ->
+  now:(unit -> float) ->
+  sleep:(float -> unit) ->
+  deadline:float ->
+  ?on_retry:(attempt:int -> unit) ->
+  (unit -> 'a outcome) ->
+  'a outcome
+(** Drive the thunk until [`Done], the attempt budget is spent
+    ([`Overload]), or [deadline] (on the caller's [now] clock) passes
+    ([`Deadline_exceeded]).  [on_retry] fires before each re-invocation —
+    the hook for a retry counter.  [sleep]/[now] are injected so tests
+    and simulated clocks stay deterministic. *)

@@ -54,6 +54,7 @@ type cfg = {
   sv_ttl_pct : int;  (* % of puts carrying a TTL *)
   sv_ttl_s : float;
   sv_crash : int;  (* top worker tids armed to crash mid-run *)
+  sv_domains : int option;  (* runnable cores; < threads oversubscribes *)
   sv_supervise : Supervisor.config;
   sv_sample_every : float;
 }
@@ -76,6 +77,7 @@ let default_cfg () =
     sv_ttl_pct = 0;
     sv_ttl_s = 0.05;
     sv_crash = 0;
+    sv_domains = None;
     sv_supervise = Supervisor.default;
     sv_sample_every = 0.01;
   }
@@ -99,6 +101,8 @@ type result = {
   r_max_unreclaimed : int;
   r_op_stats : Metrics.op_stats list;
   r_crashes : int;  (* armed crash rules *)
+  r_domains : int;  (* runnable cores (= threads unless oversubscribed) *)
+  r_rotations : int;  (* oversubscription swaps completed *)
   r_recoveries : Metrics.recovery_event list;
   r_post_quiesced : int;  (* gauge after recovery + full quiesce *)
   r_bound : int option;  (* summed robust ceiling, None if not robust *)
@@ -125,6 +129,7 @@ let run cfg mode =
     sv_ttl_pct;
     sv_ttl_s;
     sv_crash;
+    sv_domains;
     sv_supervise;
     sv_sample_every;
   } =
@@ -134,6 +139,14 @@ let run cfg mode =
     invalid_arg "Serve.run: crash count must be in [0, threads)";
   if sv_ttl_pct < 0 || sv_ttl_pct > 100 then
     invalid_arg "Serve.run: ttl_pct must be in [0, 100]";
+  let runnable = match sv_domains with Some d -> d | None -> sv_threads in
+  if runnable < 1 || runnable > sv_threads then
+    invalid_arg "Serve.run: domains must be in [1, threads]";
+  if runnable < sv_threads && sv_crash > 0 then
+    (* The crash victims are the top tids; the oversubscription rotation
+       would keep re-arming stall rules on the same cells.  Orthogonal
+       adversaries, separate runs. *)
+    invalid_arg "Serve.run: oversubscription and crash arming are exclusive";
   let store =
     Store.create ?config:sv_config ~buckets:sv_buckets
       ~batch_capacity:sv_batch_capacity ~backend:sv_backend ~scheme:sv_scheme
@@ -189,6 +202,19 @@ let run cfg mode =
         ~after:(200 * (i + 1))
         Chaos.Crash)
     victims;
+  (* Oversubscription: arm the rotation before any worker is released so
+     the excess workers park at their first probe crossing.  Parked
+     workers do not heartbeat; the watchdog tolerates them as long as
+     rotation latency (parked count x sample period) stays well under
+     [heartbeat_timeout] — see the mli. *)
+  let oversub =
+    if runnable < sv_threads then
+      Some
+        (Oversub.create (engine ())
+           ~tids:(List.init sv_threads Fun.id)
+           ~runnable)
+    else None
+  in
   let worker tid () =
     let rng = Workload.Rng.create ~seed:(sv_seed + (31 * (tid + 1))) in
     let sampler = Workload.sampler sv_skew ~range:sv_range in
@@ -289,6 +315,7 @@ let run cfg mode =
         }
         :: !samples;
       supervise_check ~final:false;
+      (match oversub with Some o -> Oversub.tick o | None -> ());
       sample_loop ()
     end
   in
@@ -299,6 +326,7 @@ let run cfg mode =
      last sample and the stop flag still gets its handles recovered, and
      Chaos.revive must target the engine that poisoned the tid. *)
   supervise_check ~final:true;
+  (match oversub with Some o -> Oversub.release o | None -> ());
   (match !eng with Some e -> Chaos.release_all e | None -> ());
   Array.iter (function Some d -> Domain.join d | None -> ()) domains;
   (match !eng with
@@ -387,6 +415,8 @@ let run cfg mode =
     r_max_unreclaimed = max_unr;
     r_op_stats = Metrics.merge recorders;
     r_crashes = sv_crash;
+    r_domains = runnable;
+    r_rotations = (match oversub with Some o -> Oversub.rotations o | None -> 0);
     r_recoveries = recoveries;
     r_post_quiesced = post_quiesced;
     r_bound = bound;
@@ -436,6 +466,8 @@ let result_json ?speedup cfg (r : result) =
        ("post_quiesced", Int r.r_post_quiesced);
        ("bound", match r.r_bound with Some b -> Int b | None -> Null);
        ("crashes", Int r.r_crashes);
+       ("domains", Int r.r_domains);
+       ("rotations", Int r.r_rotations);
        ( "recoveries",
          List (List.map Metrics.recovery_event_json r.r_recoveries) );
        ("final_size", Int r.r_final_size);

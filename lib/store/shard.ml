@@ -40,6 +40,8 @@ type t = {
   check_invariants : unit -> unit;
   recover : tid:int -> unit;
   capabilities : Smr.Smr_intf.capabilities;
+  set_pressure : bool -> unit;
+      (* clamp/release this shard's SMR tuners (S.set_pressure) *)
 }
 
 let make_hashmap (module S : Smr.Smr_intf.S) ~threads ~config ~buckets () =
@@ -67,6 +69,7 @@ let make_hashmap (module S : Smr.Smr_intf.S) ~threads ~config ~buckets () =
     check_invariants = (fun () -> M.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- M.recover handles.(tid));
     capabilities = S.capabilities;
+    set_pressure = (fun on -> S.set_pressure smr on);
   }
 
 let make_skiplist (module S : Smr.Smr_intf.S) ~threads ~config () =
@@ -94,6 +97,7 @@ let make_skiplist (module S : Smr.Smr_intf.S) ~threads ~config () =
     check_invariants = (fun () -> SL.check_invariants t);
     recover = (fun ~tid -> handles.(tid) <- SL.recover handles.(tid));
     capabilities = S.capabilities;
+    set_pressure = (fun on -> S.set_pressure smr on);
   }
 
 let create ?config ?(buckets = 256) ~backend ~scheme ~threads () =
@@ -112,3 +116,22 @@ let create ?config ?(buckets = 256) ~backend ~scheme ~threads () =
 let mem_bound t ~range ?adopted ~stalled () =
   Harness.Chaos.mem_bound t.scheme_mod ~config:t.config ~threads:t.threads
     ~slots:t.slots ~range ?adopted ~stalled ()
+
+(* Always-defined reference ceiling, for pressure budgets and
+   negative-control verdicts: the shard's own bound when its scheme is
+   robust, else the bound a robust scheme of the same shape (IBR, the
+   paper's reference robust scheme) would have at this config.  A
+   non-robust shard's gauge has no bound of its own — "demonstrably
+   exceeds the bound" is only meaningful against what a robust scheme
+   would have promised on the same workload. *)
+let ref_mem_bound t ~range ?adopted ~stalled () =
+  match mem_bound t ~range ?adopted ~stalled () with
+  | Some b -> b
+  | None -> (
+      let ibr = Smr.Registry.find_exn "IBR" in
+      match
+        Harness.Chaos.mem_bound ibr ~config:t.config ~threads:t.threads
+          ~slots:t.slots ~range ?adopted ~stalled ()
+      with
+      | Some b -> b
+      | None -> assert false (* IBR is robust *))

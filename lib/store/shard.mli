@@ -40,6 +40,11 @@ type t = {
   capabilities : Smr.Smr_intf.capabilities;
       (** the scheme's capability record; the store tier aggregates
           [robust]/[recoverable] over its shards *)
+  set_pressure : bool -> unit;
+      (** Clamp (or release) this shard's SMR tuners to their most
+          aggressive bounds — {!Smr.Smr_intf.S.set_pressure} on the
+          shard's private instance.  Called by the store's pressure
+          coordinator when the shard enters/leaves [Pressured]. *)
 }
 
 val create :
@@ -58,3 +63,10 @@ val create :
 val mem_bound : t -> range:int -> ?adopted:int -> stalled:int -> unit -> int option
 (** {!Harness.Chaos.mem_bound} specialised to this shard's scheme, config
     and slot count; [None] for non-robust schemes. *)
+
+val ref_mem_bound : t -> range:int -> ?adopted:int -> stalled:int -> unit -> int
+(** Always-defined reference ceiling: {!mem_bound} when the shard's
+    scheme is robust, else the bound IBR (the reference robust scheme)
+    would have at the same config/threads/slots.  Pressure budgets and
+    the negative-control verdict ("EBR exceeds the bound") are scored
+    against this. *)

@@ -24,6 +24,34 @@ val record_flush : t -> tid:int -> occupancy:int -> unit
 val record_expired : t -> tid:int -> unit
 (** One TTL eviction issued by client [tid]. *)
 
+val record_queued : t -> shard:int -> tid:int -> unit
+(** One write accepted into [tid]'s batch for [shard] (backlog gauge up). *)
+
+val record_dispatched : t -> shard:int -> tid:int -> n:int -> unit
+(** [n] backlogged writes dispatched (backlog gauge down). *)
+
+val queued_depth : t -> shard:int -> int
+(** Live batched-write backlog against a shard, summed over clients —
+    the queue-occupancy input of the pressure ratio.  Coordinator-side. *)
+
+val record_shed : t -> tid:int -> ttl:bool -> unit
+(** One write rejected by admission control ([`Overload]); [ttl] selects
+    the stage-1 (TTL write) counter over the stage-2 (any write) one. *)
+
+val record_deadline_reject : t -> tid:int -> unit
+(** One request refused because its deadline had already passed. *)
+
+val record_retry : t -> tid:int -> unit
+(** One backoff re-submission after [`Overload]. *)
+
+val shed_ttl_total : t -> int
+val shed_write_total : t -> int
+val shed_total : t -> int
+val deadline_reject_total : t -> int
+val retry_total : t -> int
+(** Totals of the four overload counters; owner-written cells, read
+    after the owning workers have quiesced. *)
+
 val shard_ops : t -> shard:int -> int
 (** Live total requests completed against a shard (sums per-tid cells). *)
 

@@ -31,6 +31,10 @@ type t = {
   threads : int;
   batch_capacity : int;
   stats : Stats.t;
+  mutable pressure : Pressure.t array option;
+      (* one state machine per shard once armed; [None] (the default)
+         keeps every legacy path byte-identical — the level reads below
+         constant-fold to [Healthy] *)
 }
 
 type client = {
@@ -61,6 +65,7 @@ let create ?config ?buckets ?(batch_capacity = 64) ~backend ~scheme ~shards
     threads;
     batch_capacity;
     stats = Stats.create ~shards ~threads ~batch_capacity;
+    pressure = None;
   }
 
 let client ?now ?on_result t ~tid =
@@ -81,6 +86,65 @@ let client ?now ?on_result t ~tid =
   }
 
 let route c key = Router.shard_of c.store.router key
+
+(* {2 Pressure: per-shard overload level}
+
+   Disarmed stores report [Healthy] everywhere, so the admission and
+   flush paths below collapse to the legacy behaviour.  The level read
+   is one option check plus one atomic load. *)
+
+let shard_level t s =
+  match t.pressure with
+  | None -> Pressure.Healthy
+  | Some arr -> Pressure.level arr.(s)
+
+let arm_pressure t configs =
+  if Array.length configs <> Array.length t.shard_arr then
+    invalid_arg
+      (Printf.sprintf "Store.arm_pressure: %d configs for %d shards"
+         (Array.length configs) (Array.length t.shard_arr));
+  t.pressure <- Some (Array.map Pressure.create configs)
+
+let pressure t s =
+  match t.pressure with None -> None | Some arr -> Some arr.(s)
+
+(* One coordinator sample: feed every shard's gauge and write backlog to
+   its state machine, propagate the Pressured clamp into the shard's SMR
+   tuners, and report the worst level.  [set_pressure] is idempotent, so
+   re-asserting it every sample is free.
+
+   [sweep_tid], when given, must be a client slot the coordinator OWNS
+   (no worker domain uses it): every shard at Pressured or worse gets a
+   synchronous reclamation pass through that handle.  This matters at
+   [Degraded_all]: with every write shed there are no retires left to
+   trigger the schemes' retire-path reclamation, so without an external
+   sweep the gauge would freeze above the exit threshold and the shard
+   could never descend. *)
+let observe_pressure ?sweep_tid t ~now =
+  match t.pressure with
+  | None -> Pressure.Healthy
+  | Some arr ->
+      let worst = ref Pressure.Healthy in
+      Array.iteri
+        (fun s p ->
+          let sh = t.shard_arr.(s) in
+          let level =
+            Pressure.observe p
+              ~gauge:(sh.Shard.unreclaimed ())
+              ~queued:(Stats.queued_depth t.stats ~shard:s)
+              ~now
+          in
+          let pressed =
+            Pressure.level_rank level >= Pressure.level_rank Pressure.Pressured
+          in
+          sh.Shard.set_pressure pressed;
+          (match sweep_tid with
+          | Some tid when pressed -> sh.Shard.quiesce ~tid
+          | _ -> ());
+          if Pressure.level_rank level > Pressure.level_rank !worst then
+            worst := level)
+        arr;
+      !worst
 
 let account c ~shard ~kind ~key ~hit =
   Stats.record c.store.stats ~shard ~tid:c.tid ~hit;
@@ -173,6 +237,14 @@ let deliver c s buf n =
    clear once they are done with them. *)
 let dispatch_shard c s buf n =
   c.store.shard_arr.(s).Shard.apply_batch ~tid:c.tid buf;
+  Stats.record_dispatched c.store.stats ~shard:s ~tid:c.tid ~n;
+  (* Pressured mitigation: a synchronous sweep right behind the dispatch
+     drains what the batch just retired instead of letting it sit in
+     limbo until the threshold cadence catches up. *)
+  if
+    Pressure.level_rank (shard_level c.store s)
+    >= Pressure.level_rank Pressure.Pressured
+  then c.store.shard_arr.(s).Shard.quiesce ~tid:c.tid;
   (* The queued puts are live now: record their deadlines (the TTL
      clock runs from dispatch — see the header on why enqueue-time
      deadlines leak). *)
@@ -222,7 +294,18 @@ let enqueue c ~kind ?ttl_s key =
   end;
   let buf = Batch.shard_buf c.batch s in
   B.push buf ~kind ~key;
-  if B.length buf >= c.store.batch_capacity then flush_shard c s;
+  Stats.record_queued c.store.stats ~shard:s ~tid:c.tid;
+  (* Pressured mitigation, part two: halve the effective group size so
+     dispatches (and their synchronous sweeps) come twice as often —
+     smaller retire bursts against a gauge already near budget. *)
+  let cap =
+    if
+      Pressure.level_rank (shard_level c.store s)
+      >= Pressure.level_rank Pressure.Pressured
+    then max 1 (c.store.batch_capacity / 2)
+    else c.store.batch_capacity
+  in
+  if B.length buf >= cap then flush_shard c s;
   maybe_sweep c
 
 let enqueue_get c key = enqueue c ~kind:B.get key
@@ -251,7 +334,8 @@ let get_many c keys =
     let s = route c keys.(i) in
     let buf = Batch.shard_buf c.batch s in
     pos.(i) <- B.length buf;
-    B.push buf ~kind:B.get ~key:keys.(i)
+    B.push buf ~kind:B.get ~key:keys.(i);
+    Stats.record_queued c.store.stats ~shard:s ~tid:c.tid
   done;
   Batch.iter_nonempty c.batch (fun s buf -> dispatch_shard c s buf (B.length buf));
   let out =
@@ -262,6 +346,103 @@ let get_many c keys =
   Batch.clear c.batch;
   if not (Queue.is_empty c.expiry) then ignore (sweep_expired c);
   out
+
+(* {2 Typed admission: deadlines and overload shedding}
+
+   The [try_*] variants are the overload-aware front door.  Admission is
+   two cheap checks before any structure work:
+
+   - deadline: a request whose absolute deadline (client clock) already
+     passed is refused with [`Deadline_exceeded] — the caller's budget is
+     spent, doing the work anyway only adds queue time for everyone
+     behind it;
+   - shedding: writes against a shard at [Degraded_ttl] lose their
+     TTL-carrying requests (cache fills — the load a degraded shard can
+     shed with the least damage), at [Degraded_all] every write, both
+     with [`Overload].  Reads are never shed: keeping reads live is the
+     entire point of shedding writes.
+
+   The legacy API above stays un-gated — existing callers and tests see
+   identical behaviour, and a disarmed store admits everything. *)
+
+let[@inline] deadline_passed c deadline =
+  match deadline with
+  | None -> false
+  | Some dl ->
+      if c.now () > dl then begin
+        Stats.record_deadline_reject c.store.stats ~tid:c.tid;
+        true
+      end
+      else false
+
+(* A shed client pays for its own garbage before it backs off: flush the
+   already-admitted writes it has queued against the refusing shard (the
+   dispatch runs a synchronous sweep at Pressured+), or failing that
+   sweep its handle's limbo directly.  Without this, a store where every
+   shard reaches [Degraded_all] deadlocks: all writes shed -> no client
+   ever dispatches -> nobody runs the retire-path reclamation that would
+   drain the very gauge holding the level up — the coordinator can't do
+   it for them, handles are single-owner.  Shedding already costs the
+   caller a retry/backoff cycle, so the sweep is free from the service's
+   point of view. *)
+let shed_housekeeping c s =
+  let buf = Batch.shard_buf c.batch s in
+  if B.length buf > 0 then flush_shard c s
+  else c.store.shard_arr.(s).Shard.quiesce ~tid:c.tid
+
+(* [ttl] marks a TTL-carrying put; plain puts and deletes shed one stage
+   later. *)
+let write_shed c s ~ttl =
+  match shard_level c.store s with
+  | Pressure.Healthy | Pressure.Pressured -> false
+  | Pressure.Degraded_ttl ->
+      if ttl then begin
+        Stats.record_shed c.store.stats ~tid:c.tid ~ttl:true;
+        shed_housekeeping c s;
+        true
+      end
+      else false
+  | Pressure.Degraded_all ->
+      Stats.record_shed c.store.stats ~tid:c.tid ~ttl;
+      shed_housekeeping c s;
+      true
+
+let try_put ?ttl_s ?deadline c key =
+  if deadline_passed c deadline then `Deadline_exceeded
+  else
+    let s = route c key in
+    if write_shed c s ~ttl:(Option.is_some ttl_s) then `Overload
+    else `Done (put ?ttl_s c key)
+
+let try_delete ?deadline c key =
+  if deadline_passed c deadline then `Deadline_exceeded
+  else
+    let s = route c key in
+    if write_shed c s ~ttl:false then `Overload else `Done (delete c key)
+
+let try_enqueue_put ?ttl_s ?deadline c key =
+  if deadline_passed c deadline then `Deadline_exceeded
+  else
+    let s = route c key in
+    if write_shed c s ~ttl:(Option.is_some ttl_s) then `Overload
+    else begin
+      enqueue c ~kind:B.put ?ttl_s key;
+      `Queued
+    end
+
+let try_enqueue_delete ?deadline c key =
+  if deadline_passed c deadline then `Deadline_exceeded
+  else
+    let s = route c key in
+    if write_shed c s ~ttl:false then `Overload
+    else begin
+      enqueue c ~kind:B.del key;
+      `Queued
+    end
+
+let try_get_many ?deadline c keys =
+  if deadline_passed c deadline then `Deadline_exceeded
+  else `Ok (get_many c keys)
 
 (* {2 Store-wide observers and maintenance} *)
 
@@ -302,3 +483,8 @@ let mem_bound t ~range ?adopted ~stalled () =
       | Some a, Some b -> Some (a + b)
       | _ -> None)
     (Some 0) t.shard_arr
+
+let ref_mem_bound t ~range ?adopted ~stalled () =
+  Array.fold_left
+    (fun acc sh -> acc + Shard.ref_mem_bound sh ~range ?adopted ~stalled ())
+    0 t.shard_arr

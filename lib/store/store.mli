@@ -89,6 +89,62 @@ val get_many : client -> int array -> bool array
     {!Scot.Hashmap.apply_batch}).  Ends with a TTL sweep like
     {!flush}. *)
 
+(** {2 Typed admission — the overload-aware front door}
+
+    The [try_*] variants add two checks before any structure work: an
+    absolute per-request [deadline] on the client's clock (already
+    passed -> [`Deadline_exceeded], counted in {!Stats}), and write
+    shedding by the destination shard's {!Pressure.level} —
+    [Degraded_ttl] sheds TTL-carrying puts, [Degraded_all] sheds every
+    write, both as [`Overload].  Reads are {e never} shed; keeping reads
+    live is what the write shedding buys.  [`Overload] is retryable —
+    pair with {!Backoff.run}.
+
+    A shed is not a pure refusal: the client first flushes whatever it
+    had already queued against the refusing shard (that dispatch runs a
+    synchronous sweep at [Pressured] or worse) or sweeps its handle's
+    limbo directly.  Handles are single-owner, so only the client itself
+    can reclaim what it retired — without this housekeeping a store
+    where every shard reaches [Degraded_all] would deadlock: all writes
+    shed, so no dispatches, so no retire-path reclamation, so the gauge
+    never falls back below the exit threshold.  On a store where {!arm_pressure} was
+    never called every level is [Healthy] and only the deadline check
+    remains; the legacy API above is never gated at all. *)
+
+val try_put :
+  ?ttl_s:float ->
+  ?deadline:float ->
+  client ->
+  int ->
+  [ `Done of bool | `Overload | `Deadline_exceeded ]
+
+val try_delete :
+  ?deadline:float ->
+  client ->
+  int ->
+  [ `Done of bool | `Overload | `Deadline_exceeded ]
+
+val try_enqueue_put :
+  ?ttl_s:float ->
+  ?deadline:float ->
+  client ->
+  int ->
+  [ `Queued | `Overload | `Deadline_exceeded ]
+
+val try_enqueue_delete :
+  ?deadline:float ->
+  client ->
+  int ->
+  [ `Queued | `Overload | `Deadline_exceeded ]
+
+val try_get_many :
+  ?deadline:float ->
+  client ->
+  int array ->
+  [ `Ok of bool array | `Deadline_exceeded ]
+(** Reads are admitted at every pressure level; only the deadline can
+    refuse them. *)
+
 val sweep_expired : ?now:float -> client -> int
 (** Evict every expired key this client owns a deadline for; returns the
     eviction count.  Runs automatically on {!flush} and every 64
@@ -125,3 +181,40 @@ val robust : t -> bool
 val mem_bound : t -> range:int -> ?adopted:int -> stalled:int -> unit -> int option
 (** Sum of per-shard {!Shard.mem_bound} ceilings; [None] when the scheme
     is not robust. *)
+
+val ref_mem_bound : t -> range:int -> ?adopted:int -> stalled:int -> unit -> int
+(** Sum of per-shard {!Shard.ref_mem_bound} reference ceilings — always
+    defined (IBR's bound stands in for non-robust shards). *)
+
+(** {2 Pressure: gauge-driven graceful degradation}
+
+    Disarmed by default.  {!arm_pressure} installs one {!Pressure.t} per
+    shard; the coordinator then calls {!observe_pressure} at its sample
+    cadence.  While a shard is [Pressured] or worse, its dispatches are
+    followed by a synchronous sweep, its effective batch capacity is
+    halved, and its SMR tuners are clamped via
+    {!Shard.t.set_pressure}; [Degraded_*] additionally sheds writes on
+    the [try_*] path (see above). *)
+
+val arm_pressure : t -> Pressure.config array -> unit
+(** One config per shard ([Invalid_argument] on length mismatch);
+    callers typically derive budgets from {!ref_mem_bound}. *)
+
+val observe_pressure : ?sweep_tid:int -> t -> now:float -> Pressure.level
+(** Feed every shard's gauge and queued-write backlog into its state
+    machine and propagate tuner clamps; returns the worst shard level.
+    Coordinator-side; [Healthy] and a no-op when disarmed.
+
+    [sweep_tid] must be a client slot owned by the coordinator (never
+    used by a worker): shards at [Pressured] or worse then get a
+    synchronous reclamation pass through it.  Without this,
+    [Degraded_all] is a trap — shedding every write also sheds the
+    retires whose path triggers reclamation, freezing the gauge above
+    the exit threshold. *)
+
+val pressure : t -> int -> Pressure.t option
+(** Shard [i]'s state machine, for verdicts and artifacts. *)
+
+val shard_level : t -> int -> Pressure.level
+(** Current level of shard [i] — one atomic load ([Healthy] when
+    disarmed).  Safe from any domain. *)

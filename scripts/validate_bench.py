@@ -265,6 +265,69 @@ SERVE_SHARD_KEYS = {
 
 SERVE_MODES = ("batched", "per-op")
 
+# `scotbench pressure` emits runs with "kind": "pressure" (the overload
+# soak): oversubscribed domains ramp a sharded store past its memory
+# budget while parked readers pin reclamation, and the per-shard state
+# machines degrade and recover.  Robust schemes run "enforce": true;
+# the non-robust negative control (EBR) runs monitor-only and is
+# expected to overflow the reference stall bound, so its "bound" is
+# null and its acceptance is inverted inside scotbench.
+PRESSURE_RUN_KEYS = {
+    "kind": str,
+    "backend": str,
+    "scheme": str,
+    "robust": bool,
+    "enforce": bool,
+    "shards": int,
+    "workers": int,
+    "domains": int,
+    "parked": int,
+    "readers": int,
+    "range": int,
+    "batch_capacity": int,
+    "clean_s": (int, float),
+    "ramp_s": (int, float),
+    "drain_s": (int, float),
+    "deadline_s": (int, float),
+    "budget": int,
+    "stall_bound": int,
+    "nostall_bound": int,
+    "duration": (int, float),
+    "ops": int,
+    "throughput": (int, float),
+    "read_clean_tp": (int, float),
+    "read_degraded_tp": (int, float),
+    "read_live_ratio": (int, float),
+    "accepted": int,
+    "gave_up": int,
+    "shed_ttl": int,
+    "shed_all": int,
+    "shed": int,
+    "deadline_rejects": int,
+    "retries": int,
+    "expired": int,
+    "max_unreclaimed": int,
+    "post_quiesced": int,
+    "max_level": str,
+    "recovered": bool,
+    "transitions": list,
+    "mem_series": list,
+    "faults": int,
+    "final_size": int,
+    "ok": bool,
+    "verdict": str,
+}
+
+PRESSURE_LEVELS = ("healthy", "pressured", "degraded-ttl", "degraded-all")
+
+PRESSURE_TRANSITION_KEYS = {
+    "shard": int,
+    "t": (int, float),
+    "from": str,
+    "to": str,
+    "ratio": (int, float),
+}
+
 
 def fail(path, msg):
     sys.exit(f"{path}: INVALID: {msg}")
@@ -446,6 +509,55 @@ def validate(path):
                          f"{where}.mem_series[{j}] timestamps not ordered")
                 last_t = sample["t"]
             continue
+        if run.get("kind") == "pressure":
+            require(path, run, PRESSURE_RUN_KEYS, where)
+            if run["max_level"] not in PRESSURE_LEVELS:
+                fail(path, f"{where}.max_level = {run['max_level']!r}")
+            if run["shards"] < 1 or run["workers"] < 1 or run["domains"] < 1:
+                fail(path, f"{where} shards/workers/domains must be positive")
+            if run["shed"] != run["shed_ttl"] + run["shed_all"]:
+                fail(path, f"{where} shed != shed_ttl + shed_all")
+            if run["budget"] < 1:
+                fail(path, f"{where}.budget must be positive")
+            bound = run.get("bound")
+            if run["robust"]:
+                if not isinstance(bound, int):
+                    fail(path, f"{where} robust run needs an int bound")
+            elif bound is not None:
+                fail(path, f"{where} non-robust run must have bound null")
+            if run["ok"]:
+                if run["verdict"] != "ok":
+                    fail(path, f"{where} ok but verdict {run['verdict']!r}")
+                if run["enforce"]:
+                    # Graceful degradation means reads stayed live while
+                    # writes were shed, and the post-run quiesce returned
+                    # the gauge under the no-stall reference bound.
+                    if run["shed"] > 0 and run["read_degraded_tp"] <= 0:
+                        fail(path, f"{where} ok but reads died under shed")
+                    if run["post_quiesced"] > run["nostall_bound"]:
+                        fail(path, f"{where} ok but post_quiesced > "
+                                   f"nostall_bound")
+                    if not run["recovered"]:
+                        fail(path, f"{where} ok enforcing run but not "
+                                   f"recovered")
+            for j, tr in enumerate(run["transitions"]):
+                twhere = f"{where}.transitions[{j}]"
+                require(path, tr, PRESSURE_TRANSITION_KEYS, twhere)
+                if not 0 <= tr["shard"] < run["shards"]:
+                    fail(path, f"{twhere}.shard out of range")
+                for end in ("from", "to"):
+                    if tr[end] not in PRESSURE_LEVELS:
+                        fail(path, f"{twhere}.{end} = {tr[end]!r}")
+            last_t = -1.0
+            for j, sample in enumerate(run["mem_series"]):
+                if "t" not in sample or "unreclaimed" not in sample:
+                    fail(path,
+                         f"{where}.mem_series[{j}] missing t/unreclaimed")
+                if sample["t"] < last_t:
+                    fail(path,
+                         f"{where}.mem_series[{j}] timestamps not ordered")
+                last_t = sample["t"]
+            continue
         if run.get("kind") == "floor":
             require(path, run, FLOOR_RUN_KEYS, where)
             if run["throughput"] < 0 or run["ebr_throughput"] < 0:
@@ -529,6 +641,9 @@ def run_key(run):
     if run.get("kind") == "serve":
         return ("serve", run["mode"], run["backend"], run["scheme"],
                 run["shards"], run["threads"], run["range"])
+    if run.get("kind") == "pressure":
+        return ("pressure", run["backend"], run["scheme"], run["shards"],
+                run["workers"], run["domains"], run["range"])
     mix = run["mix"]
     return ("workload", run["structure"], run["scheme"], run["threads"],
             run["range"], mix.get("read_pct"), mix.get("insert_pct"),

@@ -285,6 +285,89 @@ let test_debra_neutralize_idle_noop () =
   check_int "stale post did not abort the next op" 1 !ran;
   check_int "no restart recorded" 0 (D.neutralize_restarts t)
 
+(* Mask nesting: a post landing inside a masked completion section must
+   DEFER (checkpoints pass, the pin stays resolved later), never drop;
+   and with nested mask/unmask pairs the section stays non-restartable
+   until the OUTERMOST unmask — an inner unmask must not re-arm the
+   checkpoint early. *)
+let test_debra_mask_nesting_defers () =
+  let module D = Smr.Debra in
+  let t = D.create ~config:config_small ~threads:2 ~slots:2 () in
+  let a = D.register t ~tid:0 in
+  let cell : Memory.Hdr.t option Atomic.t = Atomic.make None in
+  let rdr = D.reader a hdr_desc in
+  let attempts = ref 0 in
+  D.with_op a
+    {
+      Smr.Smr_intf.op0 =
+        (fun tok ->
+          incr attempts;
+          if !attempts = 1 then begin
+            D.mask a;
+            D.mask a;
+            (* Posted while masked: both checkpoints below must pass. *)
+            check "posted into the masked op" true (D.neutralize t ~tid:0);
+            ignore (D.protect rdr tok ~slot:0 cell);
+            D.unmask a;
+            (* Inner unmask only — still masked, still deferred. *)
+            ignore (D.protect rdr tok ~slot:0 cell);
+            D.unmask a;
+            (* Outermost unmask: the deferred post must now fire at the
+               next checkpoint — deferred, not dropped. *)
+            ignore (D.protect rdr tok ~slot:0 cell);
+            Alcotest.fail "deferred post did not fire after outer unmask"
+          end);
+    };
+  check_int "deferred abort restarted the bracket once" 2 !attempts;
+  check_int "exactly one restart" 1 (D.neutralize_restarts t);
+  check_int "post delivered exactly once" 1 (D.neutralize_posted t)
+
+(* Parked-registry delivery: the reclaimer may mark a post delivered
+   (releasing the laggard's pin) only when the laggard is parked at a
+   checkpointed probe AND unmasked; a parked-but-masked laggard keeps
+   its pin.  A crashed laggard is deliverable regardless of mask. *)
+let test_debra_parked_delivery () =
+  let module D = Smr.Debra in
+  let t = D.create ~config:config_small ~threads:2 ~slots:2 () in
+  let reader = D.register t ~tid:0 in
+  let worker = D.register t ~tid:1 in
+  let storm () =
+    for _ = 1 to 256 do
+      D.start_op worker;
+      let h = Memory.Hdr.create () in
+      D.on_alloc worker h;
+      D.retire worker (reclaimable h);
+      D.end_op worker
+    done;
+    D.flush worker
+  in
+  D.start_op reader;
+  D.mask reader;
+  storm ();
+  check "running laggard keeps its pin" true (D.unreclaimed t > 0);
+  check "reclaimer posted to the laggard" true (D.neutralize_posted t > 0);
+  (* Parked at a read probe but masked: NOT deliverable. *)
+  Smr.Probe.note_parked 0 Smr.Probe.Read;
+  D.flush worker;
+  check "parked-but-masked laggard keeps its pin" true (D.unreclaimed t > 0);
+  (* Unmasked: the parked laggard's post is delivered and the pin
+     releases while it is still asleep. *)
+  D.unmask reader;
+  D.flush worker;
+  check_int "parked unmasked laggard is delivered" 0 (D.unreclaimed t);
+  Smr.Probe.note_unparked 0;
+  D.end_op reader;
+  (* Crashed: deliverable even while masked. *)
+  D.start_op reader;
+  D.mask reader;
+  storm ();
+  check "live masked laggard pins again" true (D.unreclaimed t > 0);
+  Smr.Probe.note_crashed 0;
+  D.flush worker;
+  check_int "crashed laggard is delivered despite the mask" 0
+    (D.unreclaimed t);
+  Smr.Probe.clear_crashed 0
+
 (* Eras: birth/retire stamps must bracket the node's lifetime. *)
 let test_era_stamping (module S : Smr.Smr_intf.S) () =
   let mk_hdr th =
@@ -594,6 +677,30 @@ let test_make_config_validation () =
   | exception Invalid_argument msg ->
       check "error names limbo_threshold" true (contains msg "limbo_threshold");
       check "error names batch_size" true (contains msg "batch_size"));
+  (* An explicit neutralization window wider than the adaptive memory cap
+     means DBR's robustness lever could never fire below the cap; the
+     rejection must name both sides of the comparison. *)
+  (match
+     Smr.Smr_intf.make_config
+       ~adaptive:(`On { Smr.Smr_intf.min_threshold = 32; max_threshold = 128 })
+       ~epoch_freq:16 ~neutralize_after:16 ~threads:1 ()
+   with
+  | (_ : Smr.Smr_intf.config) ->
+      Alcotest.fail
+        "make_config accepted neutralize_after beyond the adaptive cap"
+  | exception Invalid_argument msg ->
+      check "error names neutralize_after" true (contains msg "neutralize_after");
+      check "error names max_threshold" true (contains msg "max_threshold"));
+  (* The same window is fine when it fits under the cap, and an
+     un-chosen default is never second-guessed. *)
+  ignore
+    (Smr.Smr_intf.make_config
+       ~adaptive:(`On { Smr.Smr_intf.min_threshold = 32; max_threshold = 128 })
+       ~epoch_freq:16 ~neutralize_after:8 ~threads:1 ());
+  ignore
+    (Smr.Smr_intf.make_config
+       ~adaptive:(`On { Smr.Smr_intf.min_threshold = 32; max_threshold = 128 })
+       ~epoch_freq:64 ~threads:1 ());
   expect_invalid "min_threshold" (fun () ->
       Smr.Smr_intf.make_config
         ~adaptive:
@@ -755,6 +862,10 @@ let () =
             test_debra_neutralization_restart;
           Alcotest.test_case "dbr neutralize of an idle thread is a no-op"
             `Quick test_debra_neutralize_idle_noop;
+          Alcotest.test_case "dbr mask nesting defers a post" `Quick
+            test_debra_mask_nesting_defers;
+          Alcotest.test_case "dbr parked/crashed laggard delivery" `Quick
+            test_debra_parked_delivery;
         ] );
       ("eras", per_scheme "era stamping" test_era_stamping);
       ("op-allocs", per_scheme "zero-alloc HList ops" test_zero_alloc_ops);
